@@ -1,0 +1,58 @@
+// Command invbench regenerates Table 3: the weighted inverted index under
+// simultaneous updates and "and"-queries, compared against running the same
+// work separately.  The paper's claim is that Tu + Tq ≈ Tu+q, i.e.
+// co-running adds almost no overhead because queries are delay-free reads
+// on snapshots and the single writer's parallel unions soak up idle cores.
+//
+// Usage:
+//
+//	invbench                          # sweep query-thread counts
+//	invbench -docs 20000 -window 30s  # longer, larger corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mvgc/internal/experiments"
+)
+
+func main() {
+	var (
+		vocab   = flag.Uint64("vocab", 50_000, "vocabulary size")
+		doclen  = flag.Int("doclen", 48, "mean distinct terms per document")
+		docs    = flag.Int("docs", 2_000, "initial corpus size in documents")
+		threads = flag.Int("threads", 0, "total threads (default GOMAXPROCS; paper: 144)")
+		window  = flag.Duration("window", 3*time.Second, "co-running window (paper: 30s)")
+		qts     = flag.String("querythreads", "", "comma-separated query-thread counts to sweep")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultTable3()
+	cfg.Vocab = *vocab
+	cfg.MeanDocLen = *doclen
+	cfg.InitialDocs = *docs
+	cfg.Window = *window
+	if *threads > 0 {
+		cfg.Threads = *threads
+		// The default sweep was sized for GOMAXPROCS; rebuild it for the
+		// requested thread count.
+		cfg.QueryThreads = experiments.QueryThreadSweep(*threads)
+	}
+	if *qts != "" {
+		cfg.QueryThreads = nil
+		for _, s := range strings.Split(*qts, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "invbench: bad -querythreads value %q: %v\n", s, err)
+				os.Exit(1)
+			}
+			cfg.QueryThreads = append(cfg.QueryThreads, v)
+		}
+	}
+	experiments.RunTable3(cfg, os.Stdout)
+}

@@ -1,0 +1,65 @@
+// Command vmbench regenerates Table 2 (query/update throughput and maximum
+// live versions for the Base/PSWF/PSLF/HP/EP/RCU version-maintenance
+// algorithms) and Figure 6 (maximum uncollected versions versus update
+// granularity) from the paper's Section 7.1.
+//
+// Usage:
+//
+//	vmbench -table2                 # the 2×2 granularity grid, all algorithms
+//	vmbench -figure6                # the nu sweep at nq=10
+//	vmbench -n 100000000 -procs 141 -dur 15s -reps 3   # the paper's setup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mvgc/internal/experiments"
+)
+
+func main() {
+	var (
+		table2  = flag.Bool("table2", false, "run the Table 2 grid")
+		figure6 = flag.Bool("figure6", false, "run the Figure 6 sweep")
+		n       = flag.Int("n", 1_000_000, "initial tree size (paper: 1e8)")
+		procs   = flag.Int("procs", 0, "total threads, 1 writer + rest readers (default GOMAXPROCS; paper: 141)")
+		dur     = flag.Duration("dur", 3*time.Second, "measured duration per cell (paper: 15s)")
+		reps    = flag.Int("reps", 1, "runs to average (paper: 3)")
+		algs    = flag.String("algs", "", "comma-separated algorithms (default all: base,pswf,pslf,hp,epoch,rcu)")
+	)
+	flag.Parse()
+	if !*table2 && !*figure6 {
+		*table2, *figure6 = true, true
+	}
+
+	cfg := experiments.DefaultTable2()
+	cfg.N = *n
+	cfg.Duration = *dur
+	cfg.Reps = *reps
+	if *procs > 0 {
+		cfg.Procs = *procs
+	}
+	if *algs != "" {
+		cfg.Algorithms = strings.Split(*algs, ",")
+	}
+	if cfg.Procs < 2 {
+		fmt.Fprintln(os.Stderr, "vmbench: need at least 2 threads (1 writer + 1 reader)")
+		os.Exit(1)
+	}
+
+	if *table2 {
+		experiments.RunTable2(cfg, os.Stdout)
+	}
+	if *figure6 {
+		f6 := experiments.DefaultFigure6()
+		f6.Table2Config = cfg
+		f6.NUs = []int{1, 10, 100, 1000, 10000}
+		if *algs == "" {
+			f6.Algorithms = []string{"pswf", "pslf", "hp", "epoch", "rcu"}
+		}
+		experiments.RunFigure6(f6, os.Stdout)
+	}
+}

@@ -1,0 +1,43 @@
+// Command ycsbbench regenerates Figure 7: YCSB workloads A (50/50 read/
+// update), B (95/5) and C (read-only) over the batched functional tree
+// ("ours") and the concurrent baselines (skip list, non-blocking external
+// BST, B+tree, striped hash map).
+//
+// Usage:
+//
+//	ycsbbench                         # all structures, workloads A/B/C
+//	ycsbbench -records 50000000       # the paper's key-space size
+//	ycsbbench -structures ours,bptree -dur 10s
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"time"
+
+	"mvgc/internal/experiments"
+)
+
+func main() {
+	var (
+		records    = flag.Uint64("records", 1_000_000, "loaded key count (paper: 5e7)")
+		threads    = flag.Int("threads", 0, "client threads (default GOMAXPROCS)")
+		dur        = flag.Duration("dur", 3*time.Second, "measured duration per cell")
+		latency    = flag.Duration("latency", 50*time.Millisecond, "batched update latency bound (paper: 50ms)")
+		structures = flag.String("structures", "", "comma-separated structures (default ours,skiplist,lfbst,bptree,hashmap)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultFigure7()
+	cfg.Records = *records
+	cfg.Duration = *dur
+	cfg.MaxLatency = *latency
+	if *threads > 0 {
+		cfg.Threads = *threads
+	}
+	if *structures != "" {
+		cfg.Structures = strings.Split(*structures, ",")
+	}
+	experiments.RunFigure7(cfg, os.Stdout)
+}

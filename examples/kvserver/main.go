@@ -1,0 +1,174 @@
+// KV server: a line-protocol TCP key-value store where every connection's
+// reads run as delay-free snapshot transactions and writes flow through
+// the Appendix-F combining writer.  A PidPool multiplexes arbitrarily many
+// connections over P transaction processes and doubles as admission
+// control.
+//
+// Protocol (one command per line):
+//
+//	SET <key> <value>      → OK
+//	GET <key>              → <value> | NOT_FOUND
+//	SUM <lo> <hi>          → <sum of values in [lo,hi]>   (O(log n))
+//	LEN                    → <number of keys>
+//
+// Run with:
+//
+//	go run ./examples/kvserver        # serves one demo session in-process
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"mvgc/internal/batch"
+	"mvgc/internal/core"
+	"mvgc/internal/ftree"
+)
+
+type server struct {
+	m    *core.Map[int64, int64, int64]
+	b    *batch.Batcher[int64, int64, int64]
+	pool *core.PidPool
+}
+
+const readerProcs = 8
+
+func newServer() *server {
+	ops := ftree.New[int64, int64, int64](ftree.IntCmp[int64], ftree.SumAug[int64](), 1024)
+	// Processes 0..readerProcs-1 serve reads; process readerProcs is the
+	// combining writer.
+	m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: readerProcs + 1}, ops, nil)
+	if err != nil {
+		panic(err)
+	}
+	b := batch.New(m, batch.Config{
+		WriterPid:  readerProcs,
+		Clients:    1, // all connections funnel through one buffer here
+		BufCap:     8192,
+		MaxLatency: time.Millisecond,
+	}, nil)
+	b.Start()
+	return &server{m: m, b: b, pool: core.NewPidPool(0, readerProcs)}
+}
+
+func (s *server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		reply := s.exec(sc.Text())
+		fmt.Fprintln(w, reply)
+		w.Flush()
+	}
+}
+
+func (s *server) exec(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty"
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "SET":
+		if len(fields) != 3 {
+			return "ERR usage: SET <key> <value>"
+		}
+		k, err1 := strconv.ParseInt(fields[1], 10, 64)
+		v, err2 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return "ERR bad integer"
+		}
+		s.b.SubmitWait(0, batch.Request[int64, int64]{Op: batch.OpInsert, Key: k, Val: v})
+		return "OK"
+	case "GET":
+		if len(fields) != 2 {
+			return "ERR usage: GET <key>"
+		}
+		k, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return "ERR bad integer"
+		}
+		var out string
+		s.pool.Do(func(pid int) {
+			s.m.Read(pid, func(sn core.Snapshot[int64, int64, int64]) {
+				if v, ok := sn.Get(k); ok {
+					out = strconv.FormatInt(v, 10)
+				} else {
+					out = "NOT_FOUND"
+				}
+			})
+		})
+		return out
+	case "SUM":
+		if len(fields) != 3 {
+			return "ERR usage: SUM <lo> <hi>"
+		}
+		lo, err1 := strconv.ParseInt(fields[1], 10, 64)
+		hi, err2 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return "ERR bad integer"
+		}
+		var out string
+		s.pool.Do(func(pid int) {
+			s.m.Read(pid, func(sn core.Snapshot[int64, int64, int64]) {
+				out = strconv.FormatInt(sn.AugRange(lo, hi), 10)
+			})
+		})
+		return out
+	case "LEN":
+		var out string
+		s.pool.Do(func(pid int) {
+			s.m.Read(pid, func(sn core.Snapshot[int64, int64, int64]) {
+				out = strconv.FormatInt(sn.Len(), 10)
+			})
+		})
+		return out
+	}
+	return "ERR unknown command"
+}
+
+func main() {
+	s := newServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("kvserver listening on", ln.Addr())
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.handle(conn)
+		}
+	}()
+
+	// Demo session against our own server.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	r := bufio.NewScanner(conn)
+	send := func(cmd string) {
+		fmt.Fprintf(conn, "%s\n", cmd)
+		r.Scan()
+		fmt.Printf("%-14s → %s\n", cmd, r.Text())
+	}
+	for i := 1; i <= 5; i++ {
+		send(fmt.Sprintf("SET %d %d", i, i*100))
+	}
+	send("GET 3")
+	send("GET 99")
+	send("SUM 1 5")
+	send("LEN")
+	conn.Close()
+	ln.Close()
+
+	s.b.Stop()
+	s.m.Close()
+	fmt.Println("leaked nodes:", s.m.Ops().Live())
+}

@@ -1,0 +1,51 @@
+// Package baseline defines the concurrent key-value comparators used by
+// the Figure 7 (YCSB) benchmark, standing in for the C++ structures the
+// paper compares against (skip list, OpenBW tree, Masstree, B+tree,
+// chromatic tree — see DESIGN.md for the substitution table):
+//
+//	skiplist  lazy concurrent skip list (per-node locks, wait-free reads)
+//	lfbst     non-blocking external BST (Ellen et al. family, the base of
+//	          chromatic trees)
+//	bptree    B+tree with read-write lock coupling and preemptive splits
+//	hashmap   striped-lock hash map (unordered point-op ceiling)
+//
+// All implementations store uint64 → uint64, the paper's 64-bit-integer
+// YCSB configuration.
+package baseline
+
+import (
+	"mvgc/internal/baseline/bptree"
+	"mvgc/internal/baseline/lfbst"
+	"mvgc/internal/baseline/skiplist"
+	"mvgc/internal/baseline/stripedmap"
+)
+
+// Map is the concurrent key-value contract shared by all baselines.
+type Map interface {
+	// Get returns the value stored under key.
+	Get(key uint64) (uint64, bool)
+	// Put inserts or overwrites key.
+	Put(key, val uint64)
+	// Delete removes key, reporting whether it was present.
+	Delete(key uint64) bool
+	// Name identifies the structure.
+	Name() string
+}
+
+// New constructs the named baseline, or nil for unknown names.
+func New(name string) Map {
+	switch name {
+	case "skiplist":
+		return skiplist.New()
+	case "lfbst":
+		return lfbst.New()
+	case "bptree":
+		return bptree.New()
+	case "hashmap":
+		return stripedmap.New()
+	}
+	return nil
+}
+
+// Names lists the baselines in the order Figure 7 reports them.
+func Names() []string { return []string{"skiplist", "lfbst", "bptree", "hashmap"} }

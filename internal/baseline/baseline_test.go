@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		m := New(name)
+		if m == nil {
+			t.Fatalf("New(%q) = nil", name)
+		}
+		if m.Name() != name {
+			t.Errorf("Name() = %q, want %q", m.Name(), name)
+		}
+	}
+	if New("bogus") != nil {
+		t.Error("unknown name must return nil")
+	}
+}
+
+// TestSequentialAgainstModel runs long random op sequences against Go's map
+// as the reference model.
+func TestSequentialAgainstModel(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			m := New(name)
+			ref := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 30000; i++ {
+				k := uint64(rng.Intn(2000))
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4: // put
+					v := rng.Uint64() >> 1
+					m.Put(k, v)
+					ref[k] = v
+				case 5, 6: // delete
+					_, want := ref[k]
+					if got := m.Delete(k); got != want {
+						t.Fatalf("step %d: Delete(%d) = %v, want %v", i, k, got, want)
+					}
+					delete(ref, k)
+				default: // get
+					want, wantOK := ref[k]
+					got, ok := m.Get(k)
+					if ok != wantOK || (ok && got != want) {
+						t.Fatalf("step %d: Get(%d) = %d,%v want %d,%v", i, k, got, ok, want, wantOK)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentDisjointKeys: each goroutine owns a key range; all its own
+// writes must be visible to itself immediately and to everyone at the end.
+func TestConcurrentDisjointKeys(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			m := New(name)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					base := uint64(w) * perWorker
+					for i := uint64(0); i < perWorker; i++ {
+						m.Put(base+i, base+i+1)
+						if v, ok := m.Get(base + i); !ok || v != base+i+1 {
+							t.Errorf("worker %d: own write invisible at key %d", w, base+i)
+							return
+						}
+						if i%3 == 0 {
+							if !m.Delete(base + i) {
+								t.Errorf("worker %d: delete of own key %d failed", w, base+i)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w := 0; w < workers; w++ {
+				base := uint64(w) * perWorker
+				for i := uint64(0); i < perWorker; i++ {
+					v, ok := m.Get(base + i)
+					if i%3 == 0 {
+						if ok {
+							t.Fatalf("deleted key %d still present", base+i)
+						}
+					} else if !ok || v != base+i+1 {
+						t.Fatalf("key %d = %d,%v", base+i, v, ok)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentSameKeys: all goroutines fight over a small key set; final
+// values must be one of the written values and deletes/puts must not
+// corrupt the structure.
+func TestConcurrentSameKeys(t *testing.T) {
+	const workers, ops, keys = 8, 4000, 16
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			m := New(name)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < ops; i++ {
+						k := uint64(rng.Intn(keys))
+						switch rng.Intn(4) {
+						case 0:
+							m.Delete(k)
+						case 1:
+							m.Get(k)
+						default:
+							m.Put(k, uint64(w)<<32|uint64(i))
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			// The structure must still answer queries consistently.
+			for k := uint64(0); k < keys; k++ {
+				if v, ok := m.Get(k); ok {
+					w := v >> 32
+					if w >= workers {
+						t.Fatalf("key %d holds impossible value %d", k, v)
+					}
+				}
+			}
+			// And still be fully operational.
+			m.Put(99, 1)
+			if v, ok := m.Get(99); !ok || v != 1 {
+				t.Fatal("structure corrupted after contention")
+			}
+		})
+	}
+}
+
+// TestInsertDeleteInterleave targets the delete helping paths: pairs of
+// goroutines insert and delete the same sliding window of keys.
+func TestInsertDeleteInterleave(t *testing.T) {
+	const rounds = 3000
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			m := New(name)
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						k := uint64(i % 64)
+						if w%2 == 0 {
+							m.Put(k, uint64(i))
+						} else {
+							m.Delete(k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Re-insert everything; all keys must be present afterwards.
+			for k := uint64(0); k < 64; k++ {
+				m.Put(k, k)
+			}
+			for k := uint64(0); k < 64; k++ {
+				if v, ok := m.Get(k); !ok || v != k {
+					t.Fatalf("key %d = %d,%v after re-insert", k, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestLargeSequentialLoad loads ascending keys (worst case for unbalanced
+// trees) and spot-checks.
+func TestLargeSequentialLoad(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			n := uint64(200000)
+			if name == "lfbst" {
+				// The external BST has no rebalancing, so sorted input
+				// degenerates it to a path; keep the quadratic part small.
+				n = 20000
+			}
+			m := New(name)
+			for i := uint64(0); i < n; i++ {
+				m.Put(i, i*2)
+			}
+			for i := uint64(0); i < n; i += 997 {
+				if v, ok := m.Get(i); !ok || v != i*2 {
+					t.Fatalf("key %d = %d,%v", i, v, ok)
+				}
+			}
+			if _, ok := m.Get(n + 1); ok {
+				t.Fatal("absent key found")
+			}
+		})
+	}
+}

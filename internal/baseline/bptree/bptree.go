@@ -1,0 +1,194 @@
+// Package bptree implements a concurrent B+tree with read-write lock
+// coupling and preemptive splitting, the classic tuned-B+tree baseline
+// (Figure 7's "B+tree"; the OpenBW paper's strongest comparator was a
+// similarly structured optimistically locked B+tree — see DESIGN.md).
+//
+// Readers descend with hand-over-hand read locks.  Writers descend with
+// write locks and split every full node on the way down, so a split never
+// needs to propagate upward and at most two locks are held at any moment.
+// Deletion removes keys from leaves without merging (B+trees with lazy
+// deletion), which preserves correctness and lookup cost for the paper's
+// workloads, where deletions never dominate.
+package bptree
+
+import "sync"
+
+const fanout = 64 // max keys per node
+
+type node struct {
+	mu       sync.RWMutex
+	isLeaf   bool
+	n        int
+	keys     [fanout]uint64
+	vals     [fanout]uint64    // leaves only
+	children [fanout + 1]*node // inner nodes only
+}
+
+// Tree is a concurrent B+tree from uint64 to uint64.
+type Tree struct {
+	mu   sync.RWMutex // guards the root pointer
+	root *node
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: &node{isLeaf: true}} }
+
+// Name implements baseline.Map.
+func (t *Tree) Name() string { return "bptree" }
+
+// search returns the index of the first key ≥ k in nd.
+func (nd *node) search(k uint64) int {
+	lo, hi := 0, nd.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child to descend into for key k.  Inner keys are
+// separators: child i holds keys < keys[i]; keys ≥ keys[n-1] go to child n.
+func (nd *node) childIndex(k uint64) int {
+	i := nd.search(k)
+	if i < nd.n && nd.keys[i] == k {
+		return i + 1 // equal separators route right (copied-up leaf keys)
+	}
+	return i
+}
+
+// Get returns the value stored under key, using hand-over-hand read locks.
+func (t *Tree) Get(key uint64) (uint64, bool) {
+	t.mu.RLock()
+	cur := t.root
+	cur.mu.RLock()
+	t.mu.RUnlock()
+	for !cur.isLeaf {
+		next := cur.children[cur.childIndex(key)]
+		next.mu.RLock()
+		cur.mu.RUnlock()
+		cur = next
+	}
+	i := cur.search(key)
+	if i < cur.n && cur.keys[i] == key {
+		v := cur.vals[i]
+		cur.mu.RUnlock()
+		return v, true
+	}
+	cur.mu.RUnlock()
+	return 0, false
+}
+
+// split divides full child c of parent p (both write-locked); after the
+// call both remain locked and c holds the lower half.
+func split(p *node, ci int, c *node) {
+	mid := c.n / 2
+	right := &node{isLeaf: c.isLeaf}
+	var sep uint64
+	if c.isLeaf {
+		// Leaf split: right gets keys[mid:], separator is right's first key.
+		copy(right.keys[:], c.keys[mid:c.n])
+		copy(right.vals[:], c.vals[mid:c.n])
+		right.n = c.n - mid
+		c.n = mid
+		sep = right.keys[0]
+	} else {
+		// Inner split: keys[mid] moves up, right gets keys[mid+1:].
+		sep = c.keys[mid]
+		copy(right.keys[:], c.keys[mid+1:c.n])
+		copy(right.children[:], c.children[mid+1:c.n+1])
+		right.n = c.n - mid - 1
+		c.n = mid
+	}
+	// Insert sep and right into p after position ci.
+	copy(p.keys[ci+1:p.n+1], p.keys[ci:p.n])
+	copy(p.children[ci+2:p.n+2], p.children[ci+1:p.n+1])
+	p.keys[ci] = sep
+	p.children[ci+1] = right
+	p.n++
+}
+
+// Put inserts or overwrites key, splitting full nodes on the way down.
+func (t *Tree) Put(key, val uint64) {
+	// Fast path: share the root pointer lock; escalate only to grow a new
+	// root above a full one.
+	t.mu.RLock()
+	cur := t.root
+	cur.mu.Lock()
+	if cur.n < fanout {
+		t.mu.RUnlock()
+	} else {
+		cur.mu.Unlock()
+		t.mu.RUnlock()
+		t.mu.Lock()
+		cur = t.root
+		cur.mu.Lock()
+		if cur.n == fanout {
+			// Grow a new root and split the old one under it.
+			nr := &node{}
+			nr.children[0] = cur
+			nr.mu.Lock()
+			split(nr, 0, cur)
+			t.root = nr
+			cur.mu.Unlock()
+			cur = nr
+		}
+		t.mu.Unlock()
+	}
+	for !cur.isLeaf {
+		ci := cur.childIndex(key)
+		next := cur.children[ci]
+		next.mu.Lock()
+		if next.n == fanout {
+			split(cur, ci, next)
+			// Re-route: the key may belong in the new right sibling.
+			if nci := cur.childIndex(key); nci != ci {
+				right := cur.children[nci]
+				right.mu.Lock()
+				next.mu.Unlock()
+				next = right
+			}
+		}
+		cur.mu.Unlock()
+		cur = next
+	}
+	i := cur.search(key)
+	if i < cur.n && cur.keys[i] == key {
+		cur.vals[i] = val
+		cur.mu.Unlock()
+		return
+	}
+	copy(cur.keys[i+1:cur.n+1], cur.keys[i:cur.n])
+	copy(cur.vals[i+1:cur.n+1], cur.vals[i:cur.n])
+	cur.keys[i] = key
+	cur.vals[i] = val
+	cur.n++
+	cur.mu.Unlock()
+}
+
+// Delete removes key from its leaf (no merging), reporting presence.
+func (t *Tree) Delete(key uint64) bool {
+	t.mu.RLock()
+	cur := t.root
+	cur.mu.Lock()
+	t.mu.RUnlock()
+	for !cur.isLeaf {
+		next := cur.children[cur.childIndex(key)]
+		next.mu.Lock()
+		cur.mu.Unlock()
+		cur = next
+	}
+	i := cur.search(key)
+	if i < cur.n && cur.keys[i] == key {
+		copy(cur.keys[i:cur.n-1], cur.keys[i+1:cur.n])
+		copy(cur.vals[i:cur.n-1], cur.vals[i+1:cur.n])
+		cur.n--
+		cur.mu.Unlock()
+		return true
+	}
+	cur.mu.Unlock()
+	return false
+}

@@ -1,0 +1,105 @@
+package bptree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSplitsPreserveOrder fills the tree far past several split levels and
+// checks every key, exercising leaf splits, inner splits and root growth.
+func TestSplitsPreserveOrder(t *testing.T) {
+	tr := New()
+	const n = fanout * fanout * 4 // forces ≥3 levels
+	for i := uint64(0); i < n; i++ {
+		tr.Put(i, i+1)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := tr.Get(i)
+		if !ok || v != i+1 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(n); ok {
+		t.Fatal("absent key present")
+	}
+}
+
+// TestReverseAndRandomOrders: split correctness must not depend on
+// insertion order.
+func TestReverseAndRandomOrders(t *testing.T) {
+	const n = fanout * 20
+	t.Run("reverse", func(t *testing.T) {
+		tr := New()
+		for i := n; i > 0; i-- {
+			tr.Put(uint64(i), uint64(i))
+		}
+		for i := uint64(1); i <= n; i++ {
+			if v, ok := tr.Get(i); !ok || v != i {
+				t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+			}
+		}
+	})
+	t.Run("random", func(t *testing.T) {
+		tr := New()
+		rng := rand.New(rand.NewSource(1))
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			tr.Put(uint64(i), uint64(i)*7)
+		}
+		for i := uint64(0); i < n; i++ {
+			if v, ok := tr.Get(i); !ok || v != i*7 {
+				t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+			}
+		}
+	})
+}
+
+// TestDuplicateSeparators: keys equal to copied-up separators must route
+// right and stay findable after deletion and reinsertion.
+func TestDuplicateSeparators(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < fanout+1; i++ { // force one leaf split
+		tr.Put(i, i)
+	}
+	// The separator is the right leaf's first key; overwrite and delete it.
+	sep := uint64(fanout / 2)
+	tr.Put(sep, 999)
+	if v, _ := tr.Get(sep); v != 999 {
+		t.Fatalf("separator-key value = %d", v)
+	}
+	if !tr.Delete(sep) {
+		t.Fatal("delete of separator key failed")
+	}
+	if _, ok := tr.Get(sep); ok {
+		t.Fatal("deleted separator key still visible")
+	}
+	tr.Put(sep, 1000)
+	if v, _ := tr.Get(sep); v != 1000 {
+		t.Fatalf("reinserted separator key = %d", v)
+	}
+}
+
+// TestConcurrentRootGrowth: hammer an empty tree so root splits race with
+// descents.
+func TestConcurrentRootGrowth(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	const workers, per = 8, 20000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				k := uint64(rng.Intn(1 << 16))
+				tr.Put(k, k)
+				if v, ok := tr.Get(k); ok && v != k {
+					t.Errorf("Get(%d) = %d", k, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,245 @@
+// Package lfbst implements the non-blocking external binary search tree of
+// Ellen, Fatourou, Ruppert and van Breugel ("Non-blocking Binary Search
+// Trees", PODC 2010) — the synchronization core of the chromatic trees the
+// paper compares against in Figure 7 (chromatic trees are this structure
+// plus relaxed rebalancing; see DESIGN.md).
+//
+// Keys live in leaves; internal nodes route.  Every update first flags the
+// affected internal node(s) with an operation descriptor via CAS, so any
+// thread encountering a flag can help the operation finish: updates are
+// lock-free.  Value replacement for an existing key swaps in a fresh leaf
+// through the same insert-flag protocol, keeping every operation
+// linearizable at a CAS.
+package lfbst
+
+import "sync/atomic"
+
+// Sentinel keys: all user keys must be below inf1.
+const (
+	inf1 = ^uint64(0) - 1
+	inf2 = ^uint64(0)
+)
+
+const (
+	clean = iota
+	iflag
+	dflag
+	mark
+)
+
+// update is an operation descriptor.  state distinguishes how the fields
+// are used; descriptors are immutable after publication.
+type update struct {
+	state int
+	// iflag: insert/replace of leaf l under parent p with newNode.
+	p, l, newNode *node
+	// dflag: delete of leaf l under parent p with grandparent gp, where
+	// pupdate was p's update field when the delete was prepared.
+	gp      *node
+	pupdate *update
+	// mark: del points at the dflag descriptor being helped.
+	del *update
+}
+
+type node struct {
+	key    uint64
+	val    uint64 // leaves only; immutable (replacement allocates)
+	leaf   bool
+	left   atomic.Pointer[node] // internal only
+	right  atomic.Pointer[node]
+	update atomic.Pointer[update] // internal only; nil means clean
+}
+
+// Tree is a concurrent non-blocking map from uint64 to uint64.
+type Tree struct {
+	root *node
+}
+
+// New returns an empty tree: root(inf2) over leaves inf1 and inf2.
+func New() *Tree {
+	r := &node{key: inf2}
+	r.left.Store(&node{key: inf1, leaf: true})
+	r.right.Store(&node{key: inf2, leaf: true})
+	return &Tree{root: r}
+}
+
+// Name implements baseline.Map.
+func (t *Tree) Name() string { return "lfbst" }
+
+func isClean(u *update) bool { return u == nil || u.state == clean }
+
+// search descends to the leaf for key, returning the grandparent, parent,
+// leaf, and the update fields read on the way (gp's before stepping to p,
+// p's before stepping to l), as in the paper's Search.
+func (t *Tree) search(key uint64) (gp, p, l *node, pupdate, gpupdate *update) {
+	p = t.root
+	pupdate = p.update.Load()
+	if key < p.key {
+		l = p.left.Load()
+	} else {
+		l = p.right.Load()
+	}
+	for !l.leaf {
+		gp, gpupdate = p, pupdate
+		p = l
+		pupdate = p.update.Load()
+		if key < p.key {
+			l = p.left.Load()
+		} else {
+			l = p.right.Load()
+		}
+	}
+	return
+}
+
+// Get returns the value stored under key.  Wait-free for a fixed tree
+// height; no helping, no writes.
+func (t *Tree) Get(key uint64) (uint64, bool) {
+	cur := t.root
+	for !cur.leaf {
+		if key < cur.key {
+			cur = cur.left.Load()
+		} else {
+			cur = cur.right.Load()
+		}
+	}
+	if cur.key == key {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// casChild swaps parent's child pointer from old to new on the side where
+// old resides (ichild/dchild helper of the paper).
+func casChild(parent, old, new *node) {
+	if parent.left.Load() == old {
+		parent.left.CompareAndSwap(old, new)
+	} else if parent.right.Load() == old {
+		parent.right.CompareAndSwap(old, new)
+	}
+}
+
+// help advances whatever operation u describes.
+func (t *Tree) help(u *update) {
+	if u == nil {
+		return
+	}
+	switch u.state {
+	case iflag:
+		t.helpInsert(u)
+	case dflag:
+		t.helpDelete(u)
+	case mark:
+		t.helpMarked(u.del)
+	}
+}
+
+// helpInsert completes an insert/replace: swing the child pointer, then
+// unflag the parent.
+func (t *Tree) helpInsert(u *update) {
+	casChild(u.p, u.l, u.newNode)
+	u.p.update.CompareAndSwap(u, &update{state: clean})
+}
+
+// Put inserts key or replaces its value.  Lock-free: each retry implies
+// some other operation's flag made progress.
+func (t *Tree) Put(key, val uint64) {
+	for {
+		_, p, l, pupdate, _ := t.search(key)
+		if !isClean(pupdate) {
+			t.help(pupdate)
+			continue
+		}
+		var op *update
+		if l.key == key {
+			// Replace: swap the leaf for a fresh one carrying val, through
+			// the same flag protocol as an insert so the replacement
+			// linearizes at the child CAS.
+			op = &update{state: iflag, p: p, l: l, newNode: &node{key: key, val: val, leaf: true}}
+		} else {
+			// Insert: new internal routing node adopting l and a new leaf.
+			nl := &node{key: key, val: val, leaf: true}
+			ni := &node{key: maxU64(key, l.key)}
+			if key < l.key {
+				ni.left.Store(nl)
+				ni.right.Store(l)
+			} else {
+				ni.left.Store(l)
+				ni.right.Store(nl)
+			}
+			op = &update{state: iflag, p: p, l: l, newNode: ni}
+		}
+		if p.update.CompareAndSwap(pupdate, op) {
+			t.helpInsert(op)
+			return
+		}
+		t.help(p.update.Load())
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key uint64) bool {
+	for {
+		gp, p, l, pupdate, gpupdate := t.search(key)
+		if l.key != key {
+			return false
+		}
+		if !isClean(gpupdate) {
+			t.help(gpupdate)
+			continue
+		}
+		if !isClean(pupdate) {
+			t.help(pupdate)
+			continue
+		}
+		op := &update{state: dflag, gp: gp, p: p, l: l, pupdate: pupdate}
+		if gp.update.CompareAndSwap(gpupdate, op) {
+			if t.helpDelete(op) {
+				return true
+			}
+			continue
+		}
+		t.help(gp.update.Load())
+	}
+}
+
+// helpDelete tries to mark the parent; on success the delete is committed
+// and completed by helpMarked.  On failure the grandparent is unflagged and
+// the delete retried (backtrack).
+func (t *Tree) helpDelete(op *update) bool {
+	markU := &update{state: mark, del: op}
+	if op.p.update.CompareAndSwap(op.pupdate, markU) {
+		t.helpMarked(op)
+		return true
+	}
+	cur := op.p.update.Load()
+	if cur != nil && cur.state == mark && cur.del == op {
+		// Someone else installed the mark for this same delete.
+		t.helpMarked(op)
+		return true
+	}
+	t.help(cur)
+	// Backtrack: remove our flag from the grandparent.
+	op.gp.update.CompareAndSwap(op, &update{state: clean})
+	return false
+}
+
+// helpMarked splices the marked parent out, replacing it in the
+// grandparent by the leaf's sibling, then unflags the grandparent.
+func (t *Tree) helpMarked(op *update) {
+	var other *node
+	if op.p.right.Load() == op.l {
+		other = op.p.left.Load()
+	} else {
+		other = op.p.right.Load()
+	}
+	casChild(op.gp, op.p, other)
+	op.gp.update.CompareAndSwap(op, &update{state: clean})
+}

@@ -1,0 +1,145 @@
+package lfbst
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestInternalStructure: after inserts, leaves hold exactly the key set
+// and internal nodes only route.
+func TestInternalStructure(t *testing.T) {
+	tr := New()
+	keys := []uint64{5, 3, 8, 1, 9, 7}
+	for _, k := range keys {
+		tr.Put(k, k*10)
+	}
+	var leaves []uint64
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			if n.key < inf1 {
+				leaves = append(leaves, n.key)
+			}
+			return
+		}
+		walk(n.left.Load())
+		walk(n.right.Load())
+	}
+	walk(tr.root)
+	if len(leaves) != len(keys) {
+		t.Fatalf("tree holds %d real leaves, want %d", len(leaves), len(keys))
+	}
+	for i := 1; i < len(leaves); i++ {
+		if leaves[i-1] >= leaves[i] {
+			t.Fatalf("leaves out of order: %v", leaves)
+		}
+	}
+}
+
+// TestReplaceLinearizesStructurally: value replacement goes through the
+// flag protocol, so a replaced value is immediately visible and old leaves
+// are unreachable.
+func TestReplaceLinearizesStructurally(t *testing.T) {
+	tr := New()
+	tr.Put(10, 1)
+	for i := uint64(2); i <= 100; i++ {
+		tr.Put(10, i)
+		if v, ok := tr.Get(10); !ok || v != i {
+			t.Fatalf("after replace %d: Get = %d,%v", i, v, ok)
+		}
+	}
+}
+
+// TestDeleteBacktrack provokes the dflag-then-fail path: deletes of
+// neighbouring keys race so a delete's mark CAS can fail and must
+// backtrack (unflag the grandparent) rather than wedge the tree.
+func TestDeleteBacktrack(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		tr := New()
+		for k := uint64(0); k < 8; k++ {
+			tr.Put(k, k)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for k := uint64(0); k < 8; k++ {
+					tr.Delete(k)
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Tree must be empty of real keys and still fully operational.
+		for k := uint64(0); k < 8; k++ {
+			if _, ok := tr.Get(k); ok {
+				t.Fatalf("round %d: key %d survived deletion storm", round, k)
+			}
+		}
+		tr.Put(3, 33)
+		if v, ok := tr.Get(3); !ok || v != 33 {
+			t.Fatalf("round %d: tree wedged after deletes", round)
+		}
+	}
+}
+
+// TestDeleteExactlyOnce: concurrent deleters of the same key — exactly one
+// wins per insert.
+func TestDeleteExactlyOnce(t *testing.T) {
+	tr := New()
+	const rounds = 2000
+	var succeeded int64
+	var mu sync.Mutex
+	for r := 0; r < rounds; r++ {
+		tr.Put(5, uint64(r))
+		var wg sync.WaitGroup
+		wins := 0
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if tr.Delete(5) {
+					mu.Lock()
+					wins++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if wins != 1 {
+			t.Fatalf("round %d: %d deleters succeeded, want exactly 1", r, wins)
+		}
+		succeeded += int64(wins)
+	}
+	if succeeded != rounds {
+		t.Fatalf("total wins %d", succeeded)
+	}
+}
+
+// TestInsertDeleteAdjacent stresses helping between an insert flagging a
+// parent and a delete flagging the same node as grandparent.
+func TestInsertDeleteAdjacent(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 30000; i++ {
+				k := uint64(rng.Intn(32))
+				if w%2 == 0 {
+					tr.Put(k, uint64(i))
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Structure must answer queries for the full range without panicking.
+	for k := uint64(0); k < 32; k++ {
+		tr.Get(k)
+	}
+}

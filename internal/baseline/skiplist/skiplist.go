@@ -1,0 +1,208 @@
+// Package skiplist implements a lazy concurrent skip list (Herlihy &
+// Shavit, The Art of Multiprocessor Programming §14.3; after Pugh's skip
+// lists, the structure the paper benchmarks against in Figure 7): wait-free
+// lock-free reads via fullyLinked/marked flags, and per-node locks with
+// optimistic validation for updates.
+package skiplist
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+const maxLevel = 24 // supports ~16M keys at p=1/2 with comfortable slack
+
+type node struct {
+	key         uint64
+	val         atomic.Uint64
+	next        [maxLevel]atomic.Pointer[node]
+	mu          sync.Mutex
+	topLevel    int         // highest level this node occupies (0-based)
+	fullyLinked atomic.Bool // set once the node is linked at every level
+	marked      atomic.Bool // set while the node is being unlinked
+}
+
+// List is a concurrent sorted map from uint64 to uint64.
+type List struct {
+	head, tail *node
+	seed       atomic.Uint64
+}
+
+// New returns an empty skip list covering the full uint64 key range
+// except the two sentinel extremes.
+func New() *List {
+	l := &List{head: &node{key: 0, topLevel: maxLevel - 1}, tail: &node{key: math.MaxUint64, topLevel: maxLevel - 1}}
+	for i := 0; i < maxLevel; i++ {
+		l.head.next[i].Store(l.tail)
+	}
+	l.head.fullyLinked.Store(true)
+	l.tail.fullyLinked.Store(true)
+	l.seed.Store(0x9e3779b97f4a7c15)
+	return l
+}
+
+// Name implements baseline.Map.
+func (l *List) Name() string { return "skiplist" }
+
+// randomLevel draws a geometric(1/2) tower height from a splitmix64 stream.
+func (l *List) randomLevel() int {
+	for {
+		s := l.seed.Load()
+		n := s + 0x9e3779b97f4a7c15
+		if l.seed.CompareAndSwap(s, n) {
+			z := n
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			lvl := 0
+			for z&1 == 1 && lvl < maxLevel-1 {
+				lvl++
+				z >>= 1
+			}
+			return lvl
+		}
+	}
+}
+
+// findNode fills preds/succs at every level and returns the level at which
+// key was found, or -1.
+func (l *List) findNode(key uint64, preds, succs *[maxLevel]*node) int {
+	found := -1
+	pred := l.head
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		cur := pred.next[lvl].Load()
+		for cur.key < key {
+			pred = cur
+			cur = pred.next[lvl].Load()
+		}
+		if found == -1 && cur.key == key {
+			found = lvl
+		}
+		preds[lvl] = pred
+		succs[lvl] = cur
+	}
+	return found
+}
+
+// Get returns the value stored under key.  Lock-free: it traverses without
+// acquiring any lock and succeeds only on fully linked, unmarked nodes.
+func (l *List) Get(key uint64) (uint64, bool) {
+	pred := l.head
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		cur := pred.next[lvl].Load()
+		for cur.key < key {
+			pred = cur
+			cur = pred.next[lvl].Load()
+		}
+		if cur.key == key {
+			if cur.fullyLinked.Load() && !cur.marked.Load() {
+				return cur.val.Load(), true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Put inserts key or overwrites its value.
+func (l *List) Put(key, val uint64) {
+	var preds, succs [maxLevel]*node
+	topLevel := l.randomLevel()
+	for {
+		if lvl := l.findNode(key, &preds, &succs); lvl != -1 {
+			n := succs[lvl]
+			if !n.marked.Load() {
+				for !n.fullyLinked.Load() {
+					// an insert in progress; wait for it to appear
+				}
+				n.val.Store(val)
+				return
+			}
+			continue // being removed: retry until it is gone
+		}
+		// Lock the predecessors bottom-up and validate.
+		var highest int
+		valid := true
+		for lvl := 0; valid && lvl <= topLevel; lvl++ {
+			pred, succ := preds[lvl], succs[lvl]
+			if lvl == 0 || preds[lvl] != preds[lvl-1] {
+				pred.mu.Lock()
+			}
+			highest = lvl
+			valid = !pred.marked.Load() && !succ.marked.Load() && pred.next[lvl].Load() == succ
+		}
+		if !valid {
+			unlockPreds(&preds, highest)
+			continue
+		}
+		n := &node{key: key, topLevel: topLevel}
+		n.val.Store(val)
+		for lvl := 0; lvl <= topLevel; lvl++ {
+			n.next[lvl].Store(succs[lvl])
+		}
+		for lvl := 0; lvl <= topLevel; lvl++ {
+			preds[lvl].next[lvl].Store(n)
+		}
+		n.fullyLinked.Store(true)
+		unlockPreds(&preds, highest)
+		return
+	}
+}
+
+func unlockPreds(preds *[maxLevel]*node, highest int) {
+	for lvl := 0; lvl <= highest; lvl++ {
+		if lvl == 0 || preds[lvl] != preds[lvl-1] {
+			preds[lvl].mu.Unlock()
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (l *List) Delete(key uint64) bool {
+	var preds, succs [maxLevel]*node
+	var victim *node
+	isMarked := false
+	topLevel := -1
+	for {
+		lvl := l.findNode(key, &preds, &succs)
+		if !isMarked {
+			if lvl == -1 {
+				return false
+			}
+			victim = succs[lvl]
+			if !victim.fullyLinked.Load() || victim.marked.Load() || victim.topLevel != lvl {
+				return false
+			}
+			topLevel = victim.topLevel
+			victim.mu.Lock()
+			if victim.marked.Load() {
+				victim.mu.Unlock()
+				return false
+			}
+			victim.marked.Store(true)
+			isMarked = true
+		}
+		// Lock predecessors and validate they still point at the victim.
+		var highest int
+		valid := true
+		for lv := 0; valid && lv <= topLevel; lv++ {
+			pred := preds[lv]
+			if lv == 0 || preds[lv] != preds[lv-1] {
+				pred.mu.Lock()
+			}
+			highest = lv
+			valid = !pred.marked.Load() && pred.next[lv].Load() == victim
+		}
+		if !valid {
+			unlockPreds(&preds, highest)
+			continue
+		}
+		for lv := topLevel; lv >= 0; lv-- {
+			preds[lv].next[lv].Store(victim.next[lv].Load())
+		}
+		victim.mu.Unlock()
+		unlockPreds(&preds, highest)
+		return true
+	}
+}

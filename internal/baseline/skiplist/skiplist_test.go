@@ -1,0 +1,135 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestTowerLevelDistribution: random levels must be geometric(1/2)-ish —
+// about half the nodes at each successive level — or search degenerates.
+func TestTowerLevelDistribution(t *testing.T) {
+	l := New()
+	counts := make([]int, maxLevel)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[l.randomLevel()]++
+	}
+	if counts[0] < n/3 || counts[0] > 2*n/3 {
+		t.Fatalf("level-0 frequency %d of %d not ≈ 1/2", counts[0], n)
+	}
+	for lvl := 1; lvl < 6; lvl++ {
+		if counts[lvl] == 0 {
+			t.Fatalf("no towers of level %d in %d draws", lvl, n)
+		}
+		if counts[lvl] > counts[lvl-1] {
+			t.Fatalf("level %d more frequent than level %d", lvl, lvl-1)
+		}
+	}
+}
+
+// TestSentinelsUntouchable: operations on the extremes of the key space
+// must not disturb the sentinels.
+func TestSentinelsUntouchable(t *testing.T) {
+	l := New()
+	l.Put(1, 10)
+	if _, ok := l.Get(0); ok {
+		t.Fatal("head sentinel key visible")
+	}
+	if ok := l.Delete(0); ok {
+		t.Fatal("deleted head sentinel")
+	}
+	if v, ok := l.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = %d,%v", v, ok)
+	}
+}
+
+// TestDeleteReinsertSameKey cycles one key through delete/reinsert while
+// readers watch: a reader must only ever see the key absent or with one of
+// the written values.
+func TestDeleteReinsertSameKey(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= 20000; i++ {
+			l.Put(42, i)
+			l.Delete(42)
+		}
+		close(stop)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v, ok := l.Get(42); ok && (v < 1 || v > 20000) {
+					t.Errorf("impossible value %d", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, ok := l.Get(42); ok {
+		t.Fatal("key present after final delete")
+	}
+}
+
+// TestPutOverwriteConcurrent: concurrent overwrites of one key leave one
+// writer's value.
+func TestPutOverwriteConcurrent(t *testing.T) {
+	l := New()
+	l.Put(7, 0)
+	var wg sync.WaitGroup
+	for w := 1; w <= 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				l.Put(7, uint64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	v, ok := l.Get(7)
+	if !ok || v < 1 || v > 8 {
+		t.Fatalf("final value %d,%v", v, ok)
+	}
+}
+
+// TestMixedDense: sequential model check with a dense key space that keeps
+// towers overlapping.
+func TestMixedDense(t *testing.T) {
+	l := New()
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		k := uint64(rng.Intn(128))
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64() >> 1
+			l.Put(k, v)
+			ref[k] = v
+		case 1:
+			_, want := ref[k]
+			if got := l.Delete(k); got != want {
+				t.Fatalf("Delete(%d) = %v, want %v", k, got, want)
+			}
+			delete(ref, k)
+		case 2:
+			want, wantOK := ref[k]
+			got, ok := l.Get(k)
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("Get(%d) = %d,%v want %d,%v", k, got, ok, want, wantOK)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package stripedmap implements a hash map sharded over independently
+// locked stripes.  It is unordered, so it upper-bounds what a point-op-only
+// workload can achieve, standing in for Masstree's role in Figure 7 as the
+// fastest-point-lookup comparator (see DESIGN.md).
+package stripedmap
+
+import "sync"
+
+const stripes = 256 // power of two
+
+type stripe struct {
+	mu sync.RWMutex
+	m  map[uint64]uint64
+	_  [6]uint64 // keep neighbouring stripe locks off one cache line
+}
+
+// Map is a concurrent unordered map from uint64 to uint64.
+type Map struct {
+	s [stripes]stripe
+}
+
+// New returns an empty striped map.
+func New() *Map {
+	m := &Map{}
+	for i := range m.s {
+		m.s[i].m = make(map[uint64]uint64)
+	}
+	return m
+}
+
+// Name implements baseline.Map.
+func (m *Map) Name() string { return "hashmap" }
+
+// fibonacci hashing spreads adjacent keys across stripes.
+func idx(key uint64) int { return int((key * 0x9e3779b97f4a7c15) >> 56) }
+
+// Get returns the value stored under key.
+func (m *Map) Get(key uint64) (uint64, bool) {
+	s := &m.s[idx(key)]
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Put inserts or overwrites key.
+func (m *Map) Put(key, val uint64) {
+	s := &m.s[idx(key)]
+	s.mu.Lock()
+	s.m[key] = val
+	s.mu.Unlock()
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map) Delete(key uint64) bool {
+	s := &m.s[idx(key)]
+	s.mu.Lock()
+	_, ok := s.m[key]
+	if ok {
+		delete(s.m, key)
+	}
+	s.mu.Unlock()
+	return ok
+}

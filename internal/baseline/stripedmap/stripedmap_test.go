@@ -1,0 +1,70 @@
+package stripedmap
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBasic(t *testing.T) {
+	m := New()
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map has key")
+	}
+	m.Put(1, 100)
+	if v, ok := m.Get(1); !ok || v != 100 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if !m.Delete(1) {
+		t.Fatal("delete failed")
+	}
+	if m.Delete(1) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+// TestStripeSpread: fibonacci hashing must not funnel sequential keys into
+// one stripe.
+func TestStripeSpread(t *testing.T) {
+	counts := make(map[int]int)
+	for k := uint64(0); k < 10000; k++ {
+		counts[idx(k)]++
+	}
+	if len(counts) < stripes/2 {
+		t.Fatalf("sequential keys hit only %d of %d stripes", len(counts), stripes)
+	}
+	for s, c := range counts {
+		if c > 10000/stripes*8 {
+			t.Fatalf("stripe %d absorbed %d of 10000 keys", s, c)
+		}
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * 10000
+			for i := uint64(0); i < 10000; i++ {
+				m.Put(base+i, base+i)
+			}
+			for i := uint64(0); i < 10000; i += 2 {
+				m.Delete(base + i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		base := uint64(w) * 10000
+		for i := uint64(1); i < 10000; i += 2 {
+			if v, ok := m.Get(base + i); !ok || v != base+i {
+				t.Fatalf("key %d = %d,%v", base+i, v, ok)
+			}
+		}
+		if _, ok := m.Get(base); ok {
+			t.Fatal("deleted key present")
+		}
+	}
+}

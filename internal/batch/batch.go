@@ -1,0 +1,278 @@
+// Package batch implements the paper's batching scheme (Appendix F): many
+// client processes append update requests to private buffers, and a single
+// combining writer periodically drains all buffers and commits the whole
+// batch atomically as one write transaction, applying it with the parallel
+// multi-insert.  Readers never batch — they run delay-free read
+// transactions directly against the map.
+//
+// Each client owns a single-producer ring buffer whose tail only the client
+// advances and whose head only the combiner advances, so clients and the
+// combiner never contend on the same index (Appendix F: "There is no
+// contention between processes").  Batching trades wait-freedom of
+// individual writes for contention-free parallel throughput and atomic
+// multi-operation commits; the paper's Figure 7 measures the payoff.
+package batch
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"mvgc/internal/core"
+	"mvgc/internal/ftree"
+)
+
+// Op is the kind of a batched request.
+type Op uint8
+
+const (
+	// OpInsert inserts or overwrites a key.
+	OpInsert Op = iota
+	// OpDelete removes a key.
+	OpDelete
+)
+
+// Request is one buffered update.
+type Request[K, V any] struct {
+	Op  Op
+	Key K
+	Val V
+}
+
+// ring is a single-producer single-consumer bounded queue.  The producer
+// (client) advances tail; the consumer (combiner) advances head.
+type ring[K, V any] struct {
+	buf       []Request[K, V]
+	mask      uint64
+	head      atomic.Uint64 // next slot the combiner will read
+	tail      atomic.Uint64 // next slot the client will write
+	committed atomic.Uint64 // requests ≤ this index are durably committed
+	_         [4]uint64
+}
+
+// Batcher owns the single combining writer for a Map.  Clients call Submit
+// (or SubmitWait) from their own process; the combiner goroutine commits
+// batches until Stop.
+type Batcher[K, V, A any] struct {
+	m         *core.Map[K, V, A]
+	rings     []*ring[K, V]
+	comb      func(old, new V) V
+	writerPid int
+	interval  time.Duration
+	maxBatch  int
+
+	stop    chan struct{}
+	done    chan struct{}
+	batches atomic.Int64
+	applied atomic.Int64
+	maxSeen atomic.Int64
+}
+
+// Config tunes a Batcher.
+type Config struct {
+	// WriterPid is the process id the combiner uses for its transactions.
+	WriterPid int
+	// Clients is the number of client buffers (their ids are 0..Clients-1,
+	// independent of map process ids since clients never touch the VM).
+	Clients int
+	// BufCap is each client's buffer capacity (rounded up to a power of
+	// two, default 8192).  Submit applies backpressure when full.
+	BufCap int
+	// MaxLatency bounds how long a submitted request may wait before the
+	// combiner picks it up (the paper bounds update latency to ~50 ms).
+	// Default 2 ms.
+	MaxLatency time.Duration
+	// MaxBatch caps requests per commit; 0 means unlimited.
+	MaxBatch int
+}
+
+// New creates a Batcher for m.  comb defines how an inserted value merges
+// with an existing one (nil overwrites).  Start must be called before any
+// Submit.
+func New[K, V, A any](m *core.Map[K, V, A], cfg Config, comb func(old, new V) V) *Batcher[K, V, A] {
+	capacity := cfg.BufCap
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	capacity = nextPow2(capacity)
+	b := &Batcher[K, V, A]{
+		m:         m,
+		comb:      comb,
+		writerPid: cfg.WriterPid,
+		interval:  cfg.MaxLatency,
+		maxBatch:  cfg.MaxBatch,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if b.interval <= 0 {
+		b.interval = 2 * time.Millisecond
+	}
+	b.rings = make([]*ring[K, V], cfg.Clients)
+	for i := range b.rings {
+		b.rings[i] = &ring[K, V]{buf: make([]Request[K, V], capacity), mask: uint64(capacity - 1)}
+	}
+	return b
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Start launches the combiner goroutine.
+func (b *Batcher[K, V, A]) Start() { go b.run() }
+
+// Stop drains every buffer, commits the final batch, and shuts the
+// combiner down.
+func (b *Batcher[K, V, A]) Stop() {
+	close(b.stop)
+	<-b.done
+}
+
+// Batches reports how many write transactions the combiner committed.
+func (b *Batcher[K, V, A]) Batches() int64 { return b.batches.Load() }
+
+// Applied reports how many requests have been committed.
+func (b *Batcher[K, V, A]) Applied() int64 { return b.applied.Load() }
+
+// MaxBatchSeen reports the largest committed batch.
+func (b *Batcher[K, V, A]) MaxBatchSeen() int64 { return b.maxSeen.Load() }
+
+// Submit enqueues an update from client (0..Clients-1).  It blocks —
+// yielding, not spinning hot — while the client's buffer is full.
+func (b *Batcher[K, V, A]) Submit(client int, r Request[K, V]) {
+	q := b.rings[client]
+	for {
+		t := q.tail.Load()
+		if t-q.head.Load() < uint64(len(q.buf)) {
+			q.buf[t&q.mask] = r
+			q.tail.Store(t + 1)
+			return
+		}
+		runtime.Gosched() // backpressure: combiner is behind
+	}
+}
+
+// SubmitWait enqueues an update and blocks until it has been committed,
+// giving per-request durability at batching latency.
+func (b *Batcher[K, V, A]) SubmitWait(client int, r Request[K, V]) {
+	q := b.rings[client]
+	b.Submit(client, r)
+	seq := q.tail.Load()
+	for q.committed.Load() < seq {
+		runtime.Gosched()
+	}
+}
+
+// Flush blocks until everything submitted by client before the call has
+// committed.
+func (b *Batcher[K, V, A]) Flush(client int) {
+	q := b.rings[client]
+	seq := q.tail.Load()
+	for q.committed.Load() < seq {
+		runtime.Gosched()
+	}
+}
+
+// run is the combiner loop: gather all buffers, commit one transaction,
+// publish per-ring committed watermarks, sleep out the latency budget if
+// there was nothing to do.
+func (b *Batcher[K, V, A]) run() {
+	defer close(b.done)
+	type mark struct {
+		q   *ring[K, V]
+		seq uint64
+	}
+	var inserts []ftree.Entry[K, V]
+	var deletes []K
+	marks := make([]mark, 0, len(b.rings))
+	for {
+		inserts = inserts[:0]
+		deletes = deletes[:0]
+		marks = marks[:0]
+		total := 0
+		for _, q := range b.rings {
+			h, t := q.head.Load(), q.tail.Load()
+			if b.maxBatch > 0 && t-h > uint64(b.maxBatch-total) {
+				t = h + uint64(b.maxBatch-total)
+			}
+			for i := h; i < t; i++ {
+				r := q.buf[i&q.mask]
+				if r.Op == OpInsert {
+					inserts = append(inserts, ftree.Entry[K, V]{Key: r.Key, Val: r.Val})
+				} else {
+					deletes = append(deletes, r.Key)
+				}
+			}
+			if t != h {
+				q.head.Store(t)
+				marks = append(marks, mark{q, t})
+				total += int(t - h)
+			}
+			if b.maxBatch > 0 && total >= b.maxBatch {
+				break
+			}
+		}
+		if total > 0 {
+			b.m.Update(b.writerPid, func(tx *core.Txn[K, V, A]) {
+				if len(inserts) > 0 {
+					tx.InsertBatch(inserts, b.comb)
+				}
+				if len(deletes) > 0 {
+					tx.DeleteBatch(deletes)
+				}
+			})
+			b.batches.Add(1)
+			b.applied.Add(int64(total))
+			if int64(total) > b.maxSeen.Load() {
+				b.maxSeen.Store(int64(total))
+			}
+			for _, mk := range marks {
+				mk.q.committed.Store(mk.seq)
+			}
+			continue // stay hot while work is flowing
+		}
+		select {
+		case <-b.stop:
+			// Final drain: clients must have stopped submitting.
+			b.finalDrain()
+			return
+		case <-time.After(b.interval):
+		}
+	}
+}
+
+func (b *Batcher[K, V, A]) finalDrain() {
+	var inserts []ftree.Entry[K, V]
+	var deletes []K
+	for _, q := range b.rings {
+		h, t := q.head.Load(), q.tail.Load()
+		for i := h; i < t; i++ {
+			r := q.buf[i&q.mask]
+			if r.Op == OpInsert {
+				inserts = append(inserts, ftree.Entry[K, V]{Key: r.Key, Val: r.Val})
+			} else {
+				deletes = append(deletes, r.Key)
+			}
+		}
+		q.head.Store(t)
+	}
+	if len(inserts)+len(deletes) > 0 {
+		b.m.Update(b.writerPid, func(tx *core.Txn[K, V, A]) {
+			if len(inserts) > 0 {
+				tx.InsertBatch(inserts, b.comb)
+			}
+			if len(deletes) > 0 {
+				tx.DeleteBatch(deletes)
+			}
+		})
+		b.batches.Add(1)
+		b.applied.Add(int64(len(inserts) + len(deletes)))
+	}
+	for _, q := range b.rings {
+		q.committed.Store(q.tail.Load())
+	}
+}

@@ -1,0 +1,206 @@
+package batch
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mvgc/internal/core"
+	"mvgc/internal/ftree"
+)
+
+func newIntMap(t testing.TB, procs int) *core.Map[int64, int64, int64] {
+	t.Helper()
+	ops := ftree.New[int64, int64, int64](ftree.IntCmp[int64], ftree.SumAug[int64](), 256)
+	m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: procs}, ops, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSubmitFlush(t *testing.T) {
+	m := newIntMap(t, 2)
+	b := New(m, Config{WriterPid: 0, Clients: 1, MaxLatency: time.Millisecond}, nil)
+	b.Start()
+	for i := int64(0); i < 100; i++ {
+		b.Submit(0, Request[int64, int64]{Op: OpInsert, Key: i, Val: i * 3})
+	}
+	b.Flush(0)
+	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+		if s.Len() != 100 {
+			t.Fatalf("Len = %d", s.Len())
+		}
+		if v, _ := s.Get(42); v != 126 {
+			t.Fatalf("Get(42) = %d", v)
+		}
+	})
+	b.Stop()
+	m.Close()
+	if m.Ops().Live() != 0 {
+		t.Fatalf("leaked %d nodes", m.Ops().Live())
+	}
+}
+
+func TestSubmitWaitDurability(t *testing.T) {
+	m := newIntMap(t, 2)
+	b := New(m, Config{WriterPid: 0, Clients: 1, MaxLatency: time.Millisecond}, nil)
+	b.Start()
+	b.SubmitWait(0, Request[int64, int64]{Op: OpInsert, Key: 7, Val: 70})
+	// After SubmitWait returns the write must be visible with no Flush.
+	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+		if v, ok := s.Get(7); !ok || v != 70 {
+			t.Fatalf("Get(7) = %d,%v after SubmitWait", v, ok)
+		}
+	})
+	b.Stop()
+	m.Close()
+}
+
+func TestDeletesAndCombine(t *testing.T) {
+	m := newIntMap(t, 2)
+	comb := func(old, new int64) int64 { return old + new }
+	b := New(m, Config{WriterPid: 0, Clients: 1, MaxLatency: time.Millisecond}, comb)
+	b.Start()
+	for i := 0; i < 5; i++ {
+		b.Submit(0, Request[int64, int64]{Op: OpInsert, Key: 1, Val: 10})
+	}
+	b.Submit(0, Request[int64, int64]{Op: OpInsert, Key: 2, Val: 1})
+	b.Submit(0, Request[int64, int64]{Op: OpDelete, Key: 2})
+	b.Flush(0)
+	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+		if v, _ := s.Get(1); v != 50 {
+			t.Fatalf("combined value = %d, want 50", v)
+		}
+		if s.Has(2) {
+			t.Fatal("deleted key survived the batch")
+		}
+	})
+	b.Stop()
+	m.Close()
+}
+
+// TestManyClientsNoLostUpdates: concurrent clients hammer disjoint key
+// ranges while readers run; every submitted update must be present at the
+// end and GC accounting must balance.
+func TestManyClientsNoLostUpdates(t *testing.T) {
+	const clients, perClient = 8, 3000
+	m := newIntMap(t, 2)
+	b := New(m, Config{WriterPid: 0, Clients: clients, BufCap: 512, MaxLatency: time.Millisecond}, nil)
+	b.Start()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := int64(c) * perClient
+			for i := int64(0); i < perClient; i++ {
+				b.Submit(c, Request[int64, int64]{Op: OpInsert, Key: base + i, Val: base + i})
+			}
+			b.Flush(c)
+		}(c)
+	}
+	// A reader concurrently checks snapshot consistency.
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+				n := s.Len()
+				sum := s.AugRange(0, clients*perClient)
+				_ = n
+				_ = sum
+			})
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+		if s.Len() != clients*perClient {
+			t.Fatalf("Len = %d, want %d", s.Len(), clients*perClient)
+		}
+	})
+	if b.Applied() != clients*perClient {
+		t.Fatalf("Applied = %d", b.Applied())
+	}
+	if b.Batches() > b.Applied() {
+		t.Fatal("more batches than requests")
+	}
+	b.Stop()
+	m.Close()
+	if m.Ops().Live() != 0 {
+		t.Fatalf("leaked %d nodes", m.Ops().Live())
+	}
+}
+
+// TestStopDrains: requests submitted before Stop must be committed by the
+// final drain even if the combiner never woke for them.
+func TestStopDrains(t *testing.T) {
+	m := newIntMap(t, 2)
+	b := New(m, Config{WriterPid: 0, Clients: 1, MaxLatency: time.Hour}, nil) // never wakes on its own
+	b.Start()
+	time.Sleep(5 * time.Millisecond) // let the combiner park in its timer
+	for i := int64(0); i < 10; i++ {
+		b.Submit(0, Request[int64, int64]{Op: OpInsert, Key: i, Val: i})
+	}
+	b.Stop()
+	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+		if s.Len() != 10 {
+			t.Fatalf("Len = %d after Stop drain", s.Len())
+		}
+	})
+	m.Close()
+}
+
+// TestBackpressure: a tiny buffer forces Submit to block until the
+// combiner catches up, without losing or reordering a client's updates.
+func TestBackpressure(t *testing.T) {
+	m := newIntMap(t, 2)
+	b := New(m, Config{WriterPid: 0, Clients: 1, BufCap: 4, MaxLatency: 100 * time.Microsecond}, nil)
+	b.Start()
+	rng := rand.New(rand.NewSource(1))
+	last := map[int64]int64{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Int63n(50)
+		v := rng.Int63n(1 << 30)
+		b.Submit(0, Request[int64, int64]{Op: OpInsert, Key: k, Val: v})
+		last[k] = v
+	}
+	b.Flush(0)
+	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+		for k, v := range last {
+			if got, _ := s.Get(k); got != v {
+				t.Fatalf("key %d = %d, want %d (reordered within client)", k, got, v)
+			}
+		}
+	})
+	b.Stop()
+	m.Close()
+}
+
+// TestMaxBatchRespected: the combiner never commits more than MaxBatch
+// requests per transaction.
+func TestMaxBatchRespected(t *testing.T) {
+	m := newIntMap(t, 2)
+	b := New(m, Config{WriterPid: 0, Clients: 2, MaxLatency: time.Millisecond, MaxBatch: 64}, nil)
+	b.Start()
+	for i := int64(0); i < 1000; i++ {
+		b.Submit(int(i%2), Request[int64, int64]{Op: OpInsert, Key: i, Val: i})
+	}
+	b.Flush(0)
+	b.Flush(1)
+	if b.MaxBatchSeen() > 64 {
+		t.Fatalf("MaxBatchSeen = %d, cap 64", b.MaxBatchSeen())
+	}
+	b.Stop()
+	m.Close()
+}

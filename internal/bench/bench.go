@@ -1,0 +1,136 @@
+// Package bench is the measurement harness shared by the experiment
+// binaries (cmd/vmbench, cmd/ycsbbench, cmd/invbench) and the root
+// bench_test.go: fixed-duration throughput runs with per-worker padded
+// counters, repeat-and-average in the paper's style (3 runs), and plain
+// text table/series formatting that mirrors the paper's tables.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a cache-line padded operation counter owned by one worker.
+type Counter struct {
+	n atomic.Int64
+	_ [7]uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Result is the outcome of one throughput run.
+type Result struct {
+	// Ops is the total operations completed across the measured workers.
+	Ops int64
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration
+}
+
+// Mops returns millions of operations per second, the paper's unit.
+func (r Result) Mops() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+// Run starts one goroutine per worker, lets them run for d, and collects
+// their counters.  Each worker must loop "for !stop.Load() { ...; c.Add(1) }".
+func Run(workers int, d time.Duration, body func(worker int, stop *atomic.Bool, c *Counter)) Result {
+	counters := make([]Counter, workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body(w, &stop, &counters[w])
+		}(w)
+	}
+	start := time.Now()
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var total int64
+	for i := range counters {
+		total += counters[i].Load()
+	}
+	return Result{Ops: total, Elapsed: elapsed}
+}
+
+// Average runs f reps times and averages the Mops, as the paper averages
+// over 3 runs.
+func Average(reps int, f func() Result) float64 {
+	var sum float64
+	for i := 0; i < reps; i++ {
+		sum += f().Mops()
+	}
+	return sum / float64(reps)
+}
+
+// Table accumulates rows and renders a fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	for i, h := range t.Headers {
+		fmt.Fprintf(w, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w)
+	for i := range t.Headers {
+		for j := 0; j < widths[i]; j++ {
+			fmt.Fprint(w, "-")
+		}
+		fmt.Fprint(w, "  ")
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// F formats a float with 3 significant decimals, the paper's table style.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// F2 formats a float with 2 decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestRunCountsAllWorkers(t *testing.T) {
+	r := Run(4, 50*time.Millisecond, func(worker int, stop *atomic.Bool, c *Counter) {
+		for !stop.Load() {
+			c.Add(1)
+		}
+	})
+	if r.Ops == 0 {
+		t.Fatal("no operations counted")
+	}
+	if r.Elapsed < 50*time.Millisecond {
+		t.Fatalf("elapsed %v shorter than requested", r.Elapsed)
+	}
+	if r.Mops() <= 0 {
+		t.Fatal("Mops not positive")
+	}
+}
+
+func TestResultMopsZeroElapsed(t *testing.T) {
+	r := Result{Ops: 100, Elapsed: 0}
+	if r.Mops() != 0 {
+		t.Fatal("zero elapsed must yield zero Mops")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	n := 0
+	avg := Average(3, func() Result {
+		n++
+		return Result{Ops: int64(n) * 1_000_000, Elapsed: time.Second}
+	})
+	if n != 3 {
+		t.Fatalf("ran %d reps", n)
+	}
+	if avg < 1.99 || avg > 2.01 { // (1+2+3)/3 = 2 Mops
+		t.Fatalf("average = %v", avg)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "col1", "longer-column")
+	tb.AddRow("a", "b")
+	tb.AddRow("wide-cell-value", "c")
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "wide-cell-value") {
+		t.Fatal("missing cell")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("header and separator misaligned:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F = %q", F(1.23456))
+	}
+	if F2(1.23456) != "1.23" {
+		t.Fatalf("F2 = %q", F2(1.23456))
+	}
+}
+
+func TestCounterPadding(t *testing.T) {
+	// Counters must be at least a cache line apart when adjacent.
+	cs := make([]Counter, 2)
+	a := unsafe.Pointer(&cs[0])
+	b := unsafe.Pointer(&cs[1])
+	if uintptr(b)-uintptr(a) < 64 {
+		t.Fatalf("adjacent counters only %d bytes apart", uintptr(b)-uintptr(a))
+	}
+}

@@ -1,0 +1,280 @@
+// Package core assembles the paper's transactional system (Section 5,
+// Figure 1): a multiversion ordered map built from a purely functional
+// tree (internal/ftree) and a Version Maintenance algorithm (internal/vm),
+// with reference-counting garbage collection that is safe and precise
+// (Theorem 5.3) and strict serializability (Theorem 5.1).
+//
+// A read transaction acquires a version, runs arbitrary user code against
+// that immutable snapshot, then releases and collects; its response is
+// ready as soon as the user code finishes, so reads are delay-free
+// (Theorem 5.4).  A write transaction acquires a version, path-copies a new
+// one, publishes it with Set, then releases and collects; with the PSWF
+// algorithm a solo writer has O(P) delay, and concurrent writers are
+// lock-free (a failed Set implies some other writer succeeded).
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mvgc/internal/ftree"
+	"mvgc/internal/vm"
+)
+
+// Map is a multiversion transactional ordered map for P processes.  Every
+// operation takes the calling process's identifier pid ∈ [0, P); a given
+// pid must not be used concurrently, matching the Version Maintenance
+// contract.
+type Map[K, V, A any] struct {
+	ops   *ftree.Ops[K, V, A]
+	m     vm.Maintainer[ftree.Node[K, V, A]]
+	procs int
+
+	// TrackVersions enables sampling of the version count at the start of
+	// every write transaction (the Table 2 / Figure 6 metric).
+	TrackVersions bool
+	maxVersions   atomic.Int64
+
+	commits atomic.Int64
+	aborts  atomic.Int64
+	closed  atomic.Bool
+}
+
+// Config selects the Version Maintenance algorithm and process count.
+type Config struct {
+	// Algorithm is one of vm.Names(): base, pswf, pslf, hp, epoch, rcu.
+	// Empty selects pswf.
+	Algorithm string
+	// Procs is the number of processes P that will use the map.
+	Procs int
+}
+
+// NewMap creates a transactional map whose initial version holds the given
+// entries (in any order; later duplicates win).  ops supplies ordering,
+// augmentation and the collector shared by all versions.
+func NewMap[K, V, A any](cfg Config, ops *ftree.Ops[K, V, A], initial []ftree.Entry[K, V]) (*Map[K, V, A], error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("core: Procs must be positive, got %d", cfg.Procs)
+	}
+	alg := cfg.Algorithm
+	if alg == "" {
+		alg = "pswf"
+	}
+	root := ops.MultiInsert(nil, initial, nil) // owned token goes to the VM
+	m := vm.New[ftree.Node[K, V, A]](alg, cfg.Procs, root)
+	if m == nil {
+		ops.Release(root)
+		return nil, fmt.Errorf("core: unknown version-maintenance algorithm %q", cfg.Algorithm)
+	}
+	return &Map[K, V, A]{ops: ops, m: m, procs: cfg.Procs}, nil
+}
+
+// Ops exposes the tree operations (and their allocation accounting).
+func (m *Map[K, V, A]) Ops() *ftree.Ops[K, V, A] { return m.ops }
+
+// Procs returns the process count P.
+func (m *Map[K, V, A]) Procs() int { return m.procs }
+
+// Algorithm returns the Version Maintenance algorithm in use.
+func (m *Map[K, V, A]) Algorithm() string { return m.m.Name() }
+
+// Commits returns the number of committed write transactions.
+func (m *Map[K, V, A]) Commits() int64 { return m.commits.Load() }
+
+// Aborts returns the number of Set failures (each implies a conflicting
+// concurrent commit).
+func (m *Map[K, V, A]) Aborts() int64 { return m.aborts.Load() }
+
+// Uncollected reports the number of versions currently retained.
+func (m *Map[K, V, A]) Uncollected() int { return m.m.Uncollected() }
+
+// MaxVersions returns the peak version count sampled at write-transaction
+// starts since the last ResetMaxVersions (requires TrackVersions).
+func (m *Map[K, V, A]) MaxVersions() int64 { return m.maxVersions.Load() }
+
+// ResetMaxVersions clears the peak version gauge.
+func (m *Map[K, V, A]) ResetMaxVersions() { m.maxVersions.Store(0) }
+
+// collect runs Figure 1's cleanup loop: Algorithm 5's collect on every
+// version returned by Release.
+func (m *Map[K, V, A]) collect(roots []*ftree.Node[K, V, A]) {
+	for _, r := range roots {
+		m.ops.Release(r)
+	}
+}
+
+// Read runs a read-only transaction on process pid (Figure 1, left).  The
+// snapshot passed to f is immutable and valid only within f.
+func (m *Map[K, V, A]) Read(pid int, f func(s Snapshot[K, V, A])) {
+	root := m.m.Acquire(pid)
+	f(Snapshot[K, V, A]{ops: m.ops, root: root})
+	// Response point: the transaction's result is complete here; what
+	// follows is the cleanup phase.
+	m.collect(m.m.Release(pid))
+}
+
+// Snapshot is an immutable view of one version.  Reads cost exactly what
+// they cost on the underlying functional tree — no synchronization, no
+// version lists — which is what makes read transactions delay-free.
+type Snapshot[K, V, A any] struct {
+	ops  *ftree.Ops[K, V, A]
+	root *ftree.Node[K, V, A]
+}
+
+// Get returns the value stored under k.
+func (s Snapshot[K, V, A]) Get(k K) (V, bool) { return s.ops.Find(s.root, k) }
+
+// Has reports whether k is present.
+func (s Snapshot[K, V, A]) Has(k K) bool { return s.ops.Has(s.root, k) }
+
+// Len returns the number of entries.
+func (s Snapshot[K, V, A]) Len() int64 { return s.ops.Size(s.root) }
+
+// AugRange folds the augmented value over keys in [lo, hi] in O(log n).
+func (s Snapshot[K, V, A]) AugRange(lo, hi K) A { return s.ops.AugRange(s.root, lo, hi) }
+
+// Range returns the entries with keys in [lo, hi].
+func (s Snapshot[K, V, A]) Range(lo, hi K) []ftree.Entry[K, V] {
+	return s.ops.RangeEntries(s.root, lo, hi)
+}
+
+// ForEach visits all entries in key order.
+func (s Snapshot[K, V, A]) ForEach(f func(K, V)) { s.ops.ForEach(s.root, f) }
+
+// Select returns the entry of zero-based rank i.
+func (s Snapshot[K, V, A]) Select(i int64) (ftree.Entry[K, V], bool) {
+	return s.ops.Select(s.root, i)
+}
+
+// Rank returns the number of keys strictly below k.
+func (s Snapshot[K, V, A]) Rank(k K) int64 { return s.ops.Rank(s.root, k) }
+
+// Min returns the smallest entry.
+func (s Snapshot[K, V, A]) Min() (ftree.Entry[K, V], bool) { return s.ops.Min(s.root) }
+
+// Max returns the largest entry.
+func (s Snapshot[K, V, A]) Max() (ftree.Entry[K, V], bool) { return s.ops.Max(s.root) }
+
+// Root exposes the version root for integration with ftree set operations;
+// the pointer is borrowed and must not outlive the transaction.
+func (s Snapshot[K, V, A]) Root() *ftree.Node[K, V, A] { return s.root }
+
+// Txn is the mutable handle passed to write transactions.  User code reads
+// the acquired version and accumulates a path-copied replacement; the
+// original is never modified.
+type Txn[K, V, A any] struct {
+	ops   *ftree.Ops[K, V, A]
+	base  *ftree.Node[K, V, A] // the acquired version (borrowed)
+	cur   *ftree.Node[K, V, A] // owned iff dirty
+	dirty bool
+}
+
+// apply installs a new intermediate root, collecting the previous one if
+// this transaction owned it.
+func (t *Txn[K, V, A]) apply(root *ftree.Node[K, V, A]) {
+	if t.dirty {
+		t.ops.Release(t.cur)
+	}
+	t.cur = root
+	t.dirty = true
+}
+
+// Snapshot returns a read view of the transaction's current state,
+// including its own uncommitted writes.
+func (t *Txn[K, V, A]) Snapshot() Snapshot[K, V, A] {
+	return Snapshot[K, V, A]{ops: t.ops, root: t.cur}
+}
+
+// Get reads through the transaction's current state.
+func (t *Txn[K, V, A]) Get(k K) (V, bool) { return t.ops.Find(t.cur, k) }
+
+// Insert adds or replaces one entry.
+func (t *Txn[K, V, A]) Insert(k K, v V) { t.apply(t.ops.Insert(t.cur, k, v)) }
+
+// InsertWith adds one entry, combining with any existing value.
+func (t *Txn[K, V, A]) InsertWith(k K, v V, comb func(old, new V) V) {
+	t.apply(t.ops.InsertWith(t.cur, k, v, comb))
+}
+
+// Delete removes one entry.
+func (t *Txn[K, V, A]) Delete(k K) { t.apply(t.ops.Delete(t.cur, k)) }
+
+// InsertBatch adds a whole batch atomically using the parallel
+// multi-insert; nil comb overwrites.
+func (t *Txn[K, V, A]) InsertBatch(batch []ftree.Entry[K, V], comb func(old, new V) V) {
+	t.apply(t.ops.MultiInsert(t.cur, batch, comb))
+}
+
+// DeleteBatch removes a set of keys atomically.
+func (t *Txn[K, V, A]) DeleteBatch(keys []K) { t.apply(t.ops.MultiDelete(t.cur, keys)) }
+
+// SetRoot replaces the transaction's state with an owned tree built by the
+// caller through ftree operations (e.g. a Union); the transaction takes
+// ownership of root's token.
+func (t *Txn[K, V, A]) SetRoot(root *ftree.Node[K, V, A]) { t.apply(root) }
+
+// Update runs a write transaction on process pid (Figure 1, right),
+// retrying on conflict until it commits; it returns the number of retries.
+// A transaction that makes no modifications degenerates to a read.  Retries
+// imply other writers committed, so the loop is lock-free.
+func (m *Map[K, V, A]) Update(pid int, f func(t *Txn[K, V, A])) int {
+	retries := 0
+	for {
+		if m.tryUpdate(pid, f) {
+			return retries
+		}
+		retries++
+	}
+}
+
+// TryUpdate runs a write transaction that aborts instead of retrying; it
+// reports whether the transaction committed.
+func (m *Map[K, V, A]) TryUpdate(pid int, f func(t *Txn[K, V, A])) bool {
+	return m.tryUpdate(pid, f)
+}
+
+func (m *Map[K, V, A]) tryUpdate(pid int, f func(t *Txn[K, V, A])) bool {
+	if m.TrackVersions {
+		u := int64(m.m.Uncollected())
+		for {
+			cur := m.maxVersions.Load()
+			if u <= cur || m.maxVersions.CompareAndSwap(cur, u) {
+				break
+			}
+		}
+	}
+	root := m.m.Acquire(pid)
+	tx := &Txn[K, V, A]{ops: m.ops, base: root, cur: root}
+	f(tx)
+	if !tx.dirty || tx.cur == root {
+		// Nothing to publish.  A dirty transaction can still end at the
+		// acquired root pointer (e.g. deleting an absent key); publishing
+		// it would retire the current version while it stays current, so
+		// treat it as a no-op too.
+		if tx.dirty {
+			m.ops.Release(tx.cur)
+		}
+		m.collect(m.m.Release(pid))
+		return true
+	}
+	ok := m.m.Set(pid, tx.cur)
+	// Response point for a successful commit: the new version is visible.
+	m.collect(m.m.Release(pid))
+	if ok {
+		m.commits.Add(1)
+		return true
+	}
+	m.aborts.Add(1)
+	m.ops.Release(tx.cur) // collect the never-published version
+	return false
+}
+
+// Close drains the Version Maintenance object and collects every remaining
+// version.  All processes must have quiesced.  After Close, Live() on the
+// Ops reports any leaked nodes (zero when the system is correct).
+func (m *Map[K, V, A]) Close() {
+	if !m.closed.CompareAndSwap(false, true) {
+		return
+	}
+	m.collect(m.m.Drain())
+}

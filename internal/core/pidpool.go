@@ -1,0 +1,65 @@
+package core
+
+import "sync"
+
+// PidPool leases process identifiers to short-lived workers.  The Version
+// Maintenance contract requires that a given process id is never used
+// concurrently; long-lived workers can simply own an id, but servers that
+// spawn a goroutine per request need to multiplex many goroutines over P
+// ids.  Acquire blocks while all ids are leased, which doubles as
+// admission control: at most P transactions run at once.
+type PidPool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	free []int
+}
+
+// NewPidPool returns a pool over ids lo..hi-1.
+func NewPidPool(lo, hi int) *PidPool {
+	p := &PidPool{}
+	p.cond = sync.NewCond(&p.mu)
+	for id := hi - 1; id >= lo; id-- {
+		p.free = append(p.free, id)
+	}
+	return p
+}
+
+// Acquire leases an id, blocking until one is available.
+func (p *PidPool) Acquire() int {
+	p.mu.Lock()
+	for len(p.free) == 0 {
+		p.cond.Wait()
+	}
+	id := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.mu.Unlock()
+	return id
+}
+
+// TryAcquire leases an id without blocking; ok is false when all ids are
+// in use.
+func (p *PidPool) TryAcquire() (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	id := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return id, true
+}
+
+// Release returns a leased id to the pool.
+func (p *PidPool) Release(id int) {
+	p.mu.Lock()
+	p.free = append(p.free, id)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Do runs f with a leased id, releasing it afterwards.
+func (p *PidPool) Do(f func(pid int)) {
+	id := p.Acquire()
+	defer p.Release(id)
+	f(id)
+}

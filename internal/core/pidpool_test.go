@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPidPoolLeasesDistinct(t *testing.T) {
+	p := NewPidPool(2, 6) // ids 2..5
+	seen := map[int]bool{}
+	var ids []int
+	for i := 0; i < 4; i++ {
+		id := p.Acquire()
+		if id < 2 || id > 5 {
+			t.Fatalf("id %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("id %d leased twice", id)
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded on an empty pool")
+	}
+	p.Release(ids[0])
+	if id, ok := p.TryAcquire(); !ok || id != ids[0] {
+		t.Fatalf("TryAcquire = %d,%v", id, ok)
+	}
+}
+
+// TestPidPoolNoConcurrentLease: under heavy churn, a leased id is never
+// held by two goroutines at once — the Version Maintenance contract.
+func TestPidPoolNoConcurrentLease(t *testing.T) {
+	const procs = 4
+	p := NewPidPool(0, procs)
+	inUse := make([]atomic.Bool, procs)
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				p.Do(func(pid int) {
+					if !inUse[pid].CompareAndSwap(false, true) {
+						t.Errorf("pid %d leased concurrently", pid)
+						return
+					}
+					inUse[pid].Store(false)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPidPoolWithMap drives transactions from more goroutines than
+// processes through the pool.
+func TestPidPoolWithMap(t *testing.T) {
+	m := newIntMap(t, "pswf", 4, nil)
+	pool := NewPidPool(0, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pool.Do(func(pid int) {
+					m.Update(pid, func(tx *Txn[int64, int64, int64]) {
+						v, _ := tx.Get(0)
+						tx.Insert(0, v+1)
+					})
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	var final int64
+	pool.Do(func(pid int) {
+		m.Read(pid, func(s Snapshot[int64, int64, int64]) { final, _ = s.Get(0) })
+	})
+	if final != 16*200 {
+		t.Fatalf("counter = %d, want %d", final, 16*200)
+	}
+	m.Close()
+	if m.Ops().Live() != 0 {
+		t.Fatalf("leaked %d nodes", m.Ops().Live())
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mvgc/internal/ycsb"
+)
+
+// Tiny configurations: these tests verify the harnesses are wired
+// correctly (leak-free, right rows, plausible metrics), not performance.
+
+func tinyTable2() Table2Config {
+	return Table2Config{
+		N:          5_000,
+		Procs:      4,
+		Duration:   80 * time.Millisecond,
+		Reps:       1,
+		Algorithms: []string{"pswf", "epoch"},
+		NQs:        []int{10},
+		NUs:        []int{10},
+	}
+}
+
+func TestRunTable2CellMetrics(t *testing.T) {
+	c := RunTable2Cell(tinyTable2(), "pswf", 10, 10)
+	if c.QueryMops <= 0 {
+		t.Error("no queries measured")
+	}
+	if c.UpdateMops <= 0 {
+		t.Error("no updates measured")
+	}
+	if c.MaxVersions < 1 || c.MaxVersions > 2*4+1 {
+		t.Errorf("MaxVersions = %d outside PSWF bound", c.MaxVersions)
+	}
+}
+
+func TestRunTable2Renders(t *testing.T) {
+	var buf bytes.Buffer
+	cells := RunTable2(tinyTable2(), &buf)
+	if len(cells) != 2 { // 2 algorithms × 1 grid point
+		t.Fatalf("got %d cells", len(cells))
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2a", "Table 2b", "Table 2c", "pswf", "epoch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFigure6Renders(t *testing.T) {
+	cfg := Figure6Config{Table2Config: tinyTable2(), NQ: 10}
+	cfg.NUs = []int{10, 100}
+	var buf bytes.Buffer
+	RunFigure6(cfg, &buf)
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Error("missing title")
+	}
+	if got := strings.Count(buf.String(), "\n"); got < 4 {
+		t.Errorf("too few lines: %d", got)
+	}
+}
+
+func TestRunFigure7CellOursAndBaseline(t *testing.T) {
+	cfg := DefaultFigure7()
+	cfg.Records = 20_000
+	cfg.Threads = 4
+	cfg.Duration = 80 * time.Millisecond
+	cfg.MaxLatency = time.Millisecond
+	for _, s := range []string{"ours", "hashmap"} {
+		if mops := RunFigure7Cell(cfg, s, ycsb.WorkloadA); mops <= 0 {
+			t.Errorf("%s: no throughput measured", s)
+		}
+	}
+}
+
+func TestRunFigure7Renders(t *testing.T) {
+	cfg := DefaultFigure7()
+	cfg.Records = 10_000
+	cfg.Threads = 2
+	cfg.Duration = 50 * time.Millisecond
+	cfg.Structures = []string{"ours", "skiplist"}
+	cfg.Workloads = []ycsb.Workload{ycsb.WorkloadC}
+	var buf bytes.Buffer
+	RunFigure7(cfg, &buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 7", "ours", "skiplist", "C (100/0)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable3Row(t *testing.T) {
+	cfg := DefaultTable3()
+	cfg.Threads = 4
+	cfg.InitialDocs = 100
+	cfg.Vocab = 2_000
+	cfg.MeanDocLen = 16
+	cfg.Window = 100 * time.Millisecond
+	r := RunTable3Row(cfg, 2)
+	if r.Updates <= 0 || r.Queries <= 0 {
+		t.Fatalf("no work measured: %+v", r)
+	}
+	if r.Tu <= 0 || r.Tq <= 0 || r.Tuq <= 0 {
+		t.Fatalf("missing timings: %+v", r)
+	}
+	// p is clamped into [1, Threads-1].
+	r2 := RunTable3Row(cfg, 100)
+	if r2.QueryThreads != cfg.Threads-1 {
+		t.Fatalf("p not clamped: %d", r2.QueryThreads)
+	}
+}
+
+func TestQueryThreadSweep(t *testing.T) {
+	if got := QueryThreadSweep(8); len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 7 {
+		t.Fatalf("sweep(8) = %v", got)
+	}
+	if got := QueryThreadSweep(1); len(got) != 1 {
+		t.Fatalf("sweep(1) = %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvgc/internal/baseline"
+	"mvgc/internal/batch"
+	"mvgc/internal/bench"
+	"mvgc/internal/core"
+	"mvgc/internal/ftree"
+	"mvgc/internal/ycsb"
+)
+
+// Figure7Config parameterizes the YCSB comparison of the batched
+// functional tree against the concurrent baselines.
+type Figure7Config struct {
+	// Records is the loaded key-space size (paper: 5e7).
+	Records uint64
+	// Threads is the number of client threads.
+	Threads int
+	// Duration is the measured window per run.
+	Duration time.Duration
+	// MaxLatency bounds batched-update latency (paper: 50 ms).
+	MaxLatency time.Duration
+	// Structures to run; nil means ours plus every baseline.
+	Structures []string
+	// Workloads to run; nil means YCSB A, B, C.
+	Workloads []ycsb.Workload
+}
+
+// DefaultFigure7 returns a host-scaled configuration.
+func DefaultFigure7() Figure7Config {
+	return Figure7Config{
+		Records:    1_000_000,
+		Threads:    runtime.GOMAXPROCS(0),
+		Duration:   3 * time.Second,
+		MaxLatency: 50 * time.Millisecond,
+		Structures: append([]string{"ours"}, baseline.Names()...),
+		Workloads:  []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC},
+	}
+}
+
+// RunFigure7Cell measures one (structure, workload) pair and returns
+// million operations per second.
+func RunFigure7Cell(cfg Figure7Config, structure string, w ycsb.Workload) float64 {
+	if structure == "ours" {
+		return runYCSBOurs(cfg, w)
+	}
+	m := baseline.New(structure)
+	if m == nil {
+		panic("unknown structure " + structure)
+	}
+	// Load phase: parallel, not measured.
+	loadBaseline(m, cfg.Records, cfg.Threads)
+	r := bench.Run(cfg.Threads, cfg.Duration, func(worker int, stop *atomic.Bool, c *bench.Counter) {
+		g := ycsb.NewGenerator(w, cfg.Records, uint64(worker)*0x9e3779b9+1)
+		for !stop.Load() {
+			op := g.Next()
+			if op.Kind == ycsb.OpRead {
+				m.Get(op.Key)
+			} else {
+				m.Put(op.Key, op.Val)
+			}
+			c.Add(1)
+		}
+	})
+	return r.Mops()
+}
+
+// loadBaseline inserts keys 0..records-1 in per-thread shuffled order:
+// sorted insertion would degenerate the unbalanced external BST into a
+// path and unfairly skew Figure 7 (YCSB's own loader inserts hashed keys).
+func loadBaseline(m baseline.Map, records uint64, threads int) {
+	var wg sync.WaitGroup
+	per := records / uint64(threads)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			lo := uint64(t) * per
+			hi := lo + per
+			if t == threads-1 {
+				hi = records
+			}
+			keys := make([]uint64, 0, hi-lo)
+			for k := lo; k < hi; k++ {
+				keys = append(keys, k)
+			}
+			rng := ycsb.NewSplitMix64(uint64(t)*2654435761 + 17)
+			for i := len(keys) - 1; i > 0; i-- {
+				j := rng.Intn(uint64(i + 1))
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+			for _, k := range keys {
+				m.Put(k, k)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// runYCSBOurs runs the workload against the transactional functional tree
+// with Appendix-F batching: reads are delay-free read transactions;
+// updates are submitted to the single combining writer.
+func runYCSBOurs(cfg Figure7Config, w ycsb.Workload) float64 {
+	// A fine grain lets a large commit batch fan out across all cores:
+	// a 32k-request batch at grain 512 yields ~64-way parallelism.
+	ops := ftree.New[uint64, uint64, struct{}](ftree.IntCmp[uint64], ftree.NoAug[uint64, uint64](), 512)
+	initial := make([]ftree.Entry[uint64, uint64], cfg.Records)
+	for i := range initial {
+		initial[i] = ftree.Entry[uint64, uint64]{Key: uint64(i), Val: uint64(i)}
+	}
+	// Processes: Threads readers + 1 combining writer.
+	m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: cfg.Threads + 1}, ops, initial)
+	if err != nil {
+		panic(err)
+	}
+	b := batch.New(m, batch.Config{
+		WriterPid:  cfg.Threads,
+		Clients:    cfg.Threads,
+		BufCap:     1 << 15,
+		MaxLatency: cfg.MaxLatency,
+	}, nil)
+	b.Start()
+	r := bench.Run(cfg.Threads, cfg.Duration, func(worker int, stop *atomic.Bool, c *bench.Counter) {
+		g := ycsb.NewGenerator(w, cfg.Records, uint64(worker)*0x51ed2701+1)
+		for !stop.Load() {
+			op := g.Next()
+			if op.Kind == ycsb.OpRead {
+				m.Read(worker, func(s core.Snapshot[uint64, uint64, struct{}]) {
+					s.Get(op.Key)
+				})
+			} else {
+				b.Submit(worker, batch.Request[uint64, uint64]{Op: batch.OpInsert, Key: op.Key, Val: op.Val})
+			}
+			c.Add(1)
+		}
+	})
+	b.Stop()
+	m.Close()
+	if live := ops.Live(); live != 0 {
+		panic(fmt.Sprintf("figure7 ours: leaked %d nodes", live))
+	}
+	return r.Mops()
+}
+
+// RunFigure7 runs every structure on every workload and renders the
+// Figure 7 bar groups as a table.
+func RunFigure7(cfg Figure7Config, w io.Writer) {
+	headers := append([]string{"workload"}, cfg.Structures...)
+	t := bench.NewTable(fmt.Sprintf("Figure 7: YCSB throughput (Mop/s), %d threads, %d records",
+		cfg.Threads, cfg.Records), headers...)
+	for _, wl := range cfg.Workloads {
+		row := []string{wl.Name}
+		for _, s := range cfg.Structures {
+			row = append(row, bench.F2(RunFigure7Cell(cfg, s, wl)))
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(w)
+}

@@ -1,0 +1,133 @@
+// Package fqueue is a purely functional FIFO queue on the PLM substrate
+// (internal/plm) — the classic two-list persistent queue (Okasaki), built
+// only from tuple and nth instructions so that Algorithm 5's collector
+// reclaims it precisely.  The paper (§1) names queues alongside trees as
+// data types that are efficient in the functional setting; this package is
+// the repo's demonstration that the transaction framework is not
+// tree-specific: any PLM structure versioned through a Version Maintenance
+// object gets delay-free readers and precise GC for free.
+//
+// Representation: a queue is tuple(front, back) of two cons lists
+// (tuple(head, rest)); Push conses onto back, Pop takes from front,
+// reversing back into front when front runs dry — O(1) amortized.
+package fqueue
+
+import "mvgc/internal/plm"
+
+// Ops provides queue operations over one arena.  All operations borrow
+// their inputs (old versions stay intact) and return fresh version roots
+// with reference count zero; publishing a root as a version requires
+// Arena.Retain (the paper's "output" increment), and releasing a version
+// is Arena.Collect.
+type Ops struct {
+	// A is the arena all queue tuples live in.
+	A *plm.Arena
+}
+
+// New returns queue operations over a fresh arena.
+func New() *Ops { return &Ops{A: plm.NewArena()} }
+
+// Empty returns a new empty queue.
+func (o *Ops) Empty() *plm.Tuple {
+	return o.A.Tuple(plm.Value{}, plm.Value{})
+}
+
+// cons prepends v to list l.
+func (o *Ops) cons(v int64, l plm.Value) *plm.Tuple {
+	return o.A.Tuple(plm.Scalar(v), l)
+}
+
+// Push returns a new queue version with v appended.  Borrows q.
+func (o *Ops) Push(q *plm.Tuple, v int64) *plm.Tuple {
+	front := plm.Nth(q, 0)
+	back := plm.Nth(q, 1)
+	return o.A.Tuple(front, plm.Ref(o.cons(v, back)))
+}
+
+// Pop returns the oldest element and the queue version without it.
+// Borrows q; ok is false on an empty queue (and the returned version is
+// nil).  When the front list is empty the back list is reversed into a
+// fresh front — O(len) tuples, amortized O(1) per operation across a
+// version chain.
+func (o *Ops) Pop(q *plm.Tuple) (v int64, rest *plm.Tuple, ok bool) {
+	front := plm.Nth(q, 0)
+	back := plm.Nth(q, 1)
+	if front.T == nil {
+		if back.T == nil {
+			return 0, nil, false
+		}
+		// Reverse back into a new front list (fresh tuples; the old back
+		// remains owned by the old version).
+		rev := plm.Value{}
+		for cur := back; cur.T != nil; cur = plm.Nth(cur.T, 1) {
+			rev = plm.Ref(o.cons(plm.Nth(cur.T, 0).S, rev))
+		}
+		head := plm.Nth(rev.T, 0).S
+		tail := plm.Nth(rev.T, 1)
+		nq := o.A.Tuple(tail, plm.Value{})
+		// The reversal's head cons carried the popped element and belongs
+		// to no version: collect it now that nq holds the tail.
+		o.A.Collect(rev)
+		return head, nq, true
+	}
+	head := plm.Nth(front.T, 0).S
+	tail := plm.Nth(front.T, 1)
+	return head, o.A.Tuple(tail, back), true
+}
+
+// Peek returns the oldest element without constructing a new version.
+func (o *Ops) Peek(q *plm.Tuple) (int64, bool) {
+	front := plm.Nth(q, 0)
+	if front.T != nil {
+		return plm.Nth(front.T, 0).S, true
+	}
+	back := plm.Nth(q, 1)
+	if back.T == nil {
+		return 0, false
+	}
+	// Oldest element is the last cons of back.
+	var last int64
+	for cur := back; cur.T != nil; cur = plm.Nth(cur.T, 1) {
+		last = plm.Nth(cur.T, 0).S
+	}
+	return last, true
+}
+
+// Len counts the queue's elements.  Borrows q; pure reads.
+func (o *Ops) Len(q *plm.Tuple) int {
+	n := 0
+	for cur := plm.Nth(q, 0); cur.T != nil; cur = plm.Nth(cur.T, 1) {
+		n++
+	}
+	for cur := plm.Nth(q, 1); cur.T != nil; cur = plm.Nth(cur.T, 1) {
+		n++
+	}
+	return n
+}
+
+// ToSlice returns the elements oldest-first.  Borrows q.
+func (o *Ops) ToSlice(q *plm.Tuple) []int64 {
+	var out []int64
+	for cur := plm.Nth(q, 0); cur.T != nil; cur = plm.Nth(cur.T, 1) {
+		out = append(out, plm.Nth(cur.T, 0).S)
+	}
+	var back []int64
+	for cur := plm.Nth(q, 1); cur.T != nil; cur = plm.Nth(cur.T, 1) {
+		back = append(back, plm.Nth(cur.T, 0).S)
+	}
+	for i := len(back) - 1; i >= 0; i-- {
+		out = append(out, back[i])
+	}
+	return out
+}
+
+// Collect releases one ownership token on a version root (Algorithm 5).
+func (o *Ops) Collect(q *plm.Tuple) {
+	if q != nil {
+		o.A.Collect(plm.Ref(q))
+	}
+}
+
+// Retain adds an ownership token to a version root (the paper's output
+// increment, performed when a writer publishes the version).
+func (o *Ops) Retain(q *plm.Tuple) { o.A.Retain(q) }

@@ -1,0 +1,221 @@
+package fqueue
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mvgc/internal/plm"
+	"mvgc/internal/vm"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	o := New()
+	q := o.Empty()
+	o.Retain(q)
+	if _, _, ok := o.Pop(q); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+	if _, ok := o.Peek(q); ok {
+		t.Fatal("peek at empty succeeded")
+	}
+	if o.Len(q) != 0 {
+		t.Fatal("empty queue has length")
+	}
+	o.Collect(q)
+	if o.A.Live() != 0 {
+		t.Fatalf("leaked %d tuples", o.A.Live())
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	o := New()
+	q := o.Empty()
+	o.Retain(q)
+	for i := int64(0); i < 100; i++ {
+		nq := o.Push(q, i)
+		o.Retain(nq)
+		o.Collect(q)
+		q = nq
+	}
+	for i := int64(0); i < 100; i++ {
+		v, nq, ok := o.Pop(q)
+		if !ok || v != i {
+			t.Fatalf("pop #%d = %d,%v", i, v, ok)
+		}
+		o.Retain(nq)
+		o.Collect(q)
+		q = nq
+	}
+	if _, _, ok := o.Pop(q); ok {
+		t.Fatal("queue should be empty")
+	}
+	o.Collect(q)
+	if o.A.Live() != 0 {
+		t.Fatalf("leaked %d tuples", o.A.Live())
+	}
+}
+
+// TestPersistence: old queue versions remain readable and correct after
+// arbitrary later operations.
+func TestPersistence(t *testing.T) {
+	o := New()
+	type snap struct {
+		q   *plm.Tuple
+		ref []int64
+	}
+	q := o.Empty()
+	o.Retain(q)
+	var model []int64
+	var snaps []snap
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		if rng.Intn(3) != 0 {
+			v := rng.Int63n(1000)
+			nq := o.Push(q, v)
+			o.Retain(nq)
+			o.Collect(q)
+			q = nq
+			model = append(model, v)
+		} else if len(model) > 0 {
+			v, nq, ok := o.Pop(q)
+			if !ok || v != model[0] {
+				t.Fatalf("pop = %d,%v want %d", v, ok, model[0])
+			}
+			o.Retain(nq)
+			o.Collect(q)
+			q = nq
+			model = model[1:]
+		}
+		if i%40 == 0 {
+			o.Retain(q)
+			snaps = append(snaps, snap{q, append([]int64(nil), model...)})
+		}
+	}
+	for i, s := range snaps {
+		got := o.ToSlice(s.q)
+		if len(got) != len(s.ref) {
+			t.Fatalf("snapshot %d: len %d want %d", i, len(got), len(s.ref))
+		}
+		for j := range got {
+			if got[j] != s.ref[j] {
+				t.Fatalf("snapshot %d[%d]: %d want %d", i, j, got[j], s.ref[j])
+			}
+		}
+		o.Collect(s.q)
+	}
+	o.Collect(q)
+	if o.A.Live() != 0 {
+		t.Fatalf("leaked %d tuples", o.A.Live())
+	}
+}
+
+// TestVersionedQueueUnderVM wires the queue into the paper's transaction
+// loop with the PSWF Version Maintenance algorithm: a single writer
+// pushes and pops while readers snapshot; at the end, exact tuple
+// accounting proves safe and precise GC on a non-tree structure.
+func TestVersionedQueueUnderVM(t *testing.T) {
+	const procs = 6
+	o := New()
+	init := o.Empty()
+	o.Retain(init) // token owned by the VM
+	m := vm.NewPSWF(procs, init)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer: process 0 (Figure 1, right)
+		defer wg.Done()
+		var pushed, popped int64
+		for i := 0; i < 4000; i++ {
+			cur := m.Acquire(0)
+			var next *plm.Tuple
+			if i%3 == 2 {
+				v, nq, ok := o.Pop(cur)
+				if !ok {
+					m.Release(0)
+					continue
+				}
+				if v != popped {
+					t.Errorf("FIFO violated: popped %d want %d", v, popped)
+				}
+				popped++
+				next = nq
+			} else {
+				next = o.Push(cur, pushed)
+				pushed++
+			}
+			o.Retain(next) // output increment
+			if !m.Set(0, next) {
+				t.Error("single-writer set failed")
+			}
+			for _, dead := range m.Release(0) {
+				o.Collect(dead)
+			}
+		}
+		close(stop)
+	}()
+	for p := 1; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) { // readers (Figure 1, left)
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := m.Acquire(p)
+				// The snapshot must be internally consistent: ToSlice is
+				// strictly increasing because the writer pushes a counter.
+				s := o.ToSlice(q)
+				for j := 1; j < len(s); j++ {
+					if s[j] != s[j-1]+1 {
+						t.Errorf("torn queue snapshot: %v", s)
+						return
+					}
+				}
+				for _, dead := range m.Release(p) {
+					o.Collect(dead)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, dead := range m.Drain() {
+		o.Collect(dead)
+	}
+	if o.A.Live() != 0 {
+		t.Fatalf("leaked %d tuples after drain", o.A.Live())
+	}
+}
+
+// TestAmortizedReversal: pops that trigger reversal keep exact accounting.
+func TestAmortizedReversal(t *testing.T) {
+	o := New()
+	q := o.Empty()
+	o.Retain(q)
+	// Push 50 (all land in back), then pop all (first pop reverses).
+	for i := int64(0); i < 50; i++ {
+		nq := o.Push(q, i)
+		o.Retain(nq)
+		o.Collect(q)
+		q = nq
+	}
+	for i := int64(0); i < 50; i++ {
+		if v, _ := o.Peek(q); v != i {
+			t.Fatalf("peek = %d want %d", v, i)
+		}
+		v, nq, ok := o.Pop(q)
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v", v, ok)
+		}
+		o.Retain(nq)
+		o.Collect(q)
+		q = nq
+	}
+	o.Collect(q)
+	if o.A.Live() != 0 {
+		t.Fatalf("leaked %d tuples", o.A.Live())
+	}
+}

@@ -1,0 +1,183 @@
+package ftree
+
+import "sort"
+
+// Build constructs a perfectly balanced owned tree from entries sorted by
+// key with no duplicates.  O(n) work, O(log n) span with parallel halves.
+func (o *Ops[K, V, A]) Build(entries []Entry[K, V]) *Node[K, V, A] {
+	if len(entries) == 0 {
+		return nil
+	}
+	mid := len(entries) / 2
+	var l, r *Node[K, V, A]
+	o.maybeParallel(int64(len(entries)),
+		func() { l = o.Build(entries[:mid]) },
+		func() { r = o.Build(entries[mid+1:]) },
+	)
+	return o.mk(l, entries[mid].Key, entries[mid].Val, r)
+}
+
+// SortEntries sorts a batch by key and coalesces duplicates, applying comb
+// left-to-right (nil comb keeps the last occurrence).  The input slice is
+// reordered.  This is the preprocessing step of MultiInsert.
+func (o *Ops[K, V, A]) SortEntries(batch []Entry[K, V], comb func(old, new V) V) []Entry[K, V] {
+	sort.SliceStable(batch, func(i, j int) bool { return o.Cmp(batch[i].Key, batch[j].Key) < 0 })
+	out := batch[:0]
+	for _, e := range batch {
+		if len(out) > 0 && o.Cmp(out[len(out)-1].Key, e.Key) == 0 {
+			if comb != nil {
+				out[len(out)-1].Val = comb(out[len(out)-1].Val, e.Val)
+			} else {
+				o.releaseVal(out[len(out)-1].Val) // superseded duplicate
+				out[len(out)-1].Val = e.Val
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// MultiInsert returns a new owned tree equal to borrowed t with the whole
+// batch inserted atomically: it sorts and deduplicates the batch, builds a
+// balanced tree from it in parallel, and unions it into t — PAM's
+// multi_insert, the primitive behind the paper's batched single writer
+// (Section 7.2 and Appendix F).  For a key already in t, the stored value
+// becomes comb(old, new); nil comb overwrites.
+func (o *Ops[K, V, A]) MultiInsert(t *Node[K, V, A], batch []Entry[K, V], comb func(old, new V) V) *Node[K, V, A] {
+	if len(batch) == 0 {
+		return o.share(t)
+	}
+	sorted := o.SortEntries(batch, comb)
+	built := o.Build(sorted)
+	return o.unionOwned(o.share(t), built, comb)
+}
+
+// MultiDelete returns a new owned tree equal to borrowed t with every key
+// of the batch removed.
+func (o *Ops[K, V, A]) MultiDelete(t *Node[K, V, A], keys []K) *Node[K, V, A] {
+	if len(keys) == 0 {
+		return o.share(t)
+	}
+	entries := make([]Entry[K, V], len(keys))
+	for i, k := range keys {
+		entries[i].Key = k
+	}
+	sorted := o.SortEntries(entries, nil)
+	built := o.Build(sorted)
+	out := o.Difference(t, built)
+	o.Release(built)
+	return out
+}
+
+// ForEach visits borrowed tree t in key order.  Pure reads.
+func (o *Ops[K, V, A]) ForEach(t *Node[K, V, A], f func(K, V)) {
+	if t == nil {
+		return
+	}
+	o.ForEach(t.left, f)
+	f(t.key, t.val)
+	o.ForEach(t.right, f)
+}
+
+// ForEachCond visits borrowed tree t in key order until f returns false;
+// it reports whether the walk ran to completion.
+func (o *Ops[K, V, A]) ForEachCond(t *Node[K, V, A], f func(K, V) bool) bool {
+	if t == nil {
+		return true
+	}
+	if !o.ForEachCond(t.left, f) {
+		return false
+	}
+	if !f(t.key, t.val) {
+		return false
+	}
+	return o.ForEachCond(t.right, f)
+}
+
+// Entries returns the contents of borrowed tree t in key order.
+func (o *Ops[K, V, A]) Entries(t *Node[K, V, A]) []Entry[K, V] {
+	out := make([]Entry[K, V], 0, size(t))
+	o.ForEach(t, func(k K, v V) { out = append(out, Entry[K, V]{k, v}) })
+	return out
+}
+
+// RangeEntries returns the entries of borrowed tree t with lo ≤ key ≤ hi.
+func (o *Ops[K, V, A]) RangeEntries(t *Node[K, V, A], lo, hi K) []Entry[K, V] {
+	var out []Entry[K, V]
+	o.visitRange(t, lo, hi, func(k K, v V) { out = append(out, Entry[K, V]{k, v}) })
+	return out
+}
+
+func (o *Ops[K, V, A]) visitRange(t *Node[K, V, A], lo, hi K, f func(K, V)) {
+	if t == nil {
+		return
+	}
+	if o.Cmp(t.key, lo) >= 0 {
+		o.visitRange(t.left, lo, hi, f)
+	}
+	if o.Cmp(t.key, lo) >= 0 && o.Cmp(t.key, hi) <= 0 {
+		f(t.key, t.val)
+	}
+	if o.Cmp(t.key, hi) <= 0 {
+		o.visitRange(t.right, lo, hi, f)
+	}
+}
+
+// AugRange returns the augmented value of the entries of borrowed tree t
+// with lo ≤ key ≤ hi in O(log n) time — the paper's range-sum query
+// (Section 7.1) when used with SumAug.
+func (o *Ops[K, V, A]) AugRange(t *Node[K, V, A], lo, hi K) A {
+	for t != nil {
+		if o.Cmp(t.key, lo) < 0 {
+			t = t.right
+			continue
+		}
+		if o.Cmp(t.key, hi) > 0 {
+			t = t.left
+			continue
+		}
+		// lo ≤ t.key ≤ hi: the range straddles this node.
+		a := o.augGE(t.left, lo)
+		a = o.Aug.Combine(a, o.Aug.Single(t.key, t.val))
+		return o.Aug.Combine(a, o.augLE(t.right, hi))
+	}
+	return o.Aug.Zero()
+}
+
+// augGE folds the augmentation of all entries with key ≥ lo.
+func (o *Ops[K, V, A]) augGE(t *Node[K, V, A], lo K) A {
+	a := o.Aug.Zero()
+	for t != nil {
+		if o.Cmp(t.key, lo) < 0 {
+			t = t.right
+			continue
+		}
+		// t.key ≥ lo: everything right of t (and t itself) qualifies.
+		e := o.Aug.Single(t.key, t.val)
+		if t.right != nil {
+			e = o.Aug.Combine(e, t.right.aug)
+		}
+		a = o.Aug.Combine(e, a)
+		t = t.left
+	}
+	return a
+}
+
+// augLE folds the augmentation of all entries with key ≤ hi.
+func (o *Ops[K, V, A]) augLE(t *Node[K, V, A], hi K) A {
+	a := o.Aug.Zero()
+	for t != nil {
+		if o.Cmp(t.key, hi) > 0 {
+			t = t.left
+			continue
+		}
+		e := o.Aug.Single(t.key, t.val)
+		if t.left != nil {
+			e = o.Aug.Combine(t.left.aug, e)
+		}
+		a = o.Aug.Combine(a, e)
+		t = t.right
+	}
+	return a
+}

@@ -1,0 +1,62 @@
+package ftree
+
+import (
+	"testing"
+)
+
+// FuzzTreeOps drives the persistent map with an op sequence decoded from
+// fuzz input, checking contents against a reference map, structural
+// invariants, and exact space accounting.  Run long with
+// `go test -fuzz FuzzTreeOps ./internal/ftree`.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{1, 10, 2, 20, 3, 30})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2})
+	f.Add([]byte{255, 254, 253, 252, 251, 250})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o := intOps(0)
+		var root *Node[int64, int64, int64]
+		var snaps []*Node[int64, int64, int64]
+		ref := map[int64]int64{}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%5, int64(data[i+1])
+			switch op {
+			case 0, 1: // insert
+				nr := o.Insert(root, arg, int64(i))
+				o.Release(root)
+				root = nr
+				ref[arg] = int64(i)
+			case 2: // delete
+				nr := o.Delete(root, arg)
+				o.Release(root)
+				root = nr
+				delete(ref, arg)
+			case 3: // snapshot
+				if len(snaps) < 8 {
+					snaps = append(snaps, o.share(root))
+				}
+			case 4: // find must agree with the model
+				got, ok := o.Find(root, arg)
+				want, wantOK := ref[arg]
+				if ok != wantOK || (ok && got != want) {
+					t.Fatalf("find(%d) = %d,%v want %d,%v", arg, got, ok, want, wantOK)
+				}
+			}
+		}
+		if err := o.Validate(root, augEq); err != nil {
+			t.Fatal(err)
+		}
+		if o.Size(root) != int64(len(ref)) {
+			t.Fatalf("size %d want %d", o.Size(root), len(ref))
+		}
+		all := append(snaps, root)
+		if o.Live() != o.ReachableNodes(all...) {
+			t.Fatalf("allocated %d ≠ reachable %d", o.Live(), o.ReachableNodes(all...))
+		}
+		for _, s := range all {
+			o.Release(s)
+		}
+		if o.Live() != 0 {
+			t.Fatalf("leaked %d nodes", o.Live())
+		}
+	})
+}

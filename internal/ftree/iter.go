@@ -1,0 +1,78 @@
+package ftree
+
+// Iter is an in-order iterator over a borrowed tree, with O(log n) seek
+// and amortized O(1) advance.  It holds no tokens: the tree version must
+// stay live (e.g. inside a read transaction) for the iterator's lifetime.
+// Because versions are immutable, iterators never observe mutation and
+// need no invalidation protocol — one more consequence of the functional
+// representation.
+type Iter[K, V, A any] struct {
+	ops   *Ops[K, V, A]
+	stack []*Node[K, V, A] // path of nodes whose entry is still pending
+	cur   *Node[K, V, A]
+}
+
+// NewIter returns an iterator positioned at t's smallest entry; Valid
+// reports whether any entry exists.
+func (o *Ops[K, V, A]) NewIter(t *Node[K, V, A]) *Iter[K, V, A] {
+	it := &Iter[K, V, A]{ops: o}
+	it.descendLeft(t)
+	it.advance()
+	return it
+}
+
+// NewIterAt returns an iterator positioned at the smallest entry with
+// key ≥ k.
+func (o *Ops[K, V, A]) NewIterAt(t *Node[K, V, A], k K) *Iter[K, V, A] {
+	it := &Iter[K, V, A]{ops: o}
+	for t != nil {
+		c := o.Cmp(k, t.key)
+		switch {
+		case c == 0:
+			it.stack = append(it.stack, t)
+			t = nil
+		case c < 0:
+			it.stack = append(it.stack, t)
+			t = t.left
+		default:
+			t = t.right
+		}
+	}
+	it.advance()
+	return it
+}
+
+func (it *Iter[K, V, A]) descendLeft(t *Node[K, V, A]) {
+	for t != nil {
+		it.stack = append(it.stack, t)
+		t = t.left
+	}
+}
+
+// advance moves to the next pending entry.
+func (it *Iter[K, V, A]) advance() {
+	if len(it.stack) == 0 {
+		it.cur = nil
+		return
+	}
+	it.cur = it.stack[len(it.stack)-1]
+	it.stack = it.stack[:len(it.stack)-1]
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iter[K, V, A]) Valid() bool { return it.cur != nil }
+
+// Key returns the current entry's key; requires Valid.
+func (it *Iter[K, V, A]) Key() K { return it.cur.key }
+
+// Val returns the current entry's value; requires Valid.
+func (it *Iter[K, V, A]) Val() V { return it.cur.val }
+
+// Next moves to the following entry in key order.
+func (it *Iter[K, V, A]) Next() {
+	if it.cur == nil {
+		return
+	}
+	it.descendLeft(it.cur.right)
+	it.advance()
+}

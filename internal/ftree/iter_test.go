@@ -1,0 +1,109 @@
+package ftree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIterEmpty(t *testing.T) {
+	o := intOps(0)
+	it := o.NewIter(nil)
+	if it.Valid() {
+		t.Fatal("iterator over empty tree is valid")
+	}
+	it.Next() // must not panic
+}
+
+func TestIterFullScan(t *testing.T) {
+	o := intOps(0)
+	rng := rand.New(rand.NewSource(13))
+	root, ref := buildRandom(o, rng, 1000, 5000)
+	var prev int64 = -1
+	n := 0
+	for it := o.NewIter(root); it.Valid(); it.Next() {
+		if it.Key() <= prev {
+			t.Fatalf("keys out of order: %d after %d", it.Key(), prev)
+		}
+		if ref[it.Key()] != it.Val() {
+			t.Fatalf("key %d = %d, want %d", it.Key(), it.Val(), ref[it.Key()])
+		}
+		prev = it.Key()
+		n++
+	}
+	if n != len(ref) {
+		t.Fatalf("visited %d entries, want %d", n, len(ref))
+	}
+	o.Release(root)
+	checkExact(t, o)
+}
+
+func TestIterSeek(t *testing.T) {
+	o := intOps(0)
+	var root *Node[int64, int64, int64]
+	for i := int64(0); i < 100; i += 2 { // even keys 0..98
+		nr := o.Insert(root, i, i)
+		o.Release(root)
+		root = nr
+	}
+	cases := []struct {
+		seek int64
+		want int64 // first key ≥ seek; -1 for exhausted
+	}{{-5, 0}, {0, 0}, {1, 2}, {50, 50}, {51, 52}, {98, 98}, {99, -1}, {1000, -1}}
+	for _, c := range cases {
+		it := o.NewIterAt(root, c.seek)
+		if c.want == -1 {
+			if it.Valid() {
+				t.Fatalf("seek(%d): valid at %d, want exhausted", c.seek, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || it.Key() != c.want {
+			t.Fatalf("seek(%d) at %v, want %d", c.seek, it, c.want)
+		}
+	}
+	// Seek then scan covers the ordered suffix.
+	n := 0
+	for it := o.NewIterAt(root, 51); it.Valid(); it.Next() {
+		n++
+	}
+	if n != 24 { // 52..98 step 2
+		t.Fatalf("suffix scan visited %d, want 24", n)
+	}
+	o.Release(root)
+}
+
+// TestIterQuickMatchesEntries: for random trees, iteration equals the
+// recursive in-order traversal, from any seek point.
+func TestIterQuickMatchesEntries(t *testing.T) {
+	o := intOps(0)
+	f := func(seed int64, seekRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root, _ := buildRandom(o, rng, 200, 400)
+		defer o.Release(root)
+		seek := int64(seekRaw) % 450
+		var want []Entry[int64, int64]
+		o.ForEach(root, func(k, v int64) {
+			if k >= seek {
+				want = append(want, Entry[int64, int64]{k, v})
+			}
+		})
+		var got []Entry[int64, int64]
+		for it := o.NewIterAt(root, seek); it.Valid(); it.Next() {
+			got = append(got, Entry[int64, int64]{it.Key(), it.Val()})
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, o)
+}

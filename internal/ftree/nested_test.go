@@ -1,0 +1,151 @@
+package ftree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// inner and outer tree types for the nested-map tests: outer maps a key to
+// an inner tree (the paper's inverted-index shape, §7.2).
+type innerNode = Node[int64, int64, int64]
+
+func nestedOps() (inner *Ops[int64, int64, int64], outer *Ops[int64, *innerNode, struct{}]) {
+	inner = New[int64, int64, int64](IntCmp[int64], MaxAug[int64](), 0)
+	outer = New[int64, *innerNode, struct{}](IntCmp[int64], NoAug[int64, *innerNode](), 0)
+	outer.RetainVal = func(t *innerNode) *innerNode {
+		if t == nil {
+			return nil
+		}
+		return inner.share(t)
+	}
+	outer.ReleaseVal = func(t *innerNode) { inner.Release(t) }
+	return inner, outer
+}
+
+// TestNestedInsertRelease: inserting inner trees as outer values and
+// releasing outer versions must free every inner node exactly once.
+func TestNestedInsertRelease(t *testing.T) {
+	inner, outer := nestedOps()
+	var root *Node[int64, *innerNode, struct{}]
+	for term := int64(0); term < 50; term++ {
+		var p *innerNode
+		for d := int64(0); d < 20; d++ {
+			np := inner.Insert(p, d, term*100+d)
+			inner.Release(p)
+			p = np
+		}
+		nr := outer.Insert(root, term, p) // outer consumes p's token
+		outer.Release(root)
+		root = nr
+	}
+	if inner.Live() == 0 {
+		t.Fatal("no inner nodes live?")
+	}
+	// Read through: posting for term 7, doc 3.
+	p, ok := outer.Find(root, 7)
+	if !ok {
+		t.Fatal("term 7 missing")
+	}
+	if w, ok := inner.Find(p, 3); !ok || w != 703 {
+		t.Fatalf("posting weight = %d,%v", w, ok)
+	}
+	outer.Release(root)
+	if outer.Live() != 0 {
+		t.Fatalf("outer leaked %d nodes", outer.Live())
+	}
+	if inner.Live() != 0 {
+		t.Fatalf("inner leaked %d nodes", inner.Live())
+	}
+}
+
+// TestNestedUnionCombine models document ingestion: union of outer trees
+// combining posting lists by inner union — then checks exact accounting on
+// both levels after all versions are dropped.
+func TestNestedUnionCombine(t *testing.T) {
+	inner, outer := nestedOps()
+	combine := func(a, b *innerNode) *innerNode {
+		u := inner.Union(a, b, nil)
+		inner.Release(a)
+		inner.Release(b)
+		return u
+	}
+	rng := rand.New(rand.NewSource(20))
+	var corpus *Node[int64, *innerNode, struct{}]
+	ref := map[int64]map[int64]int64{}
+	for doc := int64(0); doc < 40; doc++ {
+		// Build the document's delta: term → single-doc posting.
+		var batch []Entry[int64, *innerNode]
+		for i := 0; i < 15; i++ {
+			term := rng.Int63n(30)
+			w := rng.Int63n(1000)
+			batch = append(batch, Entry[int64, *innerNode]{
+				Key: term,
+				Val: inner.Insert(nil, doc, w),
+			})
+			if ref[term] == nil {
+				ref[term] = map[int64]int64{}
+			}
+			ref[term][doc] = w
+		}
+		next := outer.MultiInsert(corpus, batch, combine)
+		outer.Release(corpus)
+		corpus = next
+	}
+	// Verify a handful of postings against the reference.
+	for term, docs := range ref {
+		p, ok := outer.Find(corpus, term)
+		if !ok {
+			t.Fatalf("term %d missing", term)
+		}
+		if inner.Size(p) != int64(len(docs)) {
+			t.Fatalf("term %d posting size %d, want %d", term, inner.Size(p), len(docs))
+		}
+		for doc, w := range docs {
+			if got, ok := inner.Find(p, doc); !ok || got != w {
+				t.Fatalf("term %d doc %d = %d,%v want %d", term, doc, got, ok, w)
+			}
+		}
+	}
+	outer.Release(corpus)
+	if outer.Live() != 0 || inner.Live() != 0 {
+		t.Fatalf("leak: outer %d inner %d", outer.Live(), inner.Live())
+	}
+}
+
+// TestNestedSnapshotSharing: two outer versions sharing posting lists keep
+// the inner trees alive until both versions die.
+func TestNestedSnapshotSharing(t *testing.T) {
+	inner, outer := nestedOps()
+	p := inner.Insert(nil, 1, 1)
+	v1 := outer.Insert(nil, 10, p)
+	v2 := outer.Insert(v1, 20, inner.Insert(nil, 2, 2)) // v2 shares term 10's posting
+	outer.Release(v1)
+	// v1 is gone but v2 still references posting p through the shared node.
+	got, ok := outer.Find(v2, 10)
+	if !ok {
+		t.Fatal("term 10 missing from v2")
+	}
+	if w, ok := inner.Find(got, 1); !ok || w != 1 {
+		t.Fatalf("posting read failed: %d,%v", w, ok)
+	}
+	outer.Release(v2)
+	if outer.Live() != 0 || inner.Live() != 0 {
+		t.Fatalf("leak: outer %d inner %d", outer.Live(), inner.Live())
+	}
+}
+
+// TestNestedDeleteReleasesPostings: deleting an outer key must free its
+// posting tree once the last version referencing it dies.
+func TestNestedDeleteReleasesPostings(t *testing.T) {
+	inner, outer := nestedOps()
+	v1 := outer.Insert(nil, 1, inner.Insert(nil, 5, 50))
+	v2 := outer.Delete(v1, 1)
+	outer.Release(v1) // posting must die with v1: v2 does not reference it
+	if inner.Live() != 0 {
+		t.Fatalf("posting survived deletion: %d inner nodes", inner.Live())
+	}
+	outer.Release(v2)
+	if outer.Live() != 0 {
+		t.Fatalf("outer leaked %d", outer.Live())
+	}
+}

@@ -1,0 +1,134 @@
+package ftree
+
+import "sync/atomic"
+
+// Augmenter computes the augmented value attached to every subtree, in the
+// style of PAM's augmented maps: an associative Combine with identity Zero
+// folded over the in-order sequence of Single(k, v) values.  Range-sum
+// queries (Table 2's workload) use a sum augmenter; the inverted index uses
+// a max-weight augmenter.
+type Augmenter[K, V, A any] interface {
+	// Zero is the augmented value of the empty tree.
+	Zero() A
+	// Single is the augmented value of a single entry.
+	Single(k K, v V) A
+	// Combine merges the augmented values of adjacent in-order ranges.
+	// It must be associative with Zero as identity.
+	Combine(a, b A) A
+}
+
+// Ops holds the comparison function, augmenter and allocation accounting
+// for one family of trees.  All trees operated on by the same Ops share its
+// statistics.  Ops is safe for concurrent use.
+type Ops[K, V, A any] struct {
+	// Cmp is a three-way comparison: negative if a<b, zero if equal.
+	Cmp func(a, b K) int
+	// Aug computes subtree augmentations; see Augmenter.
+	Aug Augmenter[K, V, A]
+	// Grain is the sequential cutoff for parallel divide-and-conquer:
+	// subproblems with at most Grain keys run sequentially.  Zero means
+	// fully sequential.  DESIGN.md lists this as an ablation.
+	Grain int
+	// NoSteal disables decompose's exclusive-node fast path (ablation).
+	NoSteal bool
+	// Recycle routes freed nodes through sharded free lists so the next
+	// mk reuses them, making the collector's "free instruction" literal
+	// (the paper's C++ implementation reuses version memory the same
+	// way).  Safe because precise GC guarantees a freed node is reachable
+	// from no live version.  Off by default: Go's allocator is already
+	// very fast, and BenchmarkAblationRecycle quantifies the difference.
+	Recycle bool
+
+	// RetainVal and ReleaseVal make values themselves reference-counted
+	// resources (e.g. inner trees of a nested map, as in the paper's
+	// inverted index §7.2).  When set, the tree operations call RetainVal
+	// every time they copy a value out of a node that stays alive, and
+	// ReleaseVal when a node holding a value is freed or a bulk operation
+	// drops a value.  Ownership contract: every value passed into an
+	// operation (Insert's v, batch entries, combine results) is an owned
+	// reference that the tree consumes; combine functions receive two
+	// owned references and must return an owned reference.  Leave both nil
+	// for plain values.
+	RetainVal  func(V) V
+	ReleaseVal func(V)
+
+	st       stats
+	free     [freeShards]freeList[K, V, A]
+	freeHint atomic.Uint32
+}
+
+// retainVal duplicates a value reference when values are refcounted.
+func (o *Ops[K, V, A]) retainVal(v V) V {
+	if o.RetainVal != nil {
+		return o.RetainVal(v)
+	}
+	return v
+}
+
+// releaseVal drops an owned value reference.
+func (o *Ops[K, V, A]) releaseVal(v V) {
+	if o.ReleaseVal != nil {
+		o.ReleaseVal(v)
+	}
+}
+
+// New returns an Ops for the given comparison and augmenter with parallel
+// grain g.
+func New[K, V, A any](cmp func(a, b K) int, aug Augmenter[K, V, A], g int) *Ops[K, V, A] {
+	return &Ops[K, V, A]{Cmp: cmp, Aug: aug, Grain: g}
+}
+
+// Entry is a key-value pair, used by batch operations and iteration.
+type Entry[K, V any] struct {
+	Key K
+	Val V
+}
+
+// noAug is the trivial augmenter for plain maps.
+type noAug[K, V any] struct{}
+
+func (noAug[K, V]) Zero() struct{}                 { return struct{}{} }
+func (noAug[K, V]) Single(K, V) struct{}           { return struct{}{} }
+func (noAug[K, V]) Combine(_, _ struct{}) struct{} { return struct{}{} }
+
+// NoAug returns the trivial augmenter for plain (unaugmented) maps.
+func NoAug[K, V any]() Augmenter[K, V, struct{}] { return noAug[K, V]{} }
+
+// sumAug augments with the sum of values, for range-sum queries.
+type sumAug[K any] struct{}
+
+func (sumAug[K]) Zero() int64               { return 0 }
+func (sumAug[K]) Single(_ K, v int64) int64 { return v }
+func (sumAug[K]) Combine(a, b int64) int64  { return a + b }
+
+// SumAug returns an augmenter computing the sum of int64 values; this is
+// the augmentation used for the paper's range-sum query workload (§7.1).
+func SumAug[K any]() Augmenter[K, int64, int64] { return sumAug[K]{} }
+
+// maxAug augments with the maximum value, as in the inverted index's
+// max-weight-in-subtree augmentation (§7.2).
+type maxAug[K any] struct{}
+
+func (maxAug[K]) Zero() int64               { return -1 << 62 }
+func (maxAug[K]) Single(_ K, v int64) int64 { return v }
+func (maxAug[K]) Combine(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaxAug returns an augmenter computing the maximum int64 value in a
+// subtree.
+func MaxAug[K any]() Augmenter[K, int64, int64] { return maxAug[K]{} }
+
+// IntCmp is a three-way comparison for any ordered integer type.
+func IntCmp[T ~int | ~int32 | ~int64 | ~uint | ~uint32 | ~uint64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,159 @@
+package ftree
+
+import "sync"
+
+// Join-based bulk set operations (Just Join, SPAA 2016 — the algorithms in
+// the paper's PAM library).  Each runs in O(m·log(n/m + 1)) work for input
+// sizes m ≤ n and parallelizes by divide-and-conquer: the two recursive
+// halves are independent and are forked when the subproblem exceeds
+// Ops.Grain keys.
+
+// maybeParallel runs f and g, forking f onto its own goroutine when the
+// combined problem size exceeds the grain.
+func (o *Ops[K, V, A]) maybeParallel(sz int64, f, g func()) {
+	if o.Grain <= 0 || sz <= int64(o.Grain) {
+		f()
+		g()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+	g()
+	wg.Wait()
+}
+
+// Union returns a tree containing every key of borrowed trees a and b.
+// For keys present in both, the value is comb(aVal, bVal); a nil comb keeps
+// b's value.  Neither input is consumed; the result shares subtrees with
+// both.
+func (o *Ops[K, V, A]) Union(a, b *Node[K, V, A], comb func(av, bv V) V) *Node[K, V, A] {
+	return o.unionOwned(o.share(a), o.share(b), comb)
+}
+
+// unionOwned consumes its tokens on a and b.
+func (o *Ops[K, V, A]) unionOwned(a, b *Node[K, V, A], comb func(av, bv V) V) *Node[K, V, A] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	sz := a.size + b.size
+	ak, av, al, ar := o.decompose(a)
+	bl, br, found, bv := o.splitOwned(b, ak)
+	var l, r *Node[K, V, A]
+	o.maybeParallel(sz,
+		func() { l = o.unionOwned(al, bl, comb) },
+		func() { r = o.unionOwned(ar, br, comb) },
+	)
+	v := av
+	if found {
+		if comb != nil {
+			v = comb(av, bv) // comb consumes both owned references
+		} else {
+			o.releaseVal(av) // b's value wins; drop a's reference
+			v = bv
+		}
+	}
+	return o.Join(l, ak, v, r)
+}
+
+// Intersect returns a tree containing the keys present in both borrowed
+// trees, with values comb(aVal, bVal) (nil comb keeps a's value).
+func (o *Ops[K, V, A]) Intersect(a, b *Node[K, V, A], comb func(av, bv V) V) *Node[K, V, A] {
+	return o.intersectOwned(o.share(a), o.share(b), comb)
+}
+
+func (o *Ops[K, V, A]) intersectOwned(a, b *Node[K, V, A], comb func(av, bv V) V) *Node[K, V, A] {
+	if a == nil || b == nil {
+		o.Release(a)
+		o.Release(b)
+		return nil
+	}
+	sz := a.size + b.size
+	ak, av, al, ar := o.decompose(a)
+	bl, br, found, bv := o.splitOwned(b, ak)
+	var l, r *Node[K, V, A]
+	o.maybeParallel(sz,
+		func() { l = o.intersectOwned(al, bl, comb) },
+		func() { r = o.intersectOwned(ar, br, comb) },
+	)
+	if found {
+		v := av
+		if comb != nil {
+			v = comb(av, bv)
+		} else {
+			o.releaseVal(bv) // a's value wins; drop b's reference
+		}
+		return o.Join(l, ak, v, r)
+	}
+	o.releaseVal(av) // key absent from b: the entry is dropped
+	return o.Join2(l, r)
+}
+
+// Difference returns a tree containing the keys of borrowed tree a that are
+// absent from borrowed tree b.
+func (o *Ops[K, V, A]) Difference(a, b *Node[K, V, A]) *Node[K, V, A] {
+	return o.differenceOwned(o.share(a), o.share(b))
+}
+
+func (o *Ops[K, V, A]) differenceOwned(a, b *Node[K, V, A]) *Node[K, V, A] {
+	if a == nil {
+		o.Release(b)
+		return nil
+	}
+	if b == nil {
+		return a
+	}
+	sz := a.size + b.size
+	ak, av, al, ar := o.decompose(a)
+	bl, br, found, bv := o.splitOwned(b, ak)
+	var l, r *Node[K, V, A]
+	o.maybeParallel(sz,
+		func() { l = o.differenceOwned(al, bl) },
+		func() { r = o.differenceOwned(ar, br) },
+	)
+	if found {
+		o.releaseVal(av) // the entry is subtracted away
+		o.releaseVal(bv)
+		return o.Join2(l, r)
+	}
+	return o.Join(l, ak, av, r)
+}
+
+// MapValues returns a tree with the same keys as borrowed tree t and
+// values f(k, v).  The result is structurally fresh (augmentations are
+// recomputed from the new values) but shares nothing, so it costs O(n)
+// work with parallel halves.  f must return an owned value reference.
+func (o *Ops[K, V, A]) MapValues(t *Node[K, V, A], f func(K, V) V) *Node[K, V, A] {
+	if t == nil {
+		return nil
+	}
+	var l, r *Node[K, V, A]
+	o.maybeParallel(t.size,
+		func() { l = o.MapValues(t.left, f) },
+		func() { r = o.MapValues(t.right, f) },
+	)
+	return o.mk(l, t.key, f(t.key, t.val), r)
+}
+
+// Filter returns a tree with the entries of borrowed tree t satisfying
+// keep.  O(n) work, parallel.
+func (o *Ops[K, V, A]) Filter(t *Node[K, V, A], keep func(K, V) bool) *Node[K, V, A] {
+	if t == nil {
+		return nil
+	}
+	var l, r *Node[K, V, A]
+	o.maybeParallel(t.size,
+		func() { l = o.Filter(t.left, keep) },
+		func() { r = o.Filter(t.right, keep) },
+	)
+	if keep(t.key, t.val) {
+		return o.Join(l, t.key, o.retainVal(t.val), r)
+	}
+	return o.Join2(l, r)
+}

@@ -1,0 +1,269 @@
+package ftree
+
+// Weight-balanced (BB[α]) trees with α = 1/4: two subtrees may hang from
+// the same node iff neither weight exceeds three times the other.  α = 1/4
+// lies in the range for which the join-based algorithms of Blelloch,
+// Ferizovic and Sun ("Just Join for Parallel Ordered Sets", SPAA 2016) —
+// the algorithms inside the PAM library used by the paper — preserve
+// balance.
+
+// balancedWeights reports whether weights wl and wr may be siblings.
+func balancedWeights(wl, wr int64) bool { return wl <= 3*wr && wr <= 3*wl }
+
+// isBalancedPair reports whether trees l and r may be joined directly.
+func isBalancedPair[K, V, A any](l, r *Node[K, V, A]) bool {
+	return balancedWeights(weight(l), weight(r))
+}
+
+// Join combines owned trees l and r and entry (k, v) where every key of l
+// is less than k and every key of r is greater, rebalancing as needed.
+// O(|log w(l) − log w(r)|) amortized.  Consumes l and r.
+func (o *Ops[K, V, A]) Join(l *Node[K, V, A], k K, v V, r *Node[K, V, A]) *Node[K, V, A] {
+	switch {
+	case isBalancedPair(l, r):
+		return o.mk(l, k, v, r)
+	case weight(l) > weight(r):
+		return o.joinRight(l, k, v, r)
+	default:
+		return o.joinLeft(l, k, v, r)
+	}
+}
+
+// joinRight handles w(l) > 3·w(r): descend l's right spine until the join
+// balances, then restore balance on the way up with the single/double
+// rotations of joinRightWB (Just Join, Figure 1).  Consumes l and r.
+func (o *Ops[K, V, A]) joinRight(l *Node[K, V, A], k K, v V, r *Node[K, V, A]) *Node[K, V, A] {
+	lk, lv, ll, lr := o.decompose(l)
+	var t1 *Node[K, V, A]
+	if balancedWeights(weight(lr), weight(r)) {
+		t1 = o.mk(lr, k, v, r)
+	} else {
+		t1 = o.joinRight(lr, k, v, r)
+	}
+	if balancedWeights(weight(ll), weight(t1)) {
+		return o.mk(ll, lk, lv, t1)
+	}
+	// t1 grew too heavy for ll.  Expose t1 = (l1, k1, r1) and rotate.
+	k1, v1, l1, r1 := o.decompose(t1)
+	if balancedWeights(weight(ll), weight(l1)) &&
+		balancedWeights(weight(ll)+weight(l1), weight(r1)) {
+		// single left rotation: ((ll lk l1) k1 r1)
+		return o.mk(o.mk(ll, lk, lv, l1), k1, v1, r1)
+	}
+	// double rotation: rotate l1 right inside t1, then the whole left.
+	k2, v2, l1l, l1r := o.decompose(l1)
+	return o.mk(o.mk(ll, lk, lv, l1l), k2, v2, o.mk(l1r, k1, v1, r1))
+}
+
+// joinLeft mirrors joinRight for w(r) > 3·w(l).  Consumes l and r.
+func (o *Ops[K, V, A]) joinLeft(l *Node[K, V, A], k K, v V, r *Node[K, V, A]) *Node[K, V, A] {
+	rk, rv, rl, rr := o.decompose(r)
+	var t1 *Node[K, V, A]
+	if balancedWeights(weight(l), weight(rl)) {
+		t1 = o.mk(l, k, v, rl)
+	} else {
+		t1 = o.joinLeft(l, k, v, rl)
+	}
+	if balancedWeights(weight(t1), weight(rr)) {
+		return o.mk(t1, rk, rv, rr)
+	}
+	k1, v1, l1, r1 := o.decompose(t1)
+	if balancedWeights(weight(r1), weight(rr)) &&
+		balancedWeights(weight(r1)+weight(rr), weight(l1)) {
+		// single right rotation: (l1 k1 (r1 rk rr))
+		return o.mk(l1, k1, v1, o.mk(r1, rk, rv, rr))
+	}
+	// double rotation through r1.
+	k2, v2, r1l, r1r := o.decompose(r1)
+	return o.mk(o.mk(l1, k1, v1, r1l), k2, v2, o.mk(r1r, rk, rv, rr))
+}
+
+// Join2 concatenates owned trees l and r (all keys of l below all keys of
+// r) without a middle entry.  Consumes both.
+func (o *Ops[K, V, A]) Join2(l, r *Node[K, V, A]) *Node[K, V, A] {
+	if l == nil {
+		return r
+	}
+	l2, k, v := o.splitLast(l)
+	return o.Join(l2, k, v, r)
+}
+
+// splitLast removes the maximum entry from owned tree t, returning the
+// remaining tree and the entry.  Consumes t.
+func (o *Ops[K, V, A]) splitLast(t *Node[K, V, A]) (rest *Node[K, V, A], k K, v V) {
+	tk, tv, l, r := o.decompose(t)
+	if r == nil {
+		return l, tk, tv
+	}
+	r2, k, v := o.splitLast(r)
+	return o.Join(l, tk, tv, r2), k, v
+}
+
+// Split divides borrowed tree t by key k into owned trees of keys below
+// and above k, reporting k's value if present.  O(log n).
+func (o *Ops[K, V, A]) Split(t *Node[K, V, A], k K) (l, r *Node[K, V, A], found bool, fv V) {
+	if t == nil {
+		return nil, nil, false, fv
+	}
+	c := o.Cmp(k, t.key)
+	switch {
+	case c == 0:
+		return o.share(t.left), o.share(t.right), true, t.val
+	case c < 0:
+		ll, lr, f, v := o.Split(t.left, k)
+		return ll, o.Join(lr, t.key, o.retainVal(t.val), o.share(t.right)), f, v
+	default:
+		rl, rr, f, v := o.Split(t.right, k)
+		return o.Join(o.share(t.left), t.key, o.retainVal(t.val), rl), rr, f, v
+	}
+}
+
+// splitOwned is Split for an owned tree: it consumes its token on t, which
+// lets union-style algorithms destructure exclusively-owned intermediate
+// trees without touching shared subtrees.
+func (o *Ops[K, V, A]) splitOwned(t *Node[K, V, A], k K) (l, r *Node[K, V, A], found bool, fv V) {
+	if t == nil {
+		return nil, nil, false, fv
+	}
+	tk, tv, tl, tr := o.decompose(t)
+	c := o.Cmp(k, tk)
+	switch {
+	case c == 0:
+		return tl, tr, true, tv
+	case c < 0:
+		ll, lr, f, v := o.splitOwned(tl, k)
+		return ll, o.Join(lr, tk, tv, tr), f, v
+	default:
+		rl, rr, f, v := o.splitOwned(tr, k)
+		return o.Join(tl, tk, tv, rl), rr, f, v
+	}
+}
+
+// Find looks k up in borrowed tree t.  Pure reads: no reference-count
+// traffic, no synchronization — this is why the paper's read transactions
+// are delay-free.
+func (o *Ops[K, V, A]) Find(t *Node[K, V, A], k K) (V, bool) {
+	for t != nil {
+		c := o.Cmp(k, t.key)
+		if c == 0 {
+			return t.val, true
+		}
+		if c < 0 {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Has reports whether k is present in borrowed tree t.
+func (o *Ops[K, V, A]) Has(t *Node[K, V, A], k K) bool {
+	_, ok := o.Find(t, k)
+	return ok
+}
+
+// Insert returns a new owned tree equal to borrowed t with (k, v) added,
+// replacing any existing value for k.  The original version is untouched
+// (path copying, Figure 2).  O(log n).
+func (o *Ops[K, V, A]) Insert(t *Node[K, V, A], k K, v V) *Node[K, V, A] {
+	return o.InsertWith(t, k, v, nil)
+}
+
+// InsertWith is Insert with a combine function applied when k is already
+// present: the stored value becomes comb(old, v).  A nil comb replaces.
+func (o *Ops[K, V, A]) InsertWith(t *Node[K, V, A], k K, v V, comb func(old, new V) V) *Node[K, V, A] {
+	if t == nil {
+		return o.mk(nil, k, v, nil)
+	}
+	c := o.Cmp(k, t.key)
+	switch {
+	case c == 0:
+		if comb != nil {
+			v = comb(o.retainVal(t.val), v)
+		} // plain replace: the old value stays owned by the old node
+		return o.mk(o.share(t.left), k, v, o.share(t.right))
+	case c < 0:
+		return o.Join(o.InsertWith(t.left, k, v, comb), t.key, o.retainVal(t.val), o.share(t.right))
+	default:
+		return o.Join(o.share(t.left), t.key, o.retainVal(t.val), o.InsertWith(t.right, k, v, comb))
+	}
+}
+
+// Delete returns a new owned tree equal to borrowed t with k removed.
+// When k is absent the result shares the whole input.  O(log n).
+func (o *Ops[K, V, A]) Delete(t *Node[K, V, A], k K) *Node[K, V, A] {
+	if !o.Has(t, k) {
+		return o.share(t)
+	}
+	return o.deleteKnown(t, k)
+}
+
+func (o *Ops[K, V, A]) deleteKnown(t *Node[K, V, A], k K) *Node[K, V, A] {
+	c := o.Cmp(k, t.key)
+	switch {
+	case c == 0:
+		return o.Join2(o.share(t.left), o.share(t.right))
+	case c < 0:
+		return o.Join(o.deleteKnown(t.left, k), t.key, o.retainVal(t.val), o.share(t.right))
+	default:
+		return o.Join(o.share(t.left), t.key, o.retainVal(t.val), o.deleteKnown(t.right, k))
+	}
+}
+
+// Size returns the number of keys in borrowed tree t.
+func (o *Ops[K, V, A]) Size(t *Node[K, V, A]) int64 { return size(t) }
+
+// Min returns the smallest entry of borrowed tree t.
+func (o *Ops[K, V, A]) Min(t *Node[K, V, A]) (Entry[K, V], bool) {
+	if t == nil {
+		return Entry[K, V]{}, false
+	}
+	for t.left != nil {
+		t = t.left
+	}
+	return Entry[K, V]{t.key, t.val}, true
+}
+
+// Max returns the largest entry of borrowed tree t.
+func (o *Ops[K, V, A]) Max(t *Node[K, V, A]) (Entry[K, V], bool) {
+	if t == nil {
+		return Entry[K, V]{}, false
+	}
+	for t.right != nil {
+		t = t.right
+	}
+	return Entry[K, V]{t.key, t.val}, true
+}
+
+// Select returns the entry with zero-based rank i in borrowed tree t.
+func (o *Ops[K, V, A]) Select(t *Node[K, V, A], i int64) (Entry[K, V], bool) {
+	for t != nil {
+		ls := size(t.left)
+		switch {
+		case i < ls:
+			t = t.left
+		case i == ls:
+			return Entry[K, V]{t.key, t.val}, true
+		default:
+			i -= ls + 1
+			t = t.right
+		}
+	}
+	return Entry[K, V]{}, false
+}
+
+// Rank returns the number of keys in borrowed tree t strictly below k.
+func (o *Ops[K, V, A]) Rank(t *Node[K, V, A], k K) int64 {
+	var r int64
+	for t != nil {
+		if o.Cmp(k, t.key) <= 0 {
+			t = t.left
+		} else {
+			r += size(t.left) + 1
+			t = t.right
+		}
+	}
+	return r
+}

@@ -1,0 +1,93 @@
+package ftree
+
+import "fmt"
+
+// Invariant checking and debugging support.  These walk borrowed trees and
+// are used by the property tests; they are not part of the hot paths.
+
+// Validate checks every structural invariant of borrowed tree t: BST key
+// order, BB[α] weight balance, correct cached sizes and augmented values,
+// and positive reference counts on every reachable node.  It returns the
+// first violation found, or nil.
+func (o *Ops[K, V, A]) Validate(t *Node[K, V, A], augEqual func(a, b A) bool) error {
+	_, err := o.validate(t, nil, nil, augEqual)
+	return err
+}
+
+func (o *Ops[K, V, A]) validate(t *Node[K, V, A], lo, hi *K, augEqual func(a, b A) bool) (int64, error) {
+	if t == nil {
+		return 0, nil
+	}
+	if r := t.ref.Load(); r <= 0 {
+		return 0, fmt.Errorf("ftree: reachable node has ref %d", r)
+	}
+	if lo != nil && o.Cmp(t.key, *lo) <= 0 {
+		return 0, fmt.Errorf("ftree: key order violated (≤ lower bound)")
+	}
+	if hi != nil && o.Cmp(t.key, *hi) >= 0 {
+		return 0, fmt.Errorf("ftree: key order violated (≥ upper bound)")
+	}
+	ls, err := o.validate(t.left, lo, &t.key, augEqual)
+	if err != nil {
+		return 0, err
+	}
+	rs, err := o.validate(t.right, &t.key, hi, augEqual)
+	if err != nil {
+		return 0, err
+	}
+	if t.size != ls+rs+1 {
+		return 0, fmt.Errorf("ftree: size cache %d, computed %d", t.size, ls+rs+1)
+	}
+	if !balancedWeights(ls+1, rs+1) {
+		return 0, fmt.Errorf("ftree: weight balance violated: |left|=%d |right|=%d", ls, rs)
+	}
+	if augEqual != nil {
+		want := o.Aug.Single(t.key, t.val)
+		if t.left != nil {
+			want = o.Aug.Combine(t.left.aug, want)
+		}
+		if t.right != nil {
+			want = o.Aug.Combine(want, t.right.aug)
+		}
+		if !augEqual(t.aug, want) {
+			return 0, fmt.Errorf("ftree: augmentation cache mismatch at key %v", t.key)
+		}
+	}
+	return ls + rs + 1, nil
+}
+
+// Height returns the height of borrowed tree t (0 for empty).
+func (o *Ops[K, V, A]) Height(t *Node[K, V, A]) int {
+	if t == nil {
+		return 0
+	}
+	lh := o.Height(t.left)
+	rh := o.Height(t.right)
+	if lh > rh {
+		return lh + 1
+	}
+	return rh + 1
+}
+
+// ReachableNodes counts the distinct nodes reachable from the given
+// borrowed roots; the GC-exactness property tests compare this against
+// Live().
+func (o *Ops[K, V, A]) ReachableNodes(roots ...*Node[K, V, A]) int64 {
+	seen := make(map[*Node[K, V, A]]struct{})
+	var walk func(*Node[K, V, A])
+	walk = func(n *Node[K, V, A]) {
+		if n == nil {
+			return
+		}
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		walk(n.left)
+		walk(n.right)
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return int64(len(seen))
+}

@@ -1,0 +1,332 @@
+// Package invindex implements the paper's weighted inverted index
+// application (Section 7.2, Table 3): an outer functional tree maps each
+// term to a posting list — itself an inner functional tree from document to
+// weight, augmented with the maximum weight in the subtree — and both
+// levels are persistent, so adding a document is one atomic write
+// transaction (built with a parallel union) and "and"-queries intersect two
+// posting-list snapshots without any synchronization.
+//
+// The corpus is synthetic (Zipf-distributed vocabulary), substituting for
+// the paper's Wikipedia dump; see DESIGN.md for why the substitution
+// preserves the experiment's claim.
+package invindex
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"mvgc/internal/core"
+	"mvgc/internal/ftree"
+	"mvgc/internal/ycsb"
+)
+
+// Posting is an inner tree node: document → weight, max-weight augmented.
+type Posting = ftree.Node[uint64, int64, int64]
+
+// Index is the two-level persistent inverted index wrapped in the paper's
+// transactional system.
+type Index struct {
+	inner *ftree.Ops[uint64, int64, int64]
+	outer *ftree.Ops[uint64, *Posting, struct{}]
+	m     *core.Map[uint64, *Posting, struct{}]
+}
+
+// TermWeight is one term occurrence in a document.
+type TermWeight struct {
+	Term   uint64
+	Weight int64
+}
+
+// Doc is a document to ingest.
+type Doc struct {
+	ID    uint64
+	Terms []TermWeight
+}
+
+// New creates an empty index for procs transactional processes with the
+// given parallel grain for batch updates.
+func New(procs, grain int) (*Index, error) {
+	inner := ftree.New[uint64, int64, int64](ftree.IntCmp[uint64], ftree.MaxAug[uint64](), grain)
+	outer := ftree.New[uint64, *Posting, struct{}](ftree.IntCmp[uint64], ftree.NoAug[uint64, *Posting](), grain)
+	outer.RetainVal = func(p *Posting) *Posting {
+		if p == nil {
+			return nil
+		}
+		return inner.Share(p)
+	}
+	outer.ReleaseVal = func(p *Posting) { inner.Release(p) }
+	m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: procs}, outer, nil)
+	if err != nil {
+		return nil, fmt.Errorf("invindex: %w", err)
+	}
+	return &Index{inner: inner, outer: outer, m: m}, nil
+}
+
+// combinePostings merges two owned posting trees into one owned tree,
+// summing weights for documents present in both.
+func (ix *Index) combinePostings(a, b *Posting) *Posting {
+	u := ix.inner.Union(a, b, func(x, y int64) int64 { return x + y })
+	ix.inner.Release(a)
+	ix.inner.Release(b)
+	return u
+}
+
+// AddDocument ingests one document atomically on process pid: it builds
+// the document's term → posting delta and unions it into the index in a
+// single write transaction, so no query ever observes a partial document
+// (the paper's atomic-ingestion requirement).
+func (ix *Index) AddDocument(pid int, d Doc) {
+	ix.AddDocuments(pid, []Doc{d})
+}
+
+// AddDocuments ingests a batch of documents in one write transaction.
+func (ix *Index) AddDocuments(pid int, docs []Doc) {
+	var batch []ftree.Entry[uint64, *Posting]
+	for _, d := range docs {
+		for _, tw := range d.Terms {
+			batch = append(batch, ftree.Entry[uint64, *Posting]{
+				Key: tw.Term,
+				Val: ix.inner.Insert(nil, d.ID, tw.Weight),
+			})
+		}
+	}
+	ix.m.Update(pid, func(tx *core.Txn[uint64, *Posting, struct{}]) {
+		tx.InsertBatch(batch, ix.combinePostings)
+	})
+}
+
+// RemoveDocument deletes a document's postings for the given terms on
+// process pid, dropping terms whose posting list becomes empty.
+func (ix *Index) RemoveDocument(pid int, d Doc) {
+	ix.m.Update(pid, func(tx *core.Txn[uint64, *Posting, struct{}]) {
+		for _, tw := range d.Terms {
+			p, ok := tx.Get(tw.Term)
+			if !ok {
+				continue
+			}
+			np := ix.inner.Delete(p, d.ID)
+			if ix.inner.Size(np) == 0 {
+				ix.inner.Release(np)
+				tx.Delete(tw.Term)
+			} else {
+				tx.Insert(tw.Term, np)
+			}
+		}
+	})
+}
+
+// ScoredDoc is one "and"-query result.
+type ScoredDoc struct {
+	Doc   uint64
+	Score int64
+}
+
+// AndQuery returns the top-k documents containing both terms, ranked by
+// summed weight, evaluated against one consistent snapshot on process pid.
+// Because both levels are persistent, the two posting lists are snapshots
+// of the same version and the query never blocks or is blocked by writers.
+func (ix *Index) AndQuery(pid int, term1, term2 uint64, k int) []ScoredDoc {
+	var out []ScoredDoc
+	ix.m.Read(pid, func(s core.Snapshot[uint64, *Posting, struct{}]) {
+		p1, ok1 := s.Get(term1)
+		p2, ok2 := s.Get(term2)
+		if !ok1 || !ok2 {
+			return
+		}
+		inter := ix.inner.Intersect(p1, p2, func(a, b int64) int64 { return a + b })
+		out = TopK(inter, k)
+		ix.inner.Release(inter)
+	})
+	return out
+}
+
+// AndQueryN generalizes AndQuery to any number of terms: top-k documents
+// containing every term, ranked by summed weight.  Intersections proceed
+// smallest-posting-first to keep intermediate results minimal.
+func (ix *Index) AndQueryN(pid int, terms []uint64, k int) []ScoredDoc {
+	if len(terms) == 0 {
+		return nil
+	}
+	var out []ScoredDoc
+	sum := func(a, b int64) int64 { return a + b }
+	ix.m.Read(pid, func(s core.Snapshot[uint64, *Posting, struct{}]) {
+		postings := make([]*Posting, 0, len(terms))
+		for _, t := range terms {
+			p, ok := s.Get(t)
+			if !ok {
+				return
+			}
+			postings = append(postings, p)
+		}
+		sort.Slice(postings, func(i, j int) bool {
+			return ix.inner.Size(postings[i]) < ix.inner.Size(postings[j])
+		})
+		acc := ix.inner.Share(postings[0])
+		for _, p := range postings[1:] {
+			next := ix.inner.Intersect(acc, p, sum)
+			ix.inner.Release(acc)
+			acc = next
+		}
+		out = TopK(acc, k)
+		ix.inner.Release(acc)
+	})
+	return out
+}
+
+// OrQuery returns the top-k documents containing either term, ranked by
+// summed weight (documents with both terms score the sum of both).
+func (ix *Index) OrQuery(pid int, term1, term2 uint64, k int) []ScoredDoc {
+	var out []ScoredDoc
+	ix.m.Read(pid, func(s core.Snapshot[uint64, *Posting, struct{}]) {
+		p1, ok1 := s.Get(term1)
+		p2, ok2 := s.Get(term2)
+		switch {
+		case !ok1 && !ok2:
+			return
+		case !ok1:
+			out = TopK(p2, k)
+			return
+		case !ok2:
+			out = TopK(p1, k)
+			return
+		}
+		u := ix.inner.Union(p1, p2, func(a, b int64) int64 { return a + b })
+		out = TopK(u, k)
+		ix.inner.Release(u)
+	})
+	return out
+}
+
+// PostingLen returns the posting-list length of term on process pid.
+func (ix *Index) PostingLen(pid int, term uint64) int64 {
+	var n int64
+	ix.m.Read(pid, func(s core.Snapshot[uint64, *Posting, struct{}]) {
+		if p, ok := s.Get(term); ok {
+			n = ix.inner.Size(p)
+		}
+	})
+	return n
+}
+
+// Terms returns the vocabulary size on process pid.
+func (ix *Index) Terms(pid int) int64 {
+	var n int64
+	ix.m.Read(pid, func(s core.Snapshot[uint64, *Posting, struct{}]) { n = s.Len() })
+	return n
+}
+
+// Close shuts the underlying transactional map down.
+func (ix *Index) Close() { ix.m.Close() }
+
+// LiveNodes reports live (outer, inner) node counts for leak checks.
+func (ix *Index) LiveNodes() (outer, inner int64) {
+	return ix.outer.Live(), ix.inner.Live()
+}
+
+// TopK extracts the k highest-weight entries of a max-augmented posting
+// tree in O(k log n) using the augmentation as a priority bound: a heap
+// holds subtrees keyed by their max-weight augmentation and single entries
+// keyed by their weight; popping a subtree re-inserts its root entry and
+// children.  This is the augmented top-k search the paper's index design
+// enables.
+func TopK(t *Posting, k int) []ScoredDoc {
+	if t == nil || k <= 0 {
+		return nil
+	}
+	h := &topkHeap{}
+	heap.Push(h, topkItem{sub: t, pri: t.Aug()})
+	var out []ScoredDoc
+	for h.Len() > 0 && len(out) < k {
+		it := heap.Pop(h).(topkItem)
+		if it.sub == nil {
+			out = append(out, ScoredDoc{Doc: it.doc, Score: it.pri})
+			continue
+		}
+		n := it.sub
+		heap.Push(h, topkItem{doc: n.Key(), pri: n.Val()})
+		if l := n.Left(); l != nil {
+			heap.Push(h, topkItem{sub: l, pri: l.Aug()})
+		}
+		if r := n.Right(); r != nil {
+			heap.Push(h, topkItem{sub: r, pri: r.Aug()})
+		}
+	}
+	return out
+}
+
+type topkItem struct {
+	sub *Posting // nil for a single-entry item
+	doc uint64
+	pri int64
+}
+
+type topkHeap []topkItem
+
+func (h topkHeap) Len() int           { return len(h) }
+func (h topkHeap) Less(i, j int) bool { return h[i].pri > h[j].pri }
+func (h topkHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *topkHeap) Push(x any)        { *h = append(*h, x.(topkItem)) }
+func (h *topkHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// CorpusConfig shapes the synthetic corpus standing in for the paper's
+// Wikipedia dump.
+type CorpusConfig struct {
+	// Vocab is the vocabulary size.
+	Vocab uint64
+	// MeanDocLen is the average number of distinct terms per document.
+	MeanDocLen int
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// Corpus generates documents with Zipf-distributed term choice (natural
+// language's rank-frequency law) and uniform weights.
+type Corpus struct {
+	cfg   CorpusConfig
+	terms *ycsb.ScrambledZipfian
+	rng   *ycsb.SplitMix64
+	next  uint64
+}
+
+// NewCorpus creates a generator.
+func NewCorpus(cfg CorpusConfig) *Corpus {
+	if cfg.Vocab == 0 {
+		cfg.Vocab = 100000
+	}
+	if cfg.MeanDocLen == 0 {
+		cfg.MeanDocLen = 64
+	}
+	return &Corpus{
+		cfg:   cfg,
+		terms: ycsb.NewScrambledZipfian(cfg.Vocab),
+		rng:   ycsb.NewSplitMix64(cfg.Seed ^ 0xabcdef),
+	}
+}
+
+// Next produces the next document: distinct Zipf-drawn terms with weights.
+func (c *Corpus) Next() Doc {
+	n := c.cfg.MeanDocLen/2 + int(c.rng.Intn(uint64(c.cfg.MeanDocLen)))
+	seen := make(map[uint64]struct{}, n)
+	d := Doc{ID: c.next}
+	c.next++
+	for len(d.Terms) < n {
+		t := c.terms.Next(c.rng)
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		d.Terms = append(d.Terms, TermWeight{Term: t, Weight: int64(1 + c.rng.Intn(1000))})
+	}
+	return d
+}
+
+// HotTerms returns frequent terms for query generation: scrambled ranks
+// 0..n-1, which are the zipfian hot set.
+func (c *Corpus) HotTerms(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = ycsb.FNV64(uint64(i)) % c.cfg.Vocab
+	}
+	return out
+}

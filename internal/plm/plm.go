@@ -1,0 +1,198 @@
+// Package plm implements the pure LISP machine (PLM) memory model of
+// Section 2 together with the reference-counting collector of Section 4
+// (Algorithm 5).
+//
+// A PLM program manipulates memory only through two instructions:
+// Tuple(v1, …, vl) creates an immutable tuple of at most Arity fields, and
+// Nth(t, i) reads a field.  Values are either scalars or pointers to other
+// tuples, so the memory graph is an immutable DAG and reference counting
+// collects everything.
+//
+// Each tuple carries the count of its parents in the memory graph plus one
+// "ownership token" per version root handed to the Version Maintenance
+// layer.  Collect(x) (Algorithm 5) releases one token: it decrements x's
+// count and, if the count reaches zero, frees x and recursively collects
+// its children.  Theorem 4.2: Collect is correct and takes O(S+1) time for
+// S freed tuples.
+//
+// Go's tracing garbage collector would of course reclaim unreachable
+// tuples on its own; what it cannot do is tell us which tuples the
+// paper's precise collector identifies as dead, and when.  An Arena
+// therefore accounts for every Tuple and every Free with atomic counters
+// and recycles freed tuples through a free list, making "allocated space"
+// an observable quantity that tests and benchmarks compare against the
+// reachable space (Definitions 2.1 and 2.2).
+package plm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Arity is l, the fixed maximum number of fields per tuple.  The paper
+// requires a small constant; 4 covers a binary tree node with a key and a
+// value.
+const Arity = 4
+
+// Value is a PLM register value: a scalar or a pointer to a tuple.
+type Value struct {
+	T *Tuple // nil for scalars
+	S int64  // scalar payload, meaningful when T == nil
+}
+
+// Scalar wraps an integer as a PLM value.
+func Scalar(s int64) Value { return Value{S: s} }
+
+// Ref wraps a tuple pointer as a PLM value.
+func Ref(t *Tuple) Value { return Value{T: t} }
+
+// Tuple is an immutable PLM tuple.  The reference count records the number
+// of parent tuples plus outstanding ownership tokens.
+type Tuple struct {
+	ch    [Arity]Value
+	ref   atomic.Int32
+	freed atomic.Bool // poison flag: set between Free and reuse
+	next  *Tuple      // free-list link
+}
+
+// Arena allocates and frees tuples, tracking the allocated space.
+type Arena struct {
+	live   atomic.Int64 // tuples allocated and not yet freed
+	allocs atomic.Int64 // total Tuple instructions executed
+	frees  atomic.Int64 // total free instructions executed
+
+	mu   sync.Mutex
+	free *Tuple // recycled tuples
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Live reports the allocated space: tuples created and not yet freed.
+func (a *Arena) Live() int64 { return a.live.Load() }
+
+// Allocs reports the total number of Tuple instructions executed.
+func (a *Arena) Allocs() int64 { return a.allocs.Load() }
+
+// Frees reports the total number of free instructions executed.
+func (a *Arena) Frees() int64 { return a.frees.Load() }
+
+// Tuple executes the PLM tuple instruction: it allocates an immutable tuple
+// holding vs and increments the reference count of every tuple-valued
+// field, since the new tuple becomes their parent (Algorithm 5).  The new
+// tuple itself starts with count zero; callers that intend to keep it as a
+// version root must Retain it (the paper's "output" increment).
+func (a *Arena) Tuple(vs ...Value) *Tuple {
+	if len(vs) > Arity {
+		panic("plm: tuple wider than Arity")
+	}
+	t := a.alloc()
+	for i, v := range vs {
+		t.ch[i] = v
+		if v.T != nil {
+			v.T.ref.Add(1)
+		}
+	}
+	return t
+}
+
+func (a *Arena) alloc() *Tuple {
+	a.allocs.Add(1)
+	a.live.Add(1)
+	a.mu.Lock()
+	t := a.free
+	if t != nil {
+		a.free = t.next
+	}
+	a.mu.Unlock()
+	if t == nil {
+		t = new(Tuple)
+	} else {
+		*t = Tuple{}
+	}
+	return t
+}
+
+// Nth executes the PLM nth instruction: it returns field i of t.  It panics
+// if t has been freed, which is exactly the use-after-free a safe collector
+// must prevent (Definition 2.2); tests rely on this poisoning.
+func Nth(t *Tuple, i int) Value {
+	if t.freed.Load() {
+		panic("plm: nth on freed tuple (GC safety violation)")
+	}
+	return t.ch[i]
+}
+
+// Ref returns the current reference count; exposed for tests.
+func (t *Tuple) Ref() int32 { return t.ref.Load() }
+
+// Retain adds an ownership token to t: the "output" increment performed by
+// a writer when it commits t as a version root.
+func (a *Arena) Retain(t *Tuple) { t.ref.Add(1) }
+
+// Collect executes Algorithm 5's collect on a version root or child value:
+// it decrements the tuple's count and, when the count reaches zero, frees
+// the tuple and collects its children.  Scalars are ignored.  The iterative
+// formulation (explicit stack) preserves the O(S+1) bound without risking
+// goroutine stack growth on deep structures.
+func (a *Arena) Collect(v Value) {
+	if v.T == nil {
+		return
+	}
+	stack := []*Tuple{v.T}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x.ref.Add(-1) > 0 {
+			continue // other parents or tokens remain
+		}
+		var tmp [Arity]Value
+		for i := 0; i < Arity; i++ {
+			tmp[i] = Nth(x, i)
+		}
+		a.freeTuple(x)
+		for i := 0; i < Arity; i++ {
+			if tmp[i].T != nil {
+				stack = append(stack, tmp[i].T)
+			}
+		}
+	}
+}
+
+func (a *Arena) freeTuple(t *Tuple) {
+	if !t.freed.CompareAndSwap(false, true) {
+		panic("plm: double free")
+	}
+	a.frees.Add(1)
+	a.live.Add(-1)
+	t.ch = [Arity]Value{}
+	a.mu.Lock()
+	t.next = a.free
+	a.free = t
+	a.mu.Unlock()
+}
+
+// Reachable walks the memory graph from the given roots and returns the
+// number of distinct live tuples, i.e. |R(T)| from Section 2.  Used by
+// tests to check Definition 2.1 (precision: allocated ⊆ reachable) and
+// Definition 2.2 (safety: allocated ⊇ reachable).
+func Reachable(roots ...*Tuple) int {
+	seen := make(map[*Tuple]struct{})
+	var walk func(t *Tuple)
+	walk = func(t *Tuple) {
+		if t == nil {
+			return
+		}
+		if _, ok := seen[t]; ok {
+			return
+		}
+		seen[t] = struct{}{}
+		for i := 0; i < Arity; i++ {
+			walk(t.ch[i].T)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return len(seen)
+}

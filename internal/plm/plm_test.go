@@ -1,0 +1,254 @@
+package plm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleAndNth(t *testing.T) {
+	a := NewArena()
+	leaf := a.Tuple(Scalar(7), Scalar(8))
+	root := a.Tuple(Ref(leaf), Scalar(9))
+	if got := Nth(root, 1).S; got != 9 {
+		t.Fatalf("Nth(root,1) = %d, want 9", got)
+	}
+	if got := Nth(Nth(root, 0).T, 0).S; got != 7 {
+		t.Fatalf("Nth(Nth(root,0),0) = %d, want 7", got)
+	}
+	if leaf.Ref() != 1 {
+		t.Fatalf("leaf ref = %d, want 1 (one parent)", leaf.Ref())
+	}
+	if root.Ref() != 0 {
+		t.Fatalf("fresh root ref = %d, want 0", root.Ref())
+	}
+}
+
+func TestTupleTooWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-wide tuple")
+		}
+	}()
+	a := NewArena()
+	a.Tuple(Scalar(1), Scalar(2), Scalar(3), Scalar(4), Scalar(5))
+}
+
+// TestCollectChain: collecting the root of a linked list frees every node
+// (S frees for a chain of length S, Theorem 4.2's linear cost in spirit).
+func TestCollectChain(t *testing.T) {
+	a := NewArena()
+	var head *Tuple
+	for i := 0; i < 100; i++ {
+		head = a.Tuple(Scalar(int64(i)), Ref(head))
+	}
+	a.Retain(head)
+	if a.Live() != 100 {
+		t.Fatalf("live = %d, want 100", a.Live())
+	}
+	a.Collect(Ref(head))
+	if a.Live() != 0 {
+		t.Fatalf("live = %d after collect, want 0", a.Live())
+	}
+	if a.Frees() != 100 {
+		t.Fatalf("frees = %d, want 100", a.Frees())
+	}
+}
+
+// TestCollectShared: a diamond-shaped DAG is freed only after both parents
+// release it, never before (safety) and immediately after (precision).
+func TestCollectShared(t *testing.T) {
+	a := NewArena()
+	shared := a.Tuple(Scalar(1))
+	p1 := a.Tuple(Ref(shared))
+	p2 := a.Tuple(Ref(shared))
+	a.Retain(p1)
+	a.Retain(p2)
+	if shared.Ref() != 2 {
+		t.Fatalf("shared ref = %d, want 2", shared.Ref())
+	}
+	a.Collect(Ref(p1))
+	if a.Live() != 2 {
+		t.Fatalf("live = %d after first collect, want 2 (p2 + shared)", a.Live())
+	}
+	if shared.Ref() != 1 {
+		t.Fatalf("shared ref = %d after first collect, want 1", shared.Ref())
+	}
+	a.Collect(Ref(p2))
+	if a.Live() != 0 {
+		t.Fatalf("live = %d after second collect, want 0", a.Live())
+	}
+}
+
+// TestUseAfterFreePoisoning: reading a freed tuple panics, which is how the
+// test suite turns safety violations into failures.
+func TestUseAfterFreePoisoning(t *testing.T) {
+	a := NewArena()
+	x := a.Tuple(Scalar(1))
+	a.Retain(x)
+	a.Collect(Ref(x))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from Nth on freed tuple")
+		}
+	}()
+	Nth(x, 0)
+}
+
+// TestFreelistRecycling: freed tuples are reused by later allocations.
+func TestFreelistRecycling(t *testing.T) {
+	a := NewArena()
+	x := a.Tuple(Scalar(1))
+	a.Retain(x)
+	a.Collect(Ref(x))
+	y := a.Tuple(Scalar(2))
+	if x != y {
+		t.Fatal("expected the freed tuple to be recycled")
+	}
+	if y.freed.Load() {
+		t.Fatal("recycled tuple still poisoned")
+	}
+	if a.Live() != 1 || a.Allocs() != 2 || a.Frees() != 1 {
+		t.Fatalf("accounting live=%d allocs=%d frees=%d", a.Live(), a.Allocs(), a.Frees())
+	}
+}
+
+// buildVersions simulates path-copying updates: each version copies a
+// random path of the previous version's list and shares the rest, exactly
+// like the tree update of Figure 2 in one dimension.
+func buildVersions(a *Arena, rng *rand.Rand, n, depth int) []*Tuple {
+	// initial chain
+	var head *Tuple
+	for i := 0; i < depth; i++ {
+		head = a.Tuple(Scalar(int64(i)), Ref(head))
+	}
+	a.Retain(head)
+	roots := []*Tuple{head}
+	for v := 1; v < n; v++ {
+		// copy a prefix of random length, share the suffix
+		k := rng.Intn(depth)
+		var nodes []*Tuple
+		cur := roots[len(roots)-1]
+		for i := 0; i < k; i++ {
+			nodes = append(nodes, cur)
+			cur = Nth(cur, 1).T
+		}
+		nv := cur // shared suffix
+		var root *Tuple
+		for i := len(nodes) - 1; i >= 0; i-- {
+			root = a.Tuple(Scalar(Nth(nodes[i], 0).S+1000), Ref(nv))
+			nv = root
+		}
+		if root == nil {
+			root = nv // k == 0: new version is the shared suffix itself
+		}
+		a.Retain(root)
+		roots = append(roots, root)
+	}
+	return roots
+}
+
+// TestVersionedCollectRandomOrder builds many path-copied versions and
+// collects them in random order, checking after every collect that the
+// allocated space equals the reachable space of the remaining roots — the
+// conjunction of Definitions 2.1 and 2.2.
+func TestVersionedCollectRandomOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		a := NewArena()
+		roots := buildVersions(a, rng, 20, 30)
+		alive := make(map[int]*Tuple, len(roots))
+		for i, r := range roots {
+			alive[i] = r
+		}
+		order := rng.Perm(len(roots))
+		for _, idx := range order {
+			a.Collect(Ref(alive[idx]))
+			delete(alive, idx)
+			var rs []*Tuple
+			for _, r := range alive {
+				rs = append(rs, r)
+			}
+			if got, want := int(a.Live()), Reachable(rs...); got != want {
+				t.Fatalf("trial %d: live=%d reachable=%d after collecting version %d",
+					trial, got, want, idx)
+			}
+		}
+		if a.Live() != 0 {
+			t.Fatalf("trial %d: %d tuples leaked", trial, a.Live())
+		}
+	}
+}
+
+// TestCollectLinearCost checks Theorem 4.2's O(S+1) bound observationally:
+// collecting a version that frees S tuples performs exactly S free
+// instructions, and a collect that frees nothing performs none.
+func TestCollectLinearCost(t *testing.T) {
+	a := NewArena()
+	shared := a.Tuple(Scalar(0))
+	v1 := a.Tuple(Ref(shared))
+	v2 := a.Tuple(Ref(shared))
+	a.Retain(v1)
+	a.Retain(v2)
+	f0 := a.Frees()
+	a.Collect(Ref(v1)) // frees v1 only
+	if a.Frees()-f0 != 1 {
+		t.Fatalf("collect freed %d tuples, want 1", a.Frees()-f0)
+	}
+	a.Collect(Ref(v2)) // frees v2 and shared
+	if a.Frees()-f0 != 3 {
+		t.Fatalf("total freed %d, want 3", a.Frees()-f0)
+	}
+}
+
+// TestQuickRandomDAGs uses testing/quick to generate random small DAGs
+// plus a random collect order and asserts exact accounting every time.
+func TestQuickRandomDAGs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewArena()
+		n := 2 + rng.Intn(40)
+		tuples := make([]*Tuple, 0, n)
+		for i := 0; i < n; i++ {
+			// pick up to Arity-1 children from existing tuples
+			var vs []Value
+			vs = append(vs, Scalar(int64(i)))
+			for j := 0; j < rng.Intn(Arity); j++ {
+				if len(tuples) > 0 {
+					vs = append(vs, Ref(tuples[rng.Intn(len(tuples))]))
+				}
+			}
+			tuples = append(tuples, a.Tuple(vs...))
+		}
+		// Roots: every tuple with refcount 0 gets a token, plus a random
+		// subset of shared ones.
+		roots := map[*Tuple]int{}
+		for _, tp := range tuples {
+			if tp.Ref() == 0 || rng.Intn(3) == 0 {
+				a.Retain(tp)
+				roots[tp]++
+			}
+		}
+		var order []*Tuple
+		for r, c := range roots {
+			for i := 0; i < c; i++ {
+				order = append(order, r)
+			}
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for i, r := range order {
+			a.Collect(Ref(r))
+			var rs []*Tuple
+			for _, rest := range order[i+1:] {
+				rs = append(rs, rest)
+			}
+			if int(a.Live()) != Reachable(rs...) {
+				return false
+			}
+		}
+		return a.Live() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package snzi
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSequential(t *testing.T) {
+	s := New(2)
+	if s.NonZero() {
+		t.Fatal("fresh indicator non-zero")
+	}
+	s.Arrive(0)
+	if !s.NonZero() {
+		t.Fatal("zero after arrival")
+	}
+	s.Arrive(0)
+	s.Arrive(1)
+	if s.Depart(0) {
+		t.Fatal("became zero with surplus remaining")
+	}
+	if s.Depart(1) {
+		t.Fatal("became zero with surplus remaining")
+	}
+	if !s.Depart(0) {
+		t.Fatal("last departure did not report zero")
+	}
+	if s.NonZero() {
+		t.Fatal("non-zero after all departed")
+	}
+}
+
+// TestExactlyOneZeroReport: across concurrent departures, exactly one
+// reports the transition to zero (the collector must fire once).
+func TestExactlyOneZeroReport(t *testing.T) {
+	const procs = 8
+	for round := 0; round < 500; round++ {
+		s := New(procs)
+		for p := 0; p < procs; p++ {
+			s.Arrive(p)
+		}
+		var zeros atomic.Int32
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				if s.Depart(p) {
+					zeros.Add(1)
+				}
+			}(p)
+		}
+		wg.Wait()
+		if z := zeros.Load(); z != 1 {
+			t.Fatalf("round %d: %d zero reports, want exactly 1", round, z)
+		}
+		if s.NonZero() {
+			t.Fatalf("round %d: still non-zero", round)
+		}
+	}
+}
+
+// TestNonZeroWhileAnyHolds: the indicator must stay non-zero while any
+// process holds a surplus through churn by others.
+func TestNonZeroWhileAnyHolds(t *testing.T) {
+	const procs = 4
+	s := New(procs)
+	s.Arrive(0) // pinned
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 1; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Arrive(p)
+				if s.Depart(p) {
+					t.Errorf("proc %d observed zero while proc 0 holds", p)
+					return
+				}
+			}
+		}(p)
+	}
+	for i := 0; i < 100000; i++ {
+		if !s.NonZero() {
+			t.Fatal("indicator dropped to zero while held")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !s.Depart(0) {
+		t.Fatal("final departure did not report zero")
+	}
+}
+
+// BenchmarkSNZI compares arrive/depart cycles against a shared atomic
+// counter under all-core symmetric traffic — the contention the paper's
+// §4 remark is about.
+func BenchmarkSNZI(b *testing.B) {
+	b.Run("snzi", func(b *testing.B) {
+		s := New(64)
+		var pidGen atomic.Int32
+		b.RunParallel(func(pb *testing.PB) {
+			pid := int(pidGen.Add(1)-1) % 64
+			for pb.Next() {
+				s.Arrive(pid)
+				s.Depart(pid)
+			}
+		})
+	})
+	b.Run("shared-counter", func(b *testing.B) {
+		var c atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Add(1)
+				c.Add(-1)
+			}
+		})
+	})
+}

@@ -1,0 +1,215 @@
+// Package vlist implements the classic version-list multiversion store the
+// paper argues against (§1, §8): every object keeps a timestamp-ordered
+// list of versions (multiversion timestamp ordering in the style of Reed
+// 1978 / Bernstein–Goodman 1983), readers pick a snapshot timestamp and
+// walk each object's list to the newest version not exceeding it, and
+// garbage collection truncates lists below the oldest active snapshot.
+//
+// It exists as a measurable foil: the paper's central complaint is that a
+// version-list read costs time proportional to the number of versions
+// stacked on the object since the reader's snapshot — "the delay is not
+// just a constant, but can be asymptotic in the number of versions" — and
+// that GC needs watermark scans.  BenchmarkVersionListDelay in the root
+// bench suite demonstrates both against the functional-tree system, which
+// pays O(1) per transaction regardless of version depth.
+package vlist
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// version is one entry in an object's version chain, newest first.
+type version struct {
+	ts   uint64
+	val  uint64
+	next *version // older
+}
+
+// object is one key's version list.
+type object struct {
+	mu   sync.Mutex // writers only; readers traverse lock-free
+	head atomic.Pointer[version]
+}
+
+// Store is a multiversion key-value store with per-object version lists
+// and timestamp snapshots.
+type Store struct {
+	clock   atomic.Uint64 // last committed timestamp
+	active  []padTS       // per-process active snapshot timestamps
+	buckets []bucket
+	mask    uint64
+	// retired counts versions that are superseded but not yet truncated;
+	// exposed so experiments can compare against the precise collector.
+	retired atomic.Int64
+}
+
+type padTS struct {
+	ts atomic.Uint64 // 0 = inactive
+	_  [7]uint64
+}
+
+type bucket struct {
+	mu sync.RWMutex
+	m  map[uint64]*object
+}
+
+// New creates a store for p processes with the given hash-bucket count
+// (rounded up to a power of two).
+func New(p, buckets int) *Store {
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	s := &Store{
+		active:  make([]padTS, p),
+		buckets: make([]bucket, n),
+		mask:    uint64(n - 1),
+	}
+	for i := range s.buckets {
+		s.buckets[i].m = make(map[uint64]*object)
+	}
+	s.clock.Store(1)
+	return s
+}
+
+func (s *Store) bucketFor(key uint64) *bucket {
+	return &s.buckets[(key*0x9e3779b97f4a7c15)&s.mask]
+}
+
+func (s *Store) obj(key uint64, create bool) *object {
+	b := s.bucketFor(key)
+	b.mu.RLock()
+	o := b.m[key]
+	b.mu.RUnlock()
+	if o != nil || !create {
+		return o
+	}
+	b.mu.Lock()
+	o = b.m[key]
+	if o == nil {
+		o = &object{}
+		b.m[key] = o
+	}
+	b.mu.Unlock()
+	return o
+}
+
+// Snapshot is a read transaction's view: a frozen timestamp.
+type Snapshot struct {
+	s   *Store
+	ts  uint64
+	pid int
+}
+
+// Begin opens a read snapshot for process pid at the current timestamp.
+// O(1), but every Get inside it pays a version-list walk.
+func (s *Store) Begin(pid int) Snapshot {
+	ts := s.clock.Load()
+	s.active[pid].ts.Store(ts)
+	return Snapshot{s: s, ts: ts, pid: pid}
+}
+
+// Get returns key's value at the snapshot's timestamp, walking the
+// object's version list past every version committed after the snapshot —
+// the delay the paper's design eliminates.
+func (sn Snapshot) Get(key uint64) (uint64, bool) {
+	o := sn.s.obj(key, false)
+	if o == nil {
+		return 0, false
+	}
+	for v := o.head.Load(); v != nil; v = v.next {
+		if v.ts <= sn.ts {
+			return v.val, true
+		}
+	}
+	return 0, false
+}
+
+// End closes the snapshot, allowing GC past it.
+func (sn Snapshot) End() { sn.s.active[sn.pid].ts.Store(0) }
+
+// Commit applies a write batch atomically at a fresh timestamp and
+// returns that timestamp.  Single writer assumed (matching the paper's
+// single-writer deployment); concurrent writers would need write locks or
+// timestamp validation on every object.
+func (s *Store) Commit(batch map[uint64]uint64) uint64 {
+	ts := s.clock.Load() + 1
+	for key, val := range batch {
+		o := s.obj(key, true)
+		o.mu.Lock()
+		old := o.head.Load()
+		o.head.Store(&version{ts: ts, val: val, next: old})
+		o.mu.Unlock()
+		if old != nil {
+			s.retired.Add(1)
+		}
+	}
+	s.clock.Store(ts) // publish: readers beginning now see the batch
+	return ts
+}
+
+// Retired reports superseded-but-untruncated version counts.
+func (s *Store) Retired() int64 { return s.retired.Load() }
+
+// Watermark returns the oldest timestamp any active snapshot could still
+// read, scanning the whole active array — the O(P) scan version-list GC
+// cannot avoid.
+func (s *Store) Watermark() uint64 {
+	w := s.clock.Load()
+	for i := range s.active {
+		if ts := s.active[i].ts.Load(); ts != 0 && ts < w {
+			w = ts
+		}
+	}
+	return w
+}
+
+// GC truncates every object's version list below the watermark: for each
+// object it keeps the newest version at-or-below the watermark and frees
+// everything older.  Unlike the paper's precise collector this must visit
+// every object (cost proportional to the whole store, not to the garbage)
+// and can only reclaim whole prefixes.
+func (s *Store) GC() int64 {
+	w := s.Watermark()
+	var freed int64
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		b.mu.RLock()
+		objs := make([]*object, 0, len(b.m))
+		for _, o := range b.m {
+			objs = append(objs, o)
+		}
+		b.mu.RUnlock()
+		for _, o := range objs {
+			o.mu.Lock()
+			// Find the newest version with ts ≤ w; cut below it.
+			for v := o.head.Load(); v != nil; v = v.next {
+				if v.ts <= w {
+					for dead := v.next; dead != nil; dead = dead.next {
+						freed++
+					}
+					v.next = nil
+					break
+				}
+			}
+			o.mu.Unlock()
+		}
+	}
+	s.retired.Add(-freed)
+	return freed
+}
+
+// Depth returns the version-list length of key — the read delay a
+// snapshot at timestamp 0 would pay.
+func (s *Store) Depth(key uint64) int {
+	o := s.obj(key, false)
+	n := 0
+	if o == nil {
+		return 0
+	}
+	for v := o.head.Load(); v != nil; v = v.next {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,148 @@
+package vlist
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := New(2, 64)
+	s.Commit(map[uint64]uint64{1: 10, 2: 20})
+	sn := s.Begin(0)
+	s.Commit(map[uint64]uint64{1: 11})
+	s.Commit(map[uint64]uint64{2: 22, 3: 33})
+	// The old snapshot still reads the old world.
+	if v, _ := sn.Get(1); v != 10 {
+		t.Fatalf("snapshot read %d, want 10", v)
+	}
+	if v, _ := sn.Get(2); v != 20 {
+		t.Fatalf("snapshot read %d, want 20", v)
+	}
+	if _, ok := sn.Get(3); ok {
+		t.Fatal("snapshot sees future key")
+	}
+	sn.End()
+	// A fresh snapshot reads the new world.
+	sn2 := s.Begin(0)
+	if v, _ := sn2.Get(1); v != 11 {
+		t.Fatalf("new snapshot read %d, want 11", v)
+	}
+	if v, _ := sn2.Get(3); v != 33 {
+		t.Fatalf("new snapshot read %d, want 33", v)
+	}
+	sn2.End()
+}
+
+func TestMissingKey(t *testing.T) {
+	s := New(1, 8)
+	sn := s.Begin(0)
+	if _, ok := sn.Get(99); ok {
+		t.Fatal("absent key found")
+	}
+	sn.End()
+}
+
+// TestGCWatermark: versions below every active snapshot are truncated;
+// versions a snapshot still needs survive.
+func TestGCWatermark(t *testing.T) {
+	s := New(2, 8)
+	for i := uint64(0); i < 10; i++ {
+		s.Commit(map[uint64]uint64{7: i})
+	}
+	if s.Depth(7) != 10 {
+		t.Fatalf("depth = %d", s.Depth(7))
+	}
+	sn := s.Begin(1) // pins the current timestamp
+	s.Commit(map[uint64]uint64{7: 100})
+	freed := s.GC()
+	if freed != 9 {
+		t.Fatalf("GC freed %d, want 9 (all below the pinned snapshot)", freed)
+	}
+	// The pinned snapshot still reads its version.
+	if v, _ := sn.Get(7); v != 9 {
+		t.Fatalf("pinned snapshot reads %d, want 9", v)
+	}
+	sn.End()
+	if freed := s.GC(); freed != 1 {
+		t.Fatalf("post-release GC freed %d, want 1", freed)
+	}
+	if s.Depth(7) != 1 {
+		t.Fatalf("depth after GC = %d", s.Depth(7))
+	}
+	if s.Retired() != 0 {
+		t.Fatalf("retired = %d", s.Retired())
+	}
+}
+
+// TestReadDelayGrowsWithVersions is the paper's §1 complaint made
+// executable: a snapshot's read cost on a hot object grows linearly with
+// the number of versions committed above it.
+func TestReadDelayGrowsWithVersions(t *testing.T) {
+	s := New(2, 8)
+	s.Commit(map[uint64]uint64{5: 0})
+	sn := s.Begin(1)
+	if d := s.Depth(5); d != 1 {
+		t.Fatalf("depth %d", d)
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		s.Commit(map[uint64]uint64{5: i})
+	}
+	// The pinned reader must now walk 1001 versions to find its value.
+	if d := s.Depth(5); d != 1001 {
+		t.Fatalf("depth %d, want 1001", d)
+	}
+	if v, ok := sn.Get(5); !ok || v != 0 {
+		t.Fatalf("snapshot read %d,%v want 0", v, ok)
+	}
+	sn.End()
+}
+
+// TestConcurrentReadersWriter: one writer, many snapshot readers; every
+// snapshot must see a consistent prefix (monotone counter pairs).
+func TestConcurrentReadersWriter(t *testing.T) {
+	const procs = 6
+	s := New(procs, 64)
+	s.Commit(map[uint64]uint64{1: 0, 2: 0})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= 3000; i++ {
+			s.Commit(map[uint64]uint64{1: i, 2: i}) // both keys move together
+			if i%100 == 0 {
+				s.GC()
+			}
+		}
+		close(stop)
+	}()
+	for p := 1; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := s.Begin(p)
+				a, _ := sn.Get(1)
+				b, _ := sn.Get(2)
+				sn.End()
+				if a != b {
+					t.Errorf("torn snapshot: %d vs %d", a, b)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	// After all readers quiesce, GC drains to one version per key.
+	if freed := s.GC(); freed < 0 {
+		t.Fatal("negative free count")
+	}
+	if s.Depth(1) != 1 || s.Depth(2) != 1 {
+		t.Fatalf("depths %d,%d after final GC", s.Depth(1), s.Depth(2))
+	}
+}

@@ -1,0 +1,102 @@
+package vm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Base is the no-maintenance baseline of Table 2 ("Base"): Acquire loads
+// the current version, Set CASes it, and Release never returns anything, so
+// superseded versions are never collected during the run.  It measures the
+// cost of the transactional loop with zero version-maintenance and zero GC
+// overhead.  Superseded versions are recorded (cheaply, writer-side) only
+// so Drain can hand every allocation back for end-of-run accounting.
+type Base[T any] struct {
+	p   int
+	cur atomic.Pointer[T]
+	acq []ptr[T]
+
+	mu     sync.Mutex
+	leaked []*T
+}
+
+// NewBase returns the no-VM baseline for p processes.
+func NewBase[T any](p int, initial *T) *Base[T] {
+	m := &Base[T]{p: p, acq: make([]ptr[T], p)}
+	m.cur.Store(initial)
+	return m
+}
+
+func (m *Base[T]) Name() string { return "base" }
+func (m *Base[T]) Procs() int   { return m.p }
+
+// Acquire returns the current version with no protection whatsoever.
+func (m *Base[T]) Acquire(k int) *T {
+	v := m.cur.Load()
+	m.acq[k].p.Store(v)
+	return v
+}
+
+// Set CASes the new version into place.
+func (m *Base[T]) Set(k int, data *T) bool {
+	old := m.acq[k].p.Load()
+	if !m.cur.CompareAndSwap(old, data) {
+		return false
+	}
+	m.mu.Lock()
+	m.leaked = append(m.leaked, old)
+	m.mu.Unlock()
+	return true
+}
+
+// Release returns nothing: the baseline never collects.
+func (m *Base[T]) Release(k int) []*T {
+	m.acq[k].p.Store(nil)
+	return nil
+}
+
+// Uncollected reports every version ever superseded plus the current one.
+func (m *Base[T]) Uncollected() int {
+	m.mu.Lock()
+	n := len(m.leaked)
+	m.mu.Unlock()
+	return n + 1
+}
+
+// Drain returns all superseded versions and the current version.
+func (m *Base[T]) Drain() []*T {
+	m.mu.Lock()
+	out := m.leaked
+	m.leaked = nil
+	m.mu.Unlock()
+	if c := m.cur.Load(); c != nil {
+		out = append(out, c)
+		m.cur.Store(nil)
+	}
+	return out
+}
+
+// New constructs the named Version Maintenance algorithm for p processes.
+// Recognized names: pswf, pslf, hp, epoch, rcu, base.  It returns nil for
+// unknown names.
+func New[T any](name string, p int, initial *T) Maintainer[T] {
+	switch name {
+	case "pswf":
+		return NewPSWF(p, initial)
+	case "pslf":
+		return NewPSLF(p, initial)
+	case "hp":
+		return NewHP(p, initial)
+	case "epoch":
+		return NewEpoch(p, initial)
+	case "rcu":
+		return NewRCU(p, initial)
+	case "base":
+		return NewBase(p, initial)
+	}
+	return nil
+}
+
+// Names lists the available algorithms in the order the paper's tables
+// report them.
+func Names() []string { return []string{"base", "pswf", "pslf", "hp", "epoch", "rcu"} }

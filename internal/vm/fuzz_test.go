@@ -1,0 +1,68 @@
+package vm
+
+import "testing"
+
+// FuzzPSWFSequential decodes fuzz input into a sequential operation
+// history over the PSWF object and checks it against the sequential
+// specification plus exactly-once collection.  Run long with
+// `go test -fuzz FuzzPSWFSequential ./internal/vm`.
+func FuzzPSWFSequential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 2})
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 3, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const procs = 3
+		m := NewPSWF(procs, &payload{id: 0})
+		current := uint64(0)
+		nextID := uint64(1)
+		held := map[int]uint64{}
+		holders := map[uint64]int{}
+		returned := map[uint64]bool{}
+		phase := make([]int, procs)
+		release := func(k int) {
+			v := held[k]
+			delete(held, k)
+			holders[v]--
+			out := m.Release(k)
+			dead := v != current && holders[v] == 0 && !returned[v]
+			if dead {
+				if len(out) != 1 || out[0].id != v {
+					t.Fatalf("release(%d) = %v, want [%d]", k, ids(out), v)
+				}
+				returned[v] = true
+			} else if len(out) != 0 {
+				t.Fatalf("release(%d) = %v, want []", k, ids(out))
+			}
+		}
+		for _, b := range data {
+			k := int(b) % procs
+			switch phase[k] {
+			case 0:
+				got := m.Acquire(k)
+				if got.id != current {
+					t.Fatalf("acquire(%d) = %d, current %d", k, got.id, current)
+				}
+				held[k] = got.id
+				holders[got.id]++
+				phase[k] = 1
+			case 1:
+				if b&0x80 != 0 {
+					ok := m.Set(k, &payload{id: nextID})
+					if want := held[k] == current; ok != want {
+						t.Fatalf("set(%d) = %v, want %v", k, ok, want)
+					}
+					if ok {
+						current = nextID
+					}
+					nextID++
+					phase[k] = 2
+				} else {
+					release(k)
+					phase[k] = 0
+				}
+			case 2:
+				release(k)
+				phase[k] = 0
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package vm
+
+import "sync/atomic"
+
+// HP is the hazard-pointer based Version Maintenance solution of Section 6.
+// Each process announces the version it intends to use and revalidates
+// against the current version; a successful Set retires the superseded
+// version onto the setter's retired list, and a Release whose retired list
+// has grown to 2P scans the announcements and returns every unannounced
+// retired version.
+//
+// HP is safe but imprecise: a dead version can linger on a retired list for
+// arbitrarily long (until that process's next expensive Release), and up to
+// 2P versions per process can be outstanding.  Acquire is lock-free, not
+// wait-free: it retries whenever the current version moves between the read
+// and the announcement.
+type HP[T any] struct {
+	p       int
+	cur     atomic.Pointer[T]
+	ann     []ptr[T] // hazard announcements, one per process
+	acq     []ptr[T] // the version each process acquired (private, padded)
+	retired [][]*T   // per-process retired lists (private)
+	nRet    counter  // total retired-and-uncollected versions
+}
+
+// NewHP returns a hazard-pointer Version Maintenance object for p processes.
+func NewHP[T any](p int, initial *T) *HP[T] {
+	m := &HP[T]{
+		p:       p,
+		ann:     make([]ptr[T], p),
+		acq:     make([]ptr[T], p),
+		retired: make([][]*T, p),
+	}
+	m.cur.Store(initial)
+	return m
+}
+
+func (m *HP[T]) Name() string { return "hp" }
+func (m *HP[T]) Procs() int   { return m.p }
+
+// Acquire reads the current version, announces it, and revalidates; it
+// restarts if the current version moved in between.
+func (m *HP[T]) Acquire(k int) *T {
+	for {
+		v := m.cur.Load()
+		m.ann[k].p.Store(v)
+		if m.cur.Load() == v {
+			m.acq[k].p.Store(v)
+			return v
+		}
+	}
+}
+
+// Set CASes the new version into place and retires the one it replaced.
+func (m *HP[T]) Set(k int, data *T) bool {
+	old := m.acq[k].p.Load()
+	if !m.cur.CompareAndSwap(old, data) {
+		return false
+	}
+	m.retired[k] = append(m.retired[k], old)
+	m.nRet.v.Add(1)
+	return true
+}
+
+// Release clears the announcement.  When the caller's retired list has
+// reached 2P entries it scans all announcements and returns the retired
+// versions nobody has announced; at least P of the 2P entries must be
+// unannounced, so the O(P) scan returns Ω(P) versions and the amortized
+// cost is O(1).  Otherwise it returns nothing — in particular, read-only
+// processes always return an empty list.
+func (m *HP[T]) Release(k int) []*T {
+	m.ann[k].p.Store(nil)
+	m.acq[k].p.Store(nil)
+	if len(m.retired[k]) < 2*m.p {
+		return nil
+	}
+	return m.scan(k)
+}
+
+func (m *HP[T]) scan(k int) []*T {
+	announced := make(map[*T]struct{}, m.p)
+	for i := 0; i < m.p; i++ {
+		if v := m.ann[i].p.Load(); v != nil {
+			announced[v] = struct{}{}
+		}
+	}
+	keep := m.retired[k][:0]
+	var free []*T
+	for _, v := range m.retired[k] {
+		if _, ok := announced[v]; ok {
+			keep = append(keep, v)
+		} else {
+			free = append(free, v)
+		}
+	}
+	m.retired[k] = keep
+	m.nRet.v.Add(-int64(len(free)))
+	return free
+}
+
+// Uncollected reports retired-but-unfreed versions plus the current one.
+func (m *HP[T]) Uncollected() int {
+	n := int(m.nRet.v.Load())
+	if m.cur.Load() != nil {
+		n++
+	}
+	return n
+}
+
+// Drain returns every retired version and the current version exactly once.
+func (m *HP[T]) Drain() []*T {
+	var out []*T
+	for k := range m.retired {
+		out = append(out, m.retired[k]...)
+		m.retired[k] = nil
+	}
+	m.nRet.v.Store(0)
+	if c := m.cur.Load(); c != nil {
+		out = append(out, c)
+		m.cur.Store(nil)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package vm
+
+import "sync/atomic"
+
+// Cache-line padded atomics.  The announcement array is written by its
+// owning process on every Acquire/Release and scanned by setters and
+// releasers; without padding, neighbouring slots share cache lines and every
+// announcement invalidates unrelated processes' lines.  The paper's
+// contention bounds (Theorem 3.5) are about logical contention, but padding
+// keeps the physical measurement honest on real hardware.
+
+// word is a cache-line padded atomic uint64.
+type word struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+func (w *word) load() uint64             { return w.v.Load() }
+func (w *word) store(x uint64)           { w.v.Store(x) }
+func (w *word) cas(old, new uint64) bool { return w.v.CompareAndSwap(old, new) }
+
+// ptr is a cache-line padded atomic pointer.
+type ptr[T any] struct {
+	p atomic.Pointer[T]
+	_ [6]uint64
+}
+
+// counter is a cache-line padded statistics counter, written by one process
+// and read by anyone.
+type counter struct {
+	v atomic.Int64
+	_ [7]uint64
+}

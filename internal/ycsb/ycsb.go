@@ -1,0 +1,183 @@
+// Package ycsb generates Yahoo! Cloud Serving Benchmark style workloads
+// (Cooper et al., SoCC 2010) as used in the paper's Figure 7: zipfian
+// skewed key-access patterns over a loaded key space with the standard
+// read/update mixes of workloads A (50/50), B (95/5) and C (100/0).
+//
+// The zipfian generator follows the reference YCSB implementation
+// (Gray et al.'s algorithm with incremental zeta), including the
+// "scrambled zipfian" variant that hashes ranks so that hot keys are
+// spread across the key space instead of clustered at its start.
+package ycsb
+
+import "math"
+
+// SplitMix64 is a tiny, fast, seedable PRNG (Steele et al., OOPSLA 2014);
+// each worker owns one, so op generation is contention-free.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 seeds a generator.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next 64 random bits.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Next()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (s *SplitMix64) Intn(n uint64) uint64 { return s.Next() % n }
+
+// zipfConstant is YCSB's default skew parameter θ.
+const zipfConstant = 0.99
+
+// Zipfian draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^θ.  The zeta normalizer is precomputed once per item count;
+// generators sharing the same n can share it via NewZipfianWithZeta.
+type Zipfian struct {
+	items        uint64
+	theta        float64
+	alpha        float64
+	zetan, zeta2 float64
+	eta          float64
+}
+
+// Zeta computes the zeta(n, θ) normalization sum.  O(n), done once.
+func Zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / pow(float64(i), theta)
+	}
+	return sum
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// NewZipfian builds a zipfian generator over [0, items).
+func NewZipfian(items uint64) *Zipfian {
+	return NewZipfianWithZeta(items, Zeta(items, zipfConstant))
+}
+
+// NewZipfianWithZeta builds a generator with a precomputed zeta(items, θ).
+func NewZipfianWithZeta(items uint64, zetan float64) *Zipfian {
+	z := &Zipfian{
+		items: items,
+		theta: zipfConstant,
+		zetan: zetan,
+		zeta2: Zeta(2, zipfConstant),
+	}
+	z.alpha = 1 / (1 - z.theta)
+	z.eta = (1 - pow(2/float64(items), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// Next draws the next rank using rng.
+func (z *Zipfian) Next(rng *SplitMix64) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.items) * pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScrambledZipfian spreads zipfian ranks over the key space with FNV-1a so
+// the hot set is not contiguous — YCSB's default request distribution.
+type ScrambledZipfian struct {
+	z     *Zipfian
+	items uint64
+}
+
+// NewScrambledZipfian builds the standard YCSB request generator over
+// [0, items).
+func NewScrambledZipfian(items uint64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(items), items: items}
+}
+
+// Next draws the next key index.
+func (s *ScrambledZipfian) Next(rng *SplitMix64) uint64 {
+	return FNV64(s.z.Next(rng)) % s.items
+}
+
+// FNV64 is the FNV-1a hash of a uint64, YCSB's scrambling function.
+func FNV64(v uint64) uint64 {
+	const (
+		offset = 0xCBF29CE484222325
+		prime  = 0x100000001B3
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// OpKind is a workload operation type.
+type OpKind uint8
+
+const (
+	// OpRead is a point lookup.
+	OpRead OpKind = iota
+	// OpUpdate overwrites the value of an existing key.
+	OpUpdate
+)
+
+// Workload is an operation mix over a loaded key space.
+type Workload struct {
+	// Name is the YCSB letter, for reporting.
+	Name string
+	// ReadProp is the fraction of reads; the rest are updates.
+	ReadProp float64
+}
+
+// Standard mixes from the YCSB core workloads, as run in Figure 7.
+var (
+	// WorkloadA is the update-heavy mix: 50% reads, 50% updates.
+	WorkloadA = Workload{Name: "A (50/50)", ReadProp: 0.5}
+	// WorkloadB is the read-mostly mix: 95% reads, 5% updates.
+	WorkloadB = Workload{Name: "B (95/5)", ReadProp: 0.95}
+	// WorkloadC is read-only.
+	WorkloadC = Workload{Name: "C (100/0)", ReadProp: 1.0}
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64
+}
+
+// Generator produces the operation stream for one worker.
+type Generator struct {
+	w    Workload
+	keys *ScrambledZipfian
+	rng  *SplitMix64
+}
+
+// NewGenerator builds a per-worker generator over records keys with an
+// independent seed.
+func NewGenerator(w Workload, records uint64, seed uint64) *Generator {
+	return &Generator{w: w, keys: NewScrambledZipfian(records), rng: NewSplitMix64(seed)}
+}
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	op := Op{Key: g.keys.Next(g.rng)}
+	if g.rng.Float64() >= g.w.ReadProp {
+		op.Kind = OpUpdate
+		op.Val = g.rng.Next()
+	}
+	return op
+}

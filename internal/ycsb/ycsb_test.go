@@ -1,0 +1,134 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewSplitMix64(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewSplitMix64(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+// TestZipfianSkew: with θ=0.99 the most popular rank must dominate and the
+// empirical frequencies must decrease by rank.
+func TestZipfianSkew(t *testing.T) {
+	const n, draws = 1000, 200000
+	z := NewZipfian(n)
+	rng := NewSplitMix64(1)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		r := z.Next(rng)
+		if r >= n {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	if counts[0] < counts[1] || counts[1] < counts[5] || counts[5] < counts[100] {
+		t.Fatalf("zipfian frequencies not decreasing: %d %d %d %d",
+			counts[0], counts[1], counts[5], counts[100])
+	}
+	// Expected mass of rank 0 is 1/zeta(n) ≈ 0.13 for n=1000, θ=0.99.
+	p0 := float64(counts[0]) / draws
+	want := 1 / Zeta(n, 0.99)
+	if math.Abs(p0-want) > 0.02 {
+		t.Fatalf("rank-0 mass %.3f, want ≈ %.3f", p0, want)
+	}
+}
+
+// TestScrambledZipfianSpreads: scrambling must keep the skew (some key is
+// hot) but destroy the rank order (hot keys not clustered at the bottom).
+func TestScrambledZipfianSpreads(t *testing.T) {
+	const n, draws = 10000, 100000
+	s := NewScrambledZipfian(n)
+	rng := NewSplitMix64(3)
+	counts := make(map[uint64]int)
+	for i := 0; i < draws; i++ {
+		k := s.Next(rng)
+		if k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	var hotKey uint64
+	hot := 0
+	for k, c := range counts {
+		if c > hot {
+			hot, hotKey = c, k
+		}
+	}
+	if hot < draws/20 {
+		t.Fatalf("no hot key after scrambling: max %d", hot)
+	}
+	if hotKey < 100 {
+		t.Fatalf("hot key %d suspiciously small; scrambling broken?", hotKey)
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	cases := []struct {
+		w    Workload
+		want float64
+	}{{WorkloadA, 0.5}, {WorkloadB, 0.95}, {WorkloadC, 1.0}}
+	for _, c := range cases {
+		g := NewGenerator(c.w, 1000, 9)
+		reads := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if g.Next().Kind == OpRead {
+				reads++
+			}
+		}
+		got := float64(reads) / n
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("%s: read fraction %.3f, want %.2f", c.w.Name, got, c.want)
+		}
+	}
+}
+
+func TestFNV64Distributes(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 10000; i++ {
+		h := FNV64(i)
+		if seen[h] {
+			t.Fatalf("FNV collision at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestZetaIncremental(t *testing.T) {
+	// zeta is increasing and concave-ish in n.
+	z10 := Zeta(10, 0.99)
+	z100 := Zeta(100, 0.99)
+	if z100 <= z10 {
+		t.Fatal("zeta not increasing")
+	}
+	if Zeta(2, 0.99) <= 1 {
+		t.Fatal("zeta(2) must exceed 1")
+	}
+}
