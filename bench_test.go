@@ -99,6 +99,61 @@ func BenchmarkFigure7(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure7ShardScaling sweeps the shard count S for the sharded
+// structure on the update-heavy workload A: every shard adds an independent
+// combining writer, so update throughput should grow with S until the
+// machine runs out of cores (S=1 approximates the unsharded "ours").
+func BenchmarkFigure7ShardScaling(b *testing.B) {
+	cfg := experiments.DefaultFigure7()
+	cfg.Records = 200_000
+	cfg.Threads = benchProcs
+	cfg.Duration = 200 * time.Millisecond
+	cfg.MaxLatency = 2 * time.Millisecond
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := cfg
+			cfg.Shards = shards
+			var mops float64
+			for i := 0; i < b.N; i++ {
+				mops += experiments.RunFigure7Cell(cfg, "ours-sharded", ycsb.WorkloadA)
+			}
+			b.ReportMetric(mops/float64(b.N), "Mops/s")
+		})
+	}
+}
+
+// BenchmarkDBPointOps measures the pid-free front door: every point op
+// leases a handle from the shard's pool, so this quantifies the leasing
+// overhead against the long-lived-handle path used by the experiments.
+func BenchmarkDBPointOps(b *testing.B) {
+	initial := make([]Entry[uint64, uint64], 100_000)
+	for i := range initial {
+		initial[i] = Entry[uint64, uint64]{Key: uint64(i), Val: uint64(i)}
+	}
+	for _, shards := range []int{1, 8} {
+		db, err := OpenPlainDB[uint64, uint64](DBOptions[uint64]{Shards: shards, Procs: benchProcs}, initial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("get/shards=%d", shards), func(b *testing.B) {
+			rng := ycsb.NewSplitMix64(8)
+			for i := 0; i < b.N; i++ {
+				db.Get(rng.Next() % 100_000)
+			}
+		})
+		b.Run(fmt.Sprintf("insert/shards=%d", shards), func(b *testing.B) {
+			rng := ycsb.NewSplitMix64(9)
+			for i := 0; i < b.N; i++ {
+				db.Insert(rng.Next()%100_000, uint64(i))
+			}
+		})
+		db.Close()
+		if live := db.Live(); live != 0 {
+			b.Fatalf("leaked %d nodes", live)
+		}
+	}
+}
+
 // BenchmarkTable3 regenerates one inverted-index co-running row: Tu, Tq
 // and Tu+q, whose near-equality of Tu+Tq and Tu+q is the paper's claim.
 func BenchmarkTable3(b *testing.B) {
@@ -258,7 +313,7 @@ func BenchmarkAblationBatch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			bt := batch.New(m, batch.Config{WriterPid: 0, Clients: 1, BufCap: 1 << 10, MaxLatency: lat}, nil)
+			bt := batch.New(m, batch.Config{Clients: 1, BufCap: 1 << 10, MaxLatency: lat}, nil)
 			bt.Start()
 			rng := ycsb.NewSplitMix64(4)
 			b.ResetTimer()

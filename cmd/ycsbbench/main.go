@@ -1,21 +1,26 @@
 // Command ycsbbench regenerates Figure 7: YCSB workloads A (50/50 read/
 // update), B (95/5) and C (read-only) over the batched functional tree
-// ("ours") and the concurrent baselines (skip list, non-blocking external
-// BST, B+tree, striped hash map).
+// ("ours"), its hash-sharded scale-out ("ours-sharded", S independent map
+// instances each with its own combining writer) and the concurrent
+// baselines (skip list, non-blocking external BST, B+tree, striped hash
+// map).
 //
 // Usage:
 //
 //	ycsbbench                         # all structures, workloads A/B/C
 //	ycsbbench -records 50000000       # the paper's key-space size
-//	ycsbbench -structures ours,bptree -dur 10s
+//	ycsbbench -structures ours,ours-sharded -shards 8 -dur 10s
+//	ycsbbench -json BENCH_ycsb.json   # machine-readable results
 package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"mvgc/internal/bench"
 	"mvgc/internal/experiments"
 )
 
@@ -23,14 +28,17 @@ func main() {
 	var (
 		records    = flag.Uint64("records", 1_000_000, "loaded key count (paper: 5e7)")
 		threads    = flag.Int("threads", 0, "client threads (default GOMAXPROCS)")
+		shards     = flag.Int("shards", 8, "shard count for ours-sharded")
 		dur        = flag.Duration("dur", 3*time.Second, "measured duration per cell")
 		latency    = flag.Duration("latency", 50*time.Millisecond, "batched update latency bound (paper: 50ms)")
-		structures = flag.String("structures", "", "comma-separated structures (default ours,skiplist,lfbst,bptree,hashmap)")
+		structures = flag.String("structures", "", "comma-separated structures (default ours,ours-sharded,skiplist,lfbst,bptree,hashmap)")
+		jsonPath   = flag.String("json", "", "also write machine-readable results (BENCH_ycsb.json schema) to this path")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultFigure7()
 	cfg.Records = *records
+	cfg.Shards = *shards
 	cfg.Duration = *dur
 	cfg.MaxLatency = *latency
 	if *threads > 0 {
@@ -39,5 +47,29 @@ func main() {
 	if *structures != "" {
 		cfg.Structures = strings.Split(*structures, ",")
 	}
-	experiments.RunFigure7(cfg, os.Stdout)
+	results := experiments.RunFigure7(cfg, os.Stdout)
+
+	if *jsonPath != "" {
+		report := bench.YCSBReport{
+			Threads:     cfg.Threads,
+			Shards:      cfg.Shards,
+			Records:     cfg.Records,
+			DurationSec: cfg.Duration.Seconds(),
+			Results:     results,
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ycsbbench:", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ycsbbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ycsbbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
 }

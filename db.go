@@ -1,0 +1,179 @@
+package mvgc
+
+import (
+	"errors"
+	"runtime"
+
+	"mvgc/internal/ftree"
+	"mvgc/internal/shard"
+	"mvgc/internal/ycsb"
+)
+
+var errNilAugmenter = errors.New("mvgc: OpenDB requires an augmenter; use OpenPlainDB for unaugmented maps")
+
+// DB is the goroutine-safe front door to a sharded multiversion map: no
+// pid appears anywhere in its API.  Keys are hash-partitioned across S
+// independent shards, each a full paper-faithful core.Map with its own
+// Version Maintenance instance, O(P) delay bound and precise per-shard
+// garbage collection.  Point operations keep the paper's guarantees in
+// full; cross-shard reads (View, Len, ForEach, Range) are per-shard
+// consistent — see the internal/shard package comment for the exact
+// semantics.
+//
+//	db, _ := mvgc.OpenPlainDB[uint64, uint64](mvgc.DBOptions[uint64]{}, nil)
+//	db.Update(func(t *mvgc.DBTxn[uint64, uint64, struct{}]) { t.Insert(1, 100) })
+//	db.View(func(s mvgc.DBSnapshot[uint64, uint64, struct{}]) { s.Get(1) })
+//	db.Close()
+type DB[K, V, A any] struct {
+	*shard.Map[K, V, A]
+}
+
+// DBSnapshot is the fan-out read view passed to DB.View: one pinned
+// immutable version per shard.
+type DBSnapshot[K, V, A any] = shard.Snap[K, V, A]
+
+// DBTxn is the buffered write transaction passed to DB.Update.
+type DBTxn[K, V, A any] = shard.Txn[K, V, A]
+
+// DBOptions configures OpenDB.  The zero value is usable for integer keys:
+// it selects PSWF, GOMAXPROCS shards, GOMAXPROCS+1 processes per shard and
+// a built-in hash.
+type DBOptions[K any] struct {
+	// Shards is the number of independent map instances S (default
+	// GOMAXPROCS, floor 1).
+	Shards int
+	// Procs is the per-shard admission limit P: at most P concurrent
+	// transactions per shard (default GOMAXPROCS+1, leaving room for one
+	// combining writer next to GOMAXPROCS readers).
+	Procs int
+	// Algorithm is the Version Maintenance algorithm (default pswf).
+	Algorithm string
+	// Hash maps keys to shards.  When nil, OpenDB falls back to a mixed
+	// hash for integer and string keys and errors on other kinds.
+	Hash func(K) uint64
+	// Cmp is the key ordering (required unless Ops is set).
+	Cmp func(a, b K) int
+	// Grain is the parallel divide-and-conquer cutoff for batch commits
+	// (0 = sequential).
+	Grain int
+}
+
+// OpenDB opens a sharded map with the given augmenter and initial
+// contents; use OpenPlainDB for the common unaugmented case.
+func OpenDB[K, V, A any](o DBOptions[K], aug Augmenter[K, V, A], initial []Entry[K, V]) (*DB[K, V, A], error) {
+	if aug == nil {
+		return nil, errNilAugmenter
+	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards < 1 {
+			o.Shards = 1
+		}
+	}
+	if o.Procs <= 0 {
+		o.Procs = runtime.GOMAXPROCS(0) + 1
+	}
+	if o.Hash == nil {
+		h, ok := autoHash[K]()
+		if !ok {
+			return nil, errors.New("mvgc: DBOptions.Hash is required for this key type")
+		}
+		o.Hash = h
+	}
+	if o.Cmp == nil {
+		c, ok := autoCmp[K]()
+		if !ok {
+			return nil, errors.New("mvgc: DBOptions.Cmp is required for this key type")
+		}
+		o.Cmp = c
+	}
+	cmp, grain := o.Cmp, o.Grain
+	s, err := shard.New(
+		shard.Config[K]{Shards: o.Shards, Procs: o.Procs, Algorithm: o.Algorithm, Hash: o.Hash},
+		func() *Ops[K, V, A] { return ftree.New(cmp, aug, grain) },
+		initial,
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &DB[K, V, A]{Map: s}, nil
+}
+
+// OpenPlainDB opens an unaugmented sharded map — the common key-value
+// store case.
+func OpenPlainDB[K, V any](o DBOptions[K], initial []Entry[K, V]) (*DB[K, V, struct{}], error) {
+	return OpenDB[K, V, struct{}](o, ftree.NoAug[K, V](), initial)
+}
+
+// autoHash returns a default shard hash for integer and string key types;
+// ok is false for other kinds, where DBOptions.Hash is required.
+func autoHash[K any]() (func(K) uint64, bool) {
+	var zero K
+	switch any(zero).(type) {
+	case int:
+		return func(k K) uint64 { return Mix64(uint64(any(k).(int))) }, true
+	case int32:
+		return func(k K) uint64 { return Mix64(uint64(any(k).(int32))) }, true
+	case int64:
+		return func(k K) uint64 { return Mix64(uint64(any(k).(int64))) }, true
+	case uint:
+		return func(k K) uint64 { return Mix64(uint64(any(k).(uint))) }, true
+	case uint32:
+		return func(k K) uint64 { return Mix64(uint64(any(k).(uint32))) }, true
+	case uint64:
+		return func(k K) uint64 { return Mix64(any(k).(uint64)) }, true
+	case string:
+		return func(k K) uint64 { return HashString(any(k).(string)) }, true
+	}
+	return nil, false
+}
+
+// autoCmp returns a default ordering for integer and string key types; ok
+// is false for other kinds, where DBOptions.Cmp is required.
+func autoCmp[K any]() (func(a, b K) int, bool) {
+	var zero K
+	switch any(zero).(type) {
+	case int:
+		return func(a, b K) int { return IntCmp(any(a).(int), any(b).(int)) }, true
+	case int32:
+		return func(a, b K) int { return IntCmp(any(a).(int32), any(b).(int32)) }, true
+	case int64:
+		return func(a, b K) int { return IntCmp(any(a).(int64), any(b).(int64)) }, true
+	case uint:
+		return func(a, b K) int { return IntCmp(any(a).(uint), any(b).(uint)) }, true
+	case uint32:
+		return func(a, b K) int { return IntCmp(any(a).(uint32), any(b).(uint32)) }, true
+	case uint64:
+		return func(a, b K) int { return IntCmp(any(a).(uint64), any(b).(uint64)) }, true
+	case string:
+		return func(a, b K) int {
+			sa, sb := any(a).(string), any(b).(string)
+			switch {
+			case sa < sb:
+				return -1
+			case sa > sb:
+				return 1
+			}
+			return 0
+		}, true
+	}
+	return nil, false
+}
+
+// Mix64 is SplitMix64's finalizer: a fast, well-distributed integer hash
+// suitable for shard routing (sequential keys spread uniformly).
+func Mix64(x uint64) uint64 { return ycsb.Mix64(x) }
+
+// HashString is FNV-1a, the default shard hash for string keys.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

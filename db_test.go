@@ -1,0 +1,121 @@
+package mvgc_test
+
+import (
+	"sync"
+	"testing"
+
+	"mvgc"
+)
+
+// TestDBNoPidAnywhere is the acceptance property of the DB front door: an
+// arbitrary number of goroutines run transactions with no pid in sight,
+// and per-shard precise GC still reports zero leaks at Close.
+func TestDBNoPidAnywhere(t *testing.T) {
+	db, err := mvgc.OpenPlainDB[uint64, uint64](mvgc.DBOptions[uint64]{Shards: 4, Procs: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, iters = 16, 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := uint64(g*iters + i)
+				db.Update(func(tx *mvgc.DBTxn[uint64, uint64, struct{}]) {
+					tx.Insert(k, k*2)
+				})
+				db.View(func(s mvgc.DBSnapshot[uint64, uint64, struct{}]) {
+					if v, ok := s.Get(k); !ok || v != k*2 {
+						t.Errorf("Get(%d) = %d,%v", k, v, ok)
+					}
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := db.Len(); n != goroutines*iters {
+		t.Fatalf("Len = %d, want %d", n, goroutines*iters)
+	}
+	db.Close()
+	if live := db.Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}
+
+// TestDBAugmented: cross-shard AugRange combines per-shard range sums.
+func TestDBAugmented(t *testing.T) {
+	var initial []mvgc.Entry[int64, int64]
+	for i := int64(1); i <= 100; i++ {
+		initial = append(initial, mvgc.Entry[int64, int64]{Key: i, Val: i})
+	}
+	db, err := mvgc.OpenDB[int64, int64, int64](mvgc.DBOptions[int64]{Shards: 3, Procs: 2}, mvgc.SumAug[int64](), initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.View(func(s mvgc.DBSnapshot[int64, int64, int64]) {
+		if sum := s.AugRange(1, 100); sum != 5050 {
+			t.Fatalf("AugRange(1,100) = %d, want 5050", sum)
+		}
+		if sum := s.AugRange(10, 20); sum != 165 {
+			t.Fatalf("AugRange(10,20) = %d, want 165", sum)
+		}
+		es := s.Range(95, 200)
+		if len(es) != 6 {
+			t.Fatalf("Range(95,200) = %d entries", len(es))
+		}
+		for i, e := range es {
+			if e.Key != int64(95+i) {
+				t.Fatalf("Range unordered: %v", es)
+			}
+		}
+	})
+	db.Close()
+	if live := db.Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}
+
+// TestDBStringKeys exercises the built-in string hash and ordering.
+func TestDBStringKeys(t *testing.T) {
+	db, err := mvgc.OpenPlainDB[string, int](mvgc.DBOptions[string]{Shards: 2, Procs: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"pear", "apple", "mango", "fig", "banana"}
+	for i, w := range words {
+		db.Insert(w, i)
+	}
+	var got []string
+	db.View(func(s mvgc.DBSnapshot[string, int, struct{}]) {
+		s.ForEach(func(k string, _ int) { got = append(got, k) })
+	})
+	want := []string{"apple", "banana", "fig", "mango", "pear"}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("global order broken: %v", got)
+		}
+	}
+	db.Close()
+	if live := db.Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}
+
+// TestOpenDBValidation: option errors surface instead of panicking later.
+func TestOpenDBValidation(t *testing.T) {
+	if _, err := mvgc.OpenDB[int64, int64, int64](mvgc.DBOptions[int64]{}, nil, nil); err == nil {
+		t.Fatal("nil augmenter accepted")
+	}
+	if _, err := mvgc.OpenPlainDB[int64, int64](mvgc.DBOptions[int64]{Algorithm: "bogus"}, nil); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+	// Key types without a built-in hash/ordering must error, not panic.
+	if _, err := mvgc.OpenPlainDB[[2]int, int](mvgc.DBOptions[[2]int]{}, nil); err == nil {
+		t.Fatal("unsupported key type accepted without Hash/Cmp")
+	}
+}

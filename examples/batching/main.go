@@ -31,8 +31,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	b := batch.New(m, batch.Config{
-		WriterPid:  0,
+	b := batch.New(m, batch.Config{ // the combiner leases its own identity
 		Clients:    clients,
 		BufCap:     4096,
 		MaxLatency: 2 * time.Millisecond, // latency bound per request
@@ -61,7 +60,9 @@ func main() {
 	b.Stop()
 
 	var size int64
-	m.Read(1, func(s core.Snapshot[uint64, uint64, struct{}]) { size = s.Len() })
+	m.With(func(h *core.Handle[uint64, uint64, struct{}]) {
+		h.Read(func(s core.Snapshot[uint64, uint64, struct{}]) { size = s.Len() })
+	})
 	fmt.Printf("%d clients submitted %d updates in %v (%.2f Mop/s)\n",
 		clients, clients*perClient, elapsed.Round(time.Millisecond),
 		float64(clients*perClient)/elapsed.Seconds()/1e6)

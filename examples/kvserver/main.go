@@ -1,58 +1,60 @@
-// KV server: a line-protocol TCP key-value store where every connection's
-// reads run as delay-free snapshot transactions and writes flow through
-// the Appendix-F combining writer.  A PidPool multiplexes arbitrarily many
-// connections over P transaction processes and doubles as admission
-// control.
+// KV server: a line-protocol TCP key-value store built on mvgc.DB, the
+// sharded, goroutine-safe front door.  Every connection is its own
+// goroutine and never sees a process id: reads run as delay-free snapshot
+// transactions on the key's shard, and writes flow through that shard's
+// Appendix-F combining writer, so S shards give S concurrent combiners.
+// Each shard's pid pool doubles as admission control.
 //
 // Protocol (one command per line):
 //
 //	SET <key> <value>      → OK
 //	GET <key>              → <value> | NOT_FOUND
-//	SUM <lo> <hi>          → <sum of values in [lo,hi]>   (O(log n))
+//	SUM <lo> <hi>          → <sum of values in [lo,hi]>   (O(S log n))
 //	LEN                    → <number of keys>
 //
 // Run with:
 //
-//	go run ./examples/kvserver        # serves one demo session in-process
+//	go run ./examples/kvserver -shards 4   # serves one demo session in-process
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"net"
 	"strconv"
 	"strings"
 	"time"
 
+	"mvgc"
 	"mvgc/internal/batch"
 	"mvgc/internal/core"
-	"mvgc/internal/ftree"
 )
 
+// writeSlots bounds concurrent SETs: each batch client buffer is a
+// single-producer ring, so a connection leases an exclusive slot per SET.
+const writeSlots = 16
+
 type server struct {
-	m    *core.Map[int64, int64, int64]
-	b    *batch.Batcher[int64, int64, int64]
-	pool *core.PidPool
+	db    *mvgc.DB[int64, int64, int64]
+	slots *core.PidPool // leases batch client ids 0..writeSlots-1
 }
 
-const readerProcs = 8
-
-func newServer() *server {
-	ops := ftree.New[int64, int64, int64](ftree.IntCmp[int64], ftree.SumAug[int64](), 1024)
-	// Processes 0..readerProcs-1 serve reads; process readerProcs is the
-	// combining writer.
-	m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: readerProcs + 1}, ops, nil)
+func newServer(shards int) *server {
+	db, err := mvgc.OpenDB[int64, int64, int64](mvgc.DBOptions[int64]{
+		Shards: shards,
+		Grain:  1024,
+	}, mvgc.SumAug[int64](), nil)
 	if err != nil {
 		panic(err)
 	}
-	b := batch.New(m, batch.Config{
-		WriterPid:  readerProcs,
-		Clients:    1, // all connections funnel through one buffer here
+	// One combining writer per shard; writeSlots client buffers per shard.
+	db.StartBatching(batch.Config{
+		Clients:    writeSlots,
 		BufCap:     8192,
 		MaxLatency: time.Millisecond,
 	}, nil)
-	b.Start()
-	return &server{m: m, b: b, pool: core.NewPidPool(0, readerProcs)}
+	return &server{db: db, slots: core.NewPidPool(0, writeSlots)}
 }
 
 func (s *server) handle(conn net.Conn) {
@@ -81,7 +83,9 @@ func (s *server) exec(line string) string {
 		if err1 != nil || err2 != nil {
 			return "ERR bad integer"
 		}
-		s.b.SubmitWait(0, batch.Request[int64, int64]{Op: batch.OpInsert, Key: k, Val: v})
+		s.slots.Do(func(client int) {
+			s.db.SubmitWait(client, batch.Request[int64, int64]{Op: batch.OpInsert, Key: k, Val: v})
+		})
 		return "OK"
 	case "GET":
 		if len(fields) != 2 {
@@ -91,17 +95,10 @@ func (s *server) exec(line string) string {
 		if err != nil {
 			return "ERR bad integer"
 		}
-		var out string
-		s.pool.Do(func(pid int) {
-			s.m.Read(pid, func(sn core.Snapshot[int64, int64, int64]) {
-				if v, ok := sn.Get(k); ok {
-					out = strconv.FormatInt(v, 10)
-				} else {
-					out = "NOT_FOUND"
-				}
-			})
-		})
-		return out
+		if v, ok := s.db.Get(k); ok {
+			return strconv.FormatInt(v, 10)
+		}
+		return "NOT_FOUND"
 	case "SUM":
 		if len(fields) != 3 {
 			return "ERR usage: SUM <lo> <hi>"
@@ -112,18 +109,14 @@ func (s *server) exec(line string) string {
 			return "ERR bad integer"
 		}
 		var out string
-		s.pool.Do(func(pid int) {
-			s.m.Read(pid, func(sn core.Snapshot[int64, int64, int64]) {
-				out = strconv.FormatInt(sn.AugRange(lo, hi), 10)
-			})
+		s.db.View(func(sn mvgc.DBSnapshot[int64, int64, int64]) {
+			out = strconv.FormatInt(sn.AugRange(lo, hi), 10)
 		})
 		return out
 	case "LEN":
 		var out string
-		s.pool.Do(func(pid int) {
-			s.m.Read(pid, func(sn core.Snapshot[int64, int64, int64]) {
-				out = strconv.FormatInt(sn.Len(), 10)
-			})
+		s.db.View(func(sn mvgc.DBSnapshot[int64, int64, int64]) {
+			out = strconv.FormatInt(sn.Len(), 10)
 		})
 		return out
 	}
@@ -131,12 +124,15 @@ func (s *server) exec(line string) string {
 }
 
 func main() {
-	s := newServer()
+	shards := flag.Int("shards", 4, "number of independent map shards")
+	flag.Parse()
+
+	s := newServer(*shards)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("kvserver listening on", ln.Addr())
+	fmt.Printf("kvserver listening on %v (%d shards)\n", ln.Addr(), *shards)
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -168,7 +164,6 @@ func main() {
 	conn.Close()
 	ln.Close()
 
-	s.b.Stop()
-	s.m.Close()
-	fmt.Println("leaked nodes:", s.m.Ops().Live())
+	s.db.Close()
+	fmt.Println("leaked nodes:", s.db.Live())
 }

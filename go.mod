@@ -1,0 +1,3 @@
+module mvgc
+
+go 1.24

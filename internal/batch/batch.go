@@ -51,15 +51,16 @@ type ring[K, V any] struct {
 }
 
 // Batcher owns the single combining writer for a Map.  Clients call Submit
-// (or SubmitWait) from their own process; the combiner goroutine commits
-// batches until Stop.
+// (or SubmitWait) from their own goroutine; the combiner goroutine commits
+// batches until Stop.  The combiner's process identity is a Handle leased
+// from the map's pool, so callers never assign it a pid.
 type Batcher[K, V, A any] struct {
-	m         *core.Map[K, V, A]
-	rings     []*ring[K, V]
-	comb      func(old, new V) V
-	writerPid int
-	interval  time.Duration
-	maxBatch  int
+	m        *core.Map[K, V, A]
+	w        *core.Handle[K, V, A]
+	rings    []*ring[K, V]
+	comb     func(old, new V) V
+	interval time.Duration
+	maxBatch int
 
 	stop    chan struct{}
 	done    chan struct{}
@@ -70,8 +71,6 @@ type Batcher[K, V, A any] struct {
 
 // Config tunes a Batcher.
 type Config struct {
-	// WriterPid is the process id the combiner uses for its transactions.
-	WriterPid int
 	// Clients is the number of client buffers (their ids are 0..Clients-1,
 	// independent of map process ids since clients never touch the VM).
 	Clients int
@@ -86,9 +85,11 @@ type Config struct {
 	MaxBatch int
 }
 
-// New creates a Batcher for m.  comb defines how an inserted value merges
+// New creates a Batcher for m and leases the combiner's process identity
+// from m's pool (blocking if all P are in use, so size Procs for your
+// readers plus one writer).  comb defines how an inserted value merges
 // with an existing one (nil overwrites).  Start must be called before any
-// Submit.
+// Submit; Stop returns the identity to the pool.
 func New[K, V, A any](m *core.Map[K, V, A], cfg Config, comb func(old, new V) V) *Batcher[K, V, A] {
 	capacity := cfg.BufCap
 	if capacity <= 0 {
@@ -96,13 +97,13 @@ func New[K, V, A any](m *core.Map[K, V, A], cfg Config, comb func(old, new V) V)
 	}
 	capacity = nextPow2(capacity)
 	b := &Batcher[K, V, A]{
-		m:         m,
-		comb:      comb,
-		writerPid: cfg.WriterPid,
-		interval:  cfg.MaxLatency,
-		maxBatch:  cfg.MaxBatch,
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		m:        m,
+		w:        m.Handle(),
+		comb:     comb,
+		interval: cfg.MaxLatency,
+		maxBatch: cfg.MaxBatch,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	if b.interval <= 0 {
 		b.interval = 2 * time.Millisecond
@@ -125,11 +126,12 @@ func nextPow2(n int) int {
 // Start launches the combiner goroutine.
 func (b *Batcher[K, V, A]) Start() { go b.run() }
 
-// Stop drains every buffer, commits the final batch, and shuts the
-// combiner down.
+// Stop drains every buffer, commits the final batch, shuts the combiner
+// down, and returns its process identity to the map's pool.
 func (b *Batcher[K, V, A]) Stop() {
 	close(b.stop)
 	<-b.done
+	b.w.Close()
 }
 
 // Batches reports how many write transactions the combiner committed.
@@ -217,7 +219,7 @@ func (b *Batcher[K, V, A]) run() {
 			}
 		}
 		if total > 0 {
-			b.m.Update(b.writerPid, func(tx *core.Txn[K, V, A]) {
+			b.w.Update(func(tx *core.Txn[K, V, A]) {
 				if len(inserts) > 0 {
 					tx.InsertBatch(inserts, b.comb)
 				}
@@ -261,7 +263,7 @@ func (b *Batcher[K, V, A]) finalDrain() {
 		q.head.Store(t)
 	}
 	if len(inserts)+len(deletes) > 0 {
-		b.m.Update(b.writerPid, func(tx *core.Txn[K, V, A]) {
+		b.w.Update(func(tx *core.Txn[K, V, A]) {
 			if len(inserts) > 0 {
 				tx.InsertBatch(inserts, b.comb)
 			}

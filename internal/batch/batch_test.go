@@ -10,6 +10,12 @@ import (
 	"mvgc/internal/ftree"
 )
 
+// read runs a read transaction on a leased handle: the combiner holds one
+// pid, so tests never hard-code a reader pid next to it.
+func read(m *core.Map[int64, int64, int64], f func(s core.Snapshot[int64, int64, int64])) {
+	m.With(func(h *core.Handle[int64, int64, int64]) { h.Read(f) })
+}
+
 func newIntMap(t testing.TB, procs int) *core.Map[int64, int64, int64] {
 	t.Helper()
 	ops := ftree.New[int64, int64, int64](ftree.IntCmp[int64], ftree.SumAug[int64](), 256)
@@ -22,13 +28,13 @@ func newIntMap(t testing.TB, procs int) *core.Map[int64, int64, int64] {
 
 func TestSubmitFlush(t *testing.T) {
 	m := newIntMap(t, 2)
-	b := New(m, Config{WriterPid: 0, Clients: 1, MaxLatency: time.Millisecond}, nil)
+	b := New(m, Config{Clients: 1, MaxLatency: time.Millisecond}, nil)
 	b.Start()
 	for i := int64(0); i < 100; i++ {
 		b.Submit(0, Request[int64, int64]{Op: OpInsert, Key: i, Val: i * 3})
 	}
 	b.Flush(0)
-	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+	read(m, func(s core.Snapshot[int64, int64, int64]) {
 		if s.Len() != 100 {
 			t.Fatalf("Len = %d", s.Len())
 		}
@@ -45,11 +51,11 @@ func TestSubmitFlush(t *testing.T) {
 
 func TestSubmitWaitDurability(t *testing.T) {
 	m := newIntMap(t, 2)
-	b := New(m, Config{WriterPid: 0, Clients: 1, MaxLatency: time.Millisecond}, nil)
+	b := New(m, Config{Clients: 1, MaxLatency: time.Millisecond}, nil)
 	b.Start()
 	b.SubmitWait(0, Request[int64, int64]{Op: OpInsert, Key: 7, Val: 70})
 	// After SubmitWait returns the write must be visible with no Flush.
-	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+	read(m, func(s core.Snapshot[int64, int64, int64]) {
 		if v, ok := s.Get(7); !ok || v != 70 {
 			t.Fatalf("Get(7) = %d,%v after SubmitWait", v, ok)
 		}
@@ -61,7 +67,7 @@ func TestSubmitWaitDurability(t *testing.T) {
 func TestDeletesAndCombine(t *testing.T) {
 	m := newIntMap(t, 2)
 	comb := func(old, new int64) int64 { return old + new }
-	b := New(m, Config{WriterPid: 0, Clients: 1, MaxLatency: time.Millisecond}, comb)
+	b := New(m, Config{Clients: 1, MaxLatency: time.Millisecond}, comb)
 	b.Start()
 	for i := 0; i < 5; i++ {
 		b.Submit(0, Request[int64, int64]{Op: OpInsert, Key: 1, Val: 10})
@@ -69,7 +75,7 @@ func TestDeletesAndCombine(t *testing.T) {
 	b.Submit(0, Request[int64, int64]{Op: OpInsert, Key: 2, Val: 1})
 	b.Submit(0, Request[int64, int64]{Op: OpDelete, Key: 2})
 	b.Flush(0)
-	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+	read(m, func(s core.Snapshot[int64, int64, int64]) {
 		if v, _ := s.Get(1); v != 50 {
 			t.Fatalf("combined value = %d, want 50", v)
 		}
@@ -87,7 +93,7 @@ func TestDeletesAndCombine(t *testing.T) {
 func TestManyClientsNoLostUpdates(t *testing.T) {
 	const clients, perClient = 8, 3000
 	m := newIntMap(t, 2)
-	b := New(m, Config{WriterPid: 0, Clients: clients, BufCap: 512, MaxLatency: time.Millisecond}, nil)
+	b := New(m, Config{Clients: clients, BufCap: 512, MaxLatency: time.Millisecond}, nil)
 	b.Start()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -113,7 +119,7 @@ func TestManyClientsNoLostUpdates(t *testing.T) {
 				return
 			default:
 			}
-			m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+			read(m, func(s core.Snapshot[int64, int64, int64]) {
 				n := s.Len()
 				sum := s.AugRange(0, clients*perClient)
 				_ = n
@@ -124,7 +130,7 @@ func TestManyClientsNoLostUpdates(t *testing.T) {
 	wg.Wait()
 	close(stop)
 	rwg.Wait()
-	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+	read(m, func(s core.Snapshot[int64, int64, int64]) {
 		if s.Len() != clients*perClient {
 			t.Fatalf("Len = %d, want %d", s.Len(), clients*perClient)
 		}
@@ -146,14 +152,14 @@ func TestManyClientsNoLostUpdates(t *testing.T) {
 // final drain even if the combiner never woke for them.
 func TestStopDrains(t *testing.T) {
 	m := newIntMap(t, 2)
-	b := New(m, Config{WriterPid: 0, Clients: 1, MaxLatency: time.Hour}, nil) // never wakes on its own
+	b := New(m, Config{Clients: 1, MaxLatency: time.Hour}, nil) // never wakes on its own
 	b.Start()
 	time.Sleep(5 * time.Millisecond) // let the combiner park in its timer
 	for i := int64(0); i < 10; i++ {
 		b.Submit(0, Request[int64, int64]{Op: OpInsert, Key: i, Val: i})
 	}
 	b.Stop()
-	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+	read(m, func(s core.Snapshot[int64, int64, int64]) {
 		if s.Len() != 10 {
 			t.Fatalf("Len = %d after Stop drain", s.Len())
 		}
@@ -165,7 +171,7 @@ func TestStopDrains(t *testing.T) {
 // combiner catches up, without losing or reordering a client's updates.
 func TestBackpressure(t *testing.T) {
 	m := newIntMap(t, 2)
-	b := New(m, Config{WriterPid: 0, Clients: 1, BufCap: 4, MaxLatency: 100 * time.Microsecond}, nil)
+	b := New(m, Config{Clients: 1, BufCap: 4, MaxLatency: 100 * time.Microsecond}, nil)
 	b.Start()
 	rng := rand.New(rand.NewSource(1))
 	last := map[int64]int64{}
@@ -176,7 +182,7 @@ func TestBackpressure(t *testing.T) {
 		last[k] = v
 	}
 	b.Flush(0)
-	m.Read(1, func(s core.Snapshot[int64, int64, int64]) {
+	read(m, func(s core.Snapshot[int64, int64, int64]) {
 		for k, v := range last {
 			if got, _ := s.Get(k); got != v {
 				t.Fatalf("key %d = %d, want %d (reordered within client)", k, got, v)
@@ -191,7 +197,7 @@ func TestBackpressure(t *testing.T) {
 // requests per transaction.
 func TestMaxBatchRespected(t *testing.T) {
 	m := newIntMap(t, 2)
-	b := New(m, Config{WriterPid: 0, Clients: 2, MaxLatency: time.Millisecond, MaxBatch: 64}, nil)
+	b := New(m, Config{Clients: 2, MaxLatency: time.Millisecond, MaxBatch: 64}, nil)
 	b.Start()
 	for i := int64(0); i < 1000; i++ {
 		b.Submit(int(i%2), Request[int64, int64]{Op: OpInsert, Key: i, Val: i})

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// YCSBSchema identifies the machine-readable result format emitted by
+// cmd/ycsbbench -json; bump the version when fields change meaning.
+const YCSBSchema = "BENCH_ycsb/v1"
+
+// YCSBRecord is one (structure, workload) measurement.
+type YCSBRecord struct {
+	Structure string  `json:"structure"`
+	Workload  string  `json:"workload"`
+	Mops      float64 `json:"mops"`
+}
+
+// YCSBReport is the BENCH_ycsb.json document: run configuration plus every
+// measured cell, so successive PRs can track the throughput trajectory.
+type YCSBReport struct {
+	Schema      string       `json:"schema"`
+	Threads     int          `json:"threads"`
+	Shards      int          `json:"shards,omitempty"`
+	Records     uint64       `json:"records"`
+	DurationSec float64      `json:"duration_sec"`
+	Results     []YCSBRecord `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *YCSBReport) WriteJSON(w io.Writer) error {
+	r.Schema = YCSBSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

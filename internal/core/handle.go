@@ -1,0 +1,143 @@
+package core
+
+import "sync"
+
+// This file is the goroutine-facing face of the map: the Version
+// Maintenance contract wants a fixed set of P processes, each calling
+// Acquire/Set/Release with its own pid and never concurrently, while Go
+// servers want to run a transaction from whichever goroutine happens to
+// hold the request.  A Handle bridges the two worlds: it owns a leased pid
+// and forwards transactions to it, so user code never sees a pid at all.
+//
+// A Map may be driven either through handles (leased from the map's
+// internal pool) or through the raw pid-indexed methods (the seed's
+// contract, where the caller statically assigns pids 0..P-1).  The two
+// styles must not be mixed on one Map: the pool hands out the full pid
+// space, so a raw pid may collide with a leased one.  Code that needs a
+// long-lived dedicated pid (a combining writer, a benchmark worker) should
+// hold a Handle for its lifetime instead of hard-coding a pid.
+
+// PidPool leases process identifiers to short-lived workers.  The Version
+// Maintenance contract requires that a given process id is never used
+// concurrently; long-lived workers can simply own an id, but servers that
+// spawn a goroutine per request need to multiplex many goroutines over P
+// ids.  Acquire blocks while all ids are leased, which doubles as
+// admission control: at most P transactions run at once.
+type PidPool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	free []int
+}
+
+// NewPidPool returns a pool over ids lo..hi-1.
+func NewPidPool(lo, hi int) *PidPool {
+	p := &PidPool{}
+	p.cond = sync.NewCond(&p.mu)
+	for id := hi - 1; id >= lo; id-- {
+		p.free = append(p.free, id)
+	}
+	return p
+}
+
+// Acquire leases an id, blocking until one is available.
+func (p *PidPool) Acquire() int {
+	p.mu.Lock()
+	for len(p.free) == 0 {
+		p.cond.Wait()
+	}
+	id := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.mu.Unlock()
+	return id
+}
+
+// TryAcquire leases an id without blocking; ok is false when all ids are
+// in use.
+func (p *PidPool) TryAcquire() (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	id := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return id, true
+}
+
+// Release returns a leased id to the pool.
+func (p *PidPool) Release(id int) {
+	p.mu.Lock()
+	p.free = append(p.free, id)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Do runs f with a leased id, releasing it afterwards.
+func (p *PidPool) Do(f func(pid int)) {
+	id := p.Acquire()
+	defer p.Release(id)
+	f(id)
+}
+
+// Handle is a leased process identity on a Map.  It may migrate between
+// goroutines, but its methods must never run concurrently — exactly the
+// Version Maintenance contract, enforced by lease exclusivity rather than
+// by caller discipline.  Close returns the pid to the map's pool.
+type Handle[K, V, A any] struct {
+	m      *Map[K, V, A]
+	pid    int
+	closed bool
+}
+
+// Handle leases a process identity, blocking while all P are in use
+// (admission control: at most P transactions run at once).  The caller
+// must Close it.
+func (m *Map[K, V, A]) Handle() *Handle[K, V, A] {
+	return &Handle[K, V, A]{m: m, pid: m.pool.Acquire()}
+}
+
+// TryHandle leases a process identity without blocking; ok is false when
+// all P are in use.
+func (m *Map[K, V, A]) TryHandle() (*Handle[K, V, A], bool) {
+	pid, ok := m.pool.TryAcquire()
+	if !ok {
+		return nil, false
+	}
+	return &Handle[K, V, A]{m: m, pid: pid}, true
+}
+
+// With runs f with a leased handle, closing it afterwards.  It is the
+// scoped form of Handle/Close for short transactions.
+func (m *Map[K, V, A]) With(f func(h *Handle[K, V, A])) {
+	h := m.Handle()
+	defer h.Close()
+	f(h)
+}
+
+// Close returns the leased pid to the pool.  The handle must not be used
+// afterwards; Close is idempotent.
+func (h *Handle[K, V, A]) Close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.m.pool.Release(h.pid)
+}
+
+// Pid exposes the leased pid for integration with pid-indexed code (e.g.
+// experiment harnesses that index per-process counters).
+func (h *Handle[K, V, A]) Pid() int { return h.pid }
+
+// Map returns the map this handle is leased from.
+func (h *Handle[K, V, A]) Map() *Map[K, V, A] { return h.m }
+
+// Read runs a read-only transaction on the leased process.
+func (h *Handle[K, V, A]) Read(f func(s Snapshot[K, V, A])) { h.m.Read(h.pid, f) }
+
+// Update runs a write transaction on the leased process, retrying on
+// conflict until it commits; it returns the number of retries.
+func (h *Handle[K, V, A]) Update(f func(t *Txn[K, V, A])) int { return h.m.Update(h.pid, f) }
+
+// TryUpdate runs a write transaction that aborts instead of retrying; it
+// reports whether the transaction committed.
+func (h *Handle[K, V, A]) TryUpdate(f func(t *Txn[K, V, A])) bool { return h.m.TryUpdate(h.pid, f) }

@@ -21,14 +21,17 @@ import (
 	"mvgc/internal/vm"
 )
 
-// Map is a multiversion transactional ordered map for P processes.  Every
-// operation takes the calling process's identifier pid ∈ [0, P); a given
-// pid must not be used concurrently, matching the Version Maintenance
-// contract.
+// Map is a multiversion transactional ordered map for P processes.  The
+// pid-indexed methods (Read, Update, TryUpdate) take the calling process's
+// identifier pid ∈ [0, P); a given pid must not be used concurrently,
+// matching the Version Maintenance contract.  Goroutine-oriented callers
+// should not manage pids by hand: lease a Handle (see handle.go) and let
+// the map's pool enforce the contract.
 type Map[K, V, A any] struct {
 	ops   *ftree.Ops[K, V, A]
 	m     vm.Maintainer[ftree.Node[K, V, A]]
 	procs int
+	pool  *PidPool
 
 	// TrackVersions enables sampling of the version count at the start of
 	// every write transaction (the Table 2 / Figure 6 metric).
@@ -56,6 +59,9 @@ func NewMap[K, V, A any](cfg Config, ops *ftree.Ops[K, V, A], initial []ftree.En
 	if cfg.Procs <= 0 {
 		return nil, fmt.Errorf("core: Procs must be positive, got %d", cfg.Procs)
 	}
+	if cfg.Procs > vm.MaxProcs {
+		return nil, fmt.Errorf("core: Procs %d exceeds the version-maintenance limit %d", cfg.Procs, vm.MaxProcs)
+	}
 	alg := cfg.Algorithm
 	if alg == "" {
 		alg = "pswf"
@@ -64,9 +70,9 @@ func NewMap[K, V, A any](cfg Config, ops *ftree.Ops[K, V, A], initial []ftree.En
 	m := vm.New[ftree.Node[K, V, A]](alg, cfg.Procs, root)
 	if m == nil {
 		ops.Release(root)
-		return nil, fmt.Errorf("core: unknown version-maintenance algorithm %q", cfg.Algorithm)
+		return nil, fmt.Errorf("core: unknown version-maintenance algorithm %q (want one of %v)", alg, vm.Names())
 	}
-	return &Map[K, V, A]{ops: ops, m: m, procs: cfg.Procs}, nil
+	return &Map[K, V, A]{ops: ops, m: m, procs: cfg.Procs, pool: NewPidPool(0, cfg.Procs)}, nil
 }
 
 // Ops exposes the tree operations (and their allocation accounting).

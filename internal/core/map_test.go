@@ -152,6 +152,10 @@ func TestBatchUpdate(t *testing.T) {
 // non-decreasing commit sequence number.
 func TestStrictSerializabilitySingleWriter(t *testing.T) {
 	const procs = 6
+	commits := 2000
+	if testing.Short() {
+		commits = 200 // the full run starves the writer on small CI hosts
+	}
 	for _, alg := range vm.Names() {
 		t.Run(alg, func(t *testing.T) {
 			var initial []ftree.Entry[int64, int64]
@@ -165,7 +169,7 @@ func TestStrictSerializabilitySingleWriter(t *testing.T) {
 			go func() { // writer: process 0
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(1))
-				for i := 0; i < 2000; i++ {
+				for i := 0; i < commits; i++ {
 					k := int64(1 + rng.Intn(8))
 					m.Update(0, func(tx *Txn[int64, int64, int64]) {
 						v, _ := tx.Get(k)

@@ -70,10 +70,25 @@ func TestRunFigure7CellOursAndBaseline(t *testing.T) {
 	cfg.Threads = 4
 	cfg.Duration = 80 * time.Millisecond
 	cfg.MaxLatency = time.Millisecond
-	for _, s := range []string{"ours", "hashmap"} {
+	for _, s := range []string{"ours", "ours-sharded", "hashmap"} {
 		if mops := RunFigure7Cell(cfg, s, ycsb.WorkloadA); mops <= 0 {
 			t.Errorf("%s: no throughput measured", s)
 		}
+	}
+}
+
+func TestRunFigure7ReturnsRecords(t *testing.T) {
+	cfg := DefaultFigure7()
+	cfg.Records = 5_000
+	cfg.Threads = 2
+	cfg.Shards = 2
+	cfg.Duration = 50 * time.Millisecond
+	cfg.Structures = []string{"ours-sharded"}
+	cfg.Workloads = []ycsb.Workload{ycsb.WorkloadB}
+	var buf bytes.Buffer
+	recs := RunFigure7(cfg, &buf)
+	if len(recs) != 1 || recs[0].Structure != "ours-sharded" || recs[0].Workload != ycsb.WorkloadB.Name || recs[0].Mops <= 0 {
+		t.Fatalf("records = %+v", recs)
 	}
 }
 

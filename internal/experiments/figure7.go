@@ -13,6 +13,7 @@ import (
 	"mvgc/internal/bench"
 	"mvgc/internal/core"
 	"mvgc/internal/ftree"
+	"mvgc/internal/shard"
 	"mvgc/internal/ycsb"
 )
 
@@ -23,6 +24,9 @@ type Figure7Config struct {
 	Records uint64
 	// Threads is the number of client threads.
 	Threads int
+	// Shards is the shard count S for the "ours-sharded" structure
+	// (default 8).
+	Shards int
 	// Duration is the measured window per run.
 	Duration time.Duration
 	// MaxLatency bounds batched-update latency (paper: 50 ms).
@@ -38,9 +42,10 @@ func DefaultFigure7() Figure7Config {
 	return Figure7Config{
 		Records:    1_000_000,
 		Threads:    runtime.GOMAXPROCS(0),
+		Shards:     8,
 		Duration:   3 * time.Second,
 		MaxLatency: 50 * time.Millisecond,
-		Structures: append([]string{"ours"}, baseline.Names()...),
+		Structures: append([]string{"ours", "ours-sharded"}, baseline.Names()...),
 		Workloads:  []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC},
 	}
 }
@@ -48,8 +53,11 @@ func DefaultFigure7() Figure7Config {
 // RunFigure7Cell measures one (structure, workload) pair and returns
 // million operations per second.
 func RunFigure7Cell(cfg Figure7Config, structure string, w ycsb.Workload) float64 {
-	if structure == "ours" {
+	switch structure {
+	case "ours":
 		return runYCSBOurs(cfg, w)
+	case "ours-sharded":
+		return runYCSBOursSharded(cfg, w)
 	}
 	m := baseline.New(structure)
 	if m == nil {
@@ -115,24 +123,25 @@ func runYCSBOurs(cfg Figure7Config, w ycsb.Workload) float64 {
 	for i := range initial {
 		initial[i] = ftree.Entry[uint64, uint64]{Key: uint64(i), Val: uint64(i)}
 	}
-	// Processes: Threads readers + 1 combining writer.
+	// Processes: Threads readers + 1 combining writer, all leased handles.
 	m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: cfg.Threads + 1}, ops, initial)
 	if err != nil {
 		panic(err)
 	}
 	b := batch.New(m, batch.Config{
-		WriterPid:  cfg.Threads,
 		Clients:    cfg.Threads,
 		BufCap:     1 << 15,
 		MaxLatency: cfg.MaxLatency,
 	}, nil)
 	b.Start()
 	r := bench.Run(cfg.Threads, cfg.Duration, func(worker int, stop *atomic.Bool, c *bench.Counter) {
+		h := m.Handle()
+		defer h.Close()
 		g := ycsb.NewGenerator(w, cfg.Records, uint64(worker)*0x51ed2701+1)
 		for !stop.Load() {
 			op := g.Next()
 			if op.Kind == ycsb.OpRead {
-				m.Read(worker, func(s core.Snapshot[uint64, uint64, struct{}]) {
+				h.Read(func(s core.Snapshot[uint64, uint64, struct{}]) {
 					s.Get(op.Key)
 				})
 			} else {
@@ -149,18 +158,86 @@ func runYCSBOurs(cfg Figure7Config, w ycsb.Workload) float64 {
 	return r.Mops()
 }
 
-// RunFigure7 runs every structure on every workload and renders the
-// Figure 7 bar groups as a table.
-func RunFigure7(cfg Figure7Config, w io.Writer) {
+// runYCSBOursSharded runs the workload against the sharded transactional
+// tree: S independent map instances, each with its own combining writer, so
+// updates commit S-wide in parallel while reads stay delay-free on their
+// key's shard.  Each worker leases one long-lived handle per shard.
+func runYCSBOursSharded(cfg Figure7Config, w ycsb.Workload) float64 {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 8
+	}
+	initial := make([]ftree.Entry[uint64, uint64], cfg.Records)
+	for i := range initial {
+		initial[i] = ftree.Entry[uint64, uint64]{Key: uint64(i), Val: uint64(i)}
+	}
+	// Smaller per-shard batches need a finer grain to keep the
+	// multi-insert parallel; each shard also commits concurrently with
+	// the others, so per-commit parallelism matters less than for the
+	// single writer.
+	sm, err := shard.New(
+		shard.Config[uint64]{
+			Shards: shards,
+			Procs:  cfg.Threads + 1, // Threads reader handles + 1 combiner per shard
+			Hash:   ycsb.Mix64,      // spread the sequential key space across shards
+		},
+		func() *ftree.Ops[uint64, uint64, struct{}] {
+			return ftree.New[uint64, uint64, struct{}](ftree.IntCmp[uint64], ftree.NoAug[uint64, uint64](), 512)
+		},
+		initial,
+	)
+	if err != nil {
+		panic(err)
+	}
+	sm.StartBatching(batch.Config{
+		Clients:    cfg.Threads,
+		BufCap:     1 << 15,
+		MaxLatency: cfg.MaxLatency,
+	}, nil)
+	r := bench.Run(cfg.Threads, cfg.Duration, func(worker int, stop *atomic.Bool, c *bench.Counter) {
+		// One long-lived handle per shard: reads go straight to the
+		// owning shard with zero per-op leasing overhead.
+		handles := make([]*core.Handle[uint64, uint64, struct{}], sm.NumShards())
+		for i := range handles {
+			handles[i] = sm.Shard(i).Handle()
+			defer handles[i].Close()
+		}
+		g := ycsb.NewGenerator(w, cfg.Records, uint64(worker)*0x51ed2701+1)
+		for !stop.Load() {
+			op := g.Next()
+			if op.Kind == ycsb.OpRead {
+				handles[sm.ShardFor(op.Key)].Read(func(s core.Snapshot[uint64, uint64, struct{}]) {
+					s.Get(op.Key)
+				})
+			} else {
+				sm.Submit(worker, batch.Request[uint64, uint64]{Op: batch.OpInsert, Key: op.Key, Val: op.Val})
+			}
+			c.Add(1)
+		}
+	})
+	sm.Close()
+	if live := sm.Live(); live != 0 {
+		panic(fmt.Sprintf("figure7 ours-sharded: leaked %d nodes", live))
+	}
+	return r.Mops()
+}
+
+// RunFigure7 runs every structure on every workload, renders the Figure 7
+// bar groups as a table, and returns the measured cells (for -json).
+func RunFigure7(cfg Figure7Config, w io.Writer) []bench.YCSBRecord {
+	var records []bench.YCSBRecord
 	headers := append([]string{"workload"}, cfg.Structures...)
 	t := bench.NewTable(fmt.Sprintf("Figure 7: YCSB throughput (Mop/s), %d threads, %d records",
 		cfg.Threads, cfg.Records), headers...)
 	for _, wl := range cfg.Workloads {
 		row := []string{wl.Name}
 		for _, s := range cfg.Structures {
-			row = append(row, bench.F2(RunFigure7Cell(cfg, s, wl)))
+			mops := RunFigure7Cell(cfg, s, wl)
+			records = append(records, bench.YCSBRecord{Structure: s, Workload: wl.Name, Mops: mops})
+			row = append(row, bench.F2(mops))
 		}
 		t.AddRow(row...)
 	}
 	t.Fprint(w)
+	return records
 }

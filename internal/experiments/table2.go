@@ -81,13 +81,15 @@ func RunTable2Cell(cfg Table2Config, alg string, nq, nu int) Table2Cell {
 	updates := make([]bench.Counter, cfg.Procs)
 	var stop atomic.Bool
 	var wg sync.WaitGroup
-	// Writer: process 0.
+	// Writer: one long-lived leased process identity.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		h := m.Handle()
+		defer h.Close()
 		rng := ycsb.NewSplitMix64(99)
 		for !stop.Load() {
-			m.Update(0, func(tx *core.Txn[int64, int64, int64]) {
+			h.Update(func(tx *core.Txn[int64, int64, int64]) {
 				for i := 0; i < nu; i++ {
 					tx.Insert(int64(rng.Intn(uint64(keyRange))), int64(rng.Next()>>40))
 				}
@@ -95,15 +97,17 @@ func RunTable2Cell(cfg Table2Config, alg string, nq, nu int) Table2Cell {
 			updates[0].Add(int64(nu))
 		}
 	}()
-	// Readers: processes 1..Procs-1, each transaction is nq range sums.
+	// Readers: Procs-1 leased identities, each transaction is nq range sums.
 	for p := 1; p < cfg.Procs; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			h := m.Handle()
+			defer h.Close()
 			rng := ycsb.NewSplitMix64(uint64(p) * 7919)
 			width := keyRange / 1000
 			for !stop.Load() {
-				m.Read(p, func(s core.Snapshot[int64, int64, int64]) {
+				h.Read(func(s core.Snapshot[int64, int64, int64]) {
 					for i := 0; i < nq; i++ {
 						lo := int64(rng.Intn(uint64(keyRange)))
 						_ = s.AugRange(lo, lo+width)

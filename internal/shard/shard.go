@@ -1,0 +1,489 @@
+// Package shard hash-partitions the transactional map across S independent
+// core.Map instances.  Each shard has its own Version Maintenance object,
+// its own pid space and its own allocation accounting, so the paper's
+// per-structure guarantees hold shard-locally: O(P) version delay, precise
+// collection and Live() == 0 after Close apply to every shard on its own.
+// Sharding multiplies write throughput — S combining writers commit in
+// parallel instead of one — which is how follow-up work scales multiversion
+// GC (Ben-David et al., DISC 2021; Wei & Fatourou 2022: partition version
+// tracking, bound it per structure).
+//
+// # Snapshot semantics
+//
+// Sharding deliberately weakens cross-shard atomicity.  A View pins one
+// version per shard — each individually a consistent, immutable snapshot —
+// but the S versions are pinned at slightly different times, so the
+// combination is not a single global serialization point.  Operations whose
+// keys live on one shard (point reads, per-key updates, a Range that
+// happens to hash into one shard) keep the paper's full guarantees;
+// cross-shard reads (Len, ForEach, Range, AugRange) are per-shard
+// consistent only.  Update is atomic per shard: all buffered writes
+// touching one shard commit in a single write transaction, but different
+// shards commit in separate transactions.
+//
+// No pid appears anywhere in this package's API: process identities are
+// leased internally from each shard's pool (core.Handle).  Multi-shard
+// operations lease in ascending shard order, which makes blocking
+// admission control deadlock-free (ordered resource acquisition).
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"mvgc/internal/batch"
+	"mvgc/internal/core"
+	"mvgc/internal/ftree"
+)
+
+// Config sizes a sharded map.
+type Config[K any] struct {
+	// Shards is the number of independent core.Map instances S.
+	Shards int
+	// Procs is the per-shard process count P: each shard admits up to P
+	// concurrent transactions (leased handles) on its own VM instance.
+	Procs int
+	// Algorithm is the Version Maintenance algorithm every shard uses;
+	// empty selects pswf.
+	Algorithm string
+	// Hash maps a key to the shard space; it must be deterministic.  The
+	// shard index is Hash(k) % Shards.
+	Hash func(K) uint64
+}
+
+// Map is a hash-sharded multiversion map: S independent core.Maps behind
+// one pid-free, goroutine-safe API.
+type Map[K, V, A any] struct {
+	shards   []*core.Map[K, V, A]
+	hash     func(K) uint64
+	batchers []*batch.Batcher[K, V, A] // non-nil between StartBatching and Close
+}
+
+// New builds a sharded map.  mkOps must return a fresh ftree.Ops per call:
+// every shard gets its own, so allocation accounting (Ops().Live()) stays
+// precise per shard.  initial is partitioned by hash across the shards.
+func New[K, V, A any](cfg Config[K], mkOps func() *ftree.Ops[K, V, A], initial []ftree.Entry[K, V]) (*Map[K, V, A], error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("shard: Shards must be positive, got %d", cfg.Shards)
+	}
+	if cfg.Hash == nil {
+		return nil, fmt.Errorf("shard: Hash is required")
+	}
+	parts := make([][]ftree.Entry[K, V], cfg.Shards)
+	for _, e := range initial {
+		i := int(cfg.Hash(e.Key) % uint64(cfg.Shards))
+		parts[i] = append(parts[i], e)
+	}
+	m := &Map[K, V, A]{hash: cfg.Hash}
+	for i := 0; i < cfg.Shards; i++ {
+		s, err := core.NewMap(core.Config{Algorithm: cfg.Algorithm, Procs: cfg.Procs}, mkOps(), parts[i])
+		if err != nil {
+			for _, prev := range m.shards {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		m.shards = append(m.shards, s)
+	}
+	return m, nil
+}
+
+// NumShards returns S.
+func (m *Map[K, V, A]) NumShards() int { return len(m.shards) }
+
+// ShardFor returns the index of the shard owning key k.
+func (m *Map[K, V, A]) ShardFor(k K) int { return int(m.hash(k) % uint64(len(m.shards))) }
+
+// Shard exposes one underlying core.Map for handle-based access (long-lived
+// workers that want to lease a per-shard identity once instead of per-op).
+func (m *Map[K, V, A]) Shard(i int) *core.Map[K, V, A] { return m.shards[i] }
+
+// Get runs a point read as a delay-free read transaction on k's shard.
+func (m *Map[K, V, A]) Get(k K) (v V, ok bool) {
+	m.shards[m.ShardFor(k)].With(func(h *core.Handle[K, V, A]) {
+		h.Read(func(s core.Snapshot[K, V, A]) { v, ok = s.Get(k) })
+	})
+	return
+}
+
+// Has reports whether k is present.
+func (m *Map[K, V, A]) Has(k K) bool {
+	_, ok := m.Get(k)
+	return ok
+}
+
+// Insert adds or replaces one entry in a single-shard write transaction.
+func (m *Map[K, V, A]) Insert(k K, v V) {
+	m.shards[m.ShardFor(k)].With(func(h *core.Handle[K, V, A]) {
+		h.Update(func(tx *core.Txn[K, V, A]) { tx.Insert(k, v) })
+	})
+}
+
+// InsertWith adds one entry, combining with any existing value.
+func (m *Map[K, V, A]) InsertWith(k K, v V, comb func(old, new V) V) {
+	m.shards[m.ShardFor(k)].With(func(h *core.Handle[K, V, A]) {
+		h.Update(func(tx *core.Txn[K, V, A]) { tx.InsertWith(k, v, comb) })
+	})
+}
+
+// Delete removes one entry in a single-shard write transaction.
+func (m *Map[K, V, A]) Delete(k K) {
+	m.shards[m.ShardFor(k)].With(func(h *core.Handle[K, V, A]) {
+		h.Update(func(tx *core.Txn[K, V, A]) { tx.Delete(k) })
+	})
+}
+
+// InsertBatch partitions the batch by shard and commits each part as one
+// atomic per-shard write transaction, all shards in parallel; nil comb
+// overwrites.  Atomicity is per shard, not global.
+func (m *Map[K, V, A]) InsertBatch(entries []ftree.Entry[K, V], comb func(old, new V) V) {
+	parts := make([][]ftree.Entry[K, V], len(m.shards))
+	for _, e := range entries {
+		i := m.ShardFor(e.Key)
+		parts[i] = append(parts[i], e)
+	}
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, part []ftree.Entry[K, V]) {
+			defer wg.Done()
+			m.shards[i].With(func(h *core.Handle[K, V, A]) {
+				h.Update(func(tx *core.Txn[K, V, A]) { tx.InsertBatch(part, comb) })
+			})
+		}(i, part)
+	}
+	wg.Wait()
+}
+
+// DeleteBatch removes keys, one atomic write transaction per affected
+// shard, all shards in parallel.
+func (m *Map[K, V, A]) DeleteBatch(keys []K) {
+	parts := make([][]K, len(m.shards))
+	for _, k := range keys {
+		i := m.ShardFor(k)
+		parts[i] = append(parts[i], k)
+	}
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, part []K) {
+			defer wg.Done()
+			m.shards[i].With(func(h *core.Handle[K, V, A]) {
+				h.Update(func(tx *core.Txn[K, V, A]) { tx.DeleteBatch(part) })
+			})
+		}(i, part)
+	}
+	wg.Wait()
+}
+
+// Len returns the total entry count.  Each shard is counted from its own
+// consistent snapshot, but the snapshots are taken sequentially, so under
+// concurrent writes the total is approximate (per-shard semantics).
+func (m *Map[K, V, A]) Len() int64 {
+	var n int64
+	for _, s := range m.shards {
+		s.With(func(h *core.Handle[K, V, A]) {
+			h.Read(func(sn core.Snapshot[K, V, A]) { n += sn.Len() })
+		})
+	}
+	return n
+}
+
+// View runs f against a Snap that pins one version per shard.  Handles and
+// versions are acquired in ascending shard order before f runs and released
+// after it returns, so f sees S stable immutable snapshots — per-shard
+// consistent, not a single global snapshot (see the package comment).
+// View blocks while any shard's admission pool is exhausted.
+func (m *Map[K, V, A]) View(f func(s Snap[K, V, A])) {
+	snaps := make([]core.Snapshot[K, V, A], len(m.shards))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(m.shards) {
+			f(Snap[K, V, A]{m: m, snaps: snaps})
+			return
+		}
+		m.shards[i].With(func(h *core.Handle[K, V, A]) {
+			h.Read(func(s core.Snapshot[K, V, A]) {
+				snaps[i] = s
+				rec(i + 1)
+			})
+		})
+	}
+	rec(0)
+}
+
+// Snap is a fan-out read view: one pinned version per shard, valid only
+// within the View callback.
+type Snap[K, V, A any] struct {
+	m     *Map[K, V, A]
+	snaps []core.Snapshot[K, V, A]
+}
+
+// Shard exposes shard i's pinned snapshot.
+func (s Snap[K, V, A]) Shard(i int) core.Snapshot[K, V, A] { return s.snaps[i] }
+
+// Get returns the value stored under k in k's shard snapshot.
+func (s Snap[K, V, A]) Get(k K) (V, bool) { return s.snaps[s.m.ShardFor(k)].Get(k) }
+
+// Has reports whether k is present.
+func (s Snap[K, V, A]) Has(k K) bool { return s.snaps[s.m.ShardFor(k)].Has(k) }
+
+// Len sums the per-shard snapshot sizes.
+func (s Snap[K, V, A]) Len() int64 {
+	var n int64
+	for _, sn := range s.snaps {
+		n += sn.Len()
+	}
+	return n
+}
+
+// AugRange folds the augmented value over keys in [lo, hi] across all
+// shards (each shard in O(log n)); the per-shard results are combined with
+// the augmenter's Combine, which must be commutative for hash-partitioned
+// key sets (true for sums, maxima and all symmetric monoids).
+func (s Snap[K, V, A]) AugRange(lo, hi K) A {
+	ops := s.m.shards[0].Ops()
+	a := ops.Aug.Zero()
+	for _, sn := range s.snaps {
+		a = ops.Aug.Combine(a, sn.AugRange(lo, hi))
+	}
+	return a
+}
+
+// Range returns the entries with keys in [lo, hi] across all shards,
+// merged into global key order.
+func (s Snap[K, V, A]) Range(lo, hi K) []ftree.Entry[K, V] {
+	var out []ftree.Entry[K, V]
+	s.mergeRange(lo, hi, func(k K, v V) {
+		out = append(out, ftree.Entry[K, V]{Key: k, Val: v})
+	})
+	return out
+}
+
+// ForEach visits every entry across all shards in global key order (an
+// S-way merge over the per-shard in-order iterators).
+func (s Snap[K, V, A]) ForEach(f func(K, V)) {
+	cmp := s.m.shards[0].Ops().Cmp
+	its := make([]*ftree.Iter[K, V, A], len(s.snaps))
+	for i, sn := range s.snaps {
+		its[i] = s.m.shards[i].Ops().NewIter(sn.Root())
+	}
+	for {
+		best := -1
+		for i, it := range its {
+			if !it.Valid() {
+				continue
+			}
+			if best < 0 || cmp(it.Key(), its[best].Key()) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		f(its[best].Key(), its[best].Val())
+		its[best].Next()
+	}
+}
+
+// mergeRange is the bounded-range S-way merge behind Range.
+func (s Snap[K, V, A]) mergeRange(lo, hi K, f func(K, V)) {
+	cmp := s.m.shards[0].Ops().Cmp
+	its := make([]*ftree.Iter[K, V, A], len(s.snaps))
+	for i, sn := range s.snaps {
+		its[i] = s.m.shards[i].Ops().NewIterAt(sn.Root(), lo)
+	}
+	for {
+		best := -1
+		for i, it := range its {
+			if !it.Valid() || cmp(it.Key(), hi) > 0 {
+				continue
+			}
+			if best < 0 || cmp(it.Key(), its[best].Key()) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		f(its[best].Key(), its[best].Val())
+		its[best].Next()
+	}
+}
+
+// Txn buffers a cross-shard write transaction: Insert and Delete record
+// intents, and Update replays each shard's intents in order inside one
+// atomic per-shard write transaction.  Reads see the transaction's own
+// buffered writes first, then the shard's current committed version.
+type Txn[K, V, A any] struct {
+	m       *Map[K, V, A]
+	intents [][]intent[K, V]
+}
+
+type intent[K, V any] struct {
+	del bool
+	key K
+	val V
+}
+
+// Insert buffers an insert-or-replace of (k, v).
+func (t *Txn[K, V, A]) Insert(k K, v V) {
+	i := t.m.ShardFor(k)
+	t.intents[i] = append(t.intents[i], intent[K, V]{key: k, val: v})
+}
+
+// Delete buffers a removal of k.
+func (t *Txn[K, V, A]) Delete(k K) {
+	i := t.m.ShardFor(k)
+	t.intents[i] = append(t.intents[i], intent[K, V]{del: true, key: k})
+}
+
+// Get reads through the transaction's buffered writes (latest intent for k
+// wins), falling back to a point read of k's shard's current version.
+func (t *Txn[K, V, A]) Get(k K) (V, bool) {
+	i := t.m.ShardFor(k)
+	cmp := t.m.shards[i].Ops().Cmp
+	for j := len(t.intents[i]) - 1; j >= 0; j-- {
+		in := t.intents[i][j]
+		if cmp(in.key, k) == 0 {
+			if in.del {
+				var zero V
+				return zero, false
+			}
+			return in.val, true
+		}
+	}
+	return t.m.Get(k)
+}
+
+// Update runs a buffered cross-shard write transaction: f records intents,
+// then each affected shard commits its intents atomically (in ascending
+// shard order).  Atomicity is per shard; there is no global commit point.
+func (m *Map[K, V, A]) Update(f func(t *Txn[K, V, A])) {
+	t := &Txn[K, V, A]{m: m, intents: make([][]intent[K, V], len(m.shards))}
+	f(t)
+	for i, list := range t.intents {
+		if len(list) == 0 {
+			continue
+		}
+		m.shards[i].With(func(h *core.Handle[K, V, A]) {
+			h.Update(func(tx *core.Txn[K, V, A]) {
+				for _, in := range list {
+					if in.del {
+						tx.Delete(in.key)
+					} else {
+						tx.Insert(in.key, in.val)
+					}
+				}
+			})
+		})
+	}
+}
+
+// StartBatching launches one Appendix-F combining writer per shard: each
+// leases its own writer identity from its shard's pool and commits that
+// shard's submissions as atomic batches.  cfg.Clients buffers are created
+// on every shard, so any client id in 0..Clients-1 may submit keys bound
+// for any shard.
+func (m *Map[K, V, A]) StartBatching(cfg batch.Config, comb func(old, new V) V) {
+	if m.batchers != nil {
+		panic("shard: StartBatching called twice")
+	}
+	m.batchers = make([]*batch.Batcher[K, V, A], len(m.shards))
+	for i, s := range m.shards {
+		m.batchers[i] = batch.New(s, cfg, comb)
+		m.batchers[i].Start()
+	}
+}
+
+// Submit routes a buffered update to its key's shard batcher.  Requires
+// StartBatching.
+func (m *Map[K, V, A]) Submit(client int, r batch.Request[K, V]) {
+	m.batchers[m.ShardFor(r.Key)].Submit(client, r)
+}
+
+// SubmitWait routes a buffered update and blocks until its shard's
+// combiner has committed it.
+func (m *Map[K, V, A]) SubmitWait(client int, r batch.Request[K, V]) {
+	m.batchers[m.ShardFor(r.Key)].SubmitWait(client, r)
+}
+
+// Flush blocks until everything the client submitted (on any shard) before
+// the call has committed.
+func (m *Map[K, V, A]) Flush(client int) {
+	for _, b := range m.batchers {
+		b.Flush(client)
+	}
+}
+
+// StopBatching stops every shard's combiner after a final drain.
+func (m *Map[K, V, A]) StopBatching() {
+	for _, b := range m.batchers {
+		b.Stop()
+	}
+	m.batchers = nil
+}
+
+// Batches sums committed batch counts across shard combiners.
+func (m *Map[K, V, A]) Batches() int64 {
+	var n int64
+	for _, b := range m.batchers {
+		n += b.Batches()
+	}
+	return n
+}
+
+// Commits sums committed write transactions across shards.
+func (m *Map[K, V, A]) Commits() int64 {
+	var n int64
+	for _, s := range m.shards {
+		n += s.Commits()
+	}
+	return n
+}
+
+// Aborts sums Set failures across shards.
+func (m *Map[K, V, A]) Aborts() int64 {
+	var n int64
+	for _, s := range m.shards {
+		n += s.Aborts()
+	}
+	return n
+}
+
+// Uncollected sums the retained version counts across shards; each shard
+// individually respects its algorithm's bound (e.g. 2P+1 for PSWF).
+func (m *Map[K, V, A]) Uncollected() int {
+	var n int
+	for _, s := range m.shards {
+		n += s.Uncollected()
+	}
+	return n
+}
+
+// Live sums allocated-minus-freed nodes across shard allocators; zero
+// after Close when no nodes leaked anywhere.
+func (m *Map[K, V, A]) Live() int64 {
+	var n int64
+	for _, s := range m.shards {
+		n += s.Ops().Live()
+	}
+	return n
+}
+
+// Close stops any batchers and drains every shard.  All clients must have
+// quiesced.  After Close, Live() reports leaked nodes across all shards.
+func (m *Map[K, V, A]) Close() {
+	if m.batchers != nil {
+		m.StopBatching()
+	}
+	for _, s := range m.shards {
+		s.Close()
+	}
+}

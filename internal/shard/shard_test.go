@@ -1,0 +1,243 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mvgc/internal/batch"
+	"mvgc/internal/core"
+	"mvgc/internal/ftree"
+	"mvgc/internal/vm"
+	"mvgc/internal/ycsb"
+)
+
+func newSharded(t testing.TB, alg string, shards, procs int, initial []ftree.Entry[int64, int64]) *Map[int64, int64, int64] {
+	t.Helper()
+	m, err := New(
+		Config[int64]{Shards: shards, Procs: procs, Algorithm: alg, Hash: func(k int64) uint64 { return ycsb.Mix64(uint64(k)) }},
+		func() *ftree.Ops[int64, int64, int64] {
+			return ftree.New[int64, int64, int64](ftree.IntCmp[int64], ftree.SumAug[int64](), 0)
+		},
+		initial,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestShardedMatrix runs the full point-op/batch/fan-out surface over every
+// Version Maintenance algorithm and checks per-shard precise collection:
+// after Close, every shard's allocator must report zero live nodes.
+func TestShardedMatrix(t *testing.T) {
+	for _, alg := range vm.Names() {
+		t.Run(alg, func(t *testing.T) {
+			initial := make([]ftree.Entry[int64, int64], 500)
+			for i := range initial {
+				initial[i] = ftree.Entry[int64, int64]{Key: int64(i), Val: int64(i)}
+			}
+			m := newSharded(t, alg, 4, 3, initial)
+
+			// Point ops route to the right shard.
+			if v, ok := m.Get(123); !ok || v != 123 {
+				t.Fatalf("Get(123) = %d,%v", v, ok)
+			}
+			m.Insert(1000, -5)
+			if v, ok := m.Get(1000); !ok || v != -5 {
+				t.Fatalf("Get(1000) = %d,%v", v, ok)
+			}
+			m.Delete(0)
+			if m.Has(0) {
+				t.Fatal("deleted key still present")
+			}
+			m.InsertWith(1000, 6, func(old, new int64) int64 { return old + new })
+			if v, _ := m.Get(1000); v != 1 {
+				t.Fatalf("InsertWith = %d, want 1", v)
+			}
+
+			// Batched writes: per-shard atomic parts.
+			var entries []ftree.Entry[int64, int64]
+			for i := int64(2000); i < 2100; i++ {
+				entries = append(entries, ftree.Entry[int64, int64]{Key: i, Val: i})
+			}
+			m.InsertBatch(entries, nil)
+			var dels []int64
+			for i := int64(2000); i < 2050; i++ {
+				dels = append(dels, i)
+			}
+			m.DeleteBatch(dels)
+			want := int64(500) - 1 + 1 + 50 // initial - Delete(0) + Insert(1000) + surviving batch half
+			if n := m.Len(); n != want {
+				t.Fatalf("Len = %d, want %d", n, want)
+			}
+
+			// Cross-shard transaction with read-your-writes.
+			m.Update(func(tx *Txn[int64, int64, int64]) {
+				tx.Insert(7777, 1)
+				if v, ok := tx.Get(7777); !ok || v != 1 {
+					t.Fatalf("txn Get(7777) = %d,%v (no read-your-writes)", v, ok)
+				}
+				tx.Delete(7777)
+				if _, ok := tx.Get(7777); ok {
+					t.Fatal("txn sees key it just deleted")
+				}
+				tx.Insert(7777, 2)
+				tx.Insert(8888, 3)
+			})
+			if v, _ := m.Get(7777); v != 2 {
+				t.Fatalf("committed txn value = %d, want 2", v)
+			}
+
+			// Fan-out reads in global key order.
+			m.View(func(s Snap[int64, int64, int64]) {
+				got := s.Range(100, 110)
+				if len(got) != 11 {
+					t.Fatalf("Range(100,110) returned %d entries", len(got))
+				}
+				for i, e := range got {
+					if e.Key != int64(100+i) {
+						t.Fatalf("Range out of order at %d: key %d", i, e.Key)
+					}
+				}
+				var sum int64
+				for _, e := range got {
+					sum += e.Val
+				}
+				if ar := s.AugRange(100, 110); ar != sum {
+					t.Fatalf("AugRange = %d, range sum = %d", ar, sum)
+				}
+				prev := int64(-1 << 62)
+				n := 0
+				s.ForEach(func(k, v int64) {
+					if k <= prev {
+						t.Fatalf("ForEach out of order: %d after %d", k, prev)
+					}
+					prev = k
+					n++
+				})
+				if int64(n) != s.Len() {
+					t.Fatalf("ForEach visited %d, Len = %d", n, s.Len())
+				}
+				if v, ok := s.Get(7777); !ok || v != 2 {
+					t.Fatalf("Snap.Get(7777) = %d,%v", v, ok)
+				}
+			})
+
+			m.Close()
+			for i := 0; i < m.NumShards(); i++ {
+				if live := m.Shard(i).Ops().Live(); live != 0 {
+					t.Fatalf("%s: shard %d leaked %d nodes", alg, i, live)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedConcurrent hammers a sharded map from many goroutines doing
+// point ops while batched writers stream through per-shard combiners; -race
+// checks the pid discipline, and Close checks precise collection.
+func TestShardedConcurrent(t *testing.T) {
+	// Each worker owns its client buffer: the rings are single-producer.
+	const workers, iters = 8, 400
+	const clients = workers
+	m := newSharded(t, "pswf", 4, workers+2, nil)
+	m.StartBatching(batch.Config{Clients: clients, BufCap: 256, MaxLatency: time.Millisecond}, nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := int64(w*iters + i)
+				if w%2 == 0 {
+					m.Insert(k, k) // direct single-shard write transactions
+				} else {
+					m.Submit(w, batch.Request[int64, int64]{Op: batch.OpInsert, Key: k, Val: k})
+				}
+				if i%16 == 0 {
+					m.Get(int64(i))
+					_ = m.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		m.Flush(c)
+	}
+	if n := m.Len(); n != workers*iters {
+		t.Fatalf("Len = %d, want %d", n, workers*iters)
+	}
+	if m.Commits() <= 0 {
+		t.Fatal("no commits recorded")
+	}
+	m.Close()
+	if live := m.Live(); live != 0 {
+		t.Fatalf("leaked %d nodes across shards", live)
+	}
+}
+
+// TestShardedUncollectedBound: every shard individually respects PSWF's
+// 2P+1 version bound, so the aggregate is at most S*(2P+1).
+func TestShardedUncollectedBound(t *testing.T) {
+	const shards, procs = 4, 3
+	m := newSharded(t, "pswf", shards, procs, nil)
+	for i := int64(0); i < 500; i++ {
+		m.Insert(i, i)
+	}
+	if u := m.Uncollected(); u < shards || u > shards*(2*procs+1) {
+		t.Fatalf("Uncollected = %d outside [S, S*(2P+1)] = [%d, %d]", u, shards, shards*(2*procs+1))
+	}
+	m.Close()
+	if live := m.Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}
+
+// TestShardedConfigErrors: constructor validation, including the wrapped
+// per-shard core error.
+func TestShardedConfigErrors(t *testing.T) {
+	mk := func() *ftree.Ops[int64, int64, int64] {
+		return ftree.New[int64, int64, int64](ftree.IntCmp[int64], ftree.SumAug[int64](), 0)
+	}
+	hash := func(k int64) uint64 { return uint64(k) }
+	if _, err := New(Config[int64]{Shards: 0, Procs: 1, Hash: hash}, mk, nil); err == nil {
+		t.Fatal("Shards=0 accepted")
+	}
+	if _, err := New(Config[int64]{Shards: 2, Procs: 1}, mk, nil); err == nil {
+		t.Fatal("nil Hash accepted")
+	}
+	if _, err := New(Config[int64]{Shards: 2, Procs: 1, Algorithm: "bogus", Hash: hash}, mk, nil); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+// TestShardedHandleAccess: long-lived per-shard handles (the benchmark
+// pattern) coexist with the pool-leasing convenience API.
+func TestShardedHandleAccess(t *testing.T) {
+	m := newSharded(t, "pswf", 2, 3, nil)
+	handles := make([]*core.Handle[int64, int64, int64], m.NumShards())
+	for i := range handles {
+		handles[i] = m.Shard(i).Handle()
+	}
+	for i := int64(0); i < 100; i++ {
+		h := handles[m.ShardFor(i)]
+		h.Update(func(tx *core.Txn[int64, int64, int64]) { tx.Insert(i, i) })
+	}
+	var n int64
+	for _, h := range handles {
+		h.Read(func(s core.Snapshot[int64, int64, int64]) { n += s.Len() })
+	}
+	if n != 100 {
+		t.Fatalf("per-shard handle reads saw %d keys, want 100", n)
+	}
+	for _, h := range handles {
+		h.Close()
+	}
+	m.Close()
+	if live := m.Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}

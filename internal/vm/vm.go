@@ -83,6 +83,11 @@ const (
 	idxMask = 1<<idxBits - 1
 )
 
+// MaxProcs is the largest process count any algorithm supports: the precise
+// algorithms keep 3P+1 version slots and pack a slot index into idxBits
+// bits, so 3P must not exceed idxMask.
+const MaxProcs = idxMask / 3
+
 func mkVersion(ts uint64, idx int) version {
 	return version(ts<<idxBits | uint64(idx))
 }

@@ -21,7 +21,13 @@ func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
 // Next returns the next 64 random bits.
 func (s *SplitMix64) Next() uint64 {
 	s.state += 0x9e3779b97f4a7c15
-	z := s.state
+	return Mix64(s.state)
+}
+
+// Mix64 is SplitMix64's finalizer on its own: a fast, well-distributed
+// integer hash, also used as the default shard-routing hash so sequential
+// key spaces spread uniformly.
+func Mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)

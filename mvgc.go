@@ -14,11 +14,14 @@
 //   - Garbage collection is precise: every version is collected the moment
 //     its last transaction releases it, in time linear in the garbage.
 //
-// The entry point is NewMap; see examples/quickstart.  The
-// batching layer (Appendix F of the paper) lives in internal/batch,
-// alternative version-maintenance algorithms (hazard pointers, epochs,
-// RCU) in internal/vm, and the evaluation harness in internal/experiments
-// and the cmd/ binaries.
+// There are two entry points.  NewMap is the paper-faithful single
+// structure (see examples/quickstart); goroutine-per-request servers that
+// do not want to manage process ids should use OpenDB/OpenPlainDB, the
+// sharded pid-free front door (see examples/kvserver).  The batching layer
+// (Appendix F of the paper) lives in internal/batch, the sharding layer in
+// internal/shard, alternative version-maintenance algorithms (hazard
+// pointers, epochs, RCU) in internal/vm, and the evaluation harness in
+// internal/experiments and the cmd/ binaries.
 package mvgc
 
 import (
@@ -34,6 +37,11 @@ type Snapshot[K, V, A any] = core.Snapshot[K, V, A]
 
 // Txn is the handle write transactions mutate through.
 type Txn[K, V, A any] = core.Txn[K, V, A]
+
+// Handle is a leased process identity on a Map: it owns a pid from the
+// map's pool and forwards Read/Update to it, so callers never thread pids
+// by hand.  Lease with Map.Handle or scoped Map.With; see core.Handle.
+type Handle[K, V, A any] = core.Handle[K, V, A]
 
 // Config selects the Version Maintenance algorithm ("pswf" by default)
 // and the number of processes.
