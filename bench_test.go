@@ -122,9 +122,63 @@ func BenchmarkFigure7ShardScaling(b *testing.B) {
 	}
 }
 
-// BenchmarkDBPointOps measures the pid-free front door: every point op
-// leases a handle from the shard's pool, so this quantifies the leasing
-// overhead against the long-lived-handle path used by the experiments.
+// BenchmarkDBGet compares the two pid-free point-read paths on one map:
+// "lease" acquires and releases a pid from the PidPool per op (two mutex
+// hits — the pre-cache DB path), "cached" reuses a parked lease from the
+// lock-free free list (Map.WithCached — what shard.Map and DB point ops
+// use now), one CAS at each end and zero allocations on reuse.
+func BenchmarkDBGet(b *testing.B) {
+	ops := NewOps(IntCmp[uint64], NoAug[uint64, uint64](), 0)
+	initial := make([]Entry[uint64, uint64], 100_000)
+	for i := range initial {
+		initial[i] = Entry[uint64, uint64]{Key: uint64(i), Val: uint64(i)}
+	}
+	m, err := NewMap(Config{Algorithm: "pswf", Procs: benchProcs}, ops, initial)
+	if err != nil {
+		b.Fatal(err)
+	}
+	get := func(h *Handle[uint64, uint64, struct{}], k uint64) {
+		h.Read(func(s Snapshot[uint64, uint64, struct{}]) { s.Get(k) })
+	}
+	b.Run("lease", func(b *testing.B) {
+		rng := ycsb.NewSplitMix64(10)
+		for i := 0; i < b.N; i++ {
+			k := rng.Next() % 100_000
+			m.With(func(h *Handle[uint64, uint64, struct{}]) { get(h, k) })
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		rng := ycsb.NewSplitMix64(10)
+		for i := 0; i < b.N; i++ {
+			k := rng.Next() % 100_000
+			m.WithCached(func(h *Handle[uint64, uint64, struct{}]) { get(h, k) })
+		}
+	})
+	b.Run("lease-parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			rng := ycsb.NewSplitMix64(11)
+			for pb.Next() {
+				k := rng.Next() % 100_000
+				m.With(func(h *Handle[uint64, uint64, struct{}]) { get(h, k) })
+			}
+		})
+	})
+	b.Run("cached-parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			rng := ycsb.NewSplitMix64(11)
+			for pb.Next() {
+				k := rng.Next() % 100_000
+				m.WithCached(func(h *Handle[uint64, uint64, struct{}]) { get(h, k) })
+			}
+		})
+	})
+	b.StopTimer()
+	m.Close()
+}
+
+// BenchmarkDBPointOps measures the pid-free front door end to end: point
+// ops lease through each shard's per-P handle cache (core.Map.WithCached),
+// so this quantifies what a goroutine-per-request server sees.
 func BenchmarkDBPointOps(b *testing.B) {
 	initial := make([]Entry[uint64, uint64], 100_000)
 	for i := range initial {
@@ -156,13 +210,16 @@ func BenchmarkDBPointOps(b *testing.B) {
 
 // BenchmarkTable3 regenerates one inverted-index co-running row: Tu, Tq
 // and Tu+q, whose near-equality of Tu+Tq and Tu+q is the paper's claim.
+// The "p=N" run is the paper's single index (Shards is zeroed so the
+// numbers stay comparable across PRs); "p=N/S=2" is the hash-sharded
+// variant's row.
 func BenchmarkTable3(b *testing.B) {
 	cfg := experiments.DefaultTable3()
 	cfg.Threads = benchProcs
 	cfg.InitialDocs = 400
 	cfg.Vocab = 10_000
 	cfg.Window = 300 * time.Millisecond
-	b.Run(fmt.Sprintf("p=%d", benchProcs/2), func(b *testing.B) {
+	row := func(b *testing.B, cfg experiments.Table3Config) {
 		var tu, tq, tuq float64
 		for i := 0; i < b.N; i++ {
 			r := experiments.RunTable3Row(cfg, benchProcs/2)
@@ -175,6 +232,16 @@ func BenchmarkTable3(b *testing.B) {
 		b.ReportMetric(tq/n, "Tq-sec")
 		b.ReportMetric((tu+tq)/n, "Tu+Tq-sec")
 		b.ReportMetric(tuq/n, "Tu+q-sec")
+	}
+	b.Run(fmt.Sprintf("p=%d", benchProcs/2), func(b *testing.B) {
+		cfg := cfg
+		cfg.Shards = 0
+		row(b, cfg)
+	})
+	b.Run(fmt.Sprintf("p=%d/S=2", benchProcs/2), func(b *testing.B) {
+		cfg := cfg
+		cfg.Shards = 2
+		row(b, cfg)
 	})
 }
 

@@ -1,0 +1,117 @@
+// Command benchdiff compares two BENCH_ycsb.json reports (the BENCH_ycsb/v1
+// schema written by cmd/ycsbbench -json) and fails when any (structure,
+// workload) cell regressed by more than the tolerance.  CI runs it against
+// the previous run's artifact so throughput regressions block the merge
+// instead of landing silently.
+//
+// Usage:
+//
+//	benchdiff -old prev/BENCH_ycsb.json -new BENCH_ycsb.json            # default 25% tolerance
+//	benchdiff -old prev.json -new cur.json -tolerance 0.10
+//
+// Exit status: 0 when every matching cell is within tolerance, 1 on
+// regression, 2 on usage or schema errors.  Cells present in only one
+// report are reported but do not fail the diff (structures come and go
+// between PRs); a run-configuration mismatch (threads, records, duration)
+// downgrades the diff to advisory — the numbers are not comparable, so
+// regressions are printed but do not fail the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mvgc/internal/bench"
+)
+
+func load(path string) (*bench.YCSBReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r bench.YCSBReport
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != bench.YCSBSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, bench.YCSBSchema)
+	}
+	return &r, nil
+}
+
+func cellKey(r bench.YCSBRecord) string { return r.Structure + "/" + r.Workload }
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline BENCH_ycsb.json (e.g. the previous CI run's artifact)")
+		newPath = flag.String("new", "", "candidate BENCH_ycsb.json from this run")
+		tol     = flag.Float64("tolerance", 0.25, "allowed fractional throughput drop per cell")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldR, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newR, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	gate := true
+	if oldR.Threads != newR.Threads || oldR.Records != newR.Records || oldR.DurationSec != newR.DurationSec {
+		// Mismatched measurements are not comparable, so don't gate on
+		// them: e.g. the first CI run after a smoke-duration change would
+		// otherwise fail against a baseline taken under different settings.
+		gate = false
+		fmt.Printf("warning: run configs differ (threads %d→%d, records %d→%d, dur %.2fs→%.2fs); numbers are indicative only, regressions will not fail the diff\n",
+			oldR.Threads, newR.Threads, oldR.Records, newR.Records, oldR.DurationSec, newR.DurationSec)
+	}
+
+	base := make(map[string]float64, len(oldR.Results))
+	for _, r := range oldR.Results {
+		base[cellKey(r)] = r.Mops
+	}
+	regressed := false
+	seen := make(map[string]bool, len(newR.Results))
+	for _, r := range newR.Results {
+		k := cellKey(r)
+		seen[k] = true
+		old, ok := base[k]
+		if !ok {
+			fmt.Printf("new cell    %-24s %8.3f Mops (no baseline)\n", k, r.Mops)
+			continue
+		}
+		delta := 0.0
+		if old > 0 {
+			delta = (r.Mops - old) / old
+		}
+		status := "ok        "
+		if old > 0 && r.Mops < old*(1.0-*tol) {
+			status = "REGRESSED "
+			regressed = true
+		}
+		fmt.Printf("%s %-24s %8.3f → %8.3f Mops (%+.1f%%)\n", status, k, old, r.Mops, delta*100)
+	}
+	for _, r := range oldR.Results {
+		if k := cellKey(r); !seen[k] {
+			fmt.Printf("dropped     %-24s (was %.3f Mops)\n", k, r.Mops)
+		}
+	}
+	switch {
+	case regressed && gate:
+		fmt.Printf("FAIL: at least one cell dropped more than %.0f%%\n", *tol*100)
+		os.Exit(1)
+	case regressed:
+		fmt.Printf("PASS (ungated): regressions found but run configs differ\n")
+	default:
+		fmt.Printf("PASS: all matched cells within %.0f%% of baseline\n", *tol*100)
+	}
+}

@@ -3,32 +3,39 @@
 // work separately.  The paper's claim is that Tu + Tq ≈ Tu+q, i.e.
 // co-running adds almost no overhead because queries are delay-free reads
 // on snapshots and the single writer's parallel unions soak up idle cores.
+// A final row runs the hash-sharded index (-shards), whose S writers
+// ingest in parallel.
 //
 // Usage:
 //
 //	invbench                          # sweep query-thread counts
 //	invbench -docs 20000 -window 30s  # longer, larger corpus
+//	invbench -shards 8 -json BENCH_inv.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"mvgc/internal/bench"
 	"mvgc/internal/experiments"
 )
 
 func main() {
 	var (
-		vocab   = flag.Uint64("vocab", 50_000, "vocabulary size")
-		doclen  = flag.Int("doclen", 48, "mean distinct terms per document")
-		docs    = flag.Int("docs", 2_000, "initial corpus size in documents")
-		threads = flag.Int("threads", 0, "total threads (default GOMAXPROCS; paper: 144)")
-		window  = flag.Duration("window", 3*time.Second, "co-running window (paper: 30s)")
-		qts     = flag.String("querythreads", "", "comma-separated query-thread counts to sweep")
+		vocab    = flag.Uint64("vocab", 50_000, "vocabulary size")
+		doclen   = flag.Int("doclen", 48, "mean distinct terms per document")
+		docs     = flag.Int("docs", 2_000, "initial corpus size in documents")
+		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "total threads (default GOMAXPROCS; paper: 144)")
+		window   = flag.Duration("window", 3*time.Second, "co-running window (paper: 30s)")
+		qts      = flag.String("querythreads", "", "comma-separated query-thread counts to sweep")
+		shards   = flag.Int("shards", 2, "shard count for the sharded-index row (0 skips it)")
+		jsonPath = flag.String("json", "", "also write machine-readable results (BENCH_inv.json schema) to this path")
 	)
 	flag.Parse()
 
@@ -37,7 +44,8 @@ func main() {
 	cfg.MeanDocLen = *doclen
 	cfg.InitialDocs = *docs
 	cfg.Window = *window
-	if *threads > 0 {
+	cfg.Shards = *shards
+	if *threads > 0 && *threads != cfg.Threads {
 		cfg.Threads = *threads
 		// The default sweep was sized for GOMAXPROCS; rebuild it for the
 		// requested thread count.
@@ -54,5 +62,29 @@ func main() {
 			cfg.QueryThreads = append(cfg.QueryThreads, v)
 		}
 	}
-	experiments.RunTable3(cfg, os.Stdout)
+	results := experiments.RunTable3(cfg, os.Stdout)
+
+	if *jsonPath != "" {
+		report := bench.InvReport{
+			Threads:     cfg.Threads,
+			Vocab:       cfg.Vocab,
+			InitialDocs: cfg.InitialDocs,
+			WindowSec:   cfg.Window.Seconds(),
+			Results:     results,
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "invbench:", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "invbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "invbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
 }

@@ -1,6 +1,8 @@
 package mvgc_test
 
 import (
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -117,5 +119,148 @@ func TestOpenDBValidation(t *testing.T) {
 	// Key types without a built-in hash/ordering must error, not panic.
 	if _, err := mvgc.OpenPlainDB[[2]int, int](mvgc.DBOptions[[2]int]{}, nil); err == nil {
 		t.Fatal("unsupported key type accepted without Hash/Cmp")
+	}
+}
+
+// roundTripKeys proves one key type works end to end with zero-value
+// DBOptions: the built-in autoHash routes keys to shards and the built-in
+// autoCmp keeps the global iteration order sorted.
+func roundTripKeys[K int | int32 | int64 | uint | uint32 | uint64](t *testing.T, mk func(i int) K) {
+	t.Helper()
+	db, err := mvgc.OpenPlainDB[K, int](mvgc.DBOptions[K]{Shards: 3, Procs: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		db.Insert(mk(i), i)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := db.Get(mk(i)); !ok || v != i {
+			t.Fatalf("Get(%v) = %d,%v want %d", mk(i), v, ok, i)
+		}
+	}
+	var visited int
+	var prev K
+	db.View(func(s mvgc.DBSnapshot[K, int, struct{}]) {
+		s.ForEach(func(k K, _ int) {
+			if visited > 0 && k <= prev {
+				t.Fatalf("iteration order broken: %v after %v", k, prev)
+			}
+			prev, visited = k, visited+1
+		})
+	})
+	if visited != n {
+		t.Fatalf("ForEach visited %d keys, want %d", visited, n)
+	}
+	db.Close()
+	if live := db.Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}
+
+// TestAutoHashCmpRoundTrip covers every key type autoHash/autoCmp support
+// (strings are covered by TestDBStringKeys).
+func TestAutoHashCmpRoundTrip(t *testing.T) {
+	t.Run("int", func(t *testing.T) { roundTripKeys(t, func(i int) int { return (i - 100) * 3 }) })
+	t.Run("int32", func(t *testing.T) { roundTripKeys(t, func(i int) int32 { return int32(i-100) * 7 }) })
+	t.Run("int64", func(t *testing.T) { roundTripKeys(t, func(i int) int64 { return int64(i-100) * 11 }) })
+	t.Run("uint", func(t *testing.T) { roundTripKeys(t, func(i int) uint { return uint(i)*13 + 1 }) })
+	t.Run("uint32", func(t *testing.T) { roundTripKeys(t, func(i int) uint32 { return uint32(i)*17 + 1 }) })
+	t.Run("uint64", func(t *testing.T) { roundTripKeys(t, func(i int) uint64 { return uint64(i)*19 + 1 }) })
+}
+
+// TestAutoHashCmpUnsupported pins the documented errors for key types
+// without built-in hashing or ordering.
+func TestAutoHashCmpUnsupported(t *testing.T) {
+	// No Hash, unsupported kind → the autoHash error.
+	_, err := mvgc.OpenPlainDB[float64, int](mvgc.DBOptions[float64]{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "DBOptions.Hash is required") {
+		t.Fatalf("float64 keys without Hash: err = %v", err)
+	}
+	// Hash supplied but no Cmp, unsupported kind → the autoCmp error.
+	_, err = mvgc.OpenPlainDB[float64, int](mvgc.DBOptions[float64]{
+		Hash: func(k float64) uint64 { return uint64(k) },
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "DBOptions.Cmp is required") {
+		t.Fatalf("float64 keys without Cmp: err = %v", err)
+	}
+	// Both supplied → the key type is fine after all.
+	db, err := mvgc.OpenPlainDB[float64, int](mvgc.DBOptions[float64]{
+		Shards: 2, Procs: 2,
+		Hash: func(k float64) uint64 { return uint64(k * 8) },
+		Cmp: func(a, b float64) int {
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Insert(1.5, 10)
+	if v, ok := db.Get(1.5); !ok || v != 10 {
+		t.Fatalf("Get(1.5) = %d,%v", v, ok)
+	}
+	db.Close()
+}
+
+// TestDBPointOpContention hammers the cached-handle fast path the way a
+// goroutine-per-request server would: GOMAXPROCS×4 goroutines of mixed
+// point ops per shard count.  The no-double-lease property itself is
+// asserted at the core layer (TestWithCachedNoDoubleLease); here the
+// observable contract is checked end to end — every committed write is
+// readable and per-shard precise GC reports zero leaks — under -race.
+func TestDBPointOpContention(t *testing.T) {
+	goroutines := runtime.GOMAXPROCS(0) * 4
+	const iters = 500
+	for _, shards := range []int{1, 4} {
+		db, err := mvgc.OpenPlainDB[uint64, uint64](mvgc.DBOptions[uint64]{Shards: shards, Procs: 4}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					k := uint64(g*iters + i)
+					switch i % 4 {
+					// Keys are per-goroutine, so each goroutine sees its own
+					// ops in order: the i%4==0 insert must be visible at
+					// i%4==2, and the i%4==1 insert really exists when the
+					// i%4==3 delete removes it.
+					case 0, 1:
+						db.Insert(k, k+1)
+					case 2:
+						if v, ok := db.Get(k - 2); !ok || v != k-1 {
+							t.Errorf("Get(%d) = %d,%v want %d", k-2, v, ok, k-1)
+						}
+					case 3:
+						db.Delete(k - 2)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for g := 0; g < goroutines; g++ {
+			ins := uint64(g * iters) // i%4==0: inserted, never deleted
+			if v, ok := db.Get(ins); !ok || v != ins+1 {
+				t.Errorf("shards=%d: Get(%d) = %d,%v want %d", shards, ins, v, ok, ins+1)
+			}
+			del := uint64(g*iters + 1) // i%4==1: inserted, then deleted at i%4==3
+			if v, ok := db.Get(del); ok {
+				t.Errorf("shards=%d: Get(%d) = %d, want deleted", shards, del, v)
+			}
+		}
+		db.Close()
+		if live := db.Live(); live != 0 {
+			t.Fatalf("shards=%d: leaked %d nodes", shards, live)
+		}
 	}
 }

@@ -2,14 +2,19 @@
 // paper's Section 7.2 application.  Documents are ingested atomically (a
 // query can never see half a document) while "and"-queries rank results by
 // summed weight using the max-weight augmentation for O(k log n) top-k.
+// No pid appears anywhere: the index leases process identities internally,
+// so ingestion and queries run from plain goroutines.
 //
 // Run with:
 //
 //	go run ./examples/invertedindex
+//	go run ./examples/invertedindex -queriers 8 -shards 4
 package main
 
 import (
+	"flag"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,9 +23,36 @@ import (
 	"mvgc/internal/ycsb"
 )
 
+// index is the surface this demo drives; Index and ShardedIndex both
+// provide it.
+type index interface {
+	AddDocuments(docs []invindex.Doc)
+	AndQuery(term1, term2 uint64, k int) []invindex.ScoredDoc
+	PostingLen(term uint64) int64
+	Terms() int64
+	Close()
+	LiveNodes() (outer, inner int64)
+}
+
 func main() {
-	const queryThreads = 3
-	ix, err := invindex.New(queryThreads+1, 512)
+	var (
+		queriers = flag.Int("queriers", max(1, runtime.GOMAXPROCS(0)-1),
+			"query goroutines running next to the ingesting writer (default GOMAXPROCS-1)")
+		shards = flag.Int("shards", 0, "hash-partition the term tree across this many shards (0 = single index)")
+		dur    = flag.Duration("dur", time.Second, "live co-running phase duration")
+	)
+	flag.Parse()
+
+	procs := *queriers + 1 // queriers + the ingesting writer
+	var (
+		ix  index
+		err error
+	)
+	if *shards > 0 {
+		ix, err = invindex.NewSharded(*shards, procs, 512)
+	} else {
+		ix, err = invindex.New(procs, 512)
+	}
 	if err != nil {
 		panic(err)
 	}
@@ -37,12 +69,12 @@ func main() {
 		for j := range docs {
 			docs[j] = corpus.Next()
 		}
-		ix.AddDocuments(0, docs)
+		ix.AddDocuments(docs)
 	}
 	fmt.Printf("corpus: %d terms, hottest posting has %d docs\n",
-		ix.Terms(1), ix.PostingLen(1, hot[0]))
+		ix.Terms(), ix.PostingLen(hot[0]))
 
-	// Live phase: one ingesting writer, several query threads.
+	// Live phase: one ingesting writer, several query goroutines.
 	var stop atomic.Bool
 	var queries atomic.Int64
 	var wg sync.WaitGroup
@@ -54,10 +86,10 @@ func main() {
 			for j := range docs {
 				docs[j] = corpus.Next()
 			}
-			ix.AddDocuments(0, docs)
+			ix.AddDocuments(docs)
 		}
 	}()
-	for q := 0; q < queryThreads; q++ {
+	for q := 0; q < *queriers; q++ {
 		wg.Add(1)
 		go func(q int) {
 			defer wg.Done()
@@ -65,17 +97,17 @@ func main() {
 			for !stop.Load() {
 				t1 := hot[rng.Intn(uint64(len(hot)))]
 				t2 := hot[rng.Intn(uint64(len(hot)))]
-				ix.AndQuery(1+q, t1, t2, 10)
+				ix.AndQuery(t1, t2, 10)
 				queries.Add(1)
 			}
 		}(q)
 	}
-	time.Sleep(time.Second)
+	time.Sleep(*dur)
 	stop.Store(true)
 	wg.Wait()
 
 	// One final query, printed.
-	res := ix.AndQuery(1, hot[0], hot[1], 5)
+	res := ix.AndQuery(hot[0], hot[1], 5)
 	fmt.Printf("answered %d and-queries during live ingestion\n", queries.Load())
 	fmt.Printf("top-5 docs containing terms %d AND %d:\n", hot[0], hot[1])
 	for i, r := range res {

@@ -34,3 +34,38 @@ func (r *YCSBReport) WriteJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
 }
+
+// InvSchema identifies the machine-readable result format emitted by
+// cmd/invbench -json; bump the version when fields change meaning.
+const InvSchema = "BENCH_inv/v1"
+
+// InvRecord is one Table 3 row: p query threads co-running with one
+// ingesting writer (Shards > 0 marks the hash-sharded index).
+type InvRecord struct {
+	QueryThreads int     `json:"query_threads"`
+	Shards       int     `json:"shards,omitempty"`
+	Updates      int64   `json:"updates"`
+	Queries      int64   `json:"queries"`
+	TuSec        float64 `json:"tu_sec"`
+	TqSec        float64 `json:"tq_sec"`
+	TuqSec       float64 `json:"tuq_sec"`
+}
+
+// InvReport is the BENCH_inv.json document: run configuration plus every
+// measured row, so successive PRs can track the co-running trajectory.
+type InvReport struct {
+	Schema      string      `json:"schema"`
+	Threads     int         `json:"threads"`
+	Vocab       uint64      `json:"vocab"`
+	InitialDocs int         `json:"initial_docs"`
+	WindowSec   float64     `json:"window_sec"`
+	Results     []InvRecord `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *InvReport) WriteJSON(w io.Writer) error {
+	r.Schema = InvSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,169 @@
+package core
+
+// This file adds the cached-handle fast path for point operations.  The
+// plain lease path (Handle/With) pays two PidPool mutex acquisitions per
+// transaction — Acquire and Release both lock the pool — which dominates
+// the cost of a point read on a hot map.  The cache keeps already-leased
+// pids on a bounded lock-free free list, so a goroutine running
+// back-to-back point ops reuses a parked lease with one CAS at each end
+// instead of two mutex round-trips.
+//
+// Two designs were considered and rejected:
+//
+//   - sync.Pool: a lease parked in another P's private pool slot is not
+//     stealable, so with the pid space exhausted a WithCached fallback
+//     could block on the PidPool until the next GC purge released it — a
+//     liveness hazard.
+//   - a heap-node Treiber stack: ABA-freedom requires a fresh node per
+//     push, and that allocation made the fast path slower than the
+//     mutexes it replaces.
+//
+// Instead the free list is an intrusive stack over the pid space itself:
+// next[pid] links parked pids, and head packs the top pid with a version
+// counter bumped on every successful push/pop, so a stale CAS can never
+// succeed (no ABA) and steady-state point ops allocate nothing.
+//
+// Invariants:
+//
+//   - A pid owned by the cache is leased from the PidPool exactly once and
+//     stays leased while it sits on the free list or is in use by a
+//     WithCached caller; the stack pop's exclusive ownership is what
+//     upholds the Version Maintenance rule that a pid never runs
+//     concurrently.
+//   - The cache owns at most Procs-1 pids, so at least one pid always
+//     flows through the blocking lease path: a long-lived Handle (e.g. a
+//     combining writer) can never be starved by idle cached leases.
+//   - Parked pids stay leased for the map's lifetime (pids are a fixed
+//     O(P) resource; there is nothing to shrink), inside the bound above.
+//
+// When the free list is empty and the pid space is exhausted (or
+// Procs == 1), WithCached polls cache and pool with backoff until a pid
+// frees (see the method comment for why it must not sleep in
+// PidPool.Acquire), preserving admission control: at most P transactions
+// run at once, cached or not.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// handleCache is the per-Map cache state; NewMap sets max and sizes next.
+type handleCache struct {
+	// head packs the free list's top into one CAS-able word: the low 32
+	// bits hold pid+1 (0 = empty list), the high 32 bits a version counter
+	// incremented by every successful push and pop.
+	head atomic.Uint64
+	// next[pid] holds the pid+1 below pid on the stack (0 = bottom).  It
+	// is written only by the pusher that currently owns pid; a racing pop
+	// may read a stale value but its CAS then fails on the version.
+	next []atomic.Int32
+	// held counts pids currently owned by the cache, whether parked on the
+	// free list or in use by a WithCached caller; it grows only while
+	// below max.
+	held atomic.Int64
+	max  int64
+}
+
+// pop takes a parked pid off the free list, with exclusive ownership.
+func (c *handleCache) pop() (pid int, ok bool) {
+	for {
+		h := c.head.Load()
+		top := uint32(h)
+		if top == 0 {
+			return 0, false
+		}
+		below := uint32(c.next[top-1].Load())
+		if c.head.CompareAndSwap(h, (h>>32+1)<<32|uint64(below)) {
+			return int(top - 1), true
+		}
+	}
+}
+
+// push parks a pid on the free list for the next point op.
+func (c *handleCache) push(pid int) {
+	for {
+		h := c.head.Load()
+		c.next[pid].Store(int32(uint32(h)))
+		if c.head.CompareAndSwap(h, (h>>32+1)<<32|uint64(pid+1)) {
+			return
+		}
+	}
+}
+
+// takeCached returns an exclusively-owned cached pid; ok is false when the
+// caller should fall back to the blocking path.
+func (m *Map[K, V, A]) takeCached() (int, bool) {
+	if pid, ok := m.cache.pop(); ok {
+		return pid, true
+	}
+	for {
+		held := m.cache.held.Load()
+		if held >= m.cache.max {
+			return 0, false
+		}
+		if !m.cache.held.CompareAndSwap(held, held+1) {
+			continue
+		}
+		pid, ok := m.pool.TryAcquire()
+		if !ok {
+			m.cache.held.Add(-1)
+			return 0, false
+		}
+		return pid, true
+	}
+}
+
+// WithCached runs f with a handle from the map's lease cache — the fast
+// path for point operations, skipping both PidPool mutex hits on reuse.
+// When no cached lease is available and the cache cannot grow (pid space
+// exhausted, or Procs == 1), it polls both the cache and the PidPool with
+// backoff until a pid frees, so admission control is unchanged: at most P
+// transactions run at once.  It must not block inside PidPool.Acquire —
+// cached leases are returned to the cache, never the pool, so a pool
+// waiter would sleep through every cached-lease release and hang for as
+// long as a long-lived Handle (e.g. a combining writer) pins the one
+// reserved pid.  Like With, the handle is valid only within f; unlike
+// With, f should not Close it (Close is tolerated but forfeits the cached
+// lease, returning its pid to the PidPool).
+func (m *Map[K, V, A]) WithCached(f func(h *Handle[K, V, A])) {
+	pid, ok := m.takeCached()
+	for spins := 0; !ok; spins++ {
+		// Saturated: every pid is inside a transaction.  One frees within a
+		// point op's latency; yield first, then sleep so spinners don't
+		// drown the PidPool's cond waiters on the reserved pid.
+		if spins < 32 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+		if h, leased := m.TryHandle(); leased {
+			defer h.Close()
+			f(h)
+			return
+		}
+		pid, ok = m.takeCached()
+	}
+	// Popping pid grants exclusive ownership of its preallocated handle
+	// too, so the fast path allocates nothing.  The pid leaves this
+	// goroutine only below — in push or Release, both after the closed
+	// check — so no new owner can recycle the handle while we still read
+	// it (the cached-Close protocol; see Handle.cached).
+	h := &m.chandles[pid]
+	h.closed = false
+	defer func() {
+		if h.closed {
+			// The callback closed the handle: forfeit the cached lease and
+			// return the pid to the PidPool.
+			m.cache.held.Add(-1)
+			m.pool.Release(pid)
+			return
+		}
+		m.cache.push(pid)
+	}()
+	f(h)
+}
+
+// CachedPids reports how many pids the cache currently owns (parked or in
+// use by a WithCached caller); it never exceeds Procs-1.
+func (m *Map[K, V, A]) CachedPids() int { return int(m.cache.held.Load()) }

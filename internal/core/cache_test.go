@@ -1,0 +1,290 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvgc/internal/ftree"
+)
+
+func newCacheTestMap(t testing.TB, procs int) *Map[uint64, uint64, struct{}] {
+	t.Helper()
+	ops := ftree.New[uint64, uint64, struct{}](ftree.IntCmp[uint64], ftree.NoAug[uint64, uint64](), 0)
+	m, err := NewMap(Config{Algorithm: "pswf", Procs: procs}, ops, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestWithCachedNoDoubleLease is the handle cache's safety property under
+// the race detector: GOMAXPROCS×4 goroutines hammer cached point ops and
+// every transaction asserts that its pid is not concurrently held by any
+// other transaction — the Version Maintenance contract the cache must
+// uphold without the PidPool mutex serializing anything.
+func TestWithCachedNoDoubleLease(t *testing.T) {
+	const procs = 8
+	m := newCacheTestMap(t, procs)
+	inUse := make([]atomic.Int32, procs)
+	goroutines := runtime.GOMAXPROCS(0) * 4
+	const iters = 2000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := uint64(g*iters + i)
+				m.WithCached(func(h *Handle[uint64, uint64, struct{}]) {
+					if !inUse[h.Pid()].CompareAndSwap(0, 1) {
+						t.Errorf("pid %d double-leased", h.Pid())
+						return
+					}
+					if i%4 == 0 {
+						h.Update(func(tx *Txn[uint64, uint64, struct{}]) { tx.Insert(k, k) })
+					} else {
+						h.Read(func(s Snapshot[uint64, uint64, struct{}]) { s.Get(k) })
+					}
+					if !inUse[h.Pid()].CompareAndSwap(1, 0) {
+						t.Errorf("pid %d released twice", h.Pid())
+					}
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if held := m.CachedPids(); held > procs-1 {
+		t.Fatalf("cache owns %d pids, exceeding the Procs-1 bound %d", held, procs-1)
+	}
+	m.Close()
+	if live := m.Ops().Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}
+
+// TestWithCachedLeavesBlockingPathAlive: with every cacheable pid absorbed
+// by concurrent point ops, a plain blocking lease must still make progress
+// (the cache reserves one pid for it), and mixing the two paths stays
+// correct.
+func TestWithCachedLeavesBlockingPathAlive(t *testing.T) {
+	const procs = 4
+	m := newCacheTestMap(t, procs)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < procs*2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.WithCached(func(h *Handle[uint64, uint64, struct{}]) {
+					h.Update(func(tx *Txn[uint64, uint64, struct{}]) {
+						tx.Insert(uint64(g), uint64(i))
+					})
+				})
+			}
+		}(g)
+	}
+	// The long-lived lease path (what a combining writer uses) must not
+	// starve behind cached leases.
+	for i := 0; i < 50; i++ {
+		m.With(func(h *Handle[uint64, uint64, struct{}]) {
+			h.Update(func(tx *Txn[uint64, uint64, struct{}]) {
+				tx.Insert(1000+uint64(i), uint64(i))
+			})
+		})
+	}
+	close(stop)
+	wg.Wait()
+	m.WithCached(func(h *Handle[uint64, uint64, struct{}]) {
+		h.Read(func(s Snapshot[uint64, uint64, struct{}]) {
+			if _, ok := s.Get(1049); !ok {
+				t.Error("blocking-path write lost")
+			}
+		})
+	})
+	m.Close()
+	if live := m.Ops().Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}
+
+// TestWithCachedSingleProc: with Procs == 1 the cache must stay empty
+// (max 0) and every op must take the blocking path, still serializing
+// correctly.
+func TestWithCachedSingleProc(t *testing.T) {
+	m := newCacheTestMap(t, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.WithCached(func(h *Handle[uint64, uint64, struct{}]) {
+					h.Update(func(tx *Txn[uint64, uint64, struct{}]) {
+						tx.Insert(uint64(g*200+i), 1)
+					})
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if held := m.CachedPids(); held != 0 {
+		t.Fatalf("single-proc map cached %d pids, want 0", held)
+	}
+	m.WithCached(func(h *Handle[uint64, uint64, struct{}]) {
+		h.Read(func(s Snapshot[uint64, uint64, struct{}]) {
+			if n := s.Len(); n != 800 {
+				t.Errorf("Len = %d, want 800", n)
+			}
+		})
+	})
+	m.Close()
+	if live := m.Ops().Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}
+
+// TestWithCachedCloseForfeitsLease: a callback that Closes the cached
+// handle returns the pid to the PidPool; the cache must notice and not
+// hand the same pid out twice.
+func TestWithCachedCloseForfeitsLease(t *testing.T) {
+	const procs = 4
+	m := newCacheTestMap(t, procs)
+	m.WithCached(func(h *Handle[uint64, uint64, struct{}]) {
+		h.Update(func(tx *Txn[uint64, uint64, struct{}]) { tx.Insert(1, 1) })
+		h.Close()
+	})
+	if held := m.CachedPids(); held != 0 {
+		t.Fatalf("cache still owns %d pids after callback Close", held)
+	}
+	// The pid must be usable again through either path.
+	var leased []*Handle[uint64, uint64, struct{}]
+	for i := 0; i < procs; i++ {
+		leased = append(leased, m.Handle())
+	}
+	seen := map[int]bool{}
+	for _, h := range leased {
+		if seen[h.Pid()] {
+			t.Fatalf("pid %d leased twice", h.Pid())
+		}
+		seen[h.Pid()] = true
+		h.Close()
+	}
+	m.Close()
+}
+
+// TestWithCachedNoDeadlockWithLongLivedHandle is the liveness regression
+// for the saturated fallback: with a long-lived Handle pinning the one
+// non-cacheable pid (the combining-writer pattern) and every cached lease
+// in flight, a new WithCached must complete as soon as a cached lease is
+// parked again.  A fallback that blocked inside PidPool.Acquire would hang
+// here forever: cached leases go back to the cache, never the pool, so no
+// Release ever signals the waiter.
+func TestWithCachedNoDeadlockWithLongLivedHandle(t *testing.T) {
+	m := newCacheTestMap(t, 2) // cache max = 1
+	writer := m.Handle()       // pins the reserved pid for the whole test
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		m.WithCached(func(h *Handle[uint64, uint64, struct{}]) {
+			close(entered)
+			<-release // hold the only cacheable lease in flight
+		})
+	}()
+	<-entered
+
+	done := make(chan struct{})
+	go func() {
+		m.WithCached(func(h *Handle[uint64, uint64, struct{}]) {
+			h.Update(func(tx *Txn[uint64, uint64, struct{}]) { tx.Insert(1, 1) })
+		})
+		close(done)
+	}()
+
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("WithCached deadlocked behind a parked cached lease")
+	}
+	writer.Close()
+	m.Close()
+	if live := m.Ops().Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}
+
+// TestWithCachedCloseForfeitRace is the regression for the double-lease
+// race in the Close-forfeit path: with cache headroom (Procs >= 3), a
+// forfeited pid must not be re-leased — recycling the preallocated handle
+// — while the forfeiting WithCached's epilogue still reads it.  The
+// cached-Close protocol (Close records intent, the epilogue releases)
+// keeps the pid inside the goroutine until after the closed check; the
+// race detector plus the per-pid in-use assertions catch a regression.
+func TestWithCachedCloseForfeitRace(t *testing.T) {
+	const procs = 8
+	m := newCacheTestMap(t, procs)
+	inUse := make([]atomic.Int32, procs)
+	goroutines := runtime.GOMAXPROCS(0) * 4
+	const iters = 1500
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.WithCached(func(h *Handle[uint64, uint64, struct{}]) {
+					if !inUse[h.Pid()].CompareAndSwap(0, 1) {
+						t.Errorf("pid %d double-leased", h.Pid())
+						return
+					}
+					h.Read(func(s Snapshot[uint64, uint64, struct{}]) { s.Get(uint64(i)) })
+					pid := h.Pid()
+					if i%3 == 0 {
+						h.Close() // forfeit the cached lease mid-storm
+					}
+					if !inUse[pid].CompareAndSwap(1, 0) {
+						t.Errorf("pid %d released twice", pid)
+					}
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if held := m.CachedPids(); held < 0 || held > procs-1 {
+		t.Fatalf("cache owns %d pids after forfeit storm, want 0..%d", held, procs-1)
+	}
+	// Every pid must still be leasable exactly once.
+	var leased []*Handle[uint64, uint64, struct{}]
+	for i := 0; i < procs-m.CachedPids(); i++ {
+		h, ok := m.TryHandle()
+		if !ok {
+			t.Fatalf("pool exhausted after %d leases with %d cached", i, m.CachedPids())
+		}
+		leased = append(leased, h)
+	}
+	seen := map[int]bool{}
+	for _, h := range leased {
+		if seen[h.Pid()] {
+			t.Fatalf("pid %d leased twice", h.Pid())
+		}
+		seen[h.Pid()] = true
+		h.Close()
+	}
+	m.Close()
+	if live := m.Ops().Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}

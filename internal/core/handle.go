@@ -16,6 +16,10 @@ import "sync"
 // space, so a raw pid may collide with a leased one.  Code that needs a
 // long-lived dedicated pid (a combining writer, a benchmark worker) should
 // hold a Handle for its lifetime instead of hard-coding a pid.
+//
+// Short point operations should prefer WithCached (cache.go), which reuses
+// leases through a lock-free cache instead of paying the pool's two mutex
+// acquisitions on every transaction.
 
 // PidPool leases process identifiers to short-lived workers.  The Version
 // Maintenance contract requires that a given process id is never used
@@ -84,8 +88,14 @@ func (p *PidPool) Do(f func(pid int)) {
 // Version Maintenance contract, enforced by lease exclusivity rather than
 // by caller discipline.  Close returns the pid to the map's pool.
 type Handle[K, V, A any] struct {
-	m      *Map[K, V, A]
-	pid    int
+	m   *Map[K, V, A]
+	pid int
+	// cached marks the preallocated handles WithCached hands out: their
+	// Close only records the intent, and WithCached's epilogue performs
+	// the actual pool release.  Releasing inside Close would let another
+	// goroutine re-lease the pid — and recycle this very struct — while
+	// the epilogue still reads closed (a double-lease race).
+	cached bool
 	closed bool
 }
 
@@ -115,12 +125,17 @@ func (m *Map[K, V, A]) With(f func(h *Handle[K, V, A])) {
 }
 
 // Close returns the leased pid to the pool.  The handle must not be used
-// afterwards; Close is idempotent.
+// afterwards; Close is idempotent.  For a cached handle (inside a
+// WithCached callback) the release is deferred to WithCached's epilogue;
+// see the cached field.
 func (h *Handle[K, V, A]) Close() {
 	if h.closed {
 		return
 	}
 	h.closed = true
+	if h.cached {
+		return
+	}
 	h.m.pool.Release(h.pid)
 }
 

@@ -32,6 +32,8 @@ type Map[K, V, A any] struct {
 	m     vm.Maintainer[ftree.Node[K, V, A]]
 	procs int
 	pool  *PidPool
+	cache    handleCache       // cached leases for point ops (see cache.go)
+	chandles []Handle[K, V, A] // preallocated per-pid handles for WithCached
 
 	// TrackVersions enables sampling of the version count at the start of
 	// every write transaction (the Table 2 / Figure 6 metric).
@@ -72,7 +74,14 @@ func NewMap[K, V, A any](cfg Config, ops *ftree.Ops[K, V, A], initial []ftree.En
 		ops.Release(root)
 		return nil, fmt.Errorf("core: unknown version-maintenance algorithm %q (want one of %v)", alg, vm.Names())
 	}
-	return &Map[K, V, A]{ops: ops, m: m, procs: cfg.Procs, pool: NewPidPool(0, cfg.Procs)}, nil
+	mp := &Map[K, V, A]{ops: ops, m: m, procs: cfg.Procs, pool: NewPidPool(0, cfg.Procs)}
+	mp.cache.max = int64(cfg.Procs - 1) // keep one pid on the blocking path
+	mp.cache.next = make([]atomic.Int32, cfg.Procs)
+	mp.chandles = make([]Handle[K, V, A], cfg.Procs)
+	for pid := range mp.chandles {
+		mp.chandles[pid] = Handle[K, V, A]{m: mp, pid: pid, cached: true}
+	}
+	return mp, nil
 }
 
 // Ops exposes the tree operations (and their allocation accounting).

@@ -30,6 +30,10 @@ type Table3Config struct {
 	DocsPerBatch int
 	// TopK is the query result size (paper: top-10).
 	TopK int
+	// Shards selects the hash-partitioned ShardedIndex when positive; zero
+	// runs the paper's single index.  RunTable3 sweeps the single index and
+	// then appends one sharded row at this shard count.
+	Shards int
 }
 
 // QueryThreadSweep returns the default sweep of query-thread counts for a
@@ -64,6 +68,7 @@ func DefaultTable3() Table3Config {
 		Window:       3 * time.Second,
 		DocsPerBatch: 16,
 		TopK:         10,
+		Shards:       2,
 	}
 }
 
@@ -71,14 +76,24 @@ func DefaultTable3() Table3Config {
 // (Tu), the queries alone (Tq), and both together (Tuq ≈ the window).
 type Table3Row struct {
 	QueryThreads int
+	Shards       int   // 0 for the paper's single index
 	Updates      int64 // documents ingested during the window
 	Queries      int64 // and-queries answered during the window
 	Tu, Tq, Tuq  float64
 }
 
+// table3Index is the surface the experiment drives; invindex.Index and
+// invindex.ShardedIndex both provide it, pid-free.
+type table3Index interface {
+	AddDocuments(docs []invindex.Doc)
+	AndQuery(term1, term2 uint64, k int) []invindex.ScoredDoc
+	Close()
+}
+
 // RunTable3Row measures one sweep point: p query threads and one ingesting
 // writer share the window; then the same number of updates and queries are
-// re-run separately with all threads.
+// re-run separately with all threads.  cfg.Shards > 0 swaps in the sharded
+// index.
 func RunTable3Row(cfg Table3Config, p int) Table3Row {
 	if p >= cfg.Threads {
 		p = cfg.Threads - 1 // leave room for the writer process
@@ -89,7 +104,7 @@ func RunTable3Row(cfg Table3Config, p int) Table3Row {
 	ix := mustIndex(cfg)
 	corpus := invindex.NewCorpus(invindex.CorpusConfig{Vocab: cfg.Vocab, MeanDocLen: cfg.MeanDocLen, Seed: 7})
 	for d := 0; d < cfg.InitialDocs; d += cfg.DocsPerBatch {
-		ix.AddDocuments(0, nextDocs(corpus, cfg.DocsPerBatch))
+		ix.AddDocuments(nextDocs(corpus, cfg.DocsPerBatch))
 	}
 	hot := corpus.HotTerms(64)
 
@@ -101,7 +116,7 @@ func RunTable3Row(cfg Table3Config, p int) Table3Row {
 	go func() { // the single ingesting writer (parallel unions inside)
 		defer wg.Done()
 		for !stop.Load() {
-			ix.AddDocuments(0, nextDocs(corpus, cfg.DocsPerBatch))
+			ix.AddDocuments(nextDocs(corpus, cfg.DocsPerBatch))
 			updates.Add(int64(cfg.DocsPerBatch))
 		}
 	}()
@@ -113,7 +128,7 @@ func RunTable3Row(cfg Table3Config, p int) Table3Row {
 			for !stop.Load() {
 				t1 := hot[rng.Intn(uint64(len(hot)))]
 				t2 := hot[rng.Intn(uint64(len(hot)))]
-				ix.AndQuery(1+q, t1, t2, cfg.TopK)
+				ix.AndQuery(t1, t2, cfg.TopK)
 				queries.Add(1)
 			}
 		}(q)
@@ -131,11 +146,11 @@ func RunTable3Row(cfg Table3Config, p int) Table3Row {
 	ix2 := mustIndex(cfg)
 	corpus2 := invindex.NewCorpus(invindex.CorpusConfig{Vocab: cfg.Vocab, MeanDocLen: cfg.MeanDocLen, Seed: 7})
 	for d := 0; d < cfg.InitialDocs; d += cfg.DocsPerBatch {
-		ix2.AddDocuments(0, nextDocs(corpus2, cfg.DocsPerBatch))
+		ix2.AddDocuments(nextDocs(corpus2, cfg.DocsPerBatch))
 	}
 	startU := time.Now()
 	for done := int64(0); done < u; done += int64(cfg.DocsPerBatch) {
-		ix2.AddDocuments(0, nextDocs(corpus2, cfg.DocsPerBatch))
+		ix2.AddDocuments(nextDocs(corpus2, cfg.DocsPerBatch))
 	}
 	tu := time.Since(startU).Seconds()
 
@@ -155,7 +170,7 @@ func RunTable3Row(cfg Table3Config, p int) Table3Row {
 			for i := int64(0); i < n; i++ {
 				t1 := hot[rng.Intn(uint64(len(hot)))]
 				t2 := hot[rng.Intn(uint64(len(hot)))]
-				ix2.AndQuery(w, t1, t2, cfg.TopK)
+				ix2.AndQuery(t1, t2, cfg.TopK)
 			}
 		}(w)
 	}
@@ -163,11 +178,19 @@ func RunTable3Row(cfg Table3Config, p int) Table3Row {
 	tq := time.Since(startQ).Seconds()
 	ix2.Close()
 
-	return Table3Row{QueryThreads: p, Updates: u, Queries: q, Tu: tu, Tq: tq, Tuq: tuq}
+	return Table3Row{QueryThreads: p, Shards: cfg.Shards, Updates: u, Queries: q, Tu: tu, Tq: tq, Tuq: tuq}
 }
 
-func mustIndex(cfg Table3Config) *invindex.Index {
-	ix, err := invindex.New(cfg.Threads+1, 2048)
+func mustIndex(cfg Table3Config) table3Index {
+	var (
+		ix  table3Index
+		err error
+	)
+	if cfg.Shards > 0 {
+		ix, err = invindex.NewSharded(cfg.Shards, cfg.Threads+1, 2048)
+	} else {
+		ix, err = invindex.New(cfg.Threads+1, 2048)
+	}
 	if err != nil {
 		panic(err)
 	}
@@ -182,16 +205,35 @@ func nextDocs(c *invindex.Corpus, n int) []invindex.Doc {
 	return docs
 }
 
-// RunTable3 sweeps query-thread counts and renders Table 3: if co-running
-// adds little overhead, Tu + Tq ≈ Tu+q.
-func RunTable3(cfg Table3Config, w io.Writer) {
+// RunTable3 sweeps query-thread counts on the paper's single index and
+// renders Table 3 (if co-running adds little overhead, Tu + Tq ≈ Tu+q),
+// then appends one row for the hash-sharded index (cfg.Shards shards) at
+// the sweep's largest p.  It returns the measured rows in the BENCH_inv/v1
+// record form for machine-readable output.
+func RunTable3(cfg Table3Config, w io.Writer) []bench.InvRecord {
 	t := bench.NewTable(
 		fmt.Sprintf("Table 3: inverted index, %d threads total (times in seconds)", cfg.Threads),
 		"p (query threads)", "updates", "queries", "Tu", "Tq", "Tu+Tq", "Tu+q")
-	for _, p := range cfg.QueryThreads {
-		r := RunTable3Row(cfg, p)
-		t.AddRow(fmt.Sprint(r.QueryThreads), fmt.Sprint(r.Updates), fmt.Sprint(r.Queries),
+	var recs []bench.InvRecord
+	addRow := func(label string, r Table3Row) {
+		t.AddRow(label, fmt.Sprint(r.Updates), fmt.Sprint(r.Queries),
 			bench.F2(r.Tu), bench.F2(r.Tq), bench.F2(r.Tu+r.Tq), bench.F2(r.Tuq))
+		recs = append(recs, bench.InvRecord{
+			QueryThreads: r.QueryThreads, Shards: r.Shards,
+			Updates: r.Updates, Queries: r.Queries,
+			TuSec: r.Tu, TqSec: r.Tq, TuqSec: r.Tuq,
+		})
+	}
+	single := cfg
+	single.Shards = 0
+	for _, p := range single.QueryThreads {
+		r := RunTable3Row(single, p)
+		addRow(fmt.Sprint(r.QueryThreads), r)
+	}
+	if cfg.Shards > 0 && len(cfg.QueryThreads) > 0 {
+		r := RunTable3Row(cfg, cfg.QueryThreads[len(cfg.QueryThreads)-1])
+		addRow(fmt.Sprintf("%d (S=%d)", r.QueryThreads, r.Shards), r)
 	}
 	t.Fprint(w)
+	return recs
 }

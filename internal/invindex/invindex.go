@@ -6,6 +6,12 @@
 // transaction (built with a parallel union) and "and"-queries intersect two
 // posting-list snapshots without any synchronization.
 //
+// No pid appears anywhere in this package's API: the index leases process
+// identities internally from its map's pool through the cached-handle fast
+// path (core.Map.WithCached), so ingestion and queries may be issued from
+// any goroutine.  ShardedIndex (sharded.go) hash-partitions the outer term
+// tree across S independent maps for parallel ingestion.
+//
 // The corpus is synthetic (Zipf-distributed vocabulary), substituting for
 // the paper's Wikipedia dump; see DESIGN.md for why the substitution
 // preserves the experiment's claim.
@@ -14,6 +20,7 @@ package invindex
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"mvgc/internal/core"
@@ -44,10 +51,26 @@ type Doc struct {
 	Terms []TermWeight
 }
 
-// New creates an empty index for procs transactional processes with the
-// given parallel grain for batch updates.
+// New creates an empty index admitting up to procs concurrent transactions
+// (procs <= 0 defaults to GOMAXPROCS+1, leaving room for one ingesting
+// writer next to GOMAXPROCS queriers) with the given parallel grain for
+// batch updates.
 func New(procs, grain int) (*Index, error) {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0) + 1
+	}
 	inner := ftree.New[uint64, int64, int64](ftree.IntCmp[uint64], ftree.MaxAug[uint64](), grain)
+	outer := newOuter(inner, grain)
+	m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: procs}, outer, nil)
+	if err != nil {
+		return nil, fmt.Errorf("invindex: %w", err)
+	}
+	return &Index{inner: inner, outer: outer, m: m}, nil
+}
+
+// newOuter builds a term → posting tree whose values share the inner
+// allocator: retaining an outer node retains its posting list.
+func newOuter(inner *ftree.Ops[uint64, int64, int64], grain int) *ftree.Ops[uint64, *Posting, struct{}] {
 	outer := ftree.New[uint64, *Posting, struct{}](ftree.IntCmp[uint64], ftree.NoAug[uint64, *Posting](), grain)
 	outer.RetainVal = func(p *Posting) *Posting {
 		if p == nil {
@@ -56,64 +79,102 @@ func New(procs, grain int) (*Index, error) {
 		return inner.Share(p)
 	}
 	outer.ReleaseVal = func(p *Posting) { inner.Release(p) }
-	m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: procs}, outer, nil)
-	if err != nil {
-		return nil, fmt.Errorf("invindex: %w", err)
-	}
-	return &Index{inner: inner, outer: outer, m: m}, nil
+	return outer
+}
+
+// read runs a read-only transaction on an internally-leased cached handle.
+func (ix *Index) read(f func(s core.Snapshot[uint64, *Posting, struct{}])) {
+	ix.m.WithCached(func(h *core.Handle[uint64, *Posting, struct{}]) { h.Read(f) })
+}
+
+// update runs a write transaction on an internally-leased cached handle.
+func (ix *Index) update(f func(tx *core.Txn[uint64, *Posting, struct{}])) {
+	ix.m.WithCached(func(h *core.Handle[uint64, *Posting, struct{}]) { h.Update(f) })
 }
 
 // combinePostings merges two owned posting trees into one owned tree,
 // summing weights for documents present in both.
-func (ix *Index) combinePostings(a, b *Posting) *Posting {
-	u := ix.inner.Union(a, b, func(x, y int64) int64 { return x + y })
-	ix.inner.Release(a)
-	ix.inner.Release(b)
-	return u
+func combinePostings(inner *ftree.Ops[uint64, int64, int64]) func(a, b *Posting) *Posting {
+	return func(a, b *Posting) *Posting {
+		u := inner.Union(a, b, func(x, y int64) int64 { return x + y })
+		inner.Release(a)
+		inner.Release(b)
+		return u
+	}
 }
 
-// AddDocument ingests one document atomically on process pid: it builds
-// the document's term → posting delta and unions it into the index in a
-// single write transaction, so no query ever observes a partial document
-// (the paper's atomic-ingestion requirement).
-func (ix *Index) AddDocument(pid int, d Doc) {
-	ix.AddDocuments(pid, []Doc{d})
-}
-
-// AddDocuments ingests a batch of documents in one write transaction.
-func (ix *Index) AddDocuments(pid int, docs []Doc) {
+// docBatch turns documents into term → single-entry-posting deltas.
+func docBatch(inner *ftree.Ops[uint64, int64, int64], docs []Doc) []ftree.Entry[uint64, *Posting] {
 	var batch []ftree.Entry[uint64, *Posting]
 	for _, d := range docs {
 		for _, tw := range d.Terms {
 			batch = append(batch, ftree.Entry[uint64, *Posting]{
 				Key: tw.Term,
-				Val: ix.inner.Insert(nil, d.ID, tw.Weight),
+				Val: inner.Insert(nil, d.ID, tw.Weight),
 			})
 		}
 	}
-	ix.m.Update(pid, func(tx *core.Txn[uint64, *Posting, struct{}]) {
-		tx.InsertBatch(batch, ix.combinePostings)
+	return batch
+}
+
+// AddDocument ingests one document atomically: it builds the document's
+// term → posting delta and unions it into the index in a single write
+// transaction, so no query ever observes a partial document (the paper's
+// atomic-ingestion requirement).
+func (ix *Index) AddDocument(d Doc) {
+	ix.AddDocuments([]Doc{d})
+}
+
+// AddDocuments ingests a batch of documents in one write transaction.
+func (ix *Index) AddDocuments(docs []Doc) {
+	insertDocBatch(ix.inner, ix.m, docBatch(ix.inner, docs))
+}
+
+// insertDocBatch commits term → posting deltas into m.  Write transactions
+// retry on conflict, so each attempt must be self-contained: it inserts
+// fresh shares of the deltas, letting a conflict-aborted attempt release
+// its partial tree without consuming the originals (which are released
+// exactly once, after the commit).  This makes concurrent AddDocuments
+// callers safe — the pid-free API no longer implies a single writer.
+func insertDocBatch(inner *ftree.Ops[uint64, int64, int64], m *core.Map[uint64, *Posting, struct{}], batch []ftree.Entry[uint64, *Posting]) {
+	comb := combinePostings(inner)
+	m.WithCached(func(h *core.Handle[uint64, *Posting, struct{}]) {
+		h.Update(func(tx *core.Txn[uint64, *Posting, struct{}]) {
+			attempt := make([]ftree.Entry[uint64, *Posting], len(batch))
+			for i, e := range batch {
+				attempt[i] = ftree.Entry[uint64, *Posting]{Key: e.Key, Val: inner.Share(e.Val)}
+			}
+			tx.InsertBatch(attempt, comb)
+		})
+	})
+	for _, e := range batch {
+		inner.Release(e.Val)
+	}
+}
+
+// RemoveDocument deletes a document's postings for the given terms,
+// dropping terms whose posting list becomes empty.
+func (ix *Index) RemoveDocument(d Doc) {
+	ix.update(func(tx *core.Txn[uint64, *Posting, struct{}]) {
+		removeDocTerms(ix.inner, tx, d, d.Terms)
 	})
 }
 
-// RemoveDocument deletes a document's postings for the given terms on
-// process pid, dropping terms whose posting list becomes empty.
-func (ix *Index) RemoveDocument(pid int, d Doc) {
-	ix.m.Update(pid, func(tx *core.Txn[uint64, *Posting, struct{}]) {
-		for _, tw := range d.Terms {
-			p, ok := tx.Get(tw.Term)
-			if !ok {
-				continue
-			}
-			np := ix.inner.Delete(p, d.ID)
-			if ix.inner.Size(np) == 0 {
-				ix.inner.Release(np)
-				tx.Delete(tw.Term)
-			} else {
-				tx.Insert(tw.Term, np)
-			}
+// removeDocTerms deletes d's postings for the given terms within tx.
+func removeDocTerms(inner *ftree.Ops[uint64, int64, int64], tx *core.Txn[uint64, *Posting, struct{}], d Doc, terms []TermWeight) {
+	for _, tw := range terms {
+		p, ok := tx.Get(tw.Term)
+		if !ok {
+			continue
 		}
-	})
+		np := inner.Delete(p, d.ID)
+		if inner.Size(np) == 0 {
+			inner.Release(np)
+			tx.Delete(tw.Term)
+		} else {
+			tx.Insert(tw.Term, np)
+		}
+	}
 }
 
 // ScoredDoc is one "and"-query result.
@@ -123,12 +184,12 @@ type ScoredDoc struct {
 }
 
 // AndQuery returns the top-k documents containing both terms, ranked by
-// summed weight, evaluated against one consistent snapshot on process pid.
-// Because both levels are persistent, the two posting lists are snapshots
-// of the same version and the query never blocks or is blocked by writers.
-func (ix *Index) AndQuery(pid int, term1, term2 uint64, k int) []ScoredDoc {
+// summed weight, evaluated against one consistent snapshot.  Because both
+// levels are persistent, the two posting lists are snapshots of the same
+// version and the query never blocks or is blocked by writers.
+func (ix *Index) AndQuery(term1, term2 uint64, k int) []ScoredDoc {
 	var out []ScoredDoc
-	ix.m.Read(pid, func(s core.Snapshot[uint64, *Posting, struct{}]) {
+	ix.read(func(s core.Snapshot[uint64, *Posting, struct{}]) {
 		p1, ok1 := s.Get(term1)
 		p2, ok2 := s.Get(term2)
 		if !ok1 || !ok2 {
@@ -144,13 +205,12 @@ func (ix *Index) AndQuery(pid int, term1, term2 uint64, k int) []ScoredDoc {
 // AndQueryN generalizes AndQuery to any number of terms: top-k documents
 // containing every term, ranked by summed weight.  Intersections proceed
 // smallest-posting-first to keep intermediate results minimal.
-func (ix *Index) AndQueryN(pid int, terms []uint64, k int) []ScoredDoc {
+func (ix *Index) AndQueryN(terms []uint64, k int) []ScoredDoc {
 	if len(terms) == 0 {
 		return nil
 	}
 	var out []ScoredDoc
-	sum := func(a, b int64) int64 { return a + b }
-	ix.m.Read(pid, func(s core.Snapshot[uint64, *Posting, struct{}]) {
+	ix.read(func(s core.Snapshot[uint64, *Posting, struct{}]) {
 		postings := make([]*Posting, 0, len(terms))
 		for _, t := range terms {
 			p, ok := s.Get(t)
@@ -159,26 +219,34 @@ func (ix *Index) AndQueryN(pid int, terms []uint64, k int) []ScoredDoc {
 			}
 			postings = append(postings, p)
 		}
-		sort.Slice(postings, func(i, j int) bool {
-			return ix.inner.Size(postings[i]) < ix.inner.Size(postings[j])
-		})
-		acc := ix.inner.Share(postings[0])
-		for _, p := range postings[1:] {
-			next := ix.inner.Intersect(acc, p, sum)
-			ix.inner.Release(acc)
-			acc = next
-		}
-		out = TopK(acc, k)
-		ix.inner.Release(acc)
+		out = intersectTopK(ix.inner, postings, k)
 	})
+	return out
+}
+
+// intersectTopK intersects borrowed postings smallest-first and returns the
+// top-k of the result; the input postings are not consumed.
+func intersectTopK(inner *ftree.Ops[uint64, int64, int64], postings []*Posting, k int) []ScoredDoc {
+	sum := func(a, b int64) int64 { return a + b }
+	sort.Slice(postings, func(i, j int) bool {
+		return inner.Size(postings[i]) < inner.Size(postings[j])
+	})
+	acc := inner.Share(postings[0])
+	for _, p := range postings[1:] {
+		next := inner.Intersect(acc, p, sum)
+		inner.Release(acc)
+		acc = next
+	}
+	out := TopK(acc, k)
+	inner.Release(acc)
 	return out
 }
 
 // OrQuery returns the top-k documents containing either term, ranked by
 // summed weight (documents with both terms score the sum of both).
-func (ix *Index) OrQuery(pid int, term1, term2 uint64, k int) []ScoredDoc {
+func (ix *Index) OrQuery(term1, term2 uint64, k int) []ScoredDoc {
 	var out []ScoredDoc
-	ix.m.Read(pid, func(s core.Snapshot[uint64, *Posting, struct{}]) {
+	ix.read(func(s core.Snapshot[uint64, *Posting, struct{}]) {
 		p1, ok1 := s.Get(term1)
 		p2, ok2 := s.Get(term2)
 		switch {
@@ -198,10 +266,10 @@ func (ix *Index) OrQuery(pid int, term1, term2 uint64, k int) []ScoredDoc {
 	return out
 }
 
-// PostingLen returns the posting-list length of term on process pid.
-func (ix *Index) PostingLen(pid int, term uint64) int64 {
+// PostingLen returns the posting-list length of term.
+func (ix *Index) PostingLen(term uint64) int64 {
 	var n int64
-	ix.m.Read(pid, func(s core.Snapshot[uint64, *Posting, struct{}]) {
+	ix.read(func(s core.Snapshot[uint64, *Posting, struct{}]) {
 		if p, ok := s.Get(term); ok {
 			n = ix.inner.Size(p)
 		}
@@ -209,10 +277,10 @@ func (ix *Index) PostingLen(pid int, term uint64) int64 {
 	return n
 }
 
-// Terms returns the vocabulary size on process pid.
-func (ix *Index) Terms(pid int) int64 {
+// Terms returns the vocabulary size.
+func (ix *Index) Terms() int64 {
 	var n int64
-	ix.m.Read(pid, func(s core.Snapshot[uint64, *Posting, struct{}]) { n = s.Len() })
+	ix.read(func(s core.Snapshot[uint64, *Posting, struct{}]) { n = s.Len() })
 	return n
 }
 

@@ -12,14 +12,14 @@ func TestAddAndQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.AddDocument(0, Doc{ID: 1, Terms: []TermWeight{{10, 5}, {20, 7}}})
-	ix.AddDocument(0, Doc{ID: 2, Terms: []TermWeight{{10, 3}, {30, 1}}})
-	ix.AddDocument(0, Doc{ID: 3, Terms: []TermWeight{{10, 9}, {20, 2}}})
+	ix.AddDocument(Doc{ID: 1, Terms: []TermWeight{{10, 5}, {20, 7}}})
+	ix.AddDocument(Doc{ID: 2, Terms: []TermWeight{{10, 3}, {30, 1}}})
+	ix.AddDocument(Doc{ID: 3, Terms: []TermWeight{{10, 9}, {20, 2}}})
 
-	if n := ix.PostingLen(1, 10); n != 3 {
+	if n := ix.PostingLen(10); n != 3 {
 		t.Fatalf("posting(10) length = %d", n)
 	}
-	res := ix.AndQuery(1, 10, 20, 10)
+	res := ix.AndQuery(10, 20, 10)
 	if len(res) != 2 {
 		t.Fatalf("and-query returned %d docs, want 2", len(res))
 	}
@@ -27,7 +27,7 @@ func TestAddAndQuery(t *testing.T) {
 	if res[0].Doc != 1 || res[0].Score != 12 || res[1].Doc != 3 || res[1].Score != 11 {
 		t.Fatalf("results = %+v", res)
 	}
-	if res := ix.AndQuery(1, 10, 999, 10); res != nil {
+	if res := ix.AndQuery(10, 999, 10); res != nil {
 		t.Fatalf("query with absent term returned %v", res)
 	}
 	ix.Close()
@@ -51,13 +51,13 @@ func TestAtomicDocumentIngestion(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for d := uint64(0); d < docs; d++ {
-			ix.AddDocument(0, Doc{ID: d, Terms: []TermWeight{{1, 1}, {2, 1}}})
+			ix.AddDocument(Doc{ID: d, Terms: []TermWeight{{1, 1}, {2, 1}}})
 		}
 		close(stop)
 	}()
 	for p := 1; p < 4; p++ {
 		wg.Add(1)
-		go func(p int) {
+		go func() {
 			defer wg.Done()
 			for {
 				select {
@@ -65,8 +65,8 @@ func TestAtomicDocumentIngestion(t *testing.T) {
 					return
 				default:
 				}
-				n1 := ix.PostingLen(p, 1)
-				n2 := ix.PostingLen(p, 2)
+				n1 := ix.PostingLen(1)
+				n2 := ix.PostingLen(2)
 				// Both postings grow together; a later read can only see
 				// more, and within one snapshot they'd be equal.  Across
 				// two reads n2 may exceed n1 but never lag behind the n1
@@ -76,7 +76,7 @@ func TestAtomicDocumentIngestion(t *testing.T) {
 					return
 				}
 			}
-		}(p)
+		}()
 	}
 	wg.Wait()
 	ix.Close()
@@ -91,13 +91,13 @@ func TestRemoveDocument(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := Doc{ID: 5, Terms: []TermWeight{{10, 1}, {20, 2}}}
-	ix.AddDocument(0, d)
-	ix.AddDocument(0, Doc{ID: 6, Terms: []TermWeight{{10, 3}}})
-	ix.RemoveDocument(0, d)
-	if n := ix.PostingLen(0, 10); n != 1 {
+	ix.AddDocument(d)
+	ix.AddDocument(Doc{ID: 6, Terms: []TermWeight{{10, 3}}})
+	ix.RemoveDocument(d)
+	if n := ix.PostingLen(10); n != 1 {
 		t.Fatalf("posting(10) = %d after removal, want 1", n)
 	}
-	if n := ix.Terms(0); n != 1 {
+	if n := ix.Terms(); n != 1 {
 		t.Fatalf("vocabulary = %d after removal, want 1 (term 20 dropped)", n)
 	}
 	ix.Close()
@@ -191,7 +191,7 @@ func TestCorpusGeneration(t *testing.T) {
 }
 
 // TestConcurrentQueriesDuringIngestion is a miniature of Table 3's dynamic
-// setting: queries and batched updates run simultaneously.
+// setting: queries and batched updates run simultaneously, all pid-free.
 func TestConcurrentQueriesDuringIngestion(t *testing.T) {
 	const procs = 4
 	ix, err := New(procs, 64)
@@ -210,7 +210,7 @@ func TestConcurrentQueriesDuringIngestion(t *testing.T) {
 			for i := range docs {
 				docs[i] = c.Next()
 			}
-			ix.AddDocuments(0, docs)
+			ix.AddDocuments(docs)
 		}
 		close(stop)
 	}()
@@ -227,7 +227,7 @@ func TestConcurrentQueriesDuringIngestion(t *testing.T) {
 				}
 				t1 := hot[rng.Intn(len(hot))]
 				t2 := hot[rng.Intn(len(hot))]
-				res := ix.AndQuery(p, t1, t2, 10)
+				res := ix.AndQuery(t1, t2, 10)
 				for i := 1; i < len(res); i++ {
 					if res[i].Score > res[i-1].Score {
 						t.Errorf("results not ranked: %v", res)
@@ -249,10 +249,10 @@ func TestOrQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.AddDocument(0, Doc{ID: 1, Terms: []TermWeight{{10, 5}}})
-	ix.AddDocument(0, Doc{ID: 2, Terms: []TermWeight{{20, 7}}})
-	ix.AddDocument(0, Doc{ID: 3, Terms: []TermWeight{{10, 2}, {20, 2}}})
-	res := ix.OrQuery(0, 10, 20, 10)
+	ix.AddDocument(Doc{ID: 1, Terms: []TermWeight{{10, 5}}})
+	ix.AddDocument(Doc{ID: 2, Terms: []TermWeight{{20, 7}}})
+	ix.AddDocument(Doc{ID: 3, Terms: []TermWeight{{10, 2}, {20, 2}}})
+	res := ix.OrQuery(10, 20, 10)
 	if len(res) != 3 {
 		t.Fatalf("or-query returned %d docs, want 3", len(res))
 	}
@@ -261,10 +261,10 @@ func TestOrQuery(t *testing.T) {
 		t.Fatalf("results = %+v", res)
 	}
 	// One side absent degrades to the other posting.
-	if res := ix.OrQuery(0, 10, 999, 10); len(res) != 2 {
+	if res := ix.OrQuery(10, 999, 10); len(res) != 2 {
 		t.Fatalf("or with absent term = %+v", res)
 	}
-	if res := ix.OrQuery(0, 998, 999, 10); res != nil {
+	if res := ix.OrQuery(998, 999, 10); res != nil {
 		t.Fatalf("or with both absent = %+v", res)
 	}
 	ix.Close()
@@ -278,10 +278,10 @@ func TestAndQueryN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.AddDocument(0, Doc{ID: 1, Terms: []TermWeight{{1, 1}, {2, 1}, {3, 1}}})
-	ix.AddDocument(0, Doc{ID: 2, Terms: []TermWeight{{1, 9}, {2, 9}}})
-	ix.AddDocument(0, Doc{ID: 3, Terms: []TermWeight{{1, 4}, {2, 4}, {3, 4}}})
-	res := ix.AndQueryN(0, []uint64{1, 2, 3}, 10)
+	ix.AddDocument(Doc{ID: 1, Terms: []TermWeight{{1, 1}, {2, 1}, {3, 1}}})
+	ix.AddDocument(Doc{ID: 2, Terms: []TermWeight{{1, 9}, {2, 9}}})
+	ix.AddDocument(Doc{ID: 3, Terms: []TermWeight{{1, 4}, {2, 4}, {3, 4}}})
+	res := ix.AndQueryN([]uint64{1, 2, 3}, 10)
 	if len(res) != 2 {
 		t.Fatalf("3-term and returned %d docs, want 2", len(res))
 	}
@@ -289,8 +289,8 @@ func TestAndQueryN(t *testing.T) {
 		t.Fatalf("results = %+v", res)
 	}
 	// Consistency with the 2-term query.
-	a2 := ix.AndQuery(0, 1, 2, 10)
-	n2 := ix.AndQueryN(0, []uint64{1, 2}, 10)
+	a2 := ix.AndQuery(1, 2, 10)
+	n2 := ix.AndQueryN([]uint64{1, 2}, 10)
 	if len(a2) != len(n2) {
 		t.Fatalf("AndQuery and AndQueryN disagree: %v vs %v", a2, n2)
 	}
@@ -299,10 +299,10 @@ func TestAndQueryN(t *testing.T) {
 			t.Fatalf("AndQuery and AndQueryN disagree at %d: %v vs %v", i, a2[i], n2[i])
 		}
 	}
-	if res := ix.AndQueryN(0, nil, 10); res != nil {
+	if res := ix.AndQueryN(nil, 10); res != nil {
 		t.Fatal("empty term list must return nothing")
 	}
-	if res := ix.AndQueryN(0, []uint64{1, 99}, 10); res != nil {
+	if res := ix.AndQueryN([]uint64{1, 99}, 10); res != nil {
 		t.Fatal("absent term must empty the intersection")
 	}
 	ix.Close()

@@ -1,0 +1,317 @@
+package invindex
+
+// ShardedIndex hash-partitions the outer term tree across S independent
+// core.Map instances, the way internal/shard does for the KV map: each
+// shard has its own Version Maintenance object and pid space, so S
+// ingesting writers commit in parallel instead of one.  All shards share
+// one inner (posting) allocator — posting trees are reference-counted, so
+// a posting pinned by one shard's snapshot stays live while another shard
+// commits.
+//
+// # Semantics
+//
+// Sharding trades the single index's global snapshot for per-shard
+// snapshots (the same trade internal/shard documents).  Terms that hash to
+// the same shard keep the paper's full guarantees — an AndQuery whose two
+// terms share a shard runs against one consistent snapshot.  Cross-shard
+// queries pin one snapshot per involved shard, so a document mid-ingestion
+// may be visible under one of its terms and not yet under another;
+// likewise AddDocuments is atomic per shard, not per document, when a
+// document's terms span shards.  Use the unsharded Index when global
+// document atomicity matters more than ingest parallelism.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mvgc/internal/core"
+	"mvgc/internal/ftree"
+	"mvgc/internal/ycsb"
+)
+
+// ShardedIndex is the S-way partitioned inverted index.  Like Index, no
+// pid appears anywhere in its API.
+type ShardedIndex struct {
+	inner  *ftree.Ops[uint64, int64, int64]
+	outers []*ftree.Ops[uint64, *Posting, struct{}]
+	maps   []*core.Map[uint64, *Posting, struct{}]
+}
+
+// NewSharded creates an empty index over S shards, each admitting up to
+// procs concurrent transactions (procs <= 0 defaults to GOMAXPROCS+1).
+func NewSharded(shards, procs, grain int) (*ShardedIndex, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("invindex: shards must be positive, got %d", shards)
+	}
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0) + 1
+	}
+	inner := ftree.New[uint64, int64, int64](ftree.IntCmp[uint64], ftree.MaxAug[uint64](), grain)
+	ix := &ShardedIndex{inner: inner}
+	for i := 0; i < shards; i++ {
+		outer := newOuter(inner, grain)
+		m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: procs}, outer, nil)
+		if err != nil {
+			for _, prev := range ix.maps {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("invindex: shard %d: %w", i, err)
+		}
+		ix.outers = append(ix.outers, outer)
+		ix.maps = append(ix.maps, m)
+	}
+	return ix, nil
+}
+
+// NumShards returns S.
+func (ix *ShardedIndex) NumShards() int { return len(ix.maps) }
+
+// shardFor routes a term to its shard; Mix64 spreads sequential term ids
+// uniformly.
+func (ix *ShardedIndex) shardFor(term uint64) int {
+	return int(ycsb.Mix64(term) % uint64(len(ix.maps)))
+}
+
+// read runs a read-only transaction on shard i's cached handle.
+func (ix *ShardedIndex) read(i int, f func(s core.Snapshot[uint64, *Posting, struct{}])) {
+	ix.maps[i].WithCached(func(h *core.Handle[uint64, *Posting, struct{}]) { h.Read(f) })
+}
+
+// update runs a write transaction on shard i's cached handle.
+func (ix *ShardedIndex) update(i int, f func(tx *core.Txn[uint64, *Posting, struct{}])) {
+	ix.maps[i].WithCached(func(h *core.Handle[uint64, *Posting, struct{}]) { h.Update(f) })
+}
+
+// AddDocument ingests one document.  Atomicity is per shard: the terms
+// that hash to one shard appear together, but terms on different shards
+// commit in separate transactions (see the type comment).
+func (ix *ShardedIndex) AddDocument(d Doc) {
+	ix.AddDocuments([]Doc{d})
+}
+
+// AddDocuments ingests a batch of documents, one atomic write transaction
+// per affected shard, all shards in parallel.
+func (ix *ShardedIndex) AddDocuments(docs []Doc) {
+	parts := make([][]ftree.Entry[uint64, *Posting], len(ix.maps))
+	for _, e := range docBatch(ix.inner, docs) {
+		i := ix.shardFor(e.Key)
+		parts[i] = append(parts[i], e)
+	}
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, part []ftree.Entry[uint64, *Posting]) {
+			defer wg.Done()
+			insertDocBatch(ix.inner, ix.maps[i], part)
+		}(i, part)
+	}
+	wg.Wait()
+}
+
+// RemoveDocument deletes a document's postings for the given terms, one
+// write transaction per affected shard.
+func (ix *ShardedIndex) RemoveDocument(d Doc) {
+	parts := make([][]TermWeight, len(ix.maps))
+	for _, tw := range d.Terms {
+		i := ix.shardFor(tw.Term)
+		parts[i] = append(parts[i], tw)
+	}
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		ix.update(i, func(tx *core.Txn[uint64, *Posting, struct{}]) {
+			removeDocTerms(ix.inner, tx, d, part)
+		})
+	}
+}
+
+// sharePostings pins each term's posting list, reading every involved
+// shard exactly once and returning owned (shared) postings the caller must
+// Release.  ok is false — and nothing is retained — when any term is
+// absent.
+func (ix *ShardedIndex) sharePostings(terms []uint64) (postings []*Posting, ok bool) {
+	postings = make([]*Posting, len(terms))
+	byShard := make(map[int][]int, len(ix.maps))
+	for i, t := range terms {
+		s := ix.shardFor(t)
+		byShard[s] = append(byShard[s], i)
+	}
+	ok = true
+	for s, idxs := range byShard {
+		if !ok {
+			break
+		}
+		ix.read(s, func(sn core.Snapshot[uint64, *Posting, struct{}]) {
+			for _, i := range idxs {
+				p, found := sn.Get(terms[i])
+				if !found {
+					ok = false
+					return
+				}
+				postings[i] = ix.inner.Share(p)
+			}
+		})
+	}
+	if !ok {
+		for _, p := range postings {
+			if p != nil {
+				ix.inner.Release(p)
+			}
+		}
+		return nil, false
+	}
+	return postings, true
+}
+
+// AndQuery returns the top-k documents containing both terms, ranked by
+// summed weight.  When the terms share a shard the query runs against one
+// consistent snapshot; otherwise it intersects two per-shard snapshots.
+func (ix *ShardedIndex) AndQuery(term1, term2 uint64, k int) []ScoredDoc {
+	sum := func(a, b int64) int64 { return a + b }
+	if s1 := ix.shardFor(term1); s1 == ix.shardFor(term2) {
+		var out []ScoredDoc
+		ix.read(s1, func(sn core.Snapshot[uint64, *Posting, struct{}]) {
+			p1, ok1 := sn.Get(term1)
+			p2, ok2 := sn.Get(term2)
+			if !ok1 || !ok2 {
+				return
+			}
+			inter := ix.inner.Intersect(p1, p2, sum)
+			out = TopK(inter, k)
+			ix.inner.Release(inter)
+		})
+		return out
+	}
+	// Cross-shard: two direct reads (cheaper than sharePostings' grouping,
+	// which earns its keep only for N-term queries).
+	var p1, p2 *Posting
+	ix.read(ix.shardFor(term1), func(sn core.Snapshot[uint64, *Posting, struct{}]) {
+		if p, ok := sn.Get(term1); ok {
+			p1 = ix.inner.Share(p)
+		}
+	})
+	if p1 == nil {
+		return nil
+	}
+	ix.read(ix.shardFor(term2), func(sn core.Snapshot[uint64, *Posting, struct{}]) {
+		if p, ok := sn.Get(term2); ok {
+			p2 = ix.inner.Share(p)
+		}
+	})
+	if p2 == nil {
+		ix.inner.Release(p1)
+		return nil
+	}
+	inter := ix.inner.Intersect(p1, p2, sum)
+	out := TopK(inter, k)
+	ix.inner.Release(inter)
+	ix.inner.Release(p1)
+	ix.inner.Release(p2)
+	return out
+}
+
+// AndQueryN generalizes AndQuery to any number of terms: top-k documents
+// containing every term, intersected smallest-posting-first.
+func (ix *ShardedIndex) AndQueryN(terms []uint64, k int) []ScoredDoc {
+	if len(terms) == 0 {
+		return nil
+	}
+	ps, ok := ix.sharePostings(terms)
+	if !ok {
+		return nil
+	}
+	out := intersectTopK(ix.inner, ps, k)
+	for _, p := range ps {
+		ix.inner.Release(p)
+	}
+	return out
+}
+
+// OrQuery returns the top-k documents containing either term, ranked by
+// summed weight (documents with both terms score the sum of both).  Like
+// AndQuery, same-shard term pairs are answered from one consistent
+// snapshot; cross-shard pairs pin one snapshot per shard.
+func (ix *ShardedIndex) OrQuery(term1, term2 uint64, k int) []ScoredDoc {
+	var p1, p2 *Posting
+	if s1 := ix.shardFor(term1); s1 == ix.shardFor(term2) {
+		ix.read(s1, func(sn core.Snapshot[uint64, *Posting, struct{}]) {
+			if p, ok := sn.Get(term1); ok {
+				p1 = ix.inner.Share(p)
+			}
+			if p, ok := sn.Get(term2); ok {
+				p2 = ix.inner.Share(p)
+			}
+		})
+	} else {
+		ix.read(s1, func(sn core.Snapshot[uint64, *Posting, struct{}]) {
+			if p, ok := sn.Get(term1); ok {
+				p1 = ix.inner.Share(p)
+			}
+		})
+		ix.read(ix.shardFor(term2), func(sn core.Snapshot[uint64, *Posting, struct{}]) {
+			if p, ok := sn.Get(term2); ok {
+				p2 = ix.inner.Share(p)
+			}
+		})
+	}
+	switch {
+	case p1 == nil && p2 == nil:
+		return nil
+	case p1 == nil:
+		out := TopK(p2, k)
+		ix.inner.Release(p2)
+		return out
+	case p2 == nil:
+		out := TopK(p1, k)
+		ix.inner.Release(p1)
+		return out
+	}
+	u := ix.inner.Union(p1, p2, func(a, b int64) int64 { return a + b })
+	out := TopK(u, k)
+	ix.inner.Release(u)
+	ix.inner.Release(p1)
+	ix.inner.Release(p2)
+	return out
+}
+
+// PostingLen returns the posting-list length of term.
+func (ix *ShardedIndex) PostingLen(term uint64) int64 {
+	var n int64
+	ix.read(ix.shardFor(term), func(sn core.Snapshot[uint64, *Posting, struct{}]) {
+		if p, ok := sn.Get(term); ok {
+			n = ix.inner.Size(p)
+		}
+	})
+	return n
+}
+
+// Terms returns the vocabulary size, summed over per-shard snapshots
+// (approximate under concurrent ingestion, like shard.Map.Len).
+func (ix *ShardedIndex) Terms() int64 {
+	var n int64
+	for i := range ix.maps {
+		ix.read(i, func(sn core.Snapshot[uint64, *Posting, struct{}]) { n += sn.Len() })
+	}
+	return n
+}
+
+// Close shuts every shard's transactional map down.
+func (ix *ShardedIndex) Close() {
+	for _, m := range ix.maps {
+		m.Close()
+	}
+}
+
+// LiveNodes reports live (outer, inner) node counts for leak checks; the
+// outer count sums all shards.
+func (ix *ShardedIndex) LiveNodes() (outer, inner int64) {
+	for _, o := range ix.outers {
+		outer += o.Live()
+	}
+	return outer, ix.inner.Live()
+}

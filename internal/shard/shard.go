@@ -22,9 +22,11 @@
 // shards commit in separate transactions.
 //
 // No pid appears anywhere in this package's API: process identities are
-// leased internally from each shard's pool (core.Handle).  Multi-shard
-// operations lease in ascending shard order, which makes blocking
-// admission control deadlock-free (ordered resource acquisition).
+// leased internally from each shard's pool (core.Handle), through the
+// cached-handle fast path (core.Map.WithCached) so back-to-back point ops
+// skip the pool's mutexes entirely.  Multi-shard operations lease in
+// ascending shard order, which makes blocking admission control
+// deadlock-free (ordered resource acquisition).
 package shard
 
 import (
@@ -100,7 +102,7 @@ func (m *Map[K, V, A]) Shard(i int) *core.Map[K, V, A] { return m.shards[i] }
 
 // Get runs a point read as a delay-free read transaction on k's shard.
 func (m *Map[K, V, A]) Get(k K) (v V, ok bool) {
-	m.shards[m.ShardFor(k)].With(func(h *core.Handle[K, V, A]) {
+	m.shards[m.ShardFor(k)].WithCached(func(h *core.Handle[K, V, A]) {
 		h.Read(func(s core.Snapshot[K, V, A]) { v, ok = s.Get(k) })
 	})
 	return
@@ -114,21 +116,21 @@ func (m *Map[K, V, A]) Has(k K) bool {
 
 // Insert adds or replaces one entry in a single-shard write transaction.
 func (m *Map[K, V, A]) Insert(k K, v V) {
-	m.shards[m.ShardFor(k)].With(func(h *core.Handle[K, V, A]) {
+	m.shards[m.ShardFor(k)].WithCached(func(h *core.Handle[K, V, A]) {
 		h.Update(func(tx *core.Txn[K, V, A]) { tx.Insert(k, v) })
 	})
 }
 
 // InsertWith adds one entry, combining with any existing value.
 func (m *Map[K, V, A]) InsertWith(k K, v V, comb func(old, new V) V) {
-	m.shards[m.ShardFor(k)].With(func(h *core.Handle[K, V, A]) {
+	m.shards[m.ShardFor(k)].WithCached(func(h *core.Handle[K, V, A]) {
 		h.Update(func(tx *core.Txn[K, V, A]) { tx.InsertWith(k, v, comb) })
 	})
 }
 
 // Delete removes one entry in a single-shard write transaction.
 func (m *Map[K, V, A]) Delete(k K) {
-	m.shards[m.ShardFor(k)].With(func(h *core.Handle[K, V, A]) {
+	m.shards[m.ShardFor(k)].WithCached(func(h *core.Handle[K, V, A]) {
 		h.Update(func(tx *core.Txn[K, V, A]) { tx.Delete(k) })
 	})
 }
@@ -150,7 +152,7 @@ func (m *Map[K, V, A]) InsertBatch(entries []ftree.Entry[K, V], comb func(old, n
 		wg.Add(1)
 		go func(i int, part []ftree.Entry[K, V]) {
 			defer wg.Done()
-			m.shards[i].With(func(h *core.Handle[K, V, A]) {
+			m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
 				h.Update(func(tx *core.Txn[K, V, A]) { tx.InsertBatch(part, comb) })
 			})
 		}(i, part)
@@ -174,7 +176,7 @@ func (m *Map[K, V, A]) DeleteBatch(keys []K) {
 		wg.Add(1)
 		go func(i int, part []K) {
 			defer wg.Done()
-			m.shards[i].With(func(h *core.Handle[K, V, A]) {
+			m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
 				h.Update(func(tx *core.Txn[K, V, A]) { tx.DeleteBatch(part) })
 			})
 		}(i, part)
@@ -188,7 +190,7 @@ func (m *Map[K, V, A]) DeleteBatch(keys []K) {
 func (m *Map[K, V, A]) Len() int64 {
 	var n int64
 	for _, s := range m.shards {
-		s.With(func(h *core.Handle[K, V, A]) {
+		s.WithCached(func(h *core.Handle[K, V, A]) {
 			h.Read(func(sn core.Snapshot[K, V, A]) { n += sn.Len() })
 		})
 	}
@@ -208,7 +210,7 @@ func (m *Map[K, V, A]) View(f func(s Snap[K, V, A])) {
 			f(Snap[K, V, A]{m: m, snaps: snaps})
 			return
 		}
-		m.shards[i].With(func(h *core.Handle[K, V, A]) {
+		m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
 			h.Read(func(s core.Snapshot[K, V, A]) {
 				snaps[i] = s
 				rec(i + 1)
@@ -372,7 +374,7 @@ func (m *Map[K, V, A]) Update(f func(t *Txn[K, V, A])) {
 		if len(list) == 0 {
 			continue
 		}
-		m.shards[i].With(func(h *core.Handle[K, V, A]) {
+		m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
 			h.Update(func(tx *core.Txn[K, V, A]) {
 				for _, in := range list {
 					if in.del {

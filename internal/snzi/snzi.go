@@ -41,20 +41,20 @@ func New(p int) *SNZI {
 	return s
 }
 
-// Arrive records one arrival by process pid.  Only a leaf's 0→1
+// Arrive records one arrival by process proc.  Only a leaf's 0→1
 // transition touches the root, so P processes arriving repeatedly on
 // their own leaves contend only on first arrival.
-func (s *SNZI) Arrive(pid int) {
-	l := &s.leaves[pid]
+func (s *SNZI) Arrive(proc int) {
+	l := &s.leaves[proc]
 	if l.surplus.Add(1) == 1 {
 		l.parent.surplus.Add(1)
 	}
 }
 
-// Depart records one departure by process pid and reports whether the
+// Depart records one departure by process proc and reports whether the
 // whole indicator just became zero — the collector's trigger.
-func (s *SNZI) Depart(pid int) bool {
-	l := &s.leaves[pid]
+func (s *SNZI) Depart(proc int) bool {
+	l := &s.leaves[proc]
 	if l.surplus.Add(-1) == 0 {
 		return l.parent.surplus.Add(-1) == 0
 	}
@@ -66,7 +66,7 @@ func (s *SNZI) NonZero() bool { return s.root.surplus.Load() != 0 }
 
 // Caveat: this simplified indicator is linearizable only when each
 // process's surplus never goes negative (arrivals precede departures on
-// the same pid), which is exactly the discipline of reference counting:
+// the same process), which is exactly the discipline of reference counting:
 // a process departs only from counts it (or a transferred token) arrived
 // on.  The full SNZI protocol's versioned root handles reorderings this
 // package does not need.

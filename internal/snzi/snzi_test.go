@@ -105,12 +105,12 @@ func TestNonZeroWhileAnyHolds(t *testing.T) {
 func BenchmarkSNZI(b *testing.B) {
 	b.Run("snzi", func(b *testing.B) {
 		s := New(64)
-		var pidGen atomic.Int32
+		var procGen atomic.Int32
 		b.RunParallel(func(pb *testing.PB) {
-			pid := int(pidGen.Add(1)-1) % 64
+			proc := int(procGen.Add(1)-1) % 64
 			for pb.Next() {
-				s.Arrive(pid)
-				s.Depart(pid)
+				s.Arrive(proc)
+				s.Depart(proc)
 			}
 		})
 	})

@@ -97,17 +97,19 @@ func (s *Store) obj(key uint64, create bool) *object {
 
 // Snapshot is a read transaction's view: a frozen timestamp.
 type Snapshot struct {
-	s   *Store
-	ts  uint64
-	pid int
+	s    *Store
+	ts   uint64
+	slot int
 }
 
-// Begin opens a read snapshot for process pid at the current timestamp.
-// O(1), but every Get inside it pays a version-list walk.
-func (s *Store) Begin(pid int) Snapshot {
+// Begin opens a read snapshot in reader slot slot at the current
+// timestamp.  O(1), but every Get inside it pays a version-list walk.
+// A slot is a per-reader index into the active-timestamp array; at most
+// one snapshot may occupy a slot at a time.
+func (s *Store) Begin(slot int) Snapshot {
 	ts := s.clock.Load()
-	s.active[pid].ts.Store(ts)
-	return Snapshot{s: s, ts: ts, pid: pid}
+	s.active[slot].ts.Store(ts)
+	return Snapshot{s: s, ts: ts, slot: slot}
 }
 
 // Get returns key's value at the snapshot's timestamp, walking the
@@ -127,7 +129,7 @@ func (sn Snapshot) Get(key uint64) (uint64, bool) {
 }
 
 // End closes the snapshot, allowing GC past it.
-func (sn Snapshot) End() { sn.s.active[sn.pid].ts.Store(0) }
+func (sn Snapshot) End() { sn.s.active[sn.slot].ts.Store(0) }
 
 // Commit applies a write batch atomically at a fresh timestamp and
 // returns that timestamp.  Single writer assumed (matching the paper's
