@@ -492,6 +492,103 @@ func BenchmarkVersionListDelay(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocPointUpdate measures the Go-heap allocation cost of a
+// steady-state point update (overwriting inserts, constant tree size)
+// through a leased handle, recycling on (the default: pid-local magazine
+// arenas) and off (the NoRecycle ablation).  Run with -benchmem: the
+// "recycle" variant must report 0 B/op once the magazines are warm —
+// every node comes out of the pid's arena, the Txn struct and the
+// collector's buffers are pid-local and reused, and the VM's ReleaseInto
+// appends into a recycled slice.  cmd/allocbench emits the same cells as
+// a BENCH_alloc/v1 JSON artifact and CI diffs them across runs.
+func BenchmarkAllocPointUpdate(b *testing.B) {
+	for _, recycle := range []bool{true, false} {
+		name := "norecycle"
+		if recycle {
+			name = "recycle"
+		}
+		b.Run(name, func(b *testing.B) {
+			ops := NewOps(IntCmp[uint64], NoAug[uint64, uint64](), 0)
+			initial := make([]Entry[uint64, uint64], 100_000)
+			for i := range initial {
+				initial[i] = Entry[uint64, uint64]{Key: uint64(i), Val: uint64(i)}
+			}
+			m, err := NewMap(Config{Algorithm: "pswf", Procs: 2, NoRecycle: !recycle}, ops, initial)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := ycsb.NewSplitMix64(12)
+			var k, v uint64
+			f := func(tx *Txn[uint64, uint64, struct{}]) { tx.Insert(k, v) }
+			for i := 0; i < 10_000; i++ { // warm the magazines
+				k, v = rng.Next()%100_000, uint64(i)
+				m.Update(0, f)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k, v = rng.Next()%100_000, uint64(i)
+				m.Update(0, f)
+			}
+			b.StopTimer()
+			m.Close()
+		})
+	}
+}
+
+// BenchmarkAllocBatchCommit measures the allocation cost of one combining
+// commit of a 1000-entry batch (the Appendix F write path) with the
+// arena's block Reserve on and off the recycling default.  Run with
+// -benchmem; B/op here is per batch, not per entry.
+func BenchmarkAllocBatchCommit(b *testing.B) {
+	const batchN = 1000
+	for _, recycle := range []bool{true, false} {
+		name := "norecycle"
+		if recycle {
+			name = "recycle"
+		}
+		b.Run(name, func(b *testing.B) {
+			ops := NewOps(IntCmp[uint64], NoAug[uint64, uint64](), 2048)
+			initial := make([]Entry[uint64, uint64], 100_000)
+			for i := range initial {
+				initial[i] = Entry[uint64, uint64]{Key: uint64(i), Val: uint64(i)}
+			}
+			m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: 2, NoRecycle: !recycle}, ops, initial)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := m.Handle()
+			rng := ycsb.NewSplitMix64(13)
+			entries := make([]Entry[uint64, uint64], batchN)
+			fill := func() {
+				for i := range entries {
+					entries[i] = Entry[uint64, uint64]{Key: rng.Next() % 100_000, Val: uint64(i)}
+				}
+			}
+			commit := func() {
+				// No explicit ReserveNodes: MultiInsert self-reserves, so
+				// this measures the default InsertBatch path.
+				w.Update(func(tx *core.Txn[uint64, uint64, struct{}]) { tx.InsertBatch(entries, nil) })
+			}
+			for i := 0; i < 5; i++ { // warm
+				fill()
+				commit()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fill()
+				b.StartTimer()
+				commit()
+			}
+			b.StopTimer()
+			w.Close()
+			m.Close()
+		})
+	}
+}
+
 // BenchmarkAblationRecycle compares freed-node recycling against fresh
 // allocation on a churn-heavy single-writer workload, where every commit
 // frees roughly as many nodes as it allocates.

@@ -1,20 +1,27 @@
-// Command benchdiff compares two BENCH_ycsb.json reports (the BENCH_ycsb/v1
-// schema written by cmd/ycsbbench -json) and fails when any (structure,
-// workload) cell regressed by more than the tolerance.  CI runs it against
-// the previous run's artifact so throughput regressions block the merge
-// instead of landing silently.
+// Command benchdiff compares two benchmark reports of the same schema and
+// fails when any cell regressed by more than the tolerance.  CI runs it
+// against the previous run's artifact so regressions block the merge
+// instead of landing silently.  Two schemas are understood:
+//
+//   - BENCH_ycsb/v1 (cmd/ycsbbench -json): cells are (structure, workload)
+//     throughputs; a regression is a Mops drop beyond the tolerance.
+//   - BENCH_alloc/v1 (cmd/allocbench -json): cells are (path, recycle)
+//     allocator measurements; a regression is a B/op increase beyond the
+//     tolerance — and any increase from a 0 B/op baseline fails outright,
+//     so the magazine allocator's zero-allocation write path is a CI
+//     invariant, not a one-off measurement.
 //
 // Usage:
 //
-//	benchdiff -old prev/BENCH_ycsb.json -new BENCH_ycsb.json            # default 25% tolerance
-//	benchdiff -old prev.json -new cur.json -tolerance 0.10
+//	benchdiff -old prev/BENCH_ycsb.json -new BENCH_ycsb.json             # default 25% tolerance
+//	benchdiff -old prev/BENCH_alloc.json -new BENCH_alloc.json -tolerance 0.10
 //
 // Exit status: 0 when every matching cell is within tolerance, 1 on
 // regression, 2 on usage or schema errors.  Cells present in only one
-// report are reported but do not fail the diff (structures come and go
-// between PRs); a run-configuration mismatch (threads, records, duration)
-// downgrades the diff to advisory — the numbers are not comparable, so
-// regressions are printed but do not fail the run.
+// report are reported but do not fail the diff (cells come and go between
+// PRs); a run-configuration mismatch (threads, records, duration, batch
+// size) downgrades the diff to advisory — the numbers are not comparable,
+// so regressions are printed but do not fail the run.
 package main
 
 import (
@@ -26,42 +33,85 @@ import (
 	"mvgc/internal/bench"
 )
 
-func load(path string) (*bench.YCSBReport, error) {
+func decode(path string, v any) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer f.Close()
-	var r bench.YCSBReport
-	if err := json.NewDecoder(f).Decode(&r); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	if err := json.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	if r.Schema != bench.YCSBSchema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, bench.YCSBSchema)
-	}
-	return &r, nil
+	return nil
 }
 
-func cellKey(r bench.YCSBRecord) string { return r.Structure + "/" + r.Workload }
+func schemaOf(path string) (string, error) {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := decode(path, &probe); err != nil {
+		return "", err
+	}
+	return probe.Schema, nil
+}
 
 func main() {
 	var (
-		oldPath = flag.String("old", "", "baseline BENCH_ycsb.json (e.g. the previous CI run's artifact)")
-		newPath = flag.String("new", "", "candidate BENCH_ycsb.json from this run")
-		tol     = flag.Float64("tolerance", 0.25, "allowed fractional throughput drop per cell")
+		oldPath = flag.String("old", "", "baseline report (e.g. the previous CI run's artifact)")
+		newPath = flag.String("new", "", "candidate report from this run")
+		tol     = flag.Float64("tolerance", 0.25, "allowed fractional regression per cell")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
 		os.Exit(2)
 	}
-	oldR, err := load(*oldPath)
+	oldSchema, err := schemaOf(*oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	newR, err := load(*newPath)
+	newSchema, err := schemaOf(*newPath)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if oldSchema != newSchema {
+		fmt.Fprintf(os.Stderr, "benchdiff: schema mismatch: %q vs %q\n", oldSchema, newSchema)
+		os.Exit(2)
+	}
+	switch oldSchema {
+	case bench.YCSBSchema:
+		diffYCSB(*oldPath, *newPath, *tol)
+	case bench.AllocSchema:
+		diffAlloc(*oldPath, *newPath, *tol)
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown schema %q (want %q or %q)\n",
+			oldSchema, bench.YCSBSchema, bench.AllocSchema)
+		os.Exit(2)
+	}
+}
+
+func verdict(regressed, gate bool, tol float64, metric string) {
+	switch {
+	case regressed && gate:
+		fmt.Printf("FAIL: at least one cell regressed more than %.0f%% (%s)\n", tol*100, metric)
+		os.Exit(1)
+	case regressed:
+		fmt.Printf("PASS (ungated): regressions found but run configs differ\n")
+	default:
+		fmt.Printf("PASS: all matched cells within %.0f%% of baseline\n", tol*100)
+	}
+}
+
+// diffYCSB gates on throughput: lower Mops is worse.
+func diffYCSB(oldPath, newPath string, tol float64) {
+	var oldR, newR bench.YCSBReport
+	if err := decode(oldPath, &oldR); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if err := decode(newPath, &newR); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
@@ -75,14 +125,15 @@ func main() {
 			oldR.Threads, newR.Threads, oldR.Records, newR.Records, oldR.DurationSec, newR.DurationSec)
 	}
 
+	key := func(r bench.YCSBRecord) string { return r.Structure + "/" + r.Workload }
 	base := make(map[string]float64, len(oldR.Results))
 	for _, r := range oldR.Results {
-		base[cellKey(r)] = r.Mops
+		base[key(r)] = r.Mops
 	}
 	regressed := false
 	seen := make(map[string]bool, len(newR.Results))
 	for _, r := range newR.Results {
-		k := cellKey(r)
+		k := key(r)
 		seen[k] = true
 		old, ok := base[k]
 		if !ok {
@@ -94,24 +145,74 @@ func main() {
 			delta = (r.Mops - old) / old
 		}
 		status := "ok        "
-		if old > 0 && r.Mops < old*(1.0-*tol) {
+		if old > 0 && r.Mops < old*(1.0-tol) {
 			status = "REGRESSED "
 			regressed = true
 		}
 		fmt.Printf("%s %-24s %8.3f → %8.3f Mops (%+.1f%%)\n", status, k, old, r.Mops, delta*100)
 	}
 	for _, r := range oldR.Results {
-		if k := cellKey(r); !seen[k] {
+		if k := key(r); !seen[k] {
 			fmt.Printf("dropped     %-24s (was %.3f Mops)\n", k, r.Mops)
 		}
 	}
-	switch {
-	case regressed && gate:
-		fmt.Printf("FAIL: at least one cell dropped more than %.0f%%\n", *tol*100)
-		os.Exit(1)
-	case regressed:
-		fmt.Printf("PASS (ungated): regressions found but run configs differ\n")
-	default:
-		fmt.Printf("PASS: all matched cells within %.0f%% of baseline\n", *tol*100)
+	verdict(regressed, gate, tol, "throughput drop")
+}
+
+// diffAlloc gates on write-path allocation: higher B/op is worse, and a
+// cell whose baseline is 0 B/op must stay 0.
+func diffAlloc(oldPath, newPath string, tol float64) {
+	var oldR, newR bench.AllocReport
+	if err := decode(oldPath, &oldR); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
 	}
+	if err := decode(newPath, &newR); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	gate := true
+	if oldR.Records != newR.Records || oldR.BatchSize != newR.BatchSize || oldR.Procs != newR.Procs {
+		gate = false
+		fmt.Printf("warning: run configs differ (records %d→%d, batch %d→%d, procs %d→%d); numbers are indicative only, regressions will not fail the diff\n",
+			oldR.Records, newR.Records, oldR.BatchSize, newR.BatchSize, oldR.Procs, newR.Procs)
+	}
+
+	key := func(r bench.AllocRecord) string {
+		return fmt.Sprintf("%s/recycle=%v", r.Path, r.Recycle)
+	}
+	base := make(map[string]int64, len(oldR.Results))
+	for _, r := range oldR.Results {
+		base[key(r)] = r.BPerOp
+	}
+	regressed := false
+	seen := make(map[string]bool, len(newR.Results))
+	for _, r := range newR.Results {
+		k := key(r)
+		seen[k] = true
+		old, ok := base[k]
+		if !ok {
+			fmt.Printf("new cell    %-30s %8d B/op (no baseline)\n", k, r.BPerOp)
+			continue
+		}
+		bad := false
+		switch {
+		case old == 0:
+			bad = r.BPerOp > 0 // the zero-allocation invariant is absolute
+		default:
+			bad = float64(r.BPerOp) > float64(old)*(1.0+tol)
+		}
+		status := "ok        "
+		if bad {
+			status = "REGRESSED "
+			regressed = true
+		}
+		fmt.Printf("%s %-30s %8d → %8d B/op\n", status, k, old, r.BPerOp)
+	}
+	for _, r := range oldR.Results {
+		if k := key(r); !seen[k] {
+			fmt.Printf("dropped     %-30s (was %d B/op)\n", k, r.BPerOp)
+		}
+	}
+	verdict(regressed, gate, tol, "B/op increase")
 }

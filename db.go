@@ -56,6 +56,11 @@ type DBOptions[K any] struct {
 	// Grain is the parallel divide-and-conquer cutoff for batch commits
 	// (0 = sequential).
 	Grain int
+	// NoRecycle disables node recycling — the per-process magazine
+	// allocator that makes warm point updates heap-allocation-free — so
+	// every tree node is allocated fresh from the Go heap.  Ablation
+	// only; leave false in production.
+	NoRecycle bool
 }
 
 // OpenDB opens a sharded map with the given augmenter and initial
@@ -89,7 +94,7 @@ func OpenDB[K, V, A any](o DBOptions[K], aug Augmenter[K, V, A], initial []Entry
 	}
 	cmp, grain := o.Cmp, o.Grain
 	s, err := shard.New(
-		shard.Config[K]{Shards: o.Shards, Procs: o.Procs, Algorithm: o.Algorithm, Hash: o.Hash},
+		shard.Config[K]{Shards: o.Shards, Procs: o.Procs, Algorithm: o.Algorithm, Hash: o.Hash, NoRecycle: o.NoRecycle},
 		func() *Ops[K, V, A] { return ftree.New(cmp, aug, grain) },
 		initial,
 	)

@@ -219,6 +219,15 @@ func (b *Batcher[K, V, A]) run() {
 			}
 		}
 		if total > 0 {
+			// Pre-fill the combiner's arena for the whole gathered batch —
+			// inserts and deletes in one sweep — so the commit's node
+			// allocations come out of the pid-local magazine in O(total/M)
+			// block transfers instead of touching the shared free lists per
+			// node.  MultiInsert/MultiDelete self-reserve too, but after
+			// this combined reservation those are O(1) no-ops.  The
+			// magazine keeps its high-water capacity between commits, so a
+			// steady batch size reserves for free.
+			b.w.ReserveNodes(total + total/4)
 			b.w.Update(func(tx *core.Txn[K, V, A]) {
 				if len(inserts) > 0 {
 					tx.InsertBatch(inserts, b.comb)

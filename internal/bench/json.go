@@ -35,6 +35,43 @@ func (r *YCSBReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// AllocSchema identifies the machine-readable allocator-benchmark format
+// emitted by cmd/allocbench -json; bump the version when fields change
+// meaning.
+const AllocSchema = "BENCH_alloc/v1"
+
+// AllocRecord is one allocator cell: a measured path (point-update,
+// batch-commit) under one allocator setting (recycle on or off), with the
+// Go-heap bytes and allocations per operation alongside latency.  BPerOp
+// is the headline: 0 on the warm point-update path is the magazine
+// allocator working as designed.
+type AllocRecord struct {
+	Path        string  `json:"path"`
+	Recycle     bool    `json:"recycle"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+// AllocReport is the BENCH_alloc.json document: run configuration plus
+// every measured cell, so successive PRs can track the write path's
+// allocation trajectory the same way BENCH_ycsb tracks throughput.
+type AllocReport struct {
+	Schema    string        `json:"schema"`
+	Records   uint64        `json:"records"`
+	BatchSize int           `json:"batch_size"`
+	Procs     int           `json:"procs"`
+	Results   []AllocRecord `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *AllocReport) WriteJSON(w io.Writer) error {
+	r.Schema = AllocSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
 // InvSchema identifies the machine-readable result format emitted by
 // cmd/invbench -json; bump the version when fields change meaning.
 const InvSchema = "BENCH_inv/v1"

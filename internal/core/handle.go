@@ -87,6 +87,14 @@ func (p *PidPool) Do(f func(pid int)) {
 // goroutines, but its methods must never run concurrently — exactly the
 // Version Maintenance contract, enforced by lease exclusivity rather than
 // by caller discipline.  Close returns the pid to the map's pool.
+//
+// A handle owns its pid's node arena (ftree.Arena) for the duration of the
+// lease: transactions run on an Ops view bound to it, so the write path
+// allocates and collects through a single-owner magazine with no locks.
+// The arena belongs to the pid, not the handle struct — release a pid and
+// re-lease it and the magazine is still warm — which is also what makes
+// the preallocated WithCached handles (pid-affine by construction) hit the
+// same fast path with zero extra plumbing.
 type Handle[K, V, A any] struct {
 	m   *Map[K, V, A]
 	pid int
@@ -156,3 +164,16 @@ func (h *Handle[K, V, A]) Update(f func(t *Txn[K, V, A])) int { return h.m.Updat
 // TryUpdate runs a write transaction that aborts instead of retrying; it
 // reports whether the transaction committed.
 func (h *Handle[K, V, A]) TryUpdate(f func(t *Txn[K, V, A])) bool { return h.m.TryUpdate(h.pid, f) }
+
+// ReserveNodes pre-fills the leased pid's arena so the next n node
+// allocations are magazine hits: block transfers from the global free
+// lists, plus at most one contiguous chunk carve.  A combining writer
+// calls this with its gathered batch size before committing, bounding the
+// batch's shared-list traffic at O(n/M) lock acquisitions.
+func (h *Handle[K, V, A]) ReserveNodes(n int) { h.m.pops[h.pid].Reserve(n) }
+
+// ArenaStats exposes the leased pid's arena counters (refills, spills,
+// chunk carves) for tests and tuning; call only while holding the lease.
+func (h *Handle[K, V, A]) ArenaStats() (refills, spills, carves int64) {
+	return h.m.arenas[h.pid].Stats()
+}

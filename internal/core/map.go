@@ -28,12 +28,25 @@ import (
 // should not manage pids by hand: lease a Handle (see handle.go) and let
 // the map's pool enforce the contract.
 type Map[K, V, A any] struct {
-	ops   *ftree.Ops[K, V, A]
-	m     vm.Maintainer[ftree.Node[K, V, A]]
-	procs int
-	pool  *PidPool
+	ops      *ftree.Ops[K, V, A]
+	m        vm.Maintainer[ftree.Node[K, V, A]]
+	procs    int
+	pool     *PidPool
 	cache    handleCache       // cached leases for point ops (see cache.go)
 	chandles []Handle[K, V, A] // preallocated per-pid handles for WithCached
+
+	// Per-pid allocation state: pid p's transactions run on pops[p], an
+	// Ops view bound to arenas[p] — a pid-local node magazine (see
+	// ftree.Arena) — so the path-copying write path allocates and collects
+	// with no locks.  txns[p] and rbufs[p] are pid p's reusable write
+	// transaction and Release collect buffer, which together with the
+	// arena make a warm point update allocate nothing from the Go heap.
+	// Pid exclusivity (one leaseholder at a time, never concurrent) is
+	// exactly the single-owner discipline all four need.
+	arenas []*ftree.Arena[K, V, A]
+	pops   []*ftree.Ops[K, V, A]
+	txns   []Txn[K, V, A]
+	rbufs  [][]*ftree.Node[K, V, A]
 
 	// TrackVersions enables sampling of the version count at the start of
 	// every write transaction (the Table 2 / Figure 6 metric).
@@ -52,6 +65,11 @@ type Config struct {
 	Algorithm string
 	// Procs is the number of processes P that will use the map.
 	Procs int
+	// NoRecycle disables node recycling (the pid-local magazine allocator
+	// and the global free lists), so every mk allocates fresh from the Go
+	// heap — the ablation NewMap's recycling-on default is measured
+	// against (BenchmarkAllocPointUpdate, cmd/allocbench).
+	NoRecycle bool
 }
 
 // NewMap creates a transactional map whose initial version holds the given
@@ -68,6 +86,10 @@ func NewMap[K, V, A any](cfg Config, ops *ftree.Ops[K, V, A], initial []ftree.En
 	if alg == "" {
 		alg = "pswf"
 	}
+	// Recycling is on by default: with pid-local arenas the collector's
+	// "free instruction" feeds the next allocation without locks, which is
+	// the paper's version-memory reuse.  cfg.NoRecycle is the ablation.
+	ops.Recycle = !cfg.NoRecycle
 	root := ops.MultiInsert(nil, initial, nil) // owned token goes to the VM
 	m := vm.New[ftree.Node[K, V, A]](alg, cfg.Procs, root)
 	if m == nil {
@@ -80,6 +102,15 @@ func NewMap[K, V, A any](cfg Config, ops *ftree.Ops[K, V, A], initial []ftree.En
 	mp.chandles = make([]Handle[K, V, A], cfg.Procs)
 	for pid := range mp.chandles {
 		mp.chandles[pid] = Handle[K, V, A]{m: mp, pid: pid, cached: true}
+	}
+	mp.arenas = make([]*ftree.Arena[K, V, A], cfg.Procs)
+	mp.pops = make([]*ftree.Ops[K, V, A], cfg.Procs)
+	mp.txns = make([]Txn[K, V, A], cfg.Procs)
+	mp.rbufs = make([][]*ftree.Node[K, V, A], cfg.Procs)
+	for pid := 0; pid < cfg.Procs; pid++ {
+		mp.arenas[pid] = ops.NewArena()
+		mp.pops[pid] = ops.Bound(mp.arenas[pid])
+		mp.rbufs[pid] = make([]*ftree.Node[K, V, A], 0, 4)
 	}
 	return mp, nil
 }
@@ -110,22 +141,28 @@ func (m *Map[K, V, A]) MaxVersions() int64 { return m.maxVersions.Load() }
 // ResetMaxVersions clears the peak version gauge.
 func (m *Map[K, V, A]) ResetMaxVersions() { m.maxVersions.Store(0) }
 
-// collect runs Figure 1's cleanup loop: Algorithm 5's collect on every
-// version returned by Release.
-func (m *Map[K, V, A]) collect(roots []*ftree.Node[K, V, A]) {
-	for _, r := range roots {
-		m.ops.Release(r)
+// collect runs Figure 1's cleanup loop for pid: Algorithm 5's collect on
+// every version the VM hands back, releasing through pid's bound ops so
+// freed nodes land in pid's arena, ready for its next allocation.  The VM
+// appends into pid's reusable buffer, so a steady-state cleanup phase
+// allocates nothing.
+func (m *Map[K, V, A]) collect(pid int) {
+	buf := m.m.ReleaseInto(pid, m.rbufs[pid][:0])
+	po := m.pops[pid]
+	for _, r := range buf {
+		po.Release(r)
 	}
+	m.rbufs[pid] = buf[:0]
 }
 
 // Read runs a read-only transaction on process pid (Figure 1, left).  The
 // snapshot passed to f is immutable and valid only within f.
 func (m *Map[K, V, A]) Read(pid int, f func(s Snapshot[K, V, A])) {
 	root := m.m.Acquire(pid)
-	f(Snapshot[K, V, A]{ops: m.ops, root: root})
+	f(Snapshot[K, V, A]{ops: m.pops[pid], root: root})
 	// Response point: the transaction's result is complete here; what
 	// follows is the cleanup phase.
-	m.collect(m.m.Release(pid))
+	m.collect(pid)
 }
 
 // Snapshot is an immutable view of one version.  Reads cost exactly what
@@ -176,7 +213,9 @@ func (s Snapshot[K, V, A]) Root() *ftree.Node[K, V, A] { return s.root }
 
 // Txn is the mutable handle passed to write transactions.  User code reads
 // the acquired version and accumulates a path-copied replacement; the
-// original is never modified.
+// original is never modified.  The pointer is valid only within the
+// transaction callback: the struct is pid-local and reused by the next
+// transaction on the same process.
 type Txn[K, V, A any] struct {
 	ops   *ftree.Ops[K, V, A]
 	base  *ftree.Node[K, V, A] // the acquired version (borrowed)
@@ -259,7 +298,12 @@ func (m *Map[K, V, A]) tryUpdate(pid int, f func(t *Txn[K, V, A])) bool {
 		}
 	}
 	root := m.m.Acquire(pid)
-	tx := &Txn[K, V, A]{ops: m.ops, base: root, cur: root}
+	po := m.pops[pid]
+	// The transaction struct is pid-local and reused across transactions
+	// (pid exclusivity makes that safe), so a warm write allocates only
+	// tree nodes — which come from pid's arena.
+	tx := &m.txns[pid]
+	*tx = Txn[K, V, A]{ops: po, base: root, cur: root}
 	f(tx)
 	if !tx.dirty || tx.cur == root {
 		// Nothing to publish.  A dirty transaction can still end at the
@@ -267,29 +311,36 @@ func (m *Map[K, V, A]) tryUpdate(pid int, f func(t *Txn[K, V, A])) bool {
 		// it would retire the current version while it stays current, so
 		// treat it as a no-op too.
 		if tx.dirty {
-			m.ops.Release(tx.cur)
+			po.Release(tx.cur)
 		}
-		m.collect(m.m.Release(pid))
+		m.collect(pid)
 		return true
 	}
 	ok := m.m.Set(pid, tx.cur)
 	// Response point for a successful commit: the new version is visible.
-	m.collect(m.m.Release(pid))
+	m.collect(pid)
 	if ok {
 		m.commits.Add(1)
 		return true
 	}
 	m.aborts.Add(1)
-	m.ops.Release(tx.cur) // collect the never-published version
+	po.Release(tx.cur) // collect the never-published version
 	return false
 }
 
 // Close drains the Version Maintenance object and collects every remaining
-// version.  All processes must have quiesced.  After Close, Live() on the
-// Ops reports any leaked nodes (zero when the system is correct).
+// version, then flushes every pid arena back to the global free lists so
+// no parked memory is stranded with the dead map.  All processes must have
+// quiesced.  After Close, Live() on the Ops reports any leaked nodes (zero
+// when the system is correct; arena- and list-parked nodes count as free).
 func (m *Map[K, V, A]) Close() {
 	if !m.closed.CompareAndSwap(false, true) {
 		return
 	}
-	m.collect(m.m.Drain())
+	for _, r := range m.m.Drain() {
+		m.ops.Release(r)
+	}
+	for _, a := range m.arenas {
+		a.Flush()
+	}
 }

@@ -1,0 +1,294 @@
+package ftree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func arenaOps() *Ops[int64, int64, int64] {
+	o := New[int64, int64, int64](IntCmp[int64], SumAug[int64](), 0)
+	o.Recycle = true
+	return o
+}
+
+// TestArenaRoundTrip: a bound view's single-writer churn must recycle
+// entirely through the magazine, with Live() exact at every step and the
+// tree identical to a map model.
+func TestArenaRoundTrip(t *testing.T) {
+	o := arenaOps()
+	a := o.NewArena()
+	bo := o.Bound(a)
+	rng := rand.New(rand.NewSource(1))
+	model := map[int64]int64{}
+	var root *Node[int64, int64, int64]
+	for i := 0; i < 20_000; i++ {
+		k := int64(rng.Intn(500))
+		var nr *Node[int64, int64, int64]
+		if rng.Intn(3) == 0 {
+			nr = bo.Delete(root, k)
+			delete(model, k)
+		} else {
+			v := int64(i)
+			nr = bo.Insert(root, k, v)
+			model[k] = v
+		}
+		bo.Release(root)
+		root = nr
+		if i%4096 == 0 {
+			if live, reach := o.Live(), o.ReachableNodes(root); live != reach {
+				t.Fatalf("step %d: live %d ≠ reachable %d", i, live, reach)
+			}
+		}
+	}
+	if got, want := bo.Size(root), int64(len(model)); got != want {
+		t.Fatalf("size %d, want %d", got, want)
+	}
+	for k, v := range model {
+		if got, ok := bo.Find(root, k); !ok || got != v {
+			t.Fatalf("key %d: got (%d,%v), want %d", k, got, ok, v)
+		}
+	}
+	bo.Release(root)
+	if o.Live() != 0 {
+		t.Fatalf("leaked %d nodes", o.Live())
+	}
+	refills, spills, _ := a.Stats()
+	t.Logf("arena: cached=%d refills=%d spills=%d", a.Cached(), refills, spills)
+}
+
+// TestArenaNoCrossReuseWhileLive: nodes reachable from a version committed
+// by one arena must never be handed out by another arena (or any
+// allocator) while that version is live.  Two owners churn their own trees
+// concurrently off the same shared Ops family under -race; the freedMark
+// poison plus ref panics turn any reuse-while-live into a loud failure,
+// and each owner re-validates its own tree's contents continuously.
+func TestArenaNoCrossReuseWhileLive(t *testing.T) {
+	o := arenaOps()
+	const owners = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, owners)
+	for w := 0; w < owners; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := o.NewArena()
+			bo := o.Bound(a)
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := int64(w) * 1_000_000 // disjoint key spaces
+			var root *Node[int64, int64, int64]
+			for i := 0; i < 4000; i++ {
+				k := base + int64(rng.Intn(200))
+				nr := bo.Insert(root, k, k*2)
+				bo.Release(root)
+				root = nr
+				// Spot-check a key: a node stolen by another owner while
+				// this version is live would corrupt keys or panic.
+				if v, ok := bo.Find(root, k); !ok || v != k*2 {
+					errs <- errAt(w, i, k, v, ok)
+					return
+				}
+			}
+			bo.Release(root)
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if o.Live() != 0 {
+		t.Fatalf("leaked %d nodes", o.Live())
+	}
+}
+
+type ownerErr struct {
+	w, i int
+	k, v int64
+	ok   bool
+}
+
+func errAt(w, i int, k, v int64, ok bool) error { return ownerErr{w, i, k, v, ok} }
+func (e ownerErr) Error() string {
+	return "owner tree corrupted (cross-arena reuse of a live node?)"
+}
+
+// TestArenaSpillRefillMigration: nodes freed by one arena must become
+// allocatable by another via the shared lists — spill on one side, refill
+// on the other — without disturbing exact accounting.
+func TestArenaSpillRefillMigration(t *testing.T) {
+	o := arenaOps()
+	a1 := o.NewArena()
+	b1 := o.Bound(a1)
+	// Build and fully release a chunky tree on arena 1: far more nodes
+	// than one magazine holds, so the surplus spills to the global lists.
+	var root *Node[int64, int64, int64]
+	for i := int64(0); i < 4*magCap; i++ {
+		nr := b1.Insert(root, i, i)
+		b1.Release(root)
+		root = nr
+	}
+	b1.Release(root)
+	if o.Live() != 0 {
+		t.Fatalf("phase 1 leaked %d nodes", o.Live())
+	}
+	_, spills, _ := a1.Stats()
+	if spills == 0 {
+		t.Fatalf("freeing %d nodes never spilled past magazine capacity %d", 4*magCap, magCap)
+	}
+
+	// Arena 2 must refill off those spilled nodes rather than carving
+	// fresh chunks for everything.
+	a2 := o.NewArena()
+	b2 := o.Bound(a2)
+	allocsBefore := o.Allocs()
+	root = nil
+	for i := int64(0); i < int64(magCap); i++ {
+		nr := b2.Insert(root, i, i)
+		b2.Release(root)
+		root = nr
+	}
+	refills, _, _ := a2.Stats()
+	if refills == 0 {
+		t.Fatalf("arena 2 never refilled from the shared lists")
+	}
+	if o.Allocs() == allocsBefore {
+		t.Fatalf("accounting stopped moving")
+	}
+	b2.Release(root)
+	if o.Live() != 0 {
+		t.Fatalf("phase 2 leaked %d nodes", o.Live())
+	}
+}
+
+// TestArenaReserve: Reserve must make the next n allocations magazine or
+// chunk hits and must never shrink what is already parked.
+func TestArenaReserve(t *testing.T) {
+	o := arenaOps()
+	a := o.NewArena()
+	bo := o.Bound(a)
+	const n = 3 * magCap
+	a.Reserve(n)
+	if got := a.Cached(); got < n {
+		t.Fatalf("Reserve(%d) left only %d cached", n, got)
+	}
+	carvesBefore, refillsBefore := int64(0), int64(0)
+	refillsBefore, _, carvesBefore = a.Stats()
+	entries := make([]Entry[int64, int64], n)
+	for i := range entries {
+		entries[i] = Entry[int64, int64]{Key: int64(i), Val: int64(i)}
+	}
+	root := bo.Build(entries)
+	refillsAfter, _, carvesAfter := a.Stats()
+	if carvesAfter != carvesBefore || refillsAfter != refillsBefore {
+		t.Fatalf("reserved build still hit the slow path: carves %d→%d refills %d→%d",
+			carvesBefore, carvesAfter, refillsBefore, refillsAfter)
+	}
+	bo.Release(root)
+	if o.Live() != 0 {
+		t.Fatalf("leaked %d nodes", o.Live())
+	}
+}
+
+// TestArenaParallelBulk: with Grain forcing forks, parallel bulk ops on a
+// bound view must stay correct and exact — forked branches run on the
+// unbound root (see maybeParallel), the spine keeps the arena.  Run with
+// -race this doubles as the no-two-goroutines-on-one-arena check.
+func TestArenaParallelBulk(t *testing.T) {
+	o := New[int64, int64, int64](IntCmp[int64], SumAug[int64](), 64)
+	o.Recycle = true
+	a := o.NewArena()
+	bo := o.Bound(a)
+	rng := rand.New(rand.NewSource(7))
+	var root *Node[int64, int64, int64]
+	model := map[int64]int64{}
+	for round := 0; round < 10; round++ {
+		batch := make([]Entry[int64, int64], 1000)
+		for i := range batch {
+			k := int64(rng.Intn(5000))
+			batch[i] = Entry[int64, int64]{Key: k, Val: int64(round)}
+		}
+		for _, e := range batch {
+			model[e.Key] = e.Val
+		}
+		nr := bo.MultiInsert(root, batch, nil)
+		bo.Release(root)
+		root = nr
+		if live, reach := o.Live(), o.ReachableNodes(root); live != reach {
+			t.Fatalf("round %d: live %d ≠ reachable %d", round, live, reach)
+		}
+	}
+	if got, want := bo.Size(root), int64(len(model)); got != want {
+		t.Fatalf("size %d, want %d", got, want)
+	}
+	for k, v := range model {
+		if got, ok := bo.Find(root, k); !ok || got != v {
+			t.Fatalf("key %d: got (%d,%v), want %d", k, got, ok, v)
+		}
+	}
+	bo.Release(root)
+	if o.Live() != 0 {
+		t.Fatalf("leaked %d nodes", o.Live())
+	}
+}
+
+// TestArenaFlush: Flush must park nothing and push everything back where
+// other arenas can get it.
+func TestArenaFlush(t *testing.T) {
+	o := arenaOps()
+	a := o.NewArena()
+	bo := o.Bound(a)
+	var root *Node[int64, int64, int64]
+	for i := int64(0); i < 100; i++ {
+		nr := bo.Insert(root, i, i)
+		bo.Release(root)
+		root = nr
+	}
+	bo.Release(root) // everything parks in the magazine
+	if a.Cached() == 0 {
+		t.Fatalf("nothing parked before Flush")
+	}
+	a.Flush()
+	if a.Cached() != 0 {
+		t.Fatalf("%d nodes still parked after Flush", a.Cached())
+	}
+	if o.Live() != 0 {
+		t.Fatalf("leaked %d nodes", o.Live())
+	}
+	// The flushed nodes are now on the global lists, available to any
+	// arena or to the unbound root.
+	parked := 0
+	for i := range o.sh.free {
+		for n := o.sh.free[i].head; n != nil; n = n.right {
+			parked++
+		}
+	}
+	if parked == 0 {
+		t.Fatalf("global lists empty after Flush")
+	}
+}
+
+// TestDeleteAbsentSharesInput: the fused single-pass Delete must return a
+// token on the unchanged input for absent keys and allocate nothing.
+func TestDeleteAbsentSharesInput(t *testing.T) {
+	o := arenaOps()
+	var root *Node[int64, int64, int64]
+	for i := int64(0); i < 100; i++ {
+		nr := o.Insert(root, 2*i, i)
+		o.Release(root)
+		root = nr
+	}
+	allocs := o.Allocs()
+	out := o.Delete(root, 51) // absent (odd)
+	if out != root {
+		t.Fatalf("absent-key delete returned a different tree")
+	}
+	if o.Allocs() != allocs {
+		t.Fatalf("absent-key delete allocated %d nodes", o.Allocs()-allocs)
+	}
+	o.Release(out)
+	o.Release(root)
+	if o.Live() != 0 {
+		t.Fatalf("leaked %d nodes", o.Live())
+	}
+}

@@ -1,6 +1,6 @@
 package ftree
 
-import "sort"
+import "slices"
 
 // Build constructs a perfectly balanced owned tree from entries sorted by
 // key with no duplicates.  O(n) work, O(log n) span with parallel halves.
@@ -11,20 +11,33 @@ func (o *Ops[K, V, A]) Build(entries []Entry[K, V]) *Node[K, V, A] {
 	mid := len(entries) / 2
 	var l, r *Node[K, V, A]
 	o.maybeParallel(int64(len(entries)),
-		func() { l = o.Build(entries[:mid]) },
-		func() { r = o.Build(entries[mid+1:]) },
+		func(o *Ops[K, V, A]) { l = o.Build(entries[:mid]) },
+		func(o *Ops[K, V, A]) { r = o.Build(entries[mid+1:]) },
 	)
 	return o.mk(l, entries[mid].Key, entries[mid].Val, r)
 }
 
 // SortEntries sorts a batch by key and coalesces duplicates, applying comb
 // left-to-right (nil comb keeps the last occurrence).  The input slice is
-// reordered.  This is the preprocessing step of MultiInsert.
+// reordered in place and the result aliases it.  This is the preprocessing
+// step of MultiInsert.
 func (o *Ops[K, V, A]) SortEntries(batch []Entry[K, V], comb func(old, new V) V) []Entry[K, V] {
-	sort.SliceStable(batch, func(i, j int) bool { return o.Cmp(batch[i].Key, batch[j].Key) < 0 })
-	out := batch[:0]
-	for _, e := range batch {
-		if len(out) > 0 && o.Cmp(out[len(out)-1].Key, e.Key) == 0 {
+	slices.SortStableFunc(batch, func(a, b Entry[K, V]) int { return o.Cmp(a.Key, b.Key) })
+	// Dedup in place: skip ahead to the first duplicate so the common
+	// all-unique batch pays one comparison per entry and no copies.
+	dup := -1
+	for i := 1; i < len(batch); i++ {
+		if o.Cmp(batch[i-1].Key, batch[i].Key) == 0 {
+			dup = i
+			break
+		}
+	}
+	if dup < 0 {
+		return batch
+	}
+	out := batch[:dup]
+	for _, e := range batch[dup:] {
+		if o.Cmp(out[len(out)-1].Key, e.Key) == 0 {
 			if comb != nil {
 				out[len(out)-1].Val = comb(out[len(out)-1].Val, e.Val)
 			} else {
@@ -49,6 +62,10 @@ func (o *Ops[K, V, A]) MultiInsert(t *Node[K, V, A], batch []Entry[K, V], comb f
 		return o.share(t)
 	}
 	sorted := o.SortEntries(batch, comb)
+	// Build needs one node per entry and the union re-joins O(m·log(n/m))
+	// more; pre-fill the bound arena so those allocations are block
+	// transfers, not per-node lock acquisitions.
+	o.Reserve(len(sorted) + len(sorted)/4)
 	built := o.Build(sorted)
 	return o.unionOwned(o.share(t), built, comb)
 }
@@ -64,6 +81,7 @@ func (o *Ops[K, V, A]) MultiDelete(t *Node[K, V, A], keys []K) *Node[K, V, A] {
 		entries[i].Key = k
 	}
 	sorted := o.SortEntries(entries, nil)
+	o.Reserve(len(sorted))
 	built := o.Build(sorted)
 	out := o.Difference(t, built)
 	o.Release(built)
@@ -113,13 +131,15 @@ func (o *Ops[K, V, A]) visitRange(t *Node[K, V, A], lo, hi K, f func(K, V)) {
 	if t == nil {
 		return
 	}
-	if o.Cmp(t.key, lo) >= 0 {
+	geLo := o.Cmp(t.key, lo) >= 0
+	leHi := o.Cmp(t.key, hi) <= 0
+	if geLo {
 		o.visitRange(t.left, lo, hi, f)
+		if leHi {
+			f(t.key, t.val)
+		}
 	}
-	if o.Cmp(t.key, lo) >= 0 && o.Cmp(t.key, hi) <= 0 {
-		f(t.key, t.val)
-	}
-	if o.Cmp(t.key, hi) <= 0 {
+	if leHi {
 		o.visitRange(t.right, lo, hi, f)
 	}
 }

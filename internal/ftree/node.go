@@ -24,6 +24,14 @@
 //
 // Functions document whether they borrow or consume (own) their tree
 // arguments; everything returned is owned by the caller.
+//
+// # Allocation
+//
+// With Recycle on, freed nodes are reused by the next mk.  An Ops view
+// bound to an Arena (the per-pid magazine allocator, arena.go) recycles
+// through the arena with no locks or shared-state atomics; the unbound
+// root Ops recycles through sharded mutex-protected global lists, which
+// double as the depot magazines spill to and refill from.
 package ftree
 
 import (
@@ -90,15 +98,25 @@ type stats struct {
 	frees  [statShards]padCounter
 }
 
-// freeShards is the number of independent free lists when Recycle is on;
-// sharding by the freeing goroutine's node address keeps collectors and
-// allocators from serializing on one lock.
+// freeShards is the number of independent global free lists when Recycle
+// is on; sharding keeps unbound collectors and allocators from serializing
+// on one lock, and gives arenas independent depots to spill to.
 const freeShards = 16
 
 type freeList[K, V, A any] struct {
 	mu   sync.Mutex
 	head *Node[K, V, A]
 	_    [4]uint64
+}
+
+// allocShared is the allocation state every view of one Ops family shares:
+// exact statistics plus the sharded global free lists.  Arenas hold a
+// pointer to it so spills and refills stay inside the family and Live()
+// accounting cannot drift between views.
+type allocShared[K, V, A any] struct {
+	st       stats
+	free     [freeShards]freeList[K, V, A]
+	freeHint atomic.Uint32
 }
 
 func shard(p unsafe.Pointer) int { return int((uintptr(p) >> 7) % statShards) }
@@ -114,27 +132,37 @@ func (s *stats) totals() (allocs, frees int64) {
 	return
 }
 
-// Allocs reports the total number of nodes ever created by this Ops.
-func (o *Ops[K, V, A]) Allocs() int64 { a, _ := o.st.totals(); return a }
+// Allocs reports the total number of nodes ever created by this Ops family.
+func (o *Ops[K, V, A]) Allocs() int64 { a, _ := o.sh.st.totals(); return a }
 
 // Frees reports the total number of nodes freed by the collector.
-func (o *Ops[K, V, A]) Frees() int64 { _, f := o.st.totals(); return f }
+func (o *Ops[K, V, A]) Frees() int64 { _, f := o.sh.st.totals(); return f }
 
 // Live reports the allocated space in nodes: Allocs() − Frees().  After all
 // versions are released this must be zero; the property tests assert that
 // at every quiescent point Live equals the number of nodes reachable from
-// the live version roots.
+// the live version roots.  Nodes parked in magazines or on the global free
+// lists are counted free: they are reachable from no version.
 func (o *Ops[K, V, A]) Live() int64 {
-	a, f := o.st.totals()
+	a, f := o.sh.st.totals()
 	return a - f
 }
 
 // mk allocates a node with key k, value v and children l and r, consuming
 // the caller's tokens on l and r and returning a token on the new node.
 // Size and augmentation are computed here so they are correct by
-// construction everywhere.
+// construction everywhere.  With Recycle on, a bound view takes the node
+// from its arena (no locks, no shared-state atomics); the unbound root
+// scans the sharded global lists.
 func (o *Ops[K, V, A]) mk(l *Node[K, V, A], k K, v V, r *Node[K, V, A]) *Node[K, V, A] {
-	n := o.popFree()
+	var n *Node[K, V, A]
+	if o.Recycle {
+		if a := o.arena; a != nil {
+			n = a.get()
+		} else {
+			n = o.popFree()
+		}
+	}
 	if n == nil {
 		n = &Node[K, V, A]{}
 	}
@@ -149,7 +177,7 @@ func (o *Ops[K, V, A]) mk(l *Node[K, V, A], k K, v V, r *Node[K, V, A]) *Node[K,
 		a = o.Aug.Combine(a, r.aug)
 	}
 	n.aug = a
-	o.st.addAlloc(unsafe.Pointer(n))
+	o.sh.st.addAlloc(unsafe.Pointer(n))
 	return n
 }
 
@@ -178,7 +206,20 @@ func (o *Ops[K, V, A]) Release(t *Node[K, V, A]) {
 	if t == nil {
 		return
 	}
+	// A bound view lends the traversal stack from its arena so steady-state
+	// collection allocates nothing; taking it by swap keeps a reentrant
+	// Release (via a ReleaseVal callback into the same Ops) correct — the
+	// inner call just sees nil and falls back to a local stack.
 	var stack []*Node[K, V, A]
+	a := o.arena
+	if a != nil {
+		stack, a.scratch = a.scratch[:0], nil
+	}
+	defer func() {
+		if a != nil {
+			a.scratch = stack[:0]
+		}
+	}()
 	cur := t
 	for {
 		n := cur.ref.Add(-1)
@@ -211,32 +252,35 @@ func (o *Ops[K, V, A]) Release(t *Node[K, V, A]) {
 
 func (o *Ops[K, V, A]) freeNode(n *Node[K, V, A]) {
 	n.ref.Store(freedMark)
-	o.st.addFree(unsafe.Pointer(n))
+	o.sh.st.addFree(unsafe.Pointer(n))
 	if !o.Recycle {
 		n.left, n.right = nil, nil
 		return
 	}
-	// Chain through the right pointer; the node is unreachable from any
-	// live version, so no reader can observe the link.
+	// The node is unreachable from any live version, so no reader can
+	// observe it; drop its references so parked nodes pin nothing.
 	var zeroK K
 	var zeroV V
-	n.left, n.key, n.val = nil, zeroK, zeroV
-	fl := &o.free[(uintptr(unsafe.Pointer(n))>>7)%freeShards]
+	n.left, n.right, n.key, n.val = nil, nil, zeroK, zeroV
+	if a := o.arena; a != nil {
+		a.put(n)
+		return
+	}
+	fl := &o.sh.free[(uintptr(unsafe.Pointer(n))>>7)%freeShards]
 	fl.mu.Lock()
 	n.right = fl.head
 	fl.head = n
 	fl.mu.Unlock()
 }
 
-// popFree takes a recycled node, scanning a couple of shards so one empty
-// shard does not force an allocation while others are full.
+// popFree takes a recycled node off the global lists, scanning a couple of
+// shards so one empty shard does not force an allocation while others are
+// full.  Only the unbound root allocates this way; bound views go through
+// their arena.
 func (o *Ops[K, V, A]) popFree() *Node[K, V, A] {
-	if !o.Recycle {
-		return nil
-	}
-	start := int(o.freeHint.Add(1))
+	start := int(o.sh.freeHint.Add(1))
 	for i := 0; i < 2; i++ {
-		fl := &o.free[(start+i)%freeShards]
+		fl := &o.sh.free[(start+i)%freeShards]
 		fl.mu.Lock()
 		n := fl.head
 		if n != nil {

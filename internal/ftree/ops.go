@@ -1,7 +1,5 @@
 package ftree
 
-import "sync/atomic"
-
 // Augmenter computes the augmented value attached to every subtree, in the
 // style of PAM's augmented maps: an associative Combine with identity Zero
 // folded over the in-order sequence of Single(k, v) values.  Range-sum
@@ -18,8 +16,15 @@ type Augmenter[K, V, A any] interface {
 }
 
 // Ops holds the comparison function, augmenter and allocation accounting
-// for one family of trees.  All trees operated on by the same Ops share its
-// statistics.  Ops is safe for concurrent use.
+// for one family of trees.  All trees operated on by the same Ops family
+// share its statistics.  Ops is safe for concurrent use.
+//
+// An Ops value is either the root returned by New, or an arena-bound view
+// returned by Bound: a shallow copy that routes node allocation and
+// collection through a caller-owned Arena with no locks or shared-state
+// atomics (see arena.go).  Views share the root's statistics and global
+// free lists, so Allocs/Frees/Live stay exact however allocation is
+// routed.  Construct Ops only through New; the zero value is unusable.
 type Ops[K, V, A any] struct {
 	// Cmp is a three-way comparison: negative if a<b, zero if equal.
 	Cmp func(a, b K) int
@@ -31,12 +36,13 @@ type Ops[K, V, A any] struct {
 	Grain int
 	// NoSteal disables decompose's exclusive-node fast path (ablation).
 	NoSteal bool
-	// Recycle routes freed nodes through sharded free lists so the next
-	// mk reuses them, making the collector's "free instruction" literal
-	// (the paper's C++ implementation reuses version memory the same
-	// way).  Safe because precise GC guarantees a freed node is reachable
-	// from no live version.  Off by default: Go's allocator is already
-	// very fast, and BenchmarkAblationRecycle quantifies the difference.
+	// Recycle routes freed nodes back to the next mk — through the bound
+	// Arena's magazine when one is attached, through the sharded global
+	// free lists otherwise — making the collector's "free instruction"
+	// literal (the paper's C++ implementation reuses version memory the
+	// same way).  Safe because precise GC guarantees a freed node is
+	// reachable from no live version.  core.NewMap turns this on by
+	// default; BenchmarkAblationRecycle quantifies the difference.
 	Recycle bool
 
 	// RetainVal and ReleaseVal make values themselves reference-counted
@@ -52,9 +58,17 @@ type Ops[K, V, A any] struct {
 	RetainVal  func(V) V
 	ReleaseVal func(V)
 
-	st       stats
-	free     [freeShards]freeList[K, V, A]
-	freeHint atomic.Uint32
+	// sh is the allocation state shared by the root Ops and every bound
+	// view: statistics plus the sharded global free lists that magazines
+	// spill to and refill from.  Set by New.
+	sh *allocShared[K, V, A]
+	// arena is the pid-local magazine this view allocates through; nil on
+	// the root Ops (global sharded lists with per-shard locking).
+	arena *Arena[K, V, A]
+	// root points back at the unbound Ops a view was Bound from; nil on
+	// the root itself.  maybeParallel hands forked goroutines the root so
+	// a single-owner arena is never touched from two goroutines.
+	root *Ops[K, V, A]
 }
 
 // retainVal duplicates a value reference when values are refcounted.
@@ -75,7 +89,49 @@ func (o *Ops[K, V, A]) releaseVal(v V) {
 // New returns an Ops for the given comparison and augmenter with parallel
 // grain g.
 func New[K, V, A any](cmp func(a, b K) int, aug Augmenter[K, V, A], g int) *Ops[K, V, A] {
-	return &Ops[K, V, A]{Cmp: cmp, Aug: aug, Grain: g}
+	return &Ops[K, V, A]{Cmp: cmp, Aug: aug, Grain: g, sh: &allocShared[K, V, A]{}}
+}
+
+// Bound returns a view of o whose allocations and frees go through arena a
+// with no locks or atomics: the fast path for a process that owns a (see
+// Arena).  The view shares o's statistics and global free lists, and
+// captures o's configuration at call time.  Like the arena itself, the
+// view's mutating operations must not run concurrently with each other;
+// read-only operations (Find, ForEach, AugRange, ...) touch no allocator
+// state and stay safe from any goroutine.
+func (o *Ops[K, V, A]) Bound(a *Arena[K, V, A]) *Ops[K, V, A] {
+	if a != nil && a.sh != o.sh {
+		panic("ftree: Bound with an arena from a different Ops family")
+	}
+	root := o
+	if o.root != nil {
+		root = o.root
+	}
+	v := *root
+	v.arena = a
+	v.root = root
+	return &v
+}
+
+// Unbound returns the root Ops a view was Bound from (o itself when o is
+// already the root).  Parallel forks allocate through it so a single-owner
+// arena never crosses goroutines.
+func (o *Ops[K, V, A]) Unbound() *Ops[K, V, A] {
+	if o.root != nil {
+		return o.root
+	}
+	return o
+}
+
+// Reserve pre-fills the bound arena so the next n allocations hit the
+// magazine without touching the shared lists — the combining writer calls
+// this before applying an n-entry batch, turning n per-node lock
+// acquisitions into O(n/M) block transfers.  It is a no-op on an unbound
+// Ops or with Recycle off.
+func (o *Ops[K, V, A]) Reserve(n int) {
+	if o.arena != nil && o.Recycle {
+		o.arena.Reserve(n)
+	}
 }
 
 // Entry is a key-value pair, used by batch operations and iteration.

@@ -9,20 +9,25 @@ import "sync"
 // Ops.Grain keys.
 
 // maybeParallel runs f and g, forking f onto its own goroutine when the
-// combined problem size exceeds the grain.
-func (o *Ops[K, V, A]) maybeParallel(sz int64, f, g func()) {
+// combined problem size exceeds the grain.  Both callbacks receive the Ops
+// to continue on: sequentially that is o itself, but a forked f gets the
+// unbound root, because an arena-bound view is single-owner and must never
+// be touched from two goroutines.  The sequential spine — the goroutine
+// that owns the arena — keeps its bound view the whole way down.
+func (o *Ops[K, V, A]) maybeParallel(sz int64, f, g func(o *Ops[K, V, A])) {
 	if o.Grain <= 0 || sz <= int64(o.Grain) {
-		f()
-		g()
+		f(o)
+		g(o)
 		return
 	}
+	fo := o.Unbound()
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		f()
+		f(fo)
 	}()
-	g()
+	g(o)
 	wg.Wait()
 }
 
@@ -47,8 +52,8 @@ func (o *Ops[K, V, A]) unionOwned(a, b *Node[K, V, A], comb func(av, bv V) V) *N
 	bl, br, found, bv := o.splitOwned(b, ak)
 	var l, r *Node[K, V, A]
 	o.maybeParallel(sz,
-		func() { l = o.unionOwned(al, bl, comb) },
-		func() { r = o.unionOwned(ar, br, comb) },
+		func(o *Ops[K, V, A]) { l = o.unionOwned(al, bl, comb) },
+		func(o *Ops[K, V, A]) { r = o.unionOwned(ar, br, comb) },
 	)
 	v := av
 	if found {
@@ -79,8 +84,8 @@ func (o *Ops[K, V, A]) intersectOwned(a, b *Node[K, V, A], comb func(av, bv V) V
 	bl, br, found, bv := o.splitOwned(b, ak)
 	var l, r *Node[K, V, A]
 	o.maybeParallel(sz,
-		func() { l = o.intersectOwned(al, bl, comb) },
-		func() { r = o.intersectOwned(ar, br, comb) },
+		func(o *Ops[K, V, A]) { l = o.intersectOwned(al, bl, comb) },
+		func(o *Ops[K, V, A]) { r = o.intersectOwned(ar, br, comb) },
 	)
 	if found {
 		v := av
@@ -114,8 +119,8 @@ func (o *Ops[K, V, A]) differenceOwned(a, b *Node[K, V, A]) *Node[K, V, A] {
 	bl, br, found, bv := o.splitOwned(b, ak)
 	var l, r *Node[K, V, A]
 	o.maybeParallel(sz,
-		func() { l = o.differenceOwned(al, bl) },
-		func() { r = o.differenceOwned(ar, br) },
+		func(o *Ops[K, V, A]) { l = o.differenceOwned(al, bl) },
+		func(o *Ops[K, V, A]) { r = o.differenceOwned(ar, br) },
 	)
 	if found {
 		o.releaseVal(av) // the entry is subtracted away
@@ -135,8 +140,8 @@ func (o *Ops[K, V, A]) MapValues(t *Node[K, V, A], f func(K, V) V) *Node[K, V, A
 	}
 	var l, r *Node[K, V, A]
 	o.maybeParallel(t.size,
-		func() { l = o.MapValues(t.left, f) },
-		func() { r = o.MapValues(t.right, f) },
+		func(o *Ops[K, V, A]) { l = o.MapValues(t.left, f) },
+		func(o *Ops[K, V, A]) { r = o.MapValues(t.right, f) },
 	)
 	return o.mk(l, t.key, f(t.key, t.val), r)
 }
@@ -149,8 +154,8 @@ func (o *Ops[K, V, A]) Filter(t *Node[K, V, A], keep func(K, V) bool) *Node[K, V
 	}
 	var l, r *Node[K, V, A]
 	o.maybeParallel(t.size,
-		func() { l = o.Filter(t.left, keep) },
-		func() { r = o.Filter(t.right, keep) },
+		func(o *Ops[K, V, A]) { l = o.Filter(t.left, keep) },
+		func(o *Ops[K, V, A]) { r = o.Filter(t.right, keep) },
 	)
 	if keep(t.key, t.val) {
 		return o.Join(l, t.key, o.retainVal(t.val), r)

@@ -192,23 +192,40 @@ func (o *Ops[K, V, A]) InsertWith(t *Node[K, V, A], k K, v V, comb func(old, new
 }
 
 // Delete returns a new owned tree equal to borrowed t with k removed.
-// When k is absent the result shares the whole input.  O(log n).
+// When k is absent the result shares the whole input.  One traversal in
+// either case: the descent looks for k and only builds the path-copied
+// spine on the way back up once k was found, so an absent key costs a pure
+// search and allocates nothing.  O(log n).
 func (o *Ops[K, V, A]) Delete(t *Node[K, V, A], k K) *Node[K, V, A] {
-	if !o.Has(t, k) {
-		return o.share(t)
+	if out, found := o.deleteFound(t, k); found {
+		return out
 	}
-	return o.deleteKnown(t, k)
+	return o.share(t)
 }
 
-func (o *Ops[K, V, A]) deleteKnown(t *Node[K, V, A], k K) *Node[K, V, A] {
+// deleteFound searches borrowed t for k; when present it returns the new
+// owned tree with k removed, otherwise it returns found == false having
+// touched no reference counts.
+func (o *Ops[K, V, A]) deleteFound(t *Node[K, V, A], k K) (out *Node[K, V, A], found bool) {
+	if t == nil {
+		return nil, false
+	}
 	c := o.Cmp(k, t.key)
 	switch {
 	case c == 0:
-		return o.Join2(o.share(t.left), o.share(t.right))
+		return o.Join2(o.share(t.left), o.share(t.right)), true
 	case c < 0:
-		return o.Join(o.deleteKnown(t.left, k), t.key, o.retainVal(t.val), o.share(t.right))
+		nl, ok := o.deleteFound(t.left, k)
+		if !ok {
+			return nil, false
+		}
+		return o.Join(nl, t.key, o.retainVal(t.val), o.share(t.right)), true
 	default:
-		return o.Join(o.share(t.left), t.key, o.retainVal(t.val), o.deleteKnown(t.right, k))
+		nr, ok := o.deleteFound(t.right, k)
+		if !ok {
+			return nil, false
+		}
+		return o.Join(o.share(t.left), t.key, o.retainVal(t.val), nr), true
 	}
 }
 

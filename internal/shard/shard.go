@@ -24,9 +24,11 @@
 // No pid appears anywhere in this package's API: process identities are
 // leased internally from each shard's pool (core.Handle), through the
 // cached-handle fast path (core.Map.WithCached) so back-to-back point ops
-// skip the pool's mutexes entirely.  Multi-shard operations lease in
-// ascending shard order, which makes blocking admission control
-// deadlock-free (ordered resource acquisition).
+// skip the pool's mutexes entirely.  Each leased pid brings its own node
+// arena (ftree.Arena), so a shard's write path also allocates lock-free:
+// warm point updates touch no shared allocator state at all.  Multi-shard
+// operations lease in ascending shard order, which makes blocking
+// admission control deadlock-free (ordered resource acquisition).
 package shard
 
 import (
@@ -51,6 +53,9 @@ type Config[K any] struct {
 	// Hash maps a key to the shard space; it must be deterministic.  The
 	// shard index is Hash(k) % Shards.
 	Hash func(K) uint64
+	// NoRecycle disables every shard's node recycling (the pid-local
+	// magazine allocator); see core.Config.NoRecycle.
+	NoRecycle bool
 }
 
 // Map is a hash-sharded multiversion map: S independent core.Maps behind
@@ -78,7 +83,7 @@ func New[K, V, A any](cfg Config[K], mkOps func() *ftree.Ops[K, V, A], initial [
 	}
 	m := &Map[K, V, A]{hash: cfg.Hash}
 	for i := 0; i < cfg.Shards; i++ {
-		s, err := core.NewMap(core.Config{Algorithm: cfg.Algorithm, Procs: cfg.Procs}, mkOps(), parts[i])
+		s, err := core.NewMap(core.Config{Algorithm: cfg.Algorithm, Procs: cfg.Procs, NoRecycle: cfg.NoRecycle}, mkOps(), parts[i])
 		if err != nil {
 			for _, prev := range m.shards {
 				prev.Close()

@@ -50,9 +50,12 @@ func (m *Base[T]) Set(k int, data *T) bool {
 }
 
 // Release returns nothing: the baseline never collects.
-func (m *Base[T]) Release(k int) []*T {
+func (m *Base[T]) Release(k int) []*T { return m.ReleaseInto(k, nil) }
+
+// ReleaseInto is Release with a caller-provided buffer; see Maintainer.
+func (m *Base[T]) ReleaseInto(k int, out []*T) []*T {
 	m.acq[k].p.Store(nil)
-	return nil
+	return out
 }
 
 // Uncollected reports every version ever superseded plus the current one.

@@ -114,32 +114,37 @@ func (m *Epoch[T]) bag(e uint64) *epochBag[T] {
 // optimization, which increases the uncollected count by at most one); if
 // every active process has announced the current epoch it advances the
 // epoch and returns the bag retired two epochs ago.
-func (m *Epoch[T]) Release(k int) []*T {
+func (m *Epoch[T]) Release(k int) []*T { return m.ReleaseInto(k, nil) }
+
+// ReleaseInto is Release appending to a caller-provided buffer; see
+// Maintainer.
+func (m *Epoch[T]) ReleaseInto(k int, out []*T) []*T {
 	e := m.epoch.Load()
 	m.ann[k].store(epPack(e, false))
 	m.acq[k].p.Store(nil)
 	if !m.wrote[k] {
-		return nil
+		return out
 	}
 	m.wrote[k] = false
 	for i := 0; i < m.p; i++ {
 		a := m.ann[i].load()
 		if epActive(a) && epEpoch(a) != e {
-			return nil // someone is still reading in an older epoch
+			return out // someone is still reading in an older epoch
 		}
 	}
 	m.mu.Lock()
 	if !m.epoch.CompareAndSwap(e, e+1) {
 		m.mu.Unlock()
-		return nil // another releaser advanced the epoch and took the bag
+		return out // another releaser advanced the epoch and took the bag
 	}
 	// Drain epoch e-2's bag before releasing the mutex, so no retire into
 	// epoch e+1 (which shares the slot mod 3) can recycle it first.
 	b := m.bag(e - 2)
-	out := append([]*T(nil), b.versions...)
+	n := len(b.versions)
+	out = append(out, b.versions...)
 	b.versions = b.versions[:0]
 	m.mu.Unlock()
-	m.nRet.v.Add(-int64(len(out)))
+	m.nRet.v.Add(-int64(n))
 	return out
 }
 

@@ -68,16 +68,20 @@ func (m *HP[T]) Set(k int, data *T) bool {
 // unannounced, so the O(P) scan returns Ω(P) versions and the amortized
 // cost is O(1).  Otherwise it returns nothing — in particular, read-only
 // processes always return an empty list.
-func (m *HP[T]) Release(k int) []*T {
+func (m *HP[T]) Release(k int) []*T { return m.ReleaseInto(k, nil) }
+
+// ReleaseInto is Release appending to a caller-provided buffer; see
+// Maintainer.
+func (m *HP[T]) ReleaseInto(k int, out []*T) []*T {
 	m.ann[k].p.Store(nil)
 	m.acq[k].p.Store(nil)
 	if len(m.retired[k]) < 2*m.p {
-		return nil
+		return out
 	}
-	return m.scan(k)
+	return m.scan(k, out)
 }
 
-func (m *HP[T]) scan(k int) []*T {
+func (m *HP[T]) scan(k int, out []*T) []*T {
 	announced := make(map[*T]struct{}, m.p)
 	for i := 0; i < m.p; i++ {
 		if v := m.ann[i].p.Load(); v != nil {
@@ -85,17 +89,18 @@ func (m *HP[T]) scan(k int) []*T {
 		}
 	}
 	keep := m.retired[k][:0]
-	var free []*T
+	freed := 0
 	for _, v := range m.retired[k] {
 		if _, ok := announced[v]; ok {
 			keep = append(keep, v)
 		} else {
-			free = append(free, v)
+			out = append(out, v)
+			freed++
 		}
 	}
 	m.retired[k] = keep
-	m.nRet.v.Add(-int64(len(free)))
-	return free
+	m.nRet.v.Add(-int64(freed))
+	return out
 }
 
 // Uncollected reports retired-but-unfreed versions plus the current one.

@@ -86,20 +86,24 @@ func (m *PSLF[T]) Set(k int, data *T) bool {
 
 // Release is identical to PSWF's: the usable → pending → frozen → empty
 // status machine with releaser-side helping.
-func (m *PSLF[T]) Release(k int) []*T {
+func (m *PSLF[T]) Release(k int) []*T { return m.ReleaseInto(k, nil) }
+
+// ReleaseInto is Release appending to a caller-provided buffer; see
+// Maintainer.
+func (m *PSLF[T]) ReleaseInto(k int, out []*T) []*T {
 	v := annVer(m.a[k].load())
 	m.a[k].store(0)
 	if version(m.v.load()) == v {
-		return nil
+		return out
 	}
 	si := v.idx()
 	s := m.s[si].load()
 	if stVer(s) != v {
-		return nil
+		return out
 	}
 	if stStatus(s) == stUsable {
 		if !m.s[si].cas(s, stPack(v, stPending)) {
-			return nil
+			return out
 		}
 		for i := 0; i < m.p; i++ {
 			a := m.a[i].load()
@@ -113,16 +117,16 @@ func (m *PSLF[T]) Release(k int) []*T {
 	if stStatus(s) == stFrozen {
 		for i := 0; i < m.p; i++ {
 			if m.a[i].load() == annPack(v, false) {
-				return nil
+				return out
 			}
 		}
 		data := m.d[si].p.Load()
 		if m.s[si].cas(s, 0) {
-			return []*T{data}
+			return append(out, data)
 		}
-		return nil
+		return out
 	}
-	return nil
+	return out
 }
 
 // Uncollected counts occupied status slots, as in PSWF.

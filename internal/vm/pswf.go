@@ -195,14 +195,18 @@ func (m *PSWF[T]) Set(k int, data *T) bool {
 // The releaser that erases the frozen status owns the version and returns
 // it for collection; everyone else returns nil.  Precision (Theorem 3.3):
 // the version is returned exactly when it stops being live.
-func (m *PSWF[T]) Release(k int) []*T {
+func (m *PSWF[T]) Release(k int) []*T { return m.ReleaseInto(k, nil) }
+
+// ReleaseInto is Release appending to a caller-provided buffer, so the
+// transaction layer's per-commit cleanup allocates nothing; see Maintainer.
+func (m *PSWF[T]) ReleaseInto(k int, out []*T) []*T {
 	m.resetSteps(k)
 	v := annVer(m.a[k].load())
 	m.a[k].store(0) // ⟨empty, false⟩
 	m.step(k, 2)
 	if version(m.v.load()) == v {
 		m.step(k, 1)
-		return nil // still the current version: live by definition
+		return out // still the current version: live by definition
 	}
 	si := v.idx()
 	s := m.s[si].load()
@@ -210,12 +214,12 @@ func (m *PSWF[T]) Release(k int) []*T {
 	if stVer(s) != v {
 		// Some other Release of v already returned it and the slot was
 		// cleared or reused.
-		return nil
+		return out
 	}
 	if stStatus(s) == stUsable {
 		if !m.s[si].cas(s, stPack(v, stPending)) {
 			m.step(k, 1)
-			return nil // another releaser of v is scanning; it will finish
+			return out // another releaser of v is scanning; it will finish
 		}
 		// Help every process that announced v so that after the freeze no
 		// Acquire of v can be in limbo.
@@ -235,7 +239,7 @@ func (m *PSWF[T]) Release(k int) []*T {
 		for i := 0; i < m.p; i++ {
 			m.step(k, 1)
 			if m.a[i].load() == annPack(v, false) {
-				return nil // someone still has v committed: v is live
+				return out // someone still has v committed: v is live
 			}
 		}
 		// Read the data before erasing the slot: once S[si] is empty a
@@ -243,11 +247,11 @@ func (m *PSWF[T]) Release(k int) []*T {
 		data := m.d[si].p.Load()
 		m.step(k, 2)
 		if m.s[si].cas(s, 0) {
-			return []*T{data}
+			return append(out, data)
 		}
-		return nil // raced with the winning releaser
+		return out // raced with the winning releaser
 	}
-	return nil // pending: another releaser owns the scan
+	return out // pending: another releaser owns the scan
 }
 
 // Uncollected counts the versions currently resident in the status array:

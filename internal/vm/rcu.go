@@ -66,17 +66,21 @@ func (m *RCU[T]) Set(k int, data *T) bool {
 // Release leaves the read-side critical section.  If the caller's Set
 // succeeded it then synchronizes — blocking until every reader that
 // predates the new version has left — and returns the superseded version.
-func (m *RCU[T]) Release(k int) []*T {
+func (m *RCU[T]) Release(k int) []*T { return m.ReleaseInto(k, nil) }
+
+// ReleaseInto is Release appending to a caller-provided buffer; see
+// Maintainer.
+func (m *RCU[T]) ReleaseInto(k int, out []*T) []*T {
 	m.rc[k].store(0)
 	m.acq[k].p.Store(nil)
 	old := m.pend[k].p.Load()
 	if old == nil {
-		return nil
+		return out
 	}
 	m.pend[k].p.Store(nil)
 	m.synchronize()
 	m.live.v.Add(-1)
-	return []*T{old}
+	return append(out, old)
 }
 
 // synchronize starts a new grace period and waits for all read-side

@@ -51,6 +51,12 @@ type Maintainer[T any] interface {
 	// versions to a later Release.
 	Release(k int) []*T
 
+	// ReleaseInto is Release appending the collectable versions to out
+	// instead of allocating a fresh slice, so a caller that releases on
+	// every transaction (the transaction layer's cleanup phase) can reuse
+	// one per-process buffer and keep the commit path allocation-free.
+	ReleaseInto(k int, out []*T) []*T
+
 	// Procs reports the number of processes P the object was created for.
 	Procs() int
 

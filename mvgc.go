@@ -44,7 +44,8 @@ type Txn[K, V, A any] = core.Txn[K, V, A]
 type Handle[K, V, A any] = core.Handle[K, V, A]
 
 // Config selects the Version Maintenance algorithm ("pswf" by default)
-// and the number of processes.
+// and the number of processes.  Node recycling through pid-local arenas
+// is on by default; Config.NoRecycle is the ablation switch.
 type Config = core.Config
 
 // Ops bundles ordering, augmentation and allocation accounting for a
