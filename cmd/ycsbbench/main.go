@@ -10,6 +10,7 @@
 //	ycsbbench                         # all structures, workloads A/B/C
 //	ycsbbench -records 50000000       # the paper's key-space size
 //	ycsbbench -structures ours,ours-sharded -shards 8 -dur 10s
+//	ycsbbench -txn -txnkeys 4         # add multi-key transfer cells (atomic vs per-shard)
 //	ycsbbench -json BENCH_ycsb.json   # machine-readable results
 package main
 
@@ -33,6 +34,8 @@ func main() {
 		latency    = flag.Duration("latency", 50*time.Millisecond, "batched update latency bound (paper: 50ms)")
 		structures = flag.String("structures", "", "comma-separated structures (default ours,ours-sharded,skiplist,lfbst,bptree,hashmap)")
 		jsonPath   = flag.String("json", "", "also write machine-readable results (BENCH_ycsb.json schema) to this path")
+		txn        = flag.Bool("txn", false, "also run the multi-key transfer workload (UpdateAtomic vs per-shard Update)")
+		txnKeys    = flag.Int("txnkeys", 2, "keys touched per transfer transaction (with -txn)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,16 @@ func main() {
 		cfg.Structures = strings.Split(*structures, ",")
 	}
 	results := experiments.RunFigure7(cfg, os.Stdout)
+
+	if *txn {
+		tcfg := experiments.DefaultTxn()
+		tcfg.Accounts = cfg.Records
+		tcfg.Threads = cfg.Threads
+		tcfg.Shards = cfg.Shards
+		tcfg.Duration = cfg.Duration
+		tcfg.KeysPerTxn = *txnKeys
+		results = append(results, experiments.RunTxn(tcfg, os.Stdout)...)
+	}
 
 	if *jsonPath != "" {
 		report := bench.YCSBReport{

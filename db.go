@@ -16,9 +16,21 @@ var errNilAugmenter = errors.New("mvgc: OpenDB requires an augmenter; use OpenPl
 // independent shards, each a full paper-faithful core.Map with its own
 // Version Maintenance instance, O(P) delay bound and precise per-shard
 // garbage collection.  Point operations keep the paper's guarantees in
-// full; cross-shard reads (View, Len, ForEach, Range) are per-shard
-// consistent — see the internal/shard package comment for the exact
-// semantics.
+// full.  Cross-shard operations come in two modes:
+//
+//   - Per-shard (Update, View; the default): fast, but a multi-key write
+//     commits shard by shard and a fan-out read pins shard snapshots at
+//     slightly different instants, so a concurrent reader can observe part
+//     of a multi-shard write.
+//   - Global (UpdateAtomic, ViewConsistent): every commit is stamped from
+//     one global commit sequence number (GSN); UpdateAtomic installs all
+//     touched shards under one GSN and ViewConsistent pins a snapshot
+//     vector proven tear-free by double-collecting the per-shard
+//     (latest-GSN, install-seq) vector, so no atomic transaction is ever
+//     observed torn.  DBOptions.AtomicDefault makes Update/View use the
+//     global mode.
+//
+// See the internal/shard package comment for the exact semantics.
 //
 //	db, _ := mvgc.OpenPlainDB[uint64, uint64](mvgc.DBOptions[uint64]{}, nil)
 //	db.Update(func(t *mvgc.DBTxn[uint64, uint64, struct{}]) { t.Insert(1, 100) })
@@ -26,7 +38,49 @@ var errNilAugmenter = errors.New("mvgc: OpenDB requires an augmenter; use OpenPl
 //	db.Close()
 type DB[K, V, A any] struct {
 	*shard.Map[K, V, A]
+	atomicDefault bool
 }
+
+// Update runs a buffered multi-key write transaction.  By default commits
+// are atomic per shard (see DB); with DBOptions.AtomicDefault it behaves
+// like UpdateAtomic.
+func (db *DB[K, V, A]) Update(f func(t *DBTxn[K, V, A])) {
+	if db.atomicDefault {
+		db.Map.UpdateAtomic(f)
+		return
+	}
+	db.Map.Update(f)
+}
+
+// View runs f against a fan-out snapshot.  By default the snapshot is
+// per-shard consistent (see DB); with DBOptions.AtomicDefault it behaves
+// like ViewConsistent.
+func (db *DB[K, V, A]) View(f func(s DBSnapshot[K, V, A])) {
+	if db.atomicDefault {
+		db.Map.ViewConsistent(f)
+		return
+	}
+	db.Map.View(f)
+}
+
+// UpdateAtomic runs a buffered multi-key write transaction that commits
+// every touched shard under one global commit sequence number: a concurrent
+// ViewConsistent never observes it torn.  Single-shard transactions cost
+// the same as Update.
+func (db *DB[K, V, A]) UpdateAtomic(f func(t *DBTxn[K, V, A])) { db.Map.UpdateAtomic(f) }
+
+// UpdateAtomicKeys runs an atomic transaction whose key footprint is
+// declared up front; reads inside f are stable against other atomic
+// transactions and batched writers, enabling multi-key compare-and-swap
+// (see shard.Map.UpdateAtomicKeys for the exact contract).
+func (db *DB[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *DBTxn[K, V, A])) {
+	db.Map.UpdateAtomicKeys(keys, f)
+}
+
+// ViewConsistent runs f against a globally consistent snapshot: one pinned
+// version per shard, all reflecting the same global commit prefix
+// (Snap.GSNs), with no atomic transaction torn across shards.
+func (db *DB[K, V, A]) ViewConsistent(f func(s DBSnapshot[K, V, A])) { db.Map.ViewConsistent(f) }
 
 // DBSnapshot is the fan-out read view passed to DB.View: one pinned
 // immutable version per shard.
@@ -61,6 +115,11 @@ type DBOptions[K any] struct {
 	// every tree node is allocated fresh from the Go heap.  Ablation
 	// only; leave false in production.
 	NoRecycle bool
+	// AtomicDefault makes DB.Update commit all touched shards under one
+	// global commit sequence number and DB.View pin a globally consistent
+	// snapshot — i.e. Update/View become UpdateAtomic/ViewConsistent.
+	// Single-key operations are unaffected either way.
+	AtomicDefault bool
 }
 
 // OpenDB opens a sharded map with the given augmenter and initial
@@ -101,7 +160,7 @@ func OpenDB[K, V, A any](o DBOptions[K], aug Augmenter[K, V, A], initial []Entry
 	if err != nil {
 		return nil, err
 	}
-	return &DB[K, V, A]{Map: s}, nil
+	return &DB[K, V, A]{Map: s, atomicDefault: o.AtomicDefault}, nil
 }
 
 // OpenPlainDB opens an unaugmented sharded map — the common key-value

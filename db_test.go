@@ -46,6 +46,94 @@ func TestDBNoPidAnywhere(t *testing.T) {
 	}
 }
 
+// TestDBAtomicModes covers the global-commit surface of the front door:
+// UpdateAtomic + ViewConsistent round-trips with a GSN vector, the
+// AtomicDefault option rerouting Update/View, and UpdateAtomicKeys driving
+// a multi-key compare-and-swap.
+func TestDBAtomicModes(t *testing.T) {
+	db, err := mvgc.OpenPlainDB[uint64, int64](mvgc.DBOptions[uint64]{Shards: 4, Procs: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two keys on different shards.
+	a := uint64(1)
+	b := a + 1
+	for db.ShardFor(b) == db.ShardFor(a) {
+		b++
+	}
+	db.UpdateAtomic(func(tx *mvgc.DBTxn[uint64, int64, struct{}]) {
+		tx.Insert(a, 100)
+		tx.Insert(b, 200)
+	})
+	db.ViewConsistent(func(s mvgc.DBSnapshot[uint64, int64, struct{}]) {
+		if !s.Consistent() {
+			t.Error("ViewConsistent snap does not claim consistency")
+		}
+		g := s.GSNs()
+		if len(g) != db.NumShards() {
+			t.Fatalf("GSNs length = %d, want %d", len(g), db.NumShards())
+		}
+		if g[db.ShardFor(a)] == 0 || g[db.ShardFor(b)] == 0 {
+			t.Errorf("touched shards report zero GSN: %v", g)
+		}
+		if va, _ := s.Get(a); va != 100 {
+			t.Errorf("a = %d, want 100", va)
+		}
+	})
+	db.View(func(s mvgc.DBSnapshot[uint64, int64, struct{}]) {
+		if s.Consistent() || s.GSNs() != nil {
+			t.Error("plain View snap claims consistency")
+		}
+	})
+
+	// Multi-key CAS on UpdateAtomicKeys: applies when expectations hold,
+	// leaves both keys untouched when any is stale.
+	cas := func(ka, kb uint64, expA, expB, newA, newB int64) bool {
+		ok := false
+		db.UpdateAtomicKeys([]uint64{ka, kb}, func(tx *mvgc.DBTxn[uint64, int64, struct{}]) {
+			if va, has := tx.Get(ka); !has || va != expA {
+				return
+			}
+			if vb, has := tx.Get(kb); !has || vb != expB {
+				return
+			}
+			ok = true
+			tx.Insert(ka, newA)
+			tx.Insert(kb, newB)
+		})
+		return ok
+	}
+	if !cas(a, b, 100, 200, 101, 201) {
+		t.Fatal("matching CAS failed")
+	}
+	if cas(a, b, 100, 201, 999, 999) {
+		t.Fatal("stale CAS applied")
+	}
+	if va, _ := db.Get(a); va != 101 {
+		t.Fatalf("a = %d after CAS round, want 101", va)
+	}
+	db.Close()
+	if live := db.Live(); live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+
+	// AtomicDefault: plain Update/View become the global-commit forms.
+	adb, err := mvgc.OpenPlainDB[uint64, int64](mvgc.DBOptions[uint64]{Shards: 2, Procs: 2, AtomicDefault: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adb.Update(func(tx *mvgc.DBTxn[uint64, int64, struct{}]) { tx.Insert(1, 1); tx.Insert(2, 2) })
+	adb.View(func(s mvgc.DBSnapshot[uint64, int64, struct{}]) {
+		if !s.Consistent() {
+			t.Error("AtomicDefault View is not consistent")
+		}
+	})
+	adb.Close()
+	if live := adb.Live(); live != 0 {
+		t.Fatalf("AtomicDefault db leaked %d nodes", live)
+	}
+}
+
 // TestDBAugmented: cross-shard AugRange combines per-shard range sums.
 func TestDBAugmented(t *testing.T) {
 	var initial []mvgc.Entry[int64, int64]

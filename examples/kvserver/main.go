@@ -11,10 +11,22 @@
 //	GET <key>              → <value> | NOT_FOUND
 //	SUM <lo> <hi>          → <sum of values in [lo,hi]>   (O(S log n))
 //	LEN                    → <number of keys>
+//	MCAS <k1> <expect1> <new1> [<k2> <expect2> <new2> ...]
+//	                       → OK | FAIL          (requires -atomic)
+//
+// MCAS is a multi-key compare-and-swap built on DB.UpdateAtomicKeys: the
+// declared keys' shards are fenced before the expectations are read, so
+// validation and the writes form one atomic step against every other
+// fence-respecting writer — other MCAS calls and the combiners all SETs
+// flow through — and the whole swap commits under one global commit
+// sequence number.  In -atomic mode SUM and LEN read via ViewConsistent,
+// so those consistent readers never see a swap half-applied (a plain View
+// remains per-shard and could).
 //
 // Run with:
 //
-//	go run ./examples/kvserver -shards 4   # serves one demo session in-process
+//	go run ./examples/kvserver -shards 4          # serves one demo session in-process
+//	go run ./examples/kvserver -shards 4 -atomic  # adds the MCAS demo
 package main
 
 import (
@@ -36,11 +48,12 @@ import (
 const writeSlots = 16
 
 type server struct {
-	db    *mvgc.DB[int64, int64, int64]
-	slots *core.PidPool // leases batch client ids 0..writeSlots-1
+	db     *mvgc.DB[int64, int64, int64]
+	slots  *core.PidPool // leases batch client ids 0..writeSlots-1
+	atomic bool          // enables the MCAS endpoint
 }
 
-func newServer(shards int) *server {
+func newServer(shards int, atomic bool) *server {
 	db, err := mvgc.OpenDB[int64, int64, int64](mvgc.DBOptions[int64]{
 		Shards: shards,
 		Grain:  1024,
@@ -54,7 +67,18 @@ func newServer(shards int) *server {
 		BufCap:     8192,
 		MaxLatency: time.Millisecond,
 	}, nil)
-	return &server{db: db, slots: core.NewPidPool(0, writeSlots)}
+	return &server{db: db, slots: core.NewPidPool(0, writeSlots), atomic: atomic}
+}
+
+// view is the fan-out read mode: globally consistent when the server runs
+// with -atomic (so an MCAS is never observed half-applied), per-shard
+// otherwise.
+func (s *server) view(f func(sn mvgc.DBSnapshot[int64, int64, int64])) {
+	if s.atomic {
+		s.db.ViewConsistent(f)
+		return
+	}
+	s.db.View(f)
 }
 
 func (s *server) handle(conn net.Conn) {
@@ -109,25 +133,62 @@ func (s *server) exec(line string) string {
 			return "ERR bad integer"
 		}
 		var out string
-		s.db.View(func(sn mvgc.DBSnapshot[int64, int64, int64]) {
+		s.view(func(sn mvgc.DBSnapshot[int64, int64, int64]) {
 			out = strconv.FormatInt(sn.AugRange(lo, hi), 10)
 		})
 		return out
 	case "LEN":
 		var out string
-		s.db.View(func(sn mvgc.DBSnapshot[int64, int64, int64]) {
+		s.view(func(sn mvgc.DBSnapshot[int64, int64, int64]) {
 			out = strconv.FormatInt(sn.Len(), 10)
 		})
 		return out
+	case "MCAS":
+		if !s.atomic {
+			return "ERR MCAS requires -atomic"
+		}
+		if len(fields) < 4 || (len(fields)-1)%3 != 0 {
+			return "ERR usage: MCAS <key> <expect> <new> [...]"
+		}
+		n := (len(fields) - 1) / 3
+		keys := make([]int64, n)
+		expects := make([]int64, n)
+		news := make([]int64, n)
+		for i := 0; i < n; i++ {
+			var errs [3]error
+			keys[i], errs[0] = strconv.ParseInt(fields[1+3*i], 10, 64)
+			expects[i], errs[1] = strconv.ParseInt(fields[2+3*i], 10, 64)
+			news[i], errs[2] = strconv.ParseInt(fields[3+3*i], 10, 64)
+			if errs[0] != nil || errs[1] != nil || errs[2] != nil {
+				return "ERR bad integer"
+			}
+		}
+		swapped := false
+		s.db.UpdateAtomicKeys(keys, func(t *mvgc.DBTxn[int64, int64, int64]) {
+			for i, k := range keys {
+				if v, ok := t.Get(k); !ok || v != expects[i] {
+					return // no intents buffered: nothing commits
+				}
+			}
+			swapped = true
+			for i, k := range keys {
+				t.Insert(k, news[i])
+			}
+		})
+		if swapped {
+			return "OK"
+		}
+		return "FAIL"
 	}
 	return "ERR unknown command"
 }
 
 func main() {
 	shards := flag.Int("shards", 4, "number of independent map shards")
+	atomic := flag.Bool("atomic", false, "enable the MCAS multi-key compare-and-swap endpoint")
 	flag.Parse()
 
-	s := newServer(*shards)
+	s := newServer(*shards, *atomic)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
@@ -161,6 +222,15 @@ func main() {
 	send("GET 99")
 	send("SUM 1 5")
 	send("LEN")
+	if *atomic {
+		// Multi-key CAS: keys 1 and 2 hold 100 and 200, so the first swap
+		// applies atomically and the second (stale expectation) must FAIL
+		// without touching either key.
+		send("MCAS 1 100 111 2 200 222")
+		send("MCAS 1 100 123 2 222 333")
+		send("GET 1")
+		send("GET 2")
+	}
 	conn.Close()
 	ln.Close()
 

@@ -228,6 +228,15 @@ func (b *Batcher[K, V, A]) run() {
 			// magazine keeps its high-water capacity between commits, so a
 			// steady batch size reserves for free.
 			b.w.ReserveNodes(total + total/4)
+			// Commit under the map's writer slot: one uncontended mutex per
+			// batch (thousands of requests), so a cross-shard atomic install
+			// or a fenced consistent view never has to chase a stream of
+			// combiner commits — the combiner "respects the fence".  The
+			// commit is GSN-stamped like any other (core stamps on Set), so
+			// batched updates order correctly under ViewConsistent.  Reserve
+			// stays outside the slot: it touches global free lists and needs
+			// no exclusion.
+			b.m.LockWriterSlot()
 			b.w.Update(func(tx *core.Txn[K, V, A]) {
 				if len(inserts) > 0 {
 					tx.InsertBatch(inserts, b.comb)
@@ -236,6 +245,7 @@ func (b *Batcher[K, V, A]) run() {
 					tx.DeleteBatch(deletes)
 				}
 			})
+			b.m.UnlockWriterSlot()
 			b.batches.Add(1)
 			b.applied.Add(int64(total))
 			if int64(total) > b.maxSeen.Load() {
@@ -272,6 +282,7 @@ func (b *Batcher[K, V, A]) finalDrain() {
 		q.head.Store(t)
 	}
 	if len(inserts)+len(deletes) > 0 {
+		b.m.LockWriterSlot()
 		b.w.Update(func(tx *core.Txn[K, V, A]) {
 			if len(inserts) > 0 {
 				tx.InsertBatch(inserts, b.comb)
@@ -280,6 +291,7 @@ func (b *Batcher[K, V, A]) finalDrain() {
 				tx.DeleteBatch(deletes)
 			}
 		})
+		b.m.UnlockWriterSlot()
 		b.batches.Add(1)
 		b.applied.Add(int64(len(inserts) + len(deletes)))
 	}

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"mvgc/internal/ftree"
@@ -34,6 +35,17 @@ type Map[K, V, A any] struct {
 	pool     *PidPool
 	cache    handleCache       // cached leases for point ops (see cache.go)
 	chandles []Handle[K, V, A] // preallocated per-pid handles for WithCached
+
+	// Global-commit-sequence state (see stamp.go): stampSrc is the counter
+	// commits draw their GSN from (shared across sibling shards when
+	// Config.Stamp is set), latestStamp the largest stamp committed here,
+	// installSeq the seqlock readers double-collect to detect an atomic
+	// cross-map install in flight, and slotMu the writer slot serializing
+	// such installs (plus combiner commits).
+	stampSrc    *atomic.Uint64
+	latestStamp atomic.Uint64
+	installSeq  atomic.Uint64
+	slotMu      sync.Mutex
 
 	// Per-pid allocation state: pid p's transactions run on pops[p], an
 	// Ops view bound to arenas[p] — a pid-local node magazine (see
@@ -70,6 +82,12 @@ type Config struct {
 	// heap — the ablation NewMap's recycling-on default is measured
 	// against (BenchmarkAllocPointUpdate, cmd/allocbench).
 	NoRecycle bool
+	// Stamp, when non-nil, is the shared counter commits draw their global
+	// commit sequence number from.  Sibling maps given the same counter
+	// (e.g. the shards of one shard.Map) stamp their commits in one global
+	// order, which is what lets a cross-shard reader cut a consistent
+	// snapshot (see stamp.go).  Nil gives the map a private counter.
+	Stamp *atomic.Uint64
 }
 
 // NewMap creates a transactional map whose initial version holds the given
@@ -97,6 +115,10 @@ func NewMap[K, V, A any](cfg Config, ops *ftree.Ops[K, V, A], initial []ftree.En
 		return nil, fmt.Errorf("core: unknown version-maintenance algorithm %q (want one of %v)", alg, vm.Names())
 	}
 	mp := &Map[K, V, A]{ops: ops, m: m, procs: cfg.Procs, pool: NewPidPool(0, cfg.Procs)}
+	mp.stampSrc = cfg.Stamp
+	if mp.stampSrc == nil {
+		mp.stampSrc = new(atomic.Uint64)
+	}
 	mp.cache.max = int64(cfg.Procs - 1) // keep one pid on the blocking path
 	mp.cache.next = make([]atomic.Int32, cfg.Procs)
 	mp.chandles = make([]Handle[K, V, A], cfg.Procs)
@@ -274,7 +296,22 @@ func (t *Txn[K, V, A]) SetRoot(root *ftree.Node[K, V, A]) { t.apply(root) }
 func (m *Map[K, V, A]) Update(pid int, f func(t *Txn[K, V, A])) int {
 	retries := 0
 	for {
-		if m.tryUpdate(pid, f) {
+		if m.tryUpdate(pid, f, true) {
+			return retries
+		}
+		retries++
+	}
+}
+
+// UpdateUnstamped is Update without the commit stamp: the committed root is
+// published but LatestStamp does not move.  It exists for cross-map atomic
+// installs, where all touched maps' roots share one GSN allocated after the
+// last install; the installer must publish it with BumpStamp on every
+// touched map before EndInstall.
+func (m *Map[K, V, A]) UpdateUnstamped(pid int, f func(t *Txn[K, V, A])) int {
+	retries := 0
+	for {
+		if m.tryUpdate(pid, f, false) {
 			return retries
 		}
 		retries++
@@ -284,10 +321,10 @@ func (m *Map[K, V, A]) Update(pid int, f func(t *Txn[K, V, A])) int {
 // TryUpdate runs a write transaction that aborts instead of retrying; it
 // reports whether the transaction committed.
 func (m *Map[K, V, A]) TryUpdate(pid int, f func(t *Txn[K, V, A])) bool {
-	return m.tryUpdate(pid, f)
+	return m.tryUpdate(pid, f, true)
 }
 
-func (m *Map[K, V, A]) tryUpdate(pid int, f func(t *Txn[K, V, A])) bool {
+func (m *Map[K, V, A]) tryUpdate(pid int, f func(t *Txn[K, V, A]), stamped bool) bool {
 	if m.TrackVersions {
 		u := int64(m.m.Uncollected())
 		for {
@@ -317,6 +354,12 @@ func (m *Map[K, V, A]) tryUpdate(pid int, f func(t *Txn[K, V, A])) bool {
 		return true
 	}
 	ok := m.m.Set(pid, tx.cur)
+	if ok && stamped {
+		// Stamp after visibility: a commit's GSN is allocated only once its
+		// Set is done, so observing LatestStamp() >= g proves commit g is
+		// contained in any later-acquired version (see stamp.go).
+		m.stamp()
+	}
 	// Response point for a successful commit: the new version is visible.
 	m.collect(pid)
 	if ok {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -206,6 +207,11 @@ func TestStrictSerializabilitySingleWriter(t *testing.T) {
 							}
 							lastSum = sum
 						})
+						// Yield between read transactions: on a 1-core host,
+						// spinning readers otherwise starve the rcu writer's
+						// synchronize down to one grace period per ~100ms of
+						// async preemptions, timing the test out.
+						runtime.Gosched()
 					}
 				}(p)
 			}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"mvgc/internal/bench"
+	"mvgc/internal/ftree"
+	"mvgc/internal/shard"
+	"mvgc/internal/ycsb"
+)
+
+// TxnConfig parameterizes the multi-key transfer workload: every
+// transaction debits one account and credits KeysPerTxn-1 others, so the
+// account-balance sum is invariant and the benchmark exercises exactly the
+// cross-shard commit path the GSN protocol protects.
+type TxnConfig struct {
+	// Accounts is the account key-space size.
+	Accounts uint64
+	// Threads is the number of transfer threads.
+	Threads int
+	// Shards is the shard count S.
+	Shards int
+	// KeysPerTxn is the number of keys each transfer touches (>= 2).
+	KeysPerTxn int
+	// Duration is the measured window per cell.
+	Duration time.Duration
+}
+
+// DefaultTxn returns a host-scaled configuration.
+func DefaultTxn() TxnConfig {
+	return TxnConfig{
+		Accounts:   1_000_000,
+		Threads:    runtime.GOMAXPROCS(0),
+		Shards:     8,
+		KeysPerTxn: 2,
+		Duration:   3 * time.Second,
+	}
+}
+
+// runTxnCell measures transfer throughput (million transactions per second)
+// in one commit mode: UpdateAtomic (one GSN per transaction) or the plain
+// per-shard Update.
+func runTxnCell(cfg TxnConfig, atomicCommit bool) float64 {
+	initial := make([]ftree.Entry[uint64, int64], cfg.Accounts)
+	for i := range initial {
+		initial[i] = ftree.Entry[uint64, int64]{Key: uint64(i), Val: 1000}
+	}
+	sm, err := shard.New(
+		shard.Config[uint64]{Shards: cfg.Shards, Procs: cfg.Threads + 1, Hash: ycsb.Mix64},
+		func() *ftree.Ops[uint64, int64, struct{}] {
+			return ftree.New[uint64, int64, struct{}](ftree.IntCmp[uint64], ftree.NoAug[uint64, int64](), 0)
+		},
+		initial,
+	)
+	if err != nil {
+		panic(err)
+	}
+	add := func(old, delta int64) int64 { return old + delta }
+	r := bench.Run(cfg.Threads, cfg.Duration, func(worker int, stop *atomic.Bool, c *bench.Counter) {
+		rng := ycsb.NewSplitMix64(uint64(worker)*0x9e3779b9 + 7)
+		keys := make([]uint64, cfg.KeysPerTxn)
+		for !stop.Load() {
+			keys[0] = rng.Intn(cfg.Accounts)
+			for i := 1; i < len(keys); i++ {
+				// Distinct keys: a transfer must not credit its own debit.
+				for {
+					keys[i] = rng.Intn(cfg.Accounts)
+					if keys[i] != keys[0] {
+						break
+					}
+				}
+			}
+			// The realistic transfer shape: read the source balance, then
+			// commit commutative deltas (InsertWith re-evaluates against the
+			// committed value, so concurrent transfers never lose updates).
+			transfer := func(t *shard.Txn[uint64, int64, struct{}]) {
+				amt := int64(len(keys) - 1)
+				if bal, _ := t.Get(keys[0]); bal < amt {
+					return // overdrawn: commit nothing
+				}
+				t.InsertWith(keys[0], -amt, add)
+				for _, k := range keys[1:] {
+					t.InsertWith(k, 1, add)
+				}
+			}
+			if atomicCommit {
+				sm.UpdateAtomic(transfer)
+			} else {
+				sm.Update(transfer)
+			}
+			c.Add(1)
+		}
+	})
+	sm.Close()
+	if live := sm.Live(); live != 0 {
+		panic(fmt.Sprintf("txn workload: leaked %d nodes", live))
+	}
+	return r.Mops()
+}
+
+// RunTxn measures the transfer workload in both commit modes and returns
+// BENCH_ycsb/v1 cells (structure "ours-sharded", workloads "txn-atomic"
+// and "txn-pershard") so cmd/benchdiff gates the atomic commit path's
+// throughput like every other cell.
+func RunTxn(cfg TxnConfig, w io.Writer) []bench.YCSBRecord {
+	t := bench.NewTable(fmt.Sprintf("Transfers: %d-key cross-shard txns (Mtxn/s), %d threads, %d accounts, %d shards",
+		cfg.KeysPerTxn, cfg.Threads, cfg.Accounts, cfg.Shards), "commit mode", "Mtxn/s")
+	var records []bench.YCSBRecord
+	for _, mode := range []struct {
+		workload string
+		atomic   bool
+	}{
+		{"txn-atomic", true},
+		{"txn-pershard", false},
+	} {
+		mops := runTxnCell(cfg, mode.atomic)
+		records = append(records, bench.YCSBRecord{Structure: "ours-sharded", Workload: mode.workload, Mops: mops})
+		t.AddRow(mode.workload, bench.F2(mops))
+	}
+	t.Fprint(w)
+	return records
+}

@@ -127,7 +127,7 @@ func (ix *Index) AddDocument(d Doc) {
 
 // AddDocuments ingests a batch of documents in one write transaction.
 func (ix *Index) AddDocuments(docs []Doc) {
-	insertDocBatch(ix.inner, ix.m, docBatch(ix.inner, docs))
+	insertDocBatch(ix.inner, ix.m, docBatch(ix.inner, docs), true)
 }
 
 // insertDocBatch commits term → posting deltas into m.  Write transactions
@@ -136,10 +136,16 @@ func (ix *Index) AddDocuments(docs []Doc) {
 // its partial tree without consuming the originals (which are released
 // exactly once, after the commit).  This makes concurrent AddDocuments
 // callers safe — the pid-free API no longer implies a single writer.
-func insertDocBatch(inner *ftree.Ops[uint64, int64, int64], m *core.Map[uint64, *Posting, struct{}], batch []ftree.Entry[uint64, *Posting]) {
+// stamped=false is for ShardedIndex's cross-shard atomic ingest, where the
+// caller publishes one shared commit stamp after all shards install.
+func insertDocBatch(inner *ftree.Ops[uint64, int64, int64], m *core.Map[uint64, *Posting, struct{}], batch []ftree.Entry[uint64, *Posting], stamped bool) {
 	comb := combinePostings(inner)
 	m.WithCached(func(h *core.Handle[uint64, *Posting, struct{}]) {
-		h.Update(func(tx *core.Txn[uint64, *Posting, struct{}]) {
+		commit := h.Update
+		if !stamped {
+			commit = h.UpdateUnstamped
+		}
+		commit(func(tx *core.Txn[uint64, *Posting, struct{}]) {
 			attempt := make([]ftree.Entry[uint64, *Posting], len(batch))
 			for i, e := range batch {
 				attempt[i] = ftree.Entry[uint64, *Posting]{Key: e.Key, Val: inner.Share(e.Val)}

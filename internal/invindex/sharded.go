@@ -10,20 +10,25 @@ package invindex
 //
 // # Semantics
 //
-// Sharding trades the single index's global snapshot for per-shard
-// snapshots (the same trade internal/shard documents).  Terms that hash to
-// the same shard keep the paper's full guarantees — an AndQuery whose two
-// terms share a shard runs against one consistent snapshot.  Cross-shard
-// queries pin one snapshot per involved shard, so a document mid-ingestion
-// may be visible under one of its terms and not yet under another;
-// likewise AddDocuments is atomic per shard, not per document, when a
-// document's terms span shards.  Use the unsharded Index when global
-// document atomicity matters more than ingest parallelism.
+// Terms that hash to the same shard keep the paper's full guarantees — an
+// AndQuery whose two terms share a shard runs against one consistent
+// snapshot.  Ingestion is atomic per document (and per AddDocuments batch):
+// when a document's terms span shards, the affected shards' roots are
+// installed under one global commit sequence number behind per-shard
+// install seqlocks, the same two-phase protocol internal/shard uses for
+// UpdateAtomic.  Cross-shard queries double-collect the involved shards'
+// install seqlocks around pinning their posting snapshots (bounded retry,
+// then a brief writer-slot fence), so a query never observes a document
+// under one of its terms but not another.  The only remaining per-shard
+// weakening is statistical: Terms sums per-shard counts pinned at slightly
+// different instants.
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mvgc/internal/core"
 	"mvgc/internal/ftree"
@@ -36,6 +41,7 @@ type ShardedIndex struct {
 	inner  *ftree.Ops[uint64, int64, int64]
 	outers []*ftree.Ops[uint64, *Posting, struct{}]
 	maps   []*core.Map[uint64, *Posting, struct{}]
+	gsn    atomic.Uint64 // shared commit-stamp source across shards
 }
 
 // NewSharded creates an empty index over S shards, each admitting up to
@@ -51,7 +57,7 @@ func NewSharded(shards, procs, grain int) (*ShardedIndex, error) {
 	ix := &ShardedIndex{inner: inner}
 	for i := 0; i < shards; i++ {
 		outer := newOuter(inner, grain)
-		m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: procs}, outer, nil)
+		m, err := core.NewMap(core.Config{Algorithm: "pswf", Procs: procs, Stamp: &ix.gsn}, outer, nil)
 		if err != nil {
 			for _, prev := range ix.maps {
 				prev.Close()
@@ -83,57 +89,169 @@ func (ix *ShardedIndex) update(i int, f func(tx *core.Txn[uint64, *Posting, stru
 	ix.maps[i].WithCached(func(h *core.Handle[uint64, *Posting, struct{}]) { h.Update(f) })
 }
 
-// AddDocument ingests one document.  Atomicity is per shard: the terms
-// that hash to one shard appear together, but terms on different shards
-// commit in separate transactions (see the type comment).
+// AddDocument ingests one document atomically, even when its terms span
+// shards: no query ever observes the document under some of its terms and
+// not others (the unsharded Index's atomic-ingestion guarantee, recovered
+// via the global-stamp install protocol).
 func (ix *ShardedIndex) AddDocument(d Doc) {
 	ix.AddDocuments([]Doc{d})
 }
 
-// AddDocuments ingests a batch of documents, one atomic write transaction
-// per affected shard, all shards in parallel.
+// touchedShards returns the ascending indices of shards with a non-empty
+// part.
+func touchedShards[T any](parts [][]T) []int {
+	var out []int
+	for i, p := range parts {
+		if len(p) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// parallelIngestFloor is the per-shard batch size below which an atomic
+// cross-shard ingest commits its shards sequentially: a single document's
+// handful of entries is cheaper to commit inline than to spawn goroutines
+// for, and a shorter install window means fewer stablePins retries.  Large
+// AddDocuments batches keep the S-way parallel commit that is the point of
+// sharding.
+const parallelIngestFloor = 64
+
+// installAtomic runs commit(i) for every touched shard under the two-phase
+// global-stamp protocol (core.InstallAtomic): writer slots in ascending
+// shard order, install seqlocks odd, all commits unstamped, then one
+// shared GSN published everywhere before the seqlocks return to even.
+// Consistent readers (stablePins) can therefore never observe a subset of
+// the commits.  parallel selects S-way commits (independent shards) versus
+// a cheaper inline loop.
+func (ix *ShardedIndex) installAtomic(touched []int, parallel bool, commit func(i int)) {
+	core.LockWriterSlots(ix.maps, touched)
+	defer core.UnlockWriterSlots(ix.maps, touched)
+	core.InstallAtomic(ix.maps, touched, func() {
+		if !parallel {
+			for _, i := range touched {
+				commit(i)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for _, i := range touched {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				commit(i)
+			}(i)
+		}
+		wg.Wait()
+	})
+}
+
+// AddDocuments ingests a batch of documents in one atomic cross-shard
+// transaction: per-shard parts commit in parallel, but all become visible
+// to consistent queries together, under one global commit sequence number.
 func (ix *ShardedIndex) AddDocuments(docs []Doc) {
 	parts := make([][]ftree.Entry[uint64, *Posting], len(ix.maps))
 	for _, e := range docBatch(ix.inner, docs) {
 		i := ix.shardFor(e.Key)
 		parts[i] = append(parts[i], e)
 	}
-	var wg sync.WaitGroup
-	for i, part := range parts {
-		if len(part) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(i int, part []ftree.Entry[uint64, *Posting]) {
-			defer wg.Done()
-			insertDocBatch(ix.inner, ix.maps[i], part)
-		}(i, part)
+	touched := touchedShards(parts)
+	if len(touched) == 1 {
+		// One shard's commit is atomic on its own and stamps itself.
+		insertDocBatch(ix.inner, ix.maps[touched[0]], parts[touched[0]], true)
+		return
 	}
-	wg.Wait()
+	parallel := false
+	for _, i := range touched {
+		if len(parts[i]) >= parallelIngestFloor {
+			parallel = true
+			break
+		}
+	}
+	ix.installAtomic(touched, parallel, func(i int) {
+		insertDocBatch(ix.inner, ix.maps[i], parts[i], false)
+	})
 }
 
-// RemoveDocument deletes a document's postings for the given terms, one
-// write transaction per affected shard.
+// RemoveDocument deletes a document's postings for the given terms,
+// atomically across shards like AddDocument.
 func (ix *ShardedIndex) RemoveDocument(d Doc) {
 	parts := make([][]TermWeight, len(ix.maps))
 	for _, tw := range d.Terms {
 		i := ix.shardFor(tw.Term)
 		parts[i] = append(parts[i], tw)
 	}
-	for i, part := range parts {
-		if len(part) == 0 {
+	touched := touchedShards(parts)
+	if len(touched) == 1 {
+		ix.update(touched[0], func(tx *core.Txn[uint64, *Posting, struct{}]) {
+			removeDocTerms(ix.inner, tx, d, parts[touched[0]])
+		})
+		return
+	}
+	// A single document's removal is small; commit inline.
+	ix.installAtomic(touched, false, func(i int) {
+		ix.maps[i].WithCached(func(h *core.Handle[uint64, *Posting, struct{}]) {
+			h.UpdateUnstamped(func(tx *core.Txn[uint64, *Posting, struct{}]) {
+				removeDocTerms(ix.inner, tx, d, parts[i])
+			})
+		})
+	})
+}
+
+// stablePins runs pin — which reads the involved shards and retains shared
+// postings — under a double-collect of those shards' install seqlocks: if
+// an atomic ingest overlapped the pins, undo releases whatever pin retained
+// and the pair runs again, so queries never observe a torn document.
+// Bounded retries, then a brief fence on the involved shards' writer slots
+// (which atomic ingests hold for their whole install) makes the last
+// attempt definitive.  involved must be ascending (slot lock order).  Only
+// seqlocks are collected, not stamps: plain single-shard ingests are atomic
+// on their own, so a moving stamp alone cannot tear a document.
+func (ix *ShardedIndex) stablePins(involved []int, pin func(), undo func()) {
+	const maxTries = 8
+	seqs := make([]uint64, len(involved))
+	for try := 0; try < maxTries; try++ {
+		ok := true
+		for j, s := range involved {
+			q := ix.maps[s].InstallSeq()
+			if q&1 != 0 {
+				ok = false
+				break
+			}
+			seqs[j] = q
+		}
+		if !ok {
+			runtime.Gosched()
 			continue
 		}
-		ix.update(i, func(tx *core.Txn[uint64, *Posting, struct{}]) {
-			removeDocTerms(ix.inner, tx, d, part)
-		})
+		pin()
+		stable := true
+		for j, s := range involved {
+			if ix.maps[s].InstallSeq() != seqs[j] {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			return
+		}
+		undo()
+		runtime.Gosched()
+	}
+	for _, s := range involved {
+		ix.maps[s].LockWriterSlot()
+	}
+	pin()
+	for j := len(involved) - 1; j >= 0; j-- {
+		ix.maps[involved[j]].UnlockWriterSlot()
 	}
 }
 
-// sharePostings pins each term's posting list, reading every involved
-// shard exactly once and returning owned (shared) postings the caller must
-// Release.  ok is false — and nothing is retained — when any term is
-// absent.
+// sharePostings pins each term's posting list under a stable-pin pass over
+// the involved shards (no torn documents; see stablePins), reading every
+// involved shard exactly once and returning owned (shared) postings the
+// caller must Release.  ok is false — and nothing is retained — when any
+// term is absent.
 func (ix *ShardedIndex) sharePostings(terms []uint64) (postings []*Posting, ok bool) {
 	postings = make([]*Posting, len(terms))
 	byShard := make(map[int][]int, len(ix.maps))
@@ -141,36 +259,81 @@ func (ix *ShardedIndex) sharePostings(terms []uint64) (postings []*Posting, ok b
 		s := ix.shardFor(t)
 		byShard[s] = append(byShard[s], i)
 	}
-	ok = true
-	for s, idxs := range byShard {
-		if !ok {
-			break
-		}
-		ix.read(s, func(sn core.Snapshot[uint64, *Posting, struct{}]) {
-			for _, i := range idxs {
-				p, found := sn.Get(terms[i])
-				if !found {
-					ok = false
-					return
-				}
-				postings[i] = ix.inner.Share(p)
-			}
-		})
+	involved := make([]int, 0, len(byShard))
+	for s := range byShard {
+		involved = append(involved, s)
 	}
-	if !ok {
-		for _, p := range postings {
+	sort.Ints(involved)
+	undo := func() {
+		for i, p := range postings {
 			if p != nil {
 				ix.inner.Release(p)
+				postings[i] = nil
 			}
 		}
+	}
+	ix.stablePins(involved, func() {
+		ok = true
+		for _, s := range involved {
+			if !ok {
+				break
+			}
+			idxs := byShard[s]
+			ix.read(s, func(sn core.Snapshot[uint64, *Posting, struct{}]) {
+				for _, i := range idxs {
+					p, found := sn.Get(terms[i])
+					if !found {
+						ok = false
+						return
+					}
+					postings[i] = ix.inner.Share(p)
+				}
+			})
+		}
+	}, undo)
+	if !ok {
+		undo()
 		return nil, false
 	}
 	return postings, true
 }
 
+// sharePair pins two terms living on different shards into *p1/*p2 (nil
+// for absent terms) under one stable-pin pass, so the pair reflects a cut
+// no atomic ingest tears.
+func (ix *ShardedIndex) sharePair(term1, term2 uint64, p1, p2 **Posting) {
+	s1, s2 := ix.shardFor(term1), ix.shardFor(term2)
+	involved := []int{s1, s2}
+	if s2 < s1 {
+		involved[0], involved[1] = s2, s1
+	}
+	ix.stablePins(involved, func() {
+		ix.read(s1, func(sn core.Snapshot[uint64, *Posting, struct{}]) {
+			if p, ok := sn.Get(term1); ok {
+				*p1 = ix.inner.Share(p)
+			}
+		})
+		ix.read(s2, func(sn core.Snapshot[uint64, *Posting, struct{}]) {
+			if p, ok := sn.Get(term2); ok {
+				*p2 = ix.inner.Share(p)
+			}
+		})
+	}, func() {
+		if *p1 != nil {
+			ix.inner.Release(*p1)
+			*p1 = nil
+		}
+		if *p2 != nil {
+			ix.inner.Release(*p2)
+			*p2 = nil
+		}
+	})
+}
+
 // AndQuery returns the top-k documents containing both terms, ranked by
 // summed weight.  When the terms share a shard the query runs against one
-// consistent snapshot; otherwise it intersects two per-shard snapshots.
+// consistent snapshot; otherwise it intersects two stably-pinned per-shard
+// snapshots (see stablePins).
 func (ix *ShardedIndex) AndQuery(term1, term2 uint64, k int) []ScoredDoc {
 	sum := func(a, b int64) int64 { return a + b }
 	if s1 := ix.shardFor(term1); s1 == ix.shardFor(term2) {
@@ -188,23 +351,18 @@ func (ix *ShardedIndex) AndQuery(term1, term2 uint64, k int) []ScoredDoc {
 		return out
 	}
 	// Cross-shard: two direct reads (cheaper than sharePostings' grouping,
-	// which earns its keep only for N-term queries).
+	// which earns its keep only for N-term queries), under a stable-pin
+	// pass so a concurrent atomic ingest cannot show the document under
+	// one term and hide it under the other.
 	var p1, p2 *Posting
-	ix.read(ix.shardFor(term1), func(sn core.Snapshot[uint64, *Posting, struct{}]) {
-		if p, ok := sn.Get(term1); ok {
-			p1 = ix.inner.Share(p)
+	ix.sharePair(term1, term2, &p1, &p2)
+	if p1 == nil || p2 == nil {
+		if p1 != nil {
+			ix.inner.Release(p1)
 		}
-	})
-	if p1 == nil {
-		return nil
-	}
-	ix.read(ix.shardFor(term2), func(sn core.Snapshot[uint64, *Posting, struct{}]) {
-		if p, ok := sn.Get(term2); ok {
-			p2 = ix.inner.Share(p)
+		if p2 != nil {
+			ix.inner.Release(p2)
 		}
-	})
-	if p2 == nil {
-		ix.inner.Release(p1)
 		return nil
 	}
 	inter := ix.inner.Intersect(p1, p2, sum)
@@ -235,7 +393,8 @@ func (ix *ShardedIndex) AndQueryN(terms []uint64, k int) []ScoredDoc {
 // OrQuery returns the top-k documents containing either term, ranked by
 // summed weight (documents with both terms score the sum of both).  Like
 // AndQuery, same-shard term pairs are answered from one consistent
-// snapshot; cross-shard pairs pin one snapshot per shard.
+// snapshot; cross-shard pairs are stably pinned, so a document carrying
+// both terms always scores both or neither (never a torn single weight).
 func (ix *ShardedIndex) OrQuery(term1, term2 uint64, k int) []ScoredDoc {
 	var p1, p2 *Posting
 	if s1 := ix.shardFor(term1); s1 == ix.shardFor(term2) {
@@ -248,16 +407,7 @@ func (ix *ShardedIndex) OrQuery(term1, term2 uint64, k int) []ScoredDoc {
 			}
 		})
 	} else {
-		ix.read(s1, func(sn core.Snapshot[uint64, *Posting, struct{}]) {
-			if p, ok := sn.Get(term1); ok {
-				p1 = ix.inner.Share(p)
-			}
-		})
-		ix.read(ix.shardFor(term2), func(sn core.Snapshot[uint64, *Posting, struct{}]) {
-			if p, ok := sn.Get(term2); ok {
-				p2 = ix.inner.Share(p)
-			}
-		})
+		ix.sharePair(term1, term2, &p1, &p2)
 	}
 	switch {
 	case p1 == nil && p2 == nil:

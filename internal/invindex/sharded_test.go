@@ -103,6 +103,35 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 			t.Fatalf("S=%d leak: outer %d inner %d", shards, o, i)
 		}
 	}
+
+	// Same corpus ingested document by document — the per-document atomic
+	// cross-shard install path — must agree with the batch path too.
+	perDoc, err := NewSharded(3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		perDoc.AddDocument(d)
+	}
+	if got, want := perDoc.Terms(), ref.Terms(); got != want {
+		t.Fatalf("per-doc ingest: Terms = %d, want %d", got, want)
+	}
+	for q := 0; q < 20; q++ {
+		t1, t2 := hot[q%len(hot)], hot[(q*5+1)%len(hot)]
+		got, want := perDoc.AndQuery(t1, t2, 10), ref.AndQuery(t1, t2, 10)
+		if len(got) != len(want) {
+			t.Fatalf("per-doc ingest: AndQuery(%d,%d) = %v, want %v", t1, t2, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("per-doc ingest: AndQuery(%d,%d)[%d] = %v, want %v", t1, t2, i, got[i], want[i])
+			}
+		}
+	}
+	perDoc.Close()
+	if o, i := perDoc.LiveNodes(); o != 0 || i != 0 {
+		t.Fatalf("per-doc leak: outer %d inner %d", o, i)
+	}
 	ref.Close()
 	if o, i := ref.LiveNodes(); o != 0 || i != 0 {
 		t.Fatalf("ref leak: outer %d inner %d", o, i)
@@ -164,6 +193,66 @@ func TestShardedConcurrent(t *testing.T) {
 			}
 		}(p)
 	}
+	qwg.Wait()
+	ix.Close()
+	if o, i := ix.LiveNodes(); o != 0 || i != 0 {
+		t.Fatalf("leak: outer %d inner %d", o, i)
+	}
+}
+
+// TestShardedDocumentAtomicity races per-document ingestion (and removal)
+// of documents whose two terms live on different shards against cross-shard
+// OrQuerys.  Every document carries both terms with weight 1, so any score
+// other than 2 means a query observed the document under one term and not
+// the other — exactly the torn state the global-stamp install protocol and
+// the stable-pin read protocol exist to prevent.
+func TestShardedDocumentAtomicity(t *testing.T) {
+	ix, err := NewSharded(4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find two terms on different shards.
+	tA := uint64(1)
+	tB := tA + 1
+	for ix.shardFor(tB) == ix.shardFor(tA) {
+		tB++
+	}
+	const docs = 300
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for d := uint64(1); d <= docs; d++ {
+			doc := Doc{ID: d, Terms: []TermWeight{{tA, 1}, {tB, 1}}}
+			ix.AddDocument(doc)
+			if d%3 == 0 {
+				ix.RemoveDocument(doc)
+			}
+		}
+	}()
+	var qwg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, sd := range ix.OrQuery(tA, tB, docs+1) {
+					if sd.Score != 2 {
+						t.Errorf("torn document %d: score %d, want 2", sd.Doc, sd.Score)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	qwg.Wait()
 	ix.Close()
 	if o, i := ix.LiveNodes(); o != 0 || i != 0 {

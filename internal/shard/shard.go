@@ -8,18 +8,33 @@
 // GC (Ben-David et al., DISC 2021; Wei & Fatourou 2022: partition version
 // tracking, bound it per structure).
 //
-// # Snapshot semantics
+// # Snapshot semantics: two modes
 //
-// Sharding deliberately weakens cross-shard atomicity.  A View pins one
-// version per shard — each individually a consistent, immutable snapshot —
-// but the S versions are pinned at slightly different times, so the
-// combination is not a single global serialization point.  Operations whose
-// keys live on one shard (point reads, per-key updates, a Range that
-// happens to hash into one shard) keep the paper's full guarantees;
-// cross-shard reads (Len, ForEach, Range, AugRange) are per-shard
-// consistent only.  Update is atomic per shard: all buffered writes
-// touching one shard commit in a single write transaction, but different
-// shards commit in separate transactions.
+// The package offers two commit/read modes and lets every call site pick:
+//
+//   - Per-shard (Update, View): the fast default.  A View pins one version
+//     per shard — each individually a consistent, immutable snapshot — but
+//     the S versions are pinned at slightly different times, so the
+//     combination is not a single global serialization point.  Update is
+//     atomic per shard: all buffered writes touching one shard commit in a
+//     single write transaction, but different shards commit in separate
+//     transactions, and a concurrent View may observe some of them and not
+//     others.
+//   - Global (UpdateAtomic, ViewConsistent): every committed root is
+//     stamped from one shared global commit sequence number (GSN).
+//     UpdateAtomic installs all touched shards' roots under one GSN behind
+//     per-shard install seqlocks, so the transaction is never observed
+//     torn by ViewConsistent; ViewConsistent double-collects the per-shard
+//     (latest-GSN, install-seq) vector around pinning, retrying until the
+//     seqlock vector is stable (stamps collected before the pins bound the
+//     cut either way) and falling back to briefly fencing the writer
+//     slots.  See the GSN protocol notes in core/stamp.go and DESIGN.md.
+//
+// Operations whose keys live on one shard (point reads, per-key updates, a
+// Range that happens to hash into one shard) keep the paper's full
+// guarantees in both modes; single-shard commits carry GSN stamps too, so
+// they order correctly under consistent views at no extra cost beyond two
+// atomic RMWs per commit.
 //
 // No pid appears anywhere in this package's API: process identities are
 // leased internally from each shard's pool (core.Handle), through the
@@ -33,7 +48,10 @@ package shard
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mvgc/internal/batch"
 	"mvgc/internal/core"
@@ -58,12 +76,30 @@ type Config[K any] struct {
 	NoRecycle bool
 }
 
+// consistentRetries bounds ViewConsistent's optimistic double-collect
+// attempts before it falls back to fencing the writer slots.  Small: each
+// failed attempt costs S pins, and the fence is cheap for writers that
+// never take the slot (all plain transactions).
+const consistentRetries = 8
+
 // Map is a hash-sharded multiversion map: S independent core.Maps behind
 // one pid-free, goroutine-safe API.
 type Map[K, V, A any] struct {
 	shards   []*core.Map[K, V, A]
 	hash     func(K) uint64
 	batchers []*batch.Batcher[K, V, A] // non-nil between StartBatching and Close
+
+	// gsn is the global commit sequence source shared by every shard
+	// (core.Config.Stamp): single-shard commits stamp themselves from it,
+	// and UpdateAtomic allocates one stamp per cross-shard transaction.
+	gsn atomic.Uint64
+	// maxCollects overrides consistentRetries when positive (tests force
+	// the fence fallback with maxCollects == 1 and no stable window).
+	maxCollects int
+	// snapRetries / fenced count ViewConsistent's failed double-collect
+	// attempts and fence fallbacks, for tests and tuning.
+	snapRetries atomic.Int64
+	fenced      atomic.Int64
 }
 
 // New builds a sharded map.  mkOps must return a fresh ftree.Ops per call:
@@ -83,7 +119,7 @@ func New[K, V, A any](cfg Config[K], mkOps func() *ftree.Ops[K, V, A], initial [
 	}
 	m := &Map[K, V, A]{hash: cfg.Hash}
 	for i := 0; i < cfg.Shards; i++ {
-		s, err := core.NewMap(core.Config{Algorithm: cfg.Algorithm, Procs: cfg.Procs, NoRecycle: cfg.NoRecycle}, mkOps(), parts[i])
+		s, err := core.NewMap(core.Config{Algorithm: cfg.Algorithm, Procs: cfg.Procs, NoRecycle: cfg.NoRecycle, Stamp: &m.gsn}, mkOps(), parts[i])
 		if err != nil {
 			for _, prev := range m.shards {
 				prev.Close()
@@ -202,17 +238,15 @@ func (m *Map[K, V, A]) Len() int64 {
 	return n
 }
 
-// View runs f against a Snap that pins one version per shard.  Handles and
-// versions are acquired in ascending shard order before f runs and released
-// after it returns, so f sees S stable immutable snapshots — per-shard
-// consistent, not a single global snapshot (see the package comment).
-// View blocks while any shard's admission pool is exhausted.
-func (m *Map[K, V, A]) View(f func(s Snap[K, V, A])) {
+// withPinned acquires one handle and one version per shard in ascending
+// shard order, runs f against the pinned snapshots, then releases
+// everything in reverse.  All fan-out read modes are built on it.
+func (m *Map[K, V, A]) withPinned(f func(snaps []core.Snapshot[K, V, A])) {
 	snaps := make([]core.Snapshot[K, V, A], len(m.shards))
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(m.shards) {
-			f(Snap[K, V, A]{m: m, snaps: snaps})
+			f(snaps)
 			return
 		}
 		m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
@@ -225,15 +259,143 @@ func (m *Map[K, V, A]) View(f func(s Snap[K, V, A])) {
 	rec(0)
 }
 
+// View runs f against a Snap that pins one version per shard.  Handles and
+// versions are acquired in ascending shard order before f runs and released
+// after it returns, so f sees S stable immutable snapshots — per-shard
+// consistent, NOT a single global snapshot: a concurrent cross-shard
+// transaction (UpdateAtomic or plain Update) may be visible on some shards
+// of the Snap and not others.  Use ViewConsistent when that matters.
+// View blocks while any shard's admission pool is exhausted.
+func (m *Map[K, V, A]) View(f func(s Snap[K, V, A])) {
+	m.withPinned(func(snaps []core.Snapshot[K, V, A]) {
+		f(Snap[K, V, A]{m: m, snaps: snaps})
+	})
+}
+
+// ViewConsistent runs f against a Snap whose S pinned versions form one
+// consistent global cut: no cross-shard UpdateAtomic transaction is ever
+// observed torn, and the Snap carries the per-shard GSN vector it reflects
+// (Snap.GSNs).  The guarantee, precisely: for every shard i, the pinned
+// root contains all commits stamped <= GSNs()[i] (and, transiently, may
+// contain later single-shard commits, which are atomic on their own); for
+// every UpdateAtomic transaction, either all or none of its per-shard roots
+// are visible.
+//
+// Protocol (why no reader lock): collect the per-shard (latest-GSN,
+// install-seq) vector, pin one version per shard, collect again.  Stable
+// even seqlocks prove no atomic install overlapped the pins — the cut is
+// tear-free — and because stamps are allocated only after their root is
+// visible (core/stamp.go), the GSN vector collected *before* the pins is a
+// sound prefix bound whether or not stamps moved while pinning (if they
+// also held still, the cut is additionally exact: no commit of any kind
+// landed during it).  Only seqlock instability forces a retry; after
+// consistentRetries failed attempts (sustained atomic-install overlap) it
+// falls back to briefly fencing the writer slots in ascending shard order:
+// with the slots held no atomic install or combiner commit can run, so the
+// fenced attempt is definitive.  Plain writers are never blocked in either
+// path.
+func (m *Map[K, V, A]) ViewConsistent(f func(s Snap[K, V, A])) {
+	n := len(m.shards)
+	gsns := make([]uint64, n)
+	seqs := make([]uint64, n)
+	max := m.maxCollects
+	if max <= 0 {
+		max = consistentRetries
+	}
+	for try := 0; try < max; try++ {
+		stable := true
+		for i, s := range m.shards {
+			q := s.InstallSeq()
+			if q&1 != 0 { // an atomic install is mid-flight; pinning now would be wasted
+				stable = false
+				break
+			}
+			seqs[i] = q
+			gsns[i] = s.LatestStamp()
+		}
+		if !stable {
+			m.snapRetries.Add(1)
+			runtime.Gosched()
+			continue
+		}
+		done := false
+		m.withPinned(func(snaps []core.Snapshot[K, V, A]) {
+			for i, s := range m.shards {
+				if s.InstallSeq() != seqs[i] {
+					return // an atomic install overlapped the pins: retry
+				}
+			}
+			// Seqlocks held still: the cut is tear-free, and gsns — read
+			// before the pins — is a sound prefix bound even if plain
+			// commits moved the stamps meanwhile.
+			done = true
+			f(Snap[K, V, A]{m: m, snaps: snaps, gsns: gsns})
+		})
+		if done {
+			return
+		}
+		m.snapRetries.Add(1)
+	}
+	// Fence fallback: exclude atomic installers (and combiner commits) for
+	// the duration of one pin pass.  The GSN vector is collected before
+	// pinning — stamp-after-visibility makes it a sound prefix bound — and
+	// needs no second collect: the slots guarantee no install can tear the
+	// cut, and single-shard commits slipping in are atomic on their own.
+	// The slots are released as soon as the last version is pinned: pinned
+	// versions are immutable, so f — often a long scan, exactly what
+	// ViewConsistent is for — must not extend the writer stall.
+	m.fenced.Add(1)
+	for _, s := range m.shards {
+		s.LockWriterSlot()
+	}
+	unfenced := false
+	unfence := func() {
+		if !unfenced {
+			unfenced = true
+			for i := n - 1; i >= 0; i-- {
+				m.shards[i].UnlockWriterSlot()
+			}
+		}
+	}
+	defer unfence()
+	for i, s := range m.shards {
+		gsns[i] = s.LatestStamp()
+	}
+	m.withPinned(func(snaps []core.Snapshot[K, V, A]) {
+		unfence()
+		f(Snap[K, V, A]{m: m, snaps: snaps, gsns: gsns})
+	})
+}
+
+// ConsistentStats reports ViewConsistent's failed double-collect attempts
+// and fence fallbacks since the map was created.
+func (m *Map[K, V, A]) ConsistentStats() (retries, fenced int64) {
+	return m.snapRetries.Load(), m.fenced.Load()
+}
+
 // Snap is a fan-out read view: one pinned version per shard, valid only
-// within the View callback.
+// within the View or ViewConsistent callback.  Under View the S versions
+// are per-shard consistent only; under ViewConsistent they form one global
+// cut and GSNs reports the commit-sequence vector the cut reflects.
 type Snap[K, V, A any] struct {
 	m     *Map[K, V, A]
 	snaps []core.Snapshot[K, V, A]
+	gsns  []uint64 // non-nil only for ViewConsistent snaps
 }
 
 // Shard exposes shard i's pinned snapshot.
 func (s Snap[K, V, A]) Shard(i int) core.Snapshot[K, V, A] { return s.snaps[i] }
+
+// GSNs returns the per-shard global-commit-sequence vector this snap
+// reflects, or nil for a plain View snap.  For a ViewConsistent snap,
+// shard i's pinned root contains every commit stamped <= GSNs()[i], and no
+// UpdateAtomic transaction is visible on some shards but not others.  The
+// slice is valid only within the callback and must not be mutated.
+func (s Snap[K, V, A]) GSNs() []uint64 { return s.gsns }
+
+// Consistent reports whether this snap was produced by ViewConsistent and
+// therefore carries the cross-shard atomicity guarantee.
+func (s Snap[K, V, A]) Consistent() bool { return s.gsns != nil }
 
 // Get returns the value stored under k in k's shard snapshot.
 func (s Snap[K, V, A]) Get(k K) (V, bool) { return s.snaps[s.m.ShardFor(k)].Get(k) }
@@ -241,7 +403,12 @@ func (s Snap[K, V, A]) Get(k K) (V, bool) { return s.snaps[s.m.ShardFor(k)].Get(
 // Has reports whether k is present.
 func (s Snap[K, V, A]) Has(k K) bool { return s.snaps[s.m.ShardFor(k)].Has(k) }
 
-// Len sums the per-shard snapshot sizes.
+// Len sums the per-shard snapshot sizes.  Under View the per-shard counts
+// are pinned at slightly different instants, so under concurrent writes the
+// total is approximate (per-shard semantics).  Under ViewConsistent the
+// counts form one tear-free cut: no atomic transaction is half-counted,
+// though concurrent plain single-key commits may each be included or not
+// (each wholly, they are atomic on their own).
 func (s Snap[K, V, A]) Len() int64 {
 	var n int64
 	for _, sn := range s.snaps {
@@ -325,18 +492,21 @@ func (s Snap[K, V, A]) mergeRange(lo, hi K, f func(K, V)) {
 }
 
 // Txn buffers a cross-shard write transaction: Insert and Delete record
-// intents, and Update replays each shard's intents in order inside one
-// atomic per-shard write transaction.  Reads see the transaction's own
-// buffered writes first, then the shard's current committed version.
+// intents, and Update (per-shard atomic) or UpdateAtomic (globally atomic,
+// one GSN) replays each shard's intents in order.  Reads see the
+// transaction's own buffered writes first — including deletes, so a
+// get-after-delete inside the transaction reports absence — then the
+// shard's current committed version.
 type Txn[K, V, A any] struct {
 	m       *Map[K, V, A]
 	intents [][]intent[K, V]
 }
 
 type intent[K, V any] struct {
-	del bool
-	key K
-	val V
+	del  bool
+	key  K
+	val  V
+	comb func(old, new V) V // non-nil: combine with the value below (InsertWith)
 }
 
 // Insert buffers an insert-or-replace of (k, v).
@@ -345,33 +515,101 @@ func (t *Txn[K, V, A]) Insert(k K, v V) {
 	t.intents[i] = append(t.intents[i], intent[K, V]{key: k, val: v})
 }
 
+// InsertWith buffers an insert of (k, v) that combines with any existing
+// value at commit time: comb(old, v) when k is present, plain v otherwise.
+// Because the combination is evaluated against the value current at
+// commit — and re-evaluated on conflict retry — commutative deltas (add,
+// max, ...) are immune to lost updates even when the transaction's own
+// reads were stale, which is what makes InsertWith the right primitive for
+// transfers and counters.
+func (t *Txn[K, V, A]) InsertWith(k K, v V, comb func(old, new V) V) {
+	i := t.m.ShardFor(k)
+	t.intents[i] = append(t.intents[i], intent[K, V]{key: k, val: v, comb: comb})
+}
+
 // Delete buffers a removal of k.
 func (t *Txn[K, V, A]) Delete(k K) {
 	i := t.m.ShardFor(k)
 	t.intents[i] = append(t.intents[i], intent[K, V]{del: true, key: k})
 }
 
+// touched returns the indices of shards with at least one buffered intent,
+// in ascending order (intents is indexed by shard).
+func (t *Txn[K, V, A]) touched() []int {
+	var out []int
+	for i, list := range t.intents {
+		if len(list) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Get reads through the transaction's buffered writes (latest intent for k
-// wins), falling back to a point read of k's shard's current version.
+// wins; a buffered delete reports absence), falling back to a point read of
+// k's shard's current version.  Combining intents (InsertWith) are folded,
+// in buffer order, on top of the latest authoritative value below them.
 func (t *Txn[K, V, A]) Get(k K) (V, bool) {
 	i := t.m.ShardFor(k)
 	cmp := t.m.shards[i].Ops().Cmp
-	for j := len(t.intents[i]) - 1; j >= 0; j-- {
-		in := t.intents[i][j]
-		if cmp(in.key, k) == 0 {
-			if in.del {
-				var zero V
-				return zero, false
-			}
-			return in.val, true
+	list := t.intents[i]
+	// Scan back to the latest plain insert or delete of k, collecting the
+	// combining intents stacked above it.
+	var combs []int
+	base := -1
+	for j := len(list) - 1; j >= 0; j-- {
+		if cmp(list[j].key, k) != 0 {
+			continue
+		}
+		if list[j].comb != nil {
+			combs = append(combs, j)
+			continue
+		}
+		base = j
+		break
+	}
+	var v V
+	var ok bool
+	switch {
+	case base >= 0 && list[base].del:
+		// absent below the combs
+	case base >= 0:
+		v, ok = list[base].val, true
+	default:
+		v, ok = t.m.Get(k)
+	}
+	for j := len(combs) - 1; j >= 0; j-- { // chronological order
+		in := list[combs[j]]
+		if ok {
+			v = in.comb(v, in.val)
+		} else {
+			v, ok = in.val, true
 		}
 	}
-	return t.m.Get(k)
+	return v, ok
 }
 
-// Update runs a buffered cross-shard write transaction: f records intents,
-// then each affected shard commits its intents atomically (in ascending
-// shard order).  Atomicity is per shard; there is no global commit point.
+// replay applies a shard's buffered intents, in order, to a core write
+// transaction.
+func replay[K, V, A any](tx *core.Txn[K, V, A], list []intent[K, V]) {
+	for _, in := range list {
+		switch {
+		case in.del:
+			tx.Delete(in.key)
+		case in.comb != nil:
+			tx.InsertWith(in.key, in.val, in.comb)
+		default:
+			tx.Insert(in.key, in.val)
+		}
+	}
+}
+
+// Update runs a buffered cross-shard write transaction in the fast
+// per-shard mode: f records intents, then each affected shard commits its
+// intents atomically (in ascending shard order).  Atomicity is per shard;
+// there is no global commit point, and a concurrent View or ViewConsistent
+// may observe some shards' commits and not others'.  Use UpdateAtomic when
+// the transaction must never be seen torn.
 func (m *Map[K, V, A]) Update(f func(t *Txn[K, V, A])) {
 	t := &Txn[K, V, A]{m: m, intents: make([][]intent[K, V], len(m.shards))}
 	f(t)
@@ -380,17 +618,97 @@ func (m *Map[K, V, A]) Update(f func(t *Txn[K, V, A])) {
 			continue
 		}
 		m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
-			h.Update(func(tx *core.Txn[K, V, A]) {
-				for _, in := range list {
-					if in.del {
-						tx.Delete(in.key)
-					} else {
-						tx.Insert(in.key, in.val)
-					}
-				}
-			})
+			h.Update(func(tx *core.Txn[K, V, A]) { replay(tx, list) })
 		})
 	}
+}
+
+// UpdateAtomic runs a buffered cross-shard write transaction with a global
+// commit point: f records intents, then every affected shard's new root is
+// installed under ONE global commit sequence number, so ViewConsistent
+// never observes the transaction torn (plain View remains per-shard and
+// may).  The two-phase protocol: acquire the touched shards' writer slots
+// in ascending shard order (deadlock-free), drive their install seqlocks
+// odd, build and install each shard's new root through that shard's leased
+// pid and arena (conflicting plain writers just force a per-shard rebuild,
+// exactly core.Update's lock-free retry), allocate the transaction's GSN
+// after the last install, publish it on every touched shard, drive the
+// seqlocks even and release the slots.  Readers between the installs are
+// exactly the window the seqlocks cover.
+//
+// Transactions touching a single shard skip the seqlock protocol — one
+// shard's commit is already atomic and its normal stamp orders it globally
+// — but still commit under that shard's writer slot, so they respect the
+// fence UpdateAtomicKeys' stable reads and ViewConsistent's fallback rely
+// on (an atomic transaction must never bypass another's fence, whatever
+// its footprint).
+func (m *Map[K, V, A]) UpdateAtomic(f func(t *Txn[K, V, A])) {
+	t := &Txn[K, V, A]{m: m, intents: make([][]intent[K, V], len(m.shards))}
+	f(t)
+	touched := t.touched()
+	if len(touched) == 1 {
+		i := touched[0]
+		list := t.intents[i]
+		m.shards[i].LockWriterSlot()
+		defer m.shards[i].UnlockWriterSlot()
+		m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
+			h.Update(func(tx *core.Txn[K, V, A]) { replay(tx, list) })
+		})
+		return
+	}
+	// Slots are released by defer so a panic out of a user comb during the
+	// install (which forfeits atomicity for the legs already installed —
+	// see core.InstallAtomic) cannot wedge the fence.
+	core.LockWriterSlots(m.shards, touched)
+	defer core.UnlockWriterSlots(m.shards, touched)
+	m.installLocked(touched, t.intents)
+}
+
+// UpdateAtomicKeys runs an atomic cross-shard transaction whose key
+// footprint is declared up front: the writer slots of every key's shard are
+// acquired BEFORE f runs, so reads inside f (Txn.Get) are stable with
+// respect to every fence-respecting writer — other atomic transactions and
+// the batch combiners — which is what a multi-key compare-and-swap needs to
+// validate and write in one atomic step.  (Plain point writers do not take
+// the slot and can still interleave; route contended keys through atomic
+// transactions or combiners if f's reads must be authoritative.)  f may
+// write only keys whose shards are covered by keys; a write outside the
+// declared footprint panics before anything is installed.
+func (m *Map[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *Txn[K, V, A])) {
+	locked := make([]bool, len(m.shards))
+	touched := make([]int, 0, len(keys))
+	for _, k := range keys {
+		if i := m.ShardFor(k); !locked[i] {
+			locked[i] = true
+			touched = append(touched, i)
+		}
+	}
+	sort.Ints(touched)
+	core.LockWriterSlots(m.shards, touched)
+	defer core.UnlockWriterSlots(m.shards, touched)
+	t := &Txn[K, V, A]{m: m, intents: make([][]intent[K, V], len(m.shards))}
+	f(t)
+	for i, list := range t.intents {
+		if len(list) > 0 && !locked[i] {
+			panic(fmt.Sprintf("shard: UpdateAtomicKeys wrote shard %d outside the declared key footprint", i))
+		}
+	}
+	m.installLocked(t.touched(), t.intents)
+}
+
+// installLocked is the install phase shared by UpdateAtomic and
+// UpdateAtomicKeys: with the touched shards' writer slots held,
+// core.InstallAtomic brackets the per-shard installs with the seqlocks and
+// publishes one freshly allocated GSN on every touched shard.
+func (m *Map[K, V, A]) installLocked(touched []int, intents [][]intent[K, V]) {
+	core.InstallAtomic(m.shards, touched, func() {
+		for _, i := range touched {
+			list := intents[i]
+			m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
+				h.UpdateUnstamped(func(tx *core.Txn[K, V, A]) { replay(tx, list) })
+			})
+		}
+	})
 }
 
 // StartBatching launches one Appendix-F combining writer per shard: each

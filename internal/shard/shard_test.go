@@ -179,6 +179,273 @@ func TestShardedConcurrent(t *testing.T) {
 	}
 }
 
+// twoShardKeys returns two keys living on different shards.
+func twoShardKeys(t *testing.T, m *Map[int64, int64, int64]) (a, b int64) {
+	t.Helper()
+	a = 1
+	for b = a + 1; m.ShardFor(b) == m.ShardFor(a); b++ {
+	}
+	return a, b
+}
+
+// TestTxnReadYourWritesAcrossShards is the regression suite for Txn.Get's
+// read-your-writes semantics when the transaction spans two shards:
+// get-after-delete must report absence (not fall through to the committed
+// value), get-after-insert-then-delete likewise, and combining intents
+// (InsertWith) must fold on top of whatever lies below them.
+func TestTxnReadYourWritesAcrossShards(t *testing.T) {
+	m := newSharded(t, "pswf", 4, 2, nil)
+	defer m.Close()
+	a, b := twoShardKeys(t, m)
+	m.Insert(a, 10)
+	m.Insert(b, 20)
+
+	add := func(old, new int64) int64 { return old + new }
+	m.UpdateAtomic(func(tx *Txn[int64, int64, int64]) {
+		// get-after-delete of a committed key, on each shard.
+		tx.Delete(a)
+		if _, ok := tx.Get(a); ok {
+			t.Fatal("Get after Delete sees committed value on shard A")
+		}
+		tx.Delete(b)
+		if _, ok := tx.Get(b); ok {
+			t.Fatal("Get after Delete sees committed value on shard B")
+		}
+		// get-after-insert-then-delete of a fresh key.
+		tx.Insert(a+100, 1)
+		tx.Delete(a + 100)
+		if _, ok := tx.Get(a + 100); ok {
+			t.Fatal("Get after insert-then-delete sees the insert")
+		}
+		// re-insert after delete is visible again.
+		tx.Insert(b, 99)
+		if v, ok := tx.Get(b); !ok || v != 99 {
+			t.Fatalf("Get after delete-then-insert = %d,%v, want 99,true", v, ok)
+		}
+		// combining intents fold onto the committed value, onto buffered
+		// bases, and seed absent keys.
+		tx.InsertWith(b, 1, add) // 99 + 1
+		if v, ok := tx.Get(b); !ok || v != 100 {
+			t.Fatalf("Get through comb = %d,%v, want 100,true", v, ok)
+		}
+		tx.InsertWith(a, 5, add) // a was deleted above: comb seeds 5
+		if v, ok := tx.Get(a); !ok || v != 5 {
+			t.Fatalf("Get comb-after-delete = %d,%v, want 5,true", v, ok)
+		}
+	})
+	if v, _ := m.Get(b); v != 100 {
+		t.Fatalf("committed b = %d, want 100", v)
+	}
+	if v, _ := m.Get(a); v != 5 {
+		t.Fatalf("committed a = %d, want 5", v)
+	}
+	if m.Has(a + 100) {
+		t.Fatal("insert-then-delete key leaked into the map")
+	}
+}
+
+// TestAtomicTransferInvariant is the torn-write detector: writers move
+// balance between accounts on different shards with UpdateAtomic, and
+// ViewConsistent readers assert the total balance never wavers.  Plain View
+// readers run alongside and are allowed to observe torn sums (per-shard
+// semantics — logged, not asserted, since tearing is timing-dependent).
+// Run under -race over the imprecise epoch/hp maintainers and PSWF.
+func TestAtomicTransferInvariant(t *testing.T) {
+	const accounts, balance = 64, 100
+	iters := 1200
+	if testing.Short() {
+		iters = 300
+	}
+	for _, alg := range []string{"epoch", "hp", "pswf"} {
+		t.Run(alg, func(t *testing.T) {
+			initial := make([]ftree.Entry[int64, int64], accounts)
+			for i := range initial {
+				initial[i] = ftree.Entry[int64, int64]{Key: int64(i), Val: balance}
+			}
+			m := newSharded(t, alg, 4, 8, initial)
+			add := func(old, new int64) int64 { return old + new }
+
+			const writers, readers = 3, 2
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := ycsb.NewSplitMix64(uint64(w)*77 + 3)
+					for i := 0; i < iters; i++ {
+						a := int64(rng.Intn(accounts))
+						b := int64(rng.Intn(accounts))
+						if a == b || m.ShardFor(a) == m.ShardFor(b) {
+							continue // only cross-shard transfers stress the protocol
+						}
+						m.UpdateAtomic(func(tx *Txn[int64, int64, int64]) {
+							tx.InsertWith(a, -1, add)
+							tx.InsertWith(b, 1, add)
+						})
+					}
+				}(w)
+			}
+			go func() {
+				wg.Wait()
+				close(stop)
+			}()
+			var rwg sync.WaitGroup
+			torn := 0
+			for r := 0; r < readers; r++ {
+				rwg.Add(1)
+				go func(r int) {
+					defer rwg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						m.ViewConsistent(func(s Snap[int64, int64, int64]) {
+							if !s.Consistent() || s.GSNs() == nil {
+								t.Error("ViewConsistent snap does not report a GSN vector")
+							}
+							if sum := s.AugRange(0, accounts-1); sum != accounts*balance {
+								t.Errorf("torn consistent view: sum = %d, want %d", sum, accounts*balance)
+							}
+						})
+					}
+				}(r)
+			}
+			// One plain-View reader: per-shard semantics, may legitimately
+			// observe torn sums while an atomic install is mid-flight.
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					m.View(func(s Snap[int64, int64, int64]) {
+						if s.Consistent() {
+							t.Error("plain View snap claims consistency")
+						}
+						if sum := s.AugRange(0, accounts-1); sum != accounts*balance {
+							torn++
+						}
+					})
+				}
+			}()
+			rwg.Wait()
+			retries, fenced := m.ConsistentStats()
+			t.Logf("%s: plain View torn sums observed: %d; consistent retries %d, fence fallbacks %d",
+				alg, torn, retries, fenced)
+			m.ViewConsistent(func(s Snap[int64, int64, int64]) {
+				if sum := s.AugRange(0, accounts-1); sum != accounts*balance {
+					t.Fatalf("final sum = %d, want %d", sum, accounts*balance)
+				}
+			})
+			m.Close()
+			if live := m.Live(); live != 0 {
+				t.Fatalf("leaked %d nodes", live)
+			}
+		})
+	}
+}
+
+// TestConsistentFenceFallback drives an atomic install by hand and checks
+// the protocol end to end: while the install seqlock is odd, ViewConsistent
+// must refuse every optimistic double-collect, fall back to fencing the
+// writer slots, block until the install completes, and then observe both
+// shards' new roots (never one without the other).
+func TestConsistentFenceFallback(t *testing.T) {
+	m := newSharded(t, "pswf", 2, 3, nil)
+	defer m.Close()
+	a, b := twoShardKeys(t, m)
+	sa, sb := m.ShardFor(a), m.ShardFor(b)
+	m.maxCollects = 2 // exhaust the optimistic attempts quickly
+
+	installing := make(chan struct{})
+	finish := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// A hand-rolled two-shard atomic install of {a: 1, b: 1} that parks
+		// mid-flight: shard A's root is already installed, shard B's is not.
+		first, second := m.shards[sa], m.shards[sb]
+		if sb < sa {
+			first, second = second, first
+		}
+		first.LockWriterSlot()
+		second.LockWriterSlot()
+		m.shards[sa].BeginInstall()
+		m.shards[sb].BeginInstall()
+		m.shards[sa].WithCached(func(h *core.Handle[int64, int64, int64]) {
+			h.UpdateUnstamped(func(tx *core.Txn[int64, int64, int64]) { tx.Insert(a, 1) })
+		})
+		close(installing)
+		<-finish
+		m.shards[sb].WithCached(func(h *core.Handle[int64, int64, int64]) {
+			h.UpdateUnstamped(func(tx *core.Txn[int64, int64, int64]) { tx.Insert(b, 1) })
+		})
+		g := m.gsn.Add(1)
+		m.shards[sa].BumpStamp(g)
+		m.shards[sb].BumpStamp(g)
+		m.shards[sa].EndInstall()
+		m.shards[sb].EndInstall()
+		second.UnlockWriterSlot()
+		first.UnlockWriterSlot()
+	}()
+
+	<-installing
+	// Let the fenced reader block on the held slots before the install is
+	// allowed to finish; the sleep only widens the window, correctness does
+	// not depend on it.
+	time.AfterFunc(10*time.Millisecond, func() { close(finish) })
+	m.ViewConsistent(func(s Snap[int64, int64, int64]) {
+		va, oka := s.Get(a)
+		vb, okb := s.Get(b)
+		if !oka || !okb || va != 1 || vb != 1 {
+			t.Fatalf("consistent view saw torn install: a=%d,%v b=%d,%v", va, oka, vb, okb)
+		}
+	})
+	wg.Wait()
+	retries, fenced := m.ConsistentStats()
+	if fenced == 0 {
+		t.Fatalf("expected the fence fallback to fire (retries %d, fenced %d)", retries, fenced)
+	}
+}
+
+// TestSingleShardAtomicRespectsFence: an UpdateAtomic whose footprint
+// collapses to one shard must still commit under that shard's writer slot
+// — otherwise it could slip between an UpdateAtomicKeys caller's
+// validation read and install, breaking the multi-key CAS contract.
+func TestSingleShardAtomicRespectsFence(t *testing.T) {
+	m := newSharded(t, "pswf", 2, 3, nil)
+	defer m.Close()
+	k := int64(1)
+	m.Insert(k, 0)
+	m.shards[m.ShardFor(k)].LockWriterSlot()
+	done := make(chan struct{})
+	go func() {
+		m.UpdateAtomic(func(tx *Txn[int64, int64, int64]) { tx.Insert(k, 7) })
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("single-shard UpdateAtomic committed through a held writer slot")
+	default:
+	}
+	if v, _ := m.Get(k); v != 0 {
+		t.Fatalf("value changed to %d while the slot was held", v)
+	}
+	m.shards[m.ShardFor(k)].UnlockWriterSlot()
+	<-done
+	if v, _ := m.Get(k); v != 7 {
+		t.Fatalf("value = %d after slot release, want 7", v)
+	}
+}
+
 // TestShardedUncollectedBound: every shard individually respects PSWF's
 // 2P+1 version bound, so the aggregate is at most S*(2P+1).
 func TestShardedUncollectedBound(t *testing.T) {
