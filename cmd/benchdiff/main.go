@@ -17,21 +17,211 @@
 //	benchdiff -old prev/BENCH_alloc.json -new BENCH_alloc.json -tolerance 0.10
 //
 // Exit status: 0 when every matching cell is within tolerance, 1 on
-// regression, 2 on usage or schema errors.  Cells present in only one
-// report are reported but do not fail the diff (cells come and go between
-// PRs); a run-configuration mismatch (threads, records, duration, batch
-// size) downgrades the diff to advisory — the numbers are not comparable,
-// so regressions are printed but do not fail the run.
+// regression, 2 on usage or schema errors.  Two classes of difference are
+// deliberately advisory, never errors:
+//
+//   - Cells present in only one report ("new cell" / "dropped").  Cells
+//     come and go between PRs — the first run after a PR adds a workload
+//     (e.g. txn-occ) has no baseline for it, and failing the gate on that
+//     would punish adding coverage.
+//   - A run-configuration mismatch (threads, records, duration, batch
+//     size): the numbers are not comparable, so the whole diff downgrades
+//     to advisory — regressions are printed but do not fail the run.
+//
+// When $GITHUB_STEP_SUMMARY is set (GitHub Actions), the diff table is also
+// appended there as Markdown, so the comparison is readable from the run's
+// summary page without digging through logs.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mvgc/internal/bench"
 )
+
+// cellDiff is one row of a diff: a cell's status plus its formatted old and
+// new readings.
+type cellDiff struct {
+	Status string // "ok", "REGRESSED", "new cell", "dropped"
+	Cell   string
+	Old    string // empty for new cells
+	New    string // empty for dropped cells
+	Delta  string // empty where no pair exists
+}
+
+// diffResult is a whole comparison, renderable as text or Markdown and
+// reducible to an exit code; the diff functions are pure so tests can pin
+// the advisory rules without spawning the binary.
+type diffResult struct {
+	Title     string
+	Rows      []cellDiff
+	Notes     []string // advisory warnings (e.g. config mismatch)
+	Regressed bool     // at least one matched cell beyond tolerance
+	Gate      bool     // false: configs differ, regressions are advisory
+	Tolerance float64
+	Metric    string // what a regression means, for the verdict line
+}
+
+// verdict renders the one-line outcome.
+func (d *diffResult) verdict() string {
+	switch {
+	case d.Regressed && d.Gate:
+		return fmt.Sprintf("FAIL: at least one cell regressed more than %.0f%% (%s)", d.Tolerance*100, d.Metric)
+	case d.Regressed:
+		return "PASS (ungated): regressions found but run configs differ"
+	default:
+		return fmt.Sprintf("PASS: all matched cells within %.0f%% of baseline", d.Tolerance*100)
+	}
+}
+
+// exitCode maps the outcome onto the documented exit statuses.
+func (d *diffResult) exitCode() int {
+	if d.Regressed && d.Gate {
+		return 1
+	}
+	return 0
+}
+
+// renderText writes the classic log format.
+func (d *diffResult) renderText(w io.Writer) {
+	for _, n := range d.Notes {
+		fmt.Fprintf(w, "warning: %s\n", n)
+	}
+	for _, r := range d.Rows {
+		switch r.Status {
+		case "new cell":
+			fmt.Fprintf(w, "new cell    %-30s %s (no baseline)\n", r.Cell, r.New)
+		case "dropped":
+			fmt.Fprintf(w, "dropped     %-30s (was %s)\n", r.Cell, r.Old)
+		default:
+			fmt.Fprintf(w, "%-11s %-30s %s → %s %s\n", r.Status, r.Cell, r.Old, r.New, r.Delta)
+		}
+	}
+	fmt.Fprintln(w, d.verdict())
+}
+
+// renderMarkdown writes the diff as a GitHub-flavored table for
+// $GITHUB_STEP_SUMMARY.
+func (d *diffResult) renderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s\n\n", d.Title)
+	for _, n := range d.Notes {
+		fmt.Fprintf(w, "> ⚠️ %s\n\n", n)
+	}
+	fmt.Fprintln(w, "| status | cell | baseline | current | delta |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, r := range d.Rows {
+		status := r.Status
+		if status == "REGRESSED" {
+			status = "**REGRESSED**"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n", status, r.Cell, r.Old, r.New, r.Delta)
+	}
+	fmt.Fprintf(w, "\n**%s**\n\n", d.verdict())
+}
+
+// diffYCSB gates on throughput: lower Mops is worse.
+func diffYCSB(oldR, newR bench.YCSBReport, tol float64) *diffResult {
+	d := &diffResult{Title: "YCSB throughput diff (" + bench.YCSBSchema + ")",
+		Gate: true, Tolerance: tol, Metric: "throughput drop"}
+	if oldR.Threads != newR.Threads || oldR.Records != newR.Records || oldR.DurationSec != newR.DurationSec {
+		// Mismatched measurements are not comparable, so don't gate on
+		// them: e.g. the first CI run after a smoke-duration change would
+		// otherwise fail against a baseline taken under different settings.
+		d.Gate = false
+		d.Notes = append(d.Notes, fmt.Sprintf(
+			"run configs differ (threads %d→%d, records %d→%d, dur %.2fs→%.2fs); numbers are indicative only, regressions will not fail the diff",
+			oldR.Threads, newR.Threads, oldR.Records, newR.Records, oldR.DurationSec, newR.DurationSec))
+	}
+
+	key := func(r bench.YCSBRecord) string { return r.Structure + "/" + r.Workload }
+	base := make(map[string]float64, len(oldR.Results))
+	for _, r := range oldR.Results {
+		base[key(r)] = r.Mops
+	}
+	seen := make(map[string]bool, len(newR.Results))
+	for _, r := range newR.Results {
+		k := key(r)
+		seen[k] = true
+		old, ok := base[k]
+		if !ok {
+			d.Rows = append(d.Rows, cellDiff{Status: "new cell", Cell: k, New: fmt.Sprintf("%8.3f Mops", r.Mops)})
+			continue
+		}
+		delta := 0.0
+		if old > 0 {
+			delta = (r.Mops - old) / old
+		}
+		status := "ok"
+		if old > 0 && r.Mops < old*(1.0-tol) {
+			status = "REGRESSED"
+			d.Regressed = true
+		}
+		d.Rows = append(d.Rows, cellDiff{Status: status, Cell: k,
+			Old: fmt.Sprintf("%8.3f Mops", old), New: fmt.Sprintf("%8.3f Mops", r.Mops),
+			Delta: fmt.Sprintf("(%+.1f%%)", delta*100)})
+	}
+	for _, r := range oldR.Results {
+		if k := key(r); !seen[k] {
+			d.Rows = append(d.Rows, cellDiff{Status: "dropped", Cell: k, Old: fmt.Sprintf("%.3f Mops", r.Mops)})
+		}
+	}
+	return d
+}
+
+// diffAlloc gates on write-path allocation: higher B/op is worse, and a
+// cell whose baseline is 0 B/op must stay 0.
+func diffAlloc(oldR, newR bench.AllocReport, tol float64) *diffResult {
+	d := &diffResult{Title: "Allocator diff (" + bench.AllocSchema + ")",
+		Gate: true, Tolerance: tol, Metric: "B/op increase"}
+	if oldR.Records != newR.Records || oldR.BatchSize != newR.BatchSize || oldR.Procs != newR.Procs {
+		d.Gate = false
+		d.Notes = append(d.Notes, fmt.Sprintf(
+			"run configs differ (records %d→%d, batch %d→%d, procs %d→%d); numbers are indicative only, regressions will not fail the diff",
+			oldR.Records, newR.Records, oldR.BatchSize, newR.BatchSize, oldR.Procs, newR.Procs))
+	}
+
+	key := func(r bench.AllocRecord) string {
+		return fmt.Sprintf("%s/recycle=%v", r.Path, r.Recycle)
+	}
+	base := make(map[string]int64, len(oldR.Results))
+	for _, r := range oldR.Results {
+		base[key(r)] = r.BPerOp
+	}
+	seen := make(map[string]bool, len(newR.Results))
+	for _, r := range newR.Results {
+		k := key(r)
+		seen[k] = true
+		old, ok := base[k]
+		if !ok {
+			d.Rows = append(d.Rows, cellDiff{Status: "new cell", Cell: k, New: fmt.Sprintf("%8d B/op", r.BPerOp)})
+			continue
+		}
+		status := "ok"
+		bad := false
+		switch {
+		case old == 0:
+			bad = r.BPerOp > 0 // the zero-allocation invariant is absolute
+		default:
+			bad = float64(r.BPerOp) > float64(old)*(1.0+tol)
+		}
+		if bad {
+			status = "REGRESSED"
+			d.Regressed = true
+		}
+		d.Rows = append(d.Rows, cellDiff{Status: status, Cell: k,
+			Old: fmt.Sprintf("%8d B/op", old), New: fmt.Sprintf("%8d B/op", r.BPerOp)})
+	}
+	for _, r := range oldR.Results {
+		if k := key(r); !seen[k] {
+			d.Rows = append(d.Rows, cellDiff{Status: "dropped", Cell: k, Old: fmt.Sprintf("%d B/op", r.BPerOp)})
+		}
+	}
+	return d
+}
 
 func decode(path string, v any) error {
 	f, err := os.Open(path)
@@ -55,6 +245,11 @@ func schemaOf(path string) (string, error) {
 	return probe.Schema, nil
 }
 
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"benchdiff:"}, args...)...)
+	os.Exit(2)
+}
+
 func main() {
 	var (
 		oldPath = flag.String("old", "", "baseline report (e.g. the previous CI run's artifact)")
@@ -63,156 +258,53 @@ func main() {
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
-		os.Exit(2)
+		fatal("-old and -new are required")
 	}
 	oldSchema, err := schemaOf(*oldPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	newSchema, err := schemaOf(*newPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	if oldSchema != newSchema {
-		fmt.Fprintf(os.Stderr, "benchdiff: schema mismatch: %q vs %q\n", oldSchema, newSchema)
-		os.Exit(2)
+		fatal(fmt.Sprintf("schema mismatch: %q vs %q", oldSchema, newSchema))
 	}
+
+	var d *diffResult
 	switch oldSchema {
 	case bench.YCSBSchema:
-		diffYCSB(*oldPath, *newPath, *tol)
+		var oldR, newR bench.YCSBReport
+		if err := decode(*oldPath, &oldR); err != nil {
+			fatal(err)
+		}
+		if err := decode(*newPath, &newR); err != nil {
+			fatal(err)
+		}
+		d = diffYCSB(oldR, newR, *tol)
 	case bench.AllocSchema:
-		diffAlloc(*oldPath, *newPath, *tol)
+		var oldR, newR bench.AllocReport
+		if err := decode(*oldPath, &oldR); err != nil {
+			fatal(err)
+		}
+		if err := decode(*newPath, &newR); err != nil {
+			fatal(err)
+		}
+		d = diffAlloc(oldR, newR, *tol)
 	default:
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown schema %q (want %q or %q)\n",
-			oldSchema, bench.YCSBSchema, bench.AllocSchema)
-		os.Exit(2)
-	}
-}
-
-func verdict(regressed, gate bool, tol float64, metric string) {
-	switch {
-	case regressed && gate:
-		fmt.Printf("FAIL: at least one cell regressed more than %.0f%% (%s)\n", tol*100, metric)
-		os.Exit(1)
-	case regressed:
-		fmt.Printf("PASS (ungated): regressions found but run configs differ\n")
-	default:
-		fmt.Printf("PASS: all matched cells within %.0f%% of baseline\n", tol*100)
-	}
-}
-
-// diffYCSB gates on throughput: lower Mops is worse.
-func diffYCSB(oldPath, newPath string, tol float64) {
-	var oldR, newR bench.YCSBReport
-	if err := decode(oldPath, &oldR); err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
-	}
-	if err := decode(newPath, &newR); err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
-	}
-	gate := true
-	if oldR.Threads != newR.Threads || oldR.Records != newR.Records || oldR.DurationSec != newR.DurationSec {
-		// Mismatched measurements are not comparable, so don't gate on
-		// them: e.g. the first CI run after a smoke-duration change would
-		// otherwise fail against a baseline taken under different settings.
-		gate = false
-		fmt.Printf("warning: run configs differ (threads %d→%d, records %d→%d, dur %.2fs→%.2fs); numbers are indicative only, regressions will not fail the diff\n",
-			oldR.Threads, newR.Threads, oldR.Records, newR.Records, oldR.DurationSec, newR.DurationSec)
+		fatal(fmt.Sprintf("unknown schema %q (want %q or %q)", oldSchema, bench.YCSBSchema, bench.AllocSchema))
 	}
 
-	key := func(r bench.YCSBRecord) string { return r.Structure + "/" + r.Workload }
-	base := make(map[string]float64, len(oldR.Results))
-	for _, r := range oldR.Results {
-		base[key(r)] = r.Mops
-	}
-	regressed := false
-	seen := make(map[string]bool, len(newR.Results))
-	for _, r := range newR.Results {
-		k := key(r)
-		seen[k] = true
-		old, ok := base[k]
-		if !ok {
-			fmt.Printf("new cell    %-24s %8.3f Mops (no baseline)\n", k, r.Mops)
-			continue
-		}
-		delta := 0.0
-		if old > 0 {
-			delta = (r.Mops - old) / old
-		}
-		status := "ok        "
-		if old > 0 && r.Mops < old*(1.0-tol) {
-			status = "REGRESSED "
-			regressed = true
-		}
-		fmt.Printf("%s %-24s %8.3f → %8.3f Mops (%+.1f%%)\n", status, k, old, r.Mops, delta*100)
-	}
-	for _, r := range oldR.Results {
-		if k := key(r); !seen[k] {
-			fmt.Printf("dropped     %-24s (was %.3f Mops)\n", k, r.Mops)
+	d.renderText(os.Stdout)
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: step summary:", err)
+		} else {
+			d.renderMarkdown(f)
+			f.Close()
 		}
 	}
-	verdict(regressed, gate, tol, "throughput drop")
-}
-
-// diffAlloc gates on write-path allocation: higher B/op is worse, and a
-// cell whose baseline is 0 B/op must stay 0.
-func diffAlloc(oldPath, newPath string, tol float64) {
-	var oldR, newR bench.AllocReport
-	if err := decode(oldPath, &oldR); err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
-	}
-	if err := decode(newPath, &newR); err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
-	}
-	gate := true
-	if oldR.Records != newR.Records || oldR.BatchSize != newR.BatchSize || oldR.Procs != newR.Procs {
-		gate = false
-		fmt.Printf("warning: run configs differ (records %d→%d, batch %d→%d, procs %d→%d); numbers are indicative only, regressions will not fail the diff\n",
-			oldR.Records, newR.Records, oldR.BatchSize, newR.BatchSize, oldR.Procs, newR.Procs)
-	}
-
-	key := func(r bench.AllocRecord) string {
-		return fmt.Sprintf("%s/recycle=%v", r.Path, r.Recycle)
-	}
-	base := make(map[string]int64, len(oldR.Results))
-	for _, r := range oldR.Results {
-		base[key(r)] = r.BPerOp
-	}
-	regressed := false
-	seen := make(map[string]bool, len(newR.Results))
-	for _, r := range newR.Results {
-		k := key(r)
-		seen[k] = true
-		old, ok := base[k]
-		if !ok {
-			fmt.Printf("new cell    %-30s %8d B/op (no baseline)\n", k, r.BPerOp)
-			continue
-		}
-		bad := false
-		switch {
-		case old == 0:
-			bad = r.BPerOp > 0 // the zero-allocation invariant is absolute
-		default:
-			bad = float64(r.BPerOp) > float64(old)*(1.0+tol)
-		}
-		status := "ok        "
-		if bad {
-			status = "REGRESSED "
-			regressed = true
-		}
-		fmt.Printf("%s %-30s %8d → %8d B/op\n", status, k, old, r.BPerOp)
-	}
-	for _, r := range oldR.Results {
-		if k := key(r); !seen[k] {
-			fmt.Printf("dropped     %-30s (was %d B/op)\n", k, r.BPerOp)
-		}
-	}
-	verdict(regressed, gate, tol, "B/op increase")
+	os.Exit(d.exitCode())
 }

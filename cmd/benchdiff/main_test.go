@@ -1,0 +1,138 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mvgc/internal/bench"
+)
+
+func ycsbReport(cells map[string]float64) bench.YCSBReport {
+	r := bench.YCSBReport{Threads: 4, Records: 50000, DurationSec: 1}
+	for k, mops := range cells {
+		parts := strings.SplitN(k, "/", 2)
+		r.Results = append(r.Results, bench.YCSBRecord{Structure: parts[0], Workload: parts[1], Mops: mops})
+	}
+	return r
+}
+
+// TestYCSBNewCellAdvisory pins the rule that makes adding a workload safe:
+// a cell present in -new but absent in -old (the first run after txn-occ
+// landed, say) is reported as "new cell" and never fails the gate.
+func TestYCSBNewCellAdvisory(t *testing.T) {
+	oldR := ycsbReport(map[string]float64{"ours-sharded/txn-atomic": 1.0})
+	newR := ycsbReport(map[string]float64{"ours-sharded/txn-atomic": 1.0, "ours-sharded/txn-occ": 0.8})
+	d := diffYCSB(oldR, newR, 0.25)
+	if d.Regressed || d.exitCode() != 0 {
+		t.Fatalf("new cell must be advisory: regressed=%v exit=%d", d.Regressed, d.exitCode())
+	}
+	found := false
+	for _, r := range d.Rows {
+		if r.Cell == "ours-sharded/txn-occ" {
+			found = true
+			if r.Status != "new cell" {
+				t.Fatalf("txn-occ status = %q, want \"new cell\"", r.Status)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("new cell not reported at all")
+	}
+}
+
+// TestYCSBDroppedCellAdvisory: the mirror image — a cell that vanished is
+// reported but does not fail.
+func TestYCSBDroppedCellAdvisory(t *testing.T) {
+	oldR := ycsbReport(map[string]float64{"ours/A": 1.0, "ours/B": 2.0})
+	newR := ycsbReport(map[string]float64{"ours/A": 1.0})
+	d := diffYCSB(oldR, newR, 0.25)
+	if d.Regressed || d.exitCode() != 0 {
+		t.Fatalf("dropped cell must be advisory: exit=%d", d.exitCode())
+	}
+}
+
+// TestYCSBRegressionGates: a matched cell beyond tolerance fails with
+// matching configs.
+func TestYCSBRegressionGates(t *testing.T) {
+	oldR := ycsbReport(map[string]float64{"ours/A": 1.0})
+	newR := ycsbReport(map[string]float64{"ours/A": 0.5})
+	d := diffYCSB(oldR, newR, 0.25)
+	if !d.Regressed || d.exitCode() != 1 {
+		t.Fatalf("50%% drop must gate: regressed=%v exit=%d", d.Regressed, d.exitCode())
+	}
+}
+
+// TestYCSBConfigMismatchDowngrade: differing run configs make even a large
+// regression advisory — the numbers are not comparable.
+func TestYCSBConfigMismatchDowngrade(t *testing.T) {
+	oldR := ycsbReport(map[string]float64{"ours/A": 1.0})
+	newR := ycsbReport(map[string]float64{"ours/A": 0.1})
+	newR.Records = 500000 // nightly-scale run vs smoke baseline
+	d := diffYCSB(oldR, newR, 0.25)
+	if !d.Regressed {
+		t.Fatal("the drop should still be reported as a regression")
+	}
+	if d.Gate || d.exitCode() != 0 {
+		t.Fatalf("config mismatch must downgrade to advisory: gate=%v exit=%d", d.Gate, d.exitCode())
+	}
+	if len(d.Notes) == 0 || !strings.Contains(d.Notes[0], "run configs differ") {
+		t.Fatalf("missing config-mismatch warning: %v", d.Notes)
+	}
+}
+
+// TestAllocZeroInvariantAbsolute: any increase from a 0 B/op baseline fails
+// regardless of tolerance; a new alloc cell stays advisory.
+func TestAllocZeroInvariantAbsolute(t *testing.T) {
+	oldR := bench.AllocReport{Records: 1, BatchSize: 1, Procs: 1, Results: []bench.AllocRecord{
+		{Path: "point-update", Recycle: true, BPerOp: 0},
+	}}
+	newR := bench.AllocReport{Records: 1, BatchSize: 1, Procs: 1, Results: []bench.AllocRecord{
+		{Path: "point-update", Recycle: true, BPerOp: 1},
+		{Path: "point-update-occ", Recycle: true, BPerOp: 16},
+	}}
+	d := diffAlloc(oldR, newR, 0.25)
+	if !d.Regressed || d.exitCode() != 1 {
+		t.Fatalf("1 B/op over a zero baseline must fail: exit=%d", d.exitCode())
+	}
+	for _, r := range d.Rows {
+		if r.Cell == "point-update-occ/recycle=true" && r.Status != "new cell" {
+			t.Fatalf("unmatched alloc cell status = %q, want \"new cell\"", r.Status)
+		}
+	}
+}
+
+// TestAllocConfigMismatchDowngrade mirrors the YCSB downgrade for the
+// allocator schema.
+func TestAllocConfigMismatchDowngrade(t *testing.T) {
+	oldR := bench.AllocReport{Records: 50000, BatchSize: 1000, Procs: 4, Results: []bench.AllocRecord{
+		{Path: "point-update", Recycle: true, BPerOp: 0},
+	}}
+	newR := bench.AllocReport{Records: 200000, BatchSize: 1000, Procs: 4, Results: []bench.AllocRecord{
+		{Path: "point-update", Recycle: true, BPerOp: 64},
+	}}
+	d := diffAlloc(oldR, newR, 0.25)
+	if !d.Regressed || d.Gate || d.exitCode() != 0 {
+		t.Fatalf("mismatched alloc configs must be advisory: regressed=%v gate=%v exit=%d",
+			d.Regressed, d.Gate, d.exitCode())
+	}
+}
+
+// TestRenderMarkdown sanity-checks the step-summary table shape.
+func TestRenderMarkdown(t *testing.T) {
+	oldR := ycsbReport(map[string]float64{"ours/A": 1.0})
+	newR := ycsbReport(map[string]float64{"ours/A": 0.5, "ours/B": 2.0})
+	d := diffYCSB(oldR, newR, 0.25)
+	var sb strings.Builder
+	d.renderMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"| status | cell | baseline | current | delta |",
+		"**REGRESSED**",
+		"new cell",
+		"FAIL:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown summary missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -10,7 +10,7 @@
 //	ycsbbench                         # all structures, workloads A/B/C
 //	ycsbbench -records 50000000       # the paper's key-space size
 //	ycsbbench -structures ours,ours-sharded -shards 8 -dur 10s
-//	ycsbbench -txn -txnkeys 4         # add multi-key transfer cells (atomic vs per-shard)
+//	ycsbbench -txn -txnkeys 4         # add multi-key transfer cells (atomic, per-shard, validated OCC)
 //	ycsbbench -json BENCH_ycsb.json   # machine-readable results
 package main
 

@@ -70,8 +70,14 @@ func (db *DB[K, V, A]) View(f func(s DBSnapshot[K, V, A])) {
 func (db *DB[K, V, A]) UpdateAtomic(f func(t *DBTxn[K, V, A])) { db.Map.UpdateAtomic(f) }
 
 // UpdateAtomicKeys runs an atomic transaction whose key footprint is
-// declared up front; reads inside f are stable against other atomic
-// transactions and batched writers, enabling multi-key compare-and-swap
+// declared up front — a full multi-key compare-and-swap, serializable
+// against ALL writers: fence-respecting ones (other atomic transactions,
+// batched writers) are excluded while f runs, and plain point writers are
+// caught by optimistic validation — every read inside f is sampled against
+// per-key version stripes and revalidated at install time, with the whole
+// transaction aborted and retried (f re-runs) on any conflict.  f may read
+// any key but must write only keys covered by the declared footprint, and
+// must be a pure function of its reads since it can run more than once
 // (see shard.Map.UpdateAtomicKeys for the exact contract).
 func (db *DB[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *DBTxn[K, V, A])) {
 	db.Map.UpdateAtomicKeys(keys, f)

@@ -1,0 +1,193 @@
+package core
+
+// This file adds per-key version words — the optimistic-concurrency
+// metadata that lets a multi-key transaction validate its reads at install
+// time against EVERY writer, including plain point updates that never touch
+// the writer slot ("unfenced" writers).  The GSN machinery in stamp.go
+// orders whole commits; the table here answers a finer question: "has ANY
+// write landed on this key since I read it?"  Following the
+// keep-validation-metadata-outside-the-version-lists discipline of the
+// bounded-space multiversion collectors (Wei et al., PPoPP 2021), the words
+// live in a fixed striped table owned by the Map, never in tree nodes: they
+// retain no versions, so GC precision (Live() == 0 after Close, per-shard
+// version bounds) is untouched by OCC bookkeeping.
+//
+// # Why a seqlock word and not a CAS-max GSN
+//
+// The obvious design — after a commit's Set, CAS-max the committing GSN
+// into the key's word, mirroring LatestStamp — is unsound for validation:
+// a writer preempted between its Set (write visible) and its version bump
+// leaves an unbounded window in which a validator re-reads the stale word,
+// concludes "unchanged", and commits over the invisible write.  Publishing
+// the word BEFORE Set has the mirror-image hole (a reader records the
+// pre-announced word, reads the old value, and validates against its own
+// staleness).  A single monotone word cannot be ordered with a lock-free
+// Set from one side only; the fix — the same one seqlock-style optimistic
+// readers use (cf. EEMARQ's revalidation of optimistic reads) — is to
+// bracket the Set: announce "writer in flight" before it and retire the
+// announcement after it.  Because several lock-free writers can share a
+// stripe, the in-flight mark must be a counter, not a parity bit, so each
+// stripe word packs two fields:
+//
+//	bits 63..48  writers in flight (enter +1, exit -1)
+//	bits 47..0   completed-write count (exit +1)
+//
+// Both transitions are single atomic Adds.  A stable read of the word
+// (in-flight == 0) names an exact write-state of the stripe: reading the
+// same stable word before and after a value read proves the value
+// corresponds to that state, and re-reading the identical word at install
+// time proves no writer even STARTED a commit on the stripe in between —
+// Set is inside the bracket, so "no bracket" implies "no write".  The
+// commit path gains two uncontended striped Adds and no allocation (the
+// stripe list rides in the pid-local reusable Txn), which allocbench's
+// 0 B/op point-update cells gate.
+//
+// Striping trades false aborts (two keys hashing to one stripe) for O(1)
+// space; it can never produce a false commit.  The table is sized off the
+// map's process configuration and the stripe hash is remixed so that
+// sibling shards — whose key sets are correlated by the shard-routing
+// hash — spread over the whole table.
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+const (
+	// kvEnter is the in-flight field's unit (bits 63..48); the version
+	// count lives below it.  48 bits of completed writes (~2.8e14) cannot
+	// realistically wrap within one transaction's read-validate window,
+	// and 16 bits of concurrent writers exceeds vm.MaxProcs many times
+	// over.
+	kvEnter = uint64(1) << 48
+	// kvExit retires one in-flight mark and records one completed write:
+	// -kvEnter + 1 in two's complement.
+	kvExit = ^kvEnter + 2
+)
+
+// StableStripe reports whether a stripe word was read with no writer in
+// flight.  Only stable words may be recorded in a read set: an unstable
+// word names no definite write-state.
+func StableStripe(w uint64) bool { return w < kvEnter }
+
+// EnableKeyVersions switches on per-key version maintenance: every commit
+// brackets its Set with in-flight marks on the (striped) version words of
+// the keys it writes, which is what lets an optimistic multi-key
+// transaction (shard.Map.UpdateAtomicKeys) validate its reads at install
+// time against unfenced point writers.  hash maps a key onto the stripe
+// space (it is remixed internally, so the shard-routing hash is fine);
+// stripes is rounded up to a power of two, with a default sized off the
+// map's process count when <= 0.  Must be called before the map is shared;
+// maps that never host OCC transactions skip the call and pay one nil
+// check per commit.
+func (m *Map[K, V, A]) EnableKeyVersions(hash func(K) uint64, stripes int) {
+	if stripes <= 0 {
+		stripes = 128 * m.procs
+		if stripes < 256 {
+			stripes = 256
+		}
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	m.kvtab = make([]atomic.Uint64, n)
+	m.kvmask = uint64(n - 1)
+	m.kvhash = hash
+}
+
+// KeyVersionsEnabled reports whether EnableKeyVersions was called.
+func (m *Map[K, V, A]) KeyVersionsEnabled() bool { return m.kvtab != nil }
+
+// KeyStripe returns the version-table index key k is striped to.
+func (m *Map[K, V, A]) KeyStripe(k K) uint64 { return kvMix(m.kvhash(k)) & m.kvmask }
+
+// StripeWord loads stripe i's raw version word.  Record it in a read set
+// only when StableStripe(w); equality with a later load proves no writer
+// started a commit on the stripe in between.
+func (m *Map[K, V, A]) StripeWord(i uint64) uint64 { return m.kvtab[i].Load() }
+
+// StableStripeWord loads stripe i's word, yielding until no writer is in
+// flight on it; the wait is bounded by the bracketing commits' Set calls,
+// which contain no user code.
+func (m *Map[K, V, A]) StableStripeWord(i uint64) uint64 {
+	for {
+		if w := m.kvtab[i].Load(); StableStripe(w) {
+			return w
+		}
+		runtime.Gosched()
+	}
+}
+
+// kvNote records k's stripe in the transaction's touched list; past half
+// the table the per-key list stops paying and the commit degrades to a
+// wholesale bracket (kvAll).
+func (t *Txn[K, V, A]) kvNote(k K) {
+	m := t.m
+	if m == nil || m.kvtab == nil || t.kvAll {
+		return
+	}
+	if len(t.kstripes) >= len(m.kvtab)/2 {
+		t.kvAll = true
+		return
+	}
+	t.kstripes = append(t.kstripes, m.KeyStripe(k))
+}
+
+// kvWholesale marks the transaction as touching an unknown or table-scale
+// key set (SetRoot, very large batches): the commit brackets every stripe.
+func (t *Txn[K, V, A]) kvWholesale() {
+	if t.m != nil && t.m.kvtab != nil {
+		t.kvAll = true
+	}
+}
+
+// kvEnterTxn announces the transaction's written stripes as in-flight; it
+// must run before Set, and every path out of the commit must pair it with
+// kvExitTxn.  Duplicate stripes in the list are harmless (the brackets
+// nest).
+func (m *Map[K, V, A]) kvEnterTxn(tx *Txn[K, V, A]) {
+	if m.kvtab == nil {
+		return
+	}
+	if tx.kvAll {
+		for i := range m.kvtab {
+			m.kvtab[i].Add(kvEnter)
+		}
+		return
+	}
+	for _, s := range tx.kstripes {
+		m.kvtab[s].Add(kvEnter)
+	}
+}
+
+// kvExitTxn retires the in-flight marks and counts one completed write per
+// bracket.  It runs after Set whether or not the Set succeeded: a failed
+// attempt's spurious version tick can only cause a false abort, never a
+// false commit.
+func (m *Map[K, V, A]) kvExitTxn(tx *Txn[K, V, A]) {
+	if m.kvtab == nil {
+		return
+	}
+	if tx.kvAll {
+		for i := range m.kvtab {
+			m.kvtab[i].Add(kvExit)
+		}
+		return
+	}
+	for _, s := range tx.kstripes {
+		m.kvtab[s].Add(kvExit)
+	}
+}
+
+// kvMix is SplitMix64's finalizer: it decorrelates the stripe index from
+// the shard-routing hash (whose low bits are constant within one shard) so
+// sibling shards use their whole tables.
+func kvMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

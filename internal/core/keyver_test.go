@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"mvgc/internal/ftree"
+)
+
+func newKVMap(t *testing.T, procs, stripes int) *Map[int, int, struct{}] {
+	t.Helper()
+	ops := ftree.New[int, int, struct{}](ftree.IntCmp[int], ftree.NoAug[int, int](), 0)
+	m, err := NewMap(Config{Algorithm: "pswf", Procs: procs}, ops, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableKeyVersions(func(k int) uint64 { return uint64(k) }, stripes)
+	return m
+}
+
+// TestKeyVersionBumpPerCommit: every committed write moves its key's stripe
+// word by exactly one completed write and returns it stable, for stamped
+// and unstamped commits alike; untouched stripes never move.
+func TestKeyVersionBumpPerCommit(t *testing.T) {
+	m := newKVMap(t, 2, 64)
+	defer m.Close()
+	if !m.KeyVersionsEnabled() {
+		t.Fatal("KeyVersionsEnabled() = false after EnableKeyVersions")
+	}
+
+	k := 7
+	stripe := m.KeyStripe(k)
+	w0 := m.StripeWord(stripe)
+	if !StableStripe(w0) {
+		t.Fatalf("idle stripe unstable: %#x", w0)
+	}
+	m.Update(0, func(tx *Txn[int, int, struct{}]) { tx.Insert(k, 1) })
+	if w := m.StripeWord(stripe); w != w0+1 {
+		t.Fatalf("stamped commit moved stripe %#x -> %#x, want +1", w0, w)
+	}
+	m.UpdateUnstamped(0, func(tx *Txn[int, int, struct{}]) { tx.Insert(k, 2) })
+	if w := m.StripeWord(stripe); w != w0+2 {
+		t.Fatalf("unstamped commit moved stripe to %#x, want %#x", m.StripeWord(stripe), w0+2)
+	}
+	m.Update(0, func(tx *Txn[int, int, struct{}]) { tx.Delete(k) })
+	if w := m.StripeWord(stripe); w != w0+3 {
+		t.Fatalf("delete moved stripe to %#x, want %#x", w, w0+3)
+	}
+
+	// A pure read and a no-op write leave every stripe alone.
+	before := make([]uint64, 8)
+	for i := range before {
+		before[i] = m.StripeWord(uint64(i))
+	}
+	m.Read(0, func(s Snapshot[int, int, struct{}]) { s.Get(k) })
+	m.Update(0, func(tx *Txn[int, int, struct{}]) { tx.Delete(k) }) // absent: no-op commit
+	for i := range before {
+		if w := m.StripeWord(uint64(i)); w != before[i] {
+			t.Fatalf("stripe %d moved on a no-op (%#x -> %#x)", i, before[i], w)
+		}
+	}
+}
+
+// TestKeyVersionWholesale: a batch past half the table, and SetRoot, bump
+// every stripe (the conservative fallback for unknown/huge key sets), while
+// a small batch only bumps its keys' stripes.
+func TestKeyVersionWholesale(t *testing.T) {
+	m := newKVMap(t, 2, 64) // rounded to 64 stripes
+	defer m.Close()
+
+	// Small batch: only the touched stripes move.
+	small := []ftree.Entry[int, int]{{Key: 1, Val: 1}, {Key: 2, Val: 2}}
+	idle := m.KeyStripe(999)
+	if idle == m.KeyStripe(1) || idle == m.KeyStripe(2) {
+		t.Skip("stripe collision with probe key")
+	}
+	w0 := m.StripeWord(idle)
+	m.Update(0, func(tx *Txn[int, int, struct{}]) { tx.InsertBatch(small, nil) })
+	if w := m.StripeWord(idle); w != w0 {
+		t.Fatalf("small batch moved an untouched stripe (%#x -> %#x)", w0, w)
+	}
+
+	// Table-scale batch: every stripe moves (wholesale bracket).
+	big := make([]ftree.Entry[int, int], 64)
+	for i := range big {
+		big[i] = ftree.Entry[int, int]{Key: i + 100, Val: i}
+	}
+	m.Update(0, func(tx *Txn[int, int, struct{}]) { tx.InsertBatch(big, nil) })
+	if w := m.StripeWord(idle); w != w0+1 {
+		t.Fatalf("wholesale batch left stripe at %#x, want %#x", w, w0+1)
+	}
+}
+
+// TestKeyVersionStableUnderConcurrency: under concurrent committers every
+// stripe word returns to a stable state with completed-write counts
+// conserved (enters and exits balance exactly).
+func TestKeyVersionStableUnderConcurrency(t *testing.T) {
+	const procs = 4
+	m := newKVMap(t, procs, 64)
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	const per = 300
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for n := 0; n < per; n++ {
+				k := (pid*per + n) % 32
+				m.Update(pid, func(tx *Txn[int, int, struct{}]) { tx.Insert(k, n) })
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	var versions uint64
+	for i := uint64(0); i < 64; i++ {
+		w := m.StripeWord(i)
+		if !StableStripe(w) {
+			t.Fatalf("stripe %d still marked in-flight after quiescence: %#x", i, w)
+		}
+		versions += w
+	}
+	// Committed writes: one per Update (all succeed eventually); retries add
+	// extra version ticks, so the total must be at least the commit count.
+	if versions < procs*per {
+		t.Fatalf("completed-write count %d < committed writes %d", versions, procs*per)
+	}
+}
+
+// TestInstallAtomicValidated: the validation gate aborts without touching
+// roots or stamps, and the read-only form (no touched maps) validates
+// without the seqlock window.
+func TestInstallAtomicValidated(t *testing.T) {
+	m := newKVMap(t, 2, 64)
+	defer m.Close()
+	maps := []*Map[int, int, struct{}]{m}
+
+	committed := false
+	ok := InstallAtomicValidated(maps, []int{0}, func() bool { return false }, func() { committed = true })
+	if ok || committed {
+		t.Fatalf("failed validation must not install (ok=%v committed=%v)", ok, committed)
+	}
+	if seq := m.InstallSeq(); seq%2 != 0 {
+		t.Fatalf("seqlock left odd after aborted install: %d", seq)
+	}
+	if g := m.LatestStamp(); g != 0 {
+		t.Fatalf("aborted install published a stamp: %d", g)
+	}
+
+	ok = InstallAtomicValidated(maps, []int{0}, func() bool { return true }, func() {
+		m.UpdateUnstamped(0, func(tx *Txn[int, int, struct{}]) { tx.Insert(1, 1) })
+	})
+	if !ok {
+		t.Fatal("passing validation must install")
+	}
+	if g := m.LatestStamp(); g == 0 {
+		t.Fatal("validated install did not publish a stamp")
+	}
+
+	// Read-only: no seqlock movement, verdict is the validator's.
+	seq := m.InstallSeq()
+	if !InstallAtomicValidated(maps, nil, func() bool { return true }, nil) {
+		t.Fatal("read-only validation should pass")
+	}
+	if InstallAtomicValidated(maps, nil, func() bool { return false }, nil) {
+		t.Fatal("read-only validation should fail")
+	}
+	if m.InstallSeq() != seq {
+		t.Fatal("read-only validation moved the install seqlock")
+	}
+}

@@ -129,8 +129,32 @@ func UnlockWriterSlots[K, V, A any](maps []*Map[K, V, A], touched []int) {
 // must share their stamp source (Config.Stamp), or the "one global order"
 // the stamp promises would be fiction.
 func InstallAtomic[K, V, A any](maps []*Map[K, V, A], touched []int, commitAll func()) {
+	InstallAtomicValidated(maps, touched, nil, commitAll)
+}
+
+// InstallAtomicValidated is InstallAtomic with an optimistic-concurrency
+// gate: after the touched maps' install seqlocks go odd — so no consistent
+// reader can cut a snapshot mid-decision — validate runs, and only if it
+// returns true does the install proceed.  On false the seqlocks return even
+// with nothing published and the call reports failure, which is the abort
+// half of shard.Map.UpdateAtomicKeys' validate-at-install loop; validate
+// typically re-reads the key-version stripes (keyver.go) of the
+// transaction's read set.  A nil validate always installs.
+//
+// Validating once before the first install is sound because every write
+// path brackets its Set with the written keys' stripe words: a conflicting
+// write that lands after validation but before this transaction's roots are
+// visible moves the stripes, so any LATER optimistic reader of both states
+// fails its own validation, and fenced readers never see the window at all
+// (the seqlocks are odd throughout).  The transaction linearizes at the
+// validation read.
+//
+// A read-only transaction (touched empty) skips the seqlock protocol: its
+// validation alone proves all reads held simultaneously at the validation
+// point, which is its linearization.
+func InstallAtomicValidated[K, V, A any](maps []*Map[K, V, A], touched []int, validate func() bool, commitAll func()) bool {
 	if len(touched) == 0 {
-		return
+		return validate == nil || validate()
 	}
 	for _, i := range touched {
 		maps[i].BeginInstall()
@@ -146,9 +170,13 @@ func InstallAtomic[K, V, A any](maps []*Map[K, V, A], touched []int, commitAll f
 			maps[i].EndInstall()
 		}
 	}()
+	if validate != nil && !validate() {
+		return false
+	}
 	commitAll()
 	g := maps[touched[0]].stampSrc.Add(1)
 	for _, i := range touched {
 		maps[i].BumpStamp(g)
 	}
+	return true
 }

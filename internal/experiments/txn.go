@@ -41,10 +41,27 @@ func DefaultTxn() TxnConfig {
 	}
 }
 
+// txnMode selects the commit path a transfer cell measures.
+type txnMode int
+
+const (
+	// txnPerShard commits shard by shard (plain Update): fastest, torn
+	// under concurrent consistent views.
+	txnPerShard txnMode = iota
+	// txnAtomicMode commits all touched shards under one GSN
+	// (UpdateAtomic) with commutative InsertWith deltas.
+	txnAtomicMode
+	// txnOCCMode is the validated multi-key CAS (UpdateAtomicKeys): read
+	// the balances, write absolute values, and let install-time read
+	// validation abort and retry on conflict — the price of serializability
+	// against unfenced point writers.
+	txnOCCMode
+)
+
 // runTxnCell measures transfer throughput (million transactions per second)
-// in one commit mode: UpdateAtomic (one GSN per transaction) or the plain
-// per-shard Update.
-func runTxnCell(cfg TxnConfig, atomicCommit bool) float64 {
+// in one commit mode: UpdateAtomicKeys (validated OCC), UpdateAtomic (one
+// GSN per transaction) or the plain per-shard Update.
+func runTxnCell(cfg TxnConfig, mode txnMode) float64 {
 	initial := make([]ftree.Entry[uint64, int64], cfg.Accounts)
 	for i := range initial {
 		initial[i] = ftree.Entry[uint64, int64]{Key: uint64(i), Val: 1000}
@@ -74,23 +91,43 @@ func runTxnCell(cfg TxnConfig, atomicCommit bool) float64 {
 					}
 				}
 			}
-			// The realistic transfer shape: read the source balance, then
-			// commit commutative deltas (InsertWith re-evaluates against the
-			// committed value, so concurrent transfers never lose updates).
-			transfer := func(t *shard.Txn[uint64, int64, struct{}]) {
-				amt := int64(len(keys) - 1)
-				if bal, _ := t.Get(keys[0]); bal < amt {
-					return // overdrawn: commit nothing
+			switch mode {
+			case txnOCCMode:
+				// The CAS transfer shape: read every balance, write absolute
+				// new balances.  Correctness rests entirely on the read set
+				// validating at install — exactly what the cell prices.
+				sm.UpdateAtomicKeys(keys, func(t *shard.Txn[uint64, int64, struct{}]) {
+					amt := int64(len(keys) - 1)
+					bal, _ := t.Get(keys[0])
+					if bal < amt {
+						return // overdrawn: commit nothing
+					}
+					t.Insert(keys[0], bal-amt)
+					for _, k := range keys[1:] {
+						b, _ := t.Get(k)
+						t.Insert(k, b+1)
+					}
+				})
+			default:
+				// The delta transfer shape: read the source balance, then
+				// commit commutative deltas (InsertWith re-evaluates against
+				// the committed value, so concurrent transfers never lose
+				// updates).
+				transfer := func(t *shard.Txn[uint64, int64, struct{}]) {
+					amt := int64(len(keys) - 1)
+					if bal, _ := t.Get(keys[0]); bal < amt {
+						return // overdrawn: commit nothing
+					}
+					t.InsertWith(keys[0], -amt, add)
+					for _, k := range keys[1:] {
+						t.InsertWith(k, 1, add)
+					}
 				}
-				t.InsertWith(keys[0], -amt, add)
-				for _, k := range keys[1:] {
-					t.InsertWith(k, 1, add)
+				if mode == txnAtomicMode {
+					sm.UpdateAtomic(transfer)
+				} else {
+					sm.Update(transfer)
 				}
-			}
-			if atomicCommit {
-				sm.UpdateAtomic(transfer)
-			} else {
-				sm.Update(transfer)
 			}
 			c.Add(1)
 		}
@@ -102,24 +139,25 @@ func runTxnCell(cfg TxnConfig, atomicCommit bool) float64 {
 	return r.Mops()
 }
 
-// RunTxn measures the transfer workload in both commit modes and returns
-// BENCH_ycsb/v1 cells (structure "ours-sharded", workloads "txn-atomic"
-// and "txn-pershard") so cmd/benchdiff gates the atomic commit path's
-// throughput like every other cell.
+// RunTxn measures the transfer workload in all three commit modes and
+// returns BENCH_ycsb/v1 cells (structure "ours-sharded", workloads
+// "txn-atomic", "txn-pershard" and "txn-occ") so cmd/benchdiff gates the
+// atomic and validated commit paths' throughput like every other cell.
 func RunTxn(cfg TxnConfig, w io.Writer) []bench.YCSBRecord {
 	t := bench.NewTable(fmt.Sprintf("Transfers: %d-key cross-shard txns (Mtxn/s), %d threads, %d accounts, %d shards",
 		cfg.KeysPerTxn, cfg.Threads, cfg.Accounts, cfg.Shards), "commit mode", "Mtxn/s")
 	var records []bench.YCSBRecord
-	for _, mode := range []struct {
+	for _, m := range []struct {
 		workload string
-		atomic   bool
+		mode     txnMode
 	}{
-		{"txn-atomic", true},
-		{"txn-pershard", false},
+		{"txn-atomic", txnAtomicMode},
+		{"txn-pershard", txnPerShard},
+		{"txn-occ", txnOCCMode},
 	} {
-		mops := runTxnCell(cfg, mode.atomic)
-		records = append(records, bench.YCSBRecord{Structure: "ours-sharded", Workload: mode.workload, Mops: mops})
-		t.AddRow(mode.workload, bench.F2(mops))
+		mops := runTxnCell(cfg, m.mode)
+		records = append(records, bench.YCSBRecord{Structure: "ours-sharded", Workload: m.workload, Mops: mops})
+		t.AddRow(m.workload, bench.F2(mops))
 	}
 	t.Fprint(w)
 	return records

@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mvgc/internal/core"
+	"mvgc/internal/ftree"
+)
+
+// TestOCCUnfencedWriterInvariant is the headline guarantee under -race:
+// UpdateAtomicKeys transfers use blind read-compute-write (absolute values,
+// no commutative deltas), while unfenced plain point writers hammer the
+// same keys with increments that never take a writer slot.  Without
+// install-time read validation a transfer that read key k before a hammer
+// commit and installed after it would overwrite the increment, and the
+// account sum would drift — which is exactly how this test fails on the
+// pre-OCC code if the validation gate is bypassed.  With validation the
+// final sum must equal the initial sum plus the hammerers' recorded net.
+func TestOCCUnfencedWriterInvariant(t *testing.T) {
+	const (
+		accounts = 64
+		initBal  = int64(1 << 20) // deep enough that transfers never bottom out
+	)
+	transfersPerThread := 400
+	hammersPerThread := 1200
+	if testing.Short() {
+		transfersPerThread, hammersPerThread = 120, 360
+	}
+	threads := runtime.GOMAXPROCS(0)
+	if threads < 2 {
+		threads = 2
+	}
+
+	initial := make([]ftree.Entry[int64, int64], accounts)
+	for i := range initial {
+		initial[i] = ftree.Entry[int64, int64]{Key: int64(i), Val: initBal}
+	}
+	m := newSharded(t, "pswf", 4, threads+2, initial)
+	defer m.Close()
+
+	var hammerNet atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(seed int64) { // transfer threads: validated multi-key CAS
+			defer wg.Done()
+			rng := seed
+			next := func() int64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng }
+			for n := 0; n < transfersPerThread; n++ {
+				a := next() % accounts
+				if a < 0 {
+					a = -a
+				}
+				b := (a + 1 + (next()&0xff)%(accounts-1)) % accounts
+				m.UpdateAtomicKeys([]int64{a, b}, func(tx *Txn[int64, int64, int64]) {
+					// Blind CAS shape: absolute rewrites computed from the
+					// validated reads.  Any stale read that committed would
+					// erase a hammer increment.
+					av, _ := tx.Get(a)
+					bv, _ := tx.Get(b)
+					// Arbitrary user work between read and write is legal and
+					// widens the conflict window; the guarantee must hold
+					// regardless (without install-time validation this yield
+					// makes the sum drift within a few hundred transfers).
+					runtime.Gosched()
+					tx.Insert(a, av-1)
+					tx.Insert(b, bv+1)
+				})
+			}
+		}(int64(w)*7919 + 1)
+		wg.Add(1)
+		go func(seed int64) { // unfenced hammer threads: plain point updates
+			defer wg.Done()
+			rng := seed
+			next := func() int64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng }
+			for n := 0; n < hammersPerThread; n++ {
+				k := next() % accounts
+				if k < 0 {
+					k = -k
+				}
+				// Single-key read-modify-write: atomic on its own (core
+				// re-runs the callback on conflict), takes no writer slot.
+				m.shards[m.ShardFor(k)].WithCached(func(h *coreHandle) {
+					h.Update(func(tx *coreTxn) {
+						v, _ := tx.Get(k)
+						tx.Insert(k, v+3)
+					})
+				})
+				hammerNet.Add(3)
+			}
+		}(int64(w)*104729 + 13)
+	}
+	wg.Wait()
+
+	var sum int64
+	m.ViewConsistent(func(s Snap[int64, int64, int64]) {
+		s.ForEach(func(_ int64, v int64) { sum += v })
+	})
+	want := int64(accounts)*initBal + hammerNet.Load()
+	if sum != want {
+		t.Fatalf("sum invariant broken: got %d, want %d (drift %d): an invalidated read committed",
+			sum, want, sum-want)
+	}
+	t.Logf("occ aborts under hammering: %d (threads=%d)", m.OCCAborts(), threads)
+}
+
+// TestOCCDeterministicAbort parks an UpdateAtomicKeys transaction between
+// its read and its install, lands an unfenced point write on the read key,
+// and releases it: install-time validation must abort the first attempt,
+// re-run the callback against the new value, and commit the second — the
+// retry loop and abort counter observed deterministically rather than
+// hoping a stress race fires.
+func TestOCCDeterministicAbort(t *testing.T) {
+	initial := []ftree.Entry[int64, int64]{}
+	for i := int64(0); i < 32; i++ {
+		initial = append(initial, ftree.Entry[int64, int64]{Key: i, Val: 100})
+	}
+	m := newSharded(t, "pswf", 2, 4, initial)
+	defer m.Close()
+
+	const k = int64(7)
+	read, hammered := make(chan struct{}), make(chan struct{})
+	runs := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.UpdateAtomicKeys([]int64{k}, func(tx *Txn[int64, int64, int64]) {
+			runs++
+			v, _ := tx.Get(k)
+			if runs == 1 {
+				close(read) // first attempt: hold the stale read …
+				<-hammered  // … until the point writer has committed
+			}
+			tx.Insert(k, v+1)
+		})
+	}()
+	<-read
+	m.Insert(k, 777) // unfenced: plain point write, no slot taken
+	close(hammered)
+	<-done
+
+	if runs != 2 {
+		t.Fatalf("callback ran %d times, want 2 (abort must re-run f)", runs)
+	}
+	if got := m.OCCAborts(); got != 1 {
+		t.Fatalf("OCCAborts() = %d, want exactly 1", got)
+	}
+	if v, _ := m.Get(k); v != 778 {
+		t.Fatalf("final value %d, want 778 (second attempt must read the hammered 777)", v)
+	}
+}
+
+// TestOCCValidatesReadsOutsideFootprint declares a write-only footprint and
+// reads a key on a DIFFERENT shard inside the transaction: the read is
+// outside every held writer slot, so only stripe validation protects it.
+// The parked-write pattern proves it does.
+func TestOCCValidatesReadsOutsideFootprint(t *testing.T) {
+	initial := []ftree.Entry[int64, int64]{}
+	for i := int64(0); i < 64; i++ {
+		initial = append(initial, ftree.Entry[int64, int64]{Key: i, Val: int64(i)})
+	}
+	m := newSharded(t, "pswf", 4, 4, initial)
+	defer m.Close()
+
+	// Pick src on a different shard than dst so the read is unfenced.
+	dst := int64(1)
+	src := int64(-1)
+	for i := int64(2); i < 64; i++ {
+		if m.ShardFor(i) != m.ShardFor(dst) {
+			src = i
+			break
+		}
+	}
+	if src < 0 {
+		t.Skip("hash put 64 keys on one shard")
+	}
+
+	read, hammered := make(chan struct{}), make(chan struct{})
+	runs := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.UpdateAtomicKeys([]int64{dst}, func(tx *Txn[int64, int64, int64]) {
+			runs++
+			v, _ := tx.Get(src) // cross-shard read, not in the footprint
+			if runs == 1 {
+				close(read)
+				<-hammered
+			}
+			tx.Insert(dst, v*10)
+		})
+	}()
+	<-read
+	m.Insert(src, 5000)
+	close(hammered)
+	<-done
+
+	if runs != 2 {
+		t.Fatalf("callback ran %d times, want 2", runs)
+	}
+	if v, _ := m.Get(dst); v != 50000 {
+		t.Fatalf("dst = %d, want 50000 (derived from the post-hammer read)", v)
+	}
+}
+
+// TestOCCReadOnlyTxn covers the no-write path: validation alone (no install
+// window) must still terminate and report a mutually consistent read set.
+func TestOCCReadOnlyTxn(t *testing.T) {
+	initial := []ftree.Entry[int64, int64]{{Key: 1, Val: 10}, {Key: 2, Val: 20}}
+	m := newSharded(t, "pswf", 2, 3, initial)
+	defer m.Close()
+
+	var a, b int64
+	m.UpdateAtomicKeys([]int64{1, 2}, func(tx *Txn[int64, int64, int64]) {
+		a, _ = tx.Get(1)
+		b, _ = tx.Get(2)
+	})
+	if a != 10 || b != 20 {
+		t.Fatalf("read-only txn got (%d, %d), want (10, 20)", a, b)
+	}
+}
+
+// coreHandle / coreTxn shorten the hammer path's types.
+type coreHandle = core.Handle[int64, int64, int64]
+type coreTxn = core.Txn[int64, int64, int64]

@@ -28,7 +28,13 @@
 //     (latest-GSN, install-seq) vector around pinning, retrying until the
 //     seqlock vector is stable (stamps collected before the pins bound the
 //     cut either way) and falling back to briefly fencing the writer
-//     slots.  See the GSN protocol notes in core/stamp.go and DESIGN.md.
+//     slots.  UpdateAtomicKeys adds optimistic read validation on top:
+//     every authoritative read inside the transaction is sampled against
+//     per-key version stripes (core/keyver.go) and revalidated at install
+//     time, so a committed transaction is a true multi-key
+//     compare-and-swap, serializable against all writers — including plain
+//     point updates that never take the writer slot.  See the GSN protocol
+//     and OCC notes in core/stamp.go, core/keyver.go and DESIGN.md.
 //
 // Operations whose keys live on one shard (point reads, per-key updates, a
 // Range that happens to hash into one shard) keep the paper's full
@@ -100,6 +106,10 @@ type Map[K, V, A any] struct {
 	// attempts and fence fallbacks, for tests and tuning.
 	snapRetries atomic.Int64
 	fenced      atomic.Int64
+	// occAborts counts UpdateAtomicKeys transactions aborted and retried
+	// because install-time validation found a read key's version stripe
+	// moved (an unfenced writer hit the read set).
+	occAborts atomic.Int64
 }
 
 // New builds a sharded map.  mkOps must return a fresh ftree.Ops per call:
@@ -126,6 +136,10 @@ func New[K, V, A any](cfg Config[K], mkOps func() *ftree.Ops[K, V, A], initial [
 			}
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
+		// Every shard maintains per-key version stripes so UpdateAtomicKeys
+		// can validate its reads against unfenced point writers; the shard
+		// hash doubles as the stripe hash (core remixes it).
+		s.EnableKeyVersions(cfg.Hash, 0)
 		m.shards = append(m.shards, s)
 	}
 	return m, nil
@@ -496,10 +510,18 @@ func (s Snap[K, V, A]) mergeRange(lo, hi K, f func(K, V)) {
 // one GSN) replays each shard's intents in order.  Reads see the
 // transaction's own buffered writes first — including deletes, so a
 // get-after-delete inside the transaction reports absence — then the
-// shard's current committed version.
+// shard's current committed version.  Under UpdateAtomicKeys every
+// authoritative read is additionally sampled into a read set that the
+// install phase validates (and aborts on) against concurrent point writers.
 type Txn[K, V, A any] struct {
 	m       *Map[K, V, A]
 	intents [][]intent[K, V]
+
+	// occ marks an UpdateAtomicKeys transaction: authoritative reads go
+	// through the stable-read protocol and land in reads, the read set the
+	// install phase validates (and aborts on) against unfenced writers.
+	occ   bool
+	reads []readSample
 }
 
 type intent[K, V any] struct {
@@ -507,6 +529,16 @@ type intent[K, V any] struct {
 	key  K
 	val  V
 	comb func(old, new V) V // non-nil: combine with the value below (InsertWith)
+}
+
+// readSample records one validated optimistic read: the key's version
+// stripe on its shard and the stable word observed there when the value was
+// read.  Validation re-loads the stripe and requires the identical word —
+// which proves no writer so much as started a commit on the stripe since.
+type readSample struct {
+	shard  int
+	stripe uint64
+	word   uint64
 }
 
 // Insert buffers an insert-or-replace of (k, v).
@@ -575,6 +607,8 @@ func (t *Txn[K, V, A]) Get(k K) (V, bool) {
 		// absent below the combs
 	case base >= 0:
 		v, ok = list[base].val, true
+	case t.occ:
+		v, ok = t.readTracked(i, k)
 	default:
 		v, ok = t.m.Get(k)
 	}
@@ -587,6 +621,42 @@ func (t *Txn[K, V, A]) Get(k K) (V, bool) {
 		}
 	}
 	return v, ok
+}
+
+// readTracked is the optimistic stable read: load k's version stripe (a
+// stable word, yielding past in-flight writers), read the value, and accept
+// only if the stripe did not move — so the recorded word names exactly the
+// write-state the value came from.  The (shard, stripe, word) sample joins
+// the transaction's read set for install-time validation.
+func (t *Txn[K, V, A]) readTracked(i int, k K) (V, bool) {
+	s := t.m.shards[i]
+	stripe := s.KeyStripe(k)
+	var v V
+	var ok bool
+	for {
+		w := s.StableStripeWord(stripe)
+		s.WithCached(func(h *core.Handle[K, V, A]) {
+			h.Read(func(sn core.Snapshot[K, V, A]) { v, ok = sn.Get(k) })
+		})
+		if s.StripeWord(stripe) == w {
+			t.reads = append(t.reads, readSample{shard: i, stripe: stripe, word: w})
+			return v, ok
+		}
+		runtime.Gosched()
+	}
+}
+
+// validateReads re-loads every read sample's stripe and reports whether all
+// still hold their recorded words.  Equality means no writer entered the
+// stripe since the read — every sampled value is still current — so the
+// caller may treat "now" as the moment all its reads happened at once.
+func (m *Map[K, V, A]) validateReads(reads []readSample) bool {
+	for _, r := range reads {
+		if m.shards[r.shard].StripeWord(r.stripe) != r.word {
+			return false
+		}
+	}
+	return true
 }
 
 // replay applies a shard's buffered intents, in order, to a core write
@@ -661,19 +731,29 @@ func (m *Map[K, V, A]) UpdateAtomic(f func(t *Txn[K, V, A])) {
 	// see core.InstallAtomic) cannot wedge the fence.
 	core.LockWriterSlots(m.shards, touched)
 	defer core.UnlockWriterSlots(m.shards, touched)
-	m.installLocked(touched, t.intents)
+	m.installLocked(touched, t.intents, nil)
 }
 
 // UpdateAtomicKeys runs an atomic cross-shard transaction whose key
-// footprint is declared up front: the writer slots of every key's shard are
-// acquired BEFORE f runs, so reads inside f (Txn.Get) are stable with
-// respect to every fence-respecting writer — other atomic transactions and
-// the batch combiners — which is what a multi-key compare-and-swap needs to
-// validate and write in one atomic step.  (Plain point writers do not take
-// the slot and can still interleave; route contended keys through atomic
-// transactions or combiners if f's reads must be authoritative.)  f may
-// write only keys whose shards are covered by keys; a write outside the
-// declared footprint panics before anything is installed.
+// footprint is declared up front, with full optimistic-concurrency
+// validation: reads inside f (Txn.Get) are sampled against per-key version
+// stripes, and at install time — after the touched shards' install
+// seqlocks go odd — every sampled stripe is revalidated; on any mismatch
+// nothing is installed and the whole transaction retries (f runs again
+// against the new state).  A committed transaction is therefore a true
+// multi-key compare-and-swap, serializable against ALL writers: other
+// atomic transactions and the batch combiners are excluded by the writer
+// slots (acquired before f runs, so they cannot move the read set at all),
+// and unfenced plain point writers are caught by validation.  f may run
+// several times and must be a pure function of its reads; it may READ any
+// key on any shard (all reads are validated), but may WRITE only keys
+// whose shards are covered by the declared footprint — a write outside it
+// panics before anything is installed.
+//
+// Progress is optimistic: each abort implies a conflicting point write
+// committed on a read key's stripe, so the system as a whole advances, but
+// a transaction hammered by unfenced writers on its own read set retries
+// unboundedly (OCCAborts counts these).
 func (m *Map[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *Txn[K, V, A])) {
 	locked := make([]bool, len(m.shards))
 	touched := make([]int, 0, len(keys))
@@ -686,22 +766,43 @@ func (m *Map[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *Txn[K, V, A])) {
 	sort.Ints(touched)
 	core.LockWriterSlots(m.shards, touched)
 	defer core.UnlockWriterSlots(m.shards, touched)
-	t := &Txn[K, V, A]{m: m, intents: make([][]intent[K, V], len(m.shards))}
-	f(t)
-	for i, list := range t.intents {
-		if len(list) > 0 && !locked[i] {
-			panic(fmt.Sprintf("shard: UpdateAtomicKeys wrote shard %d outside the declared key footprint", i))
+	// One Txn serves every attempt: an abort storm (sustained unfenced
+	// writes on the read set) retries with the buffers reset in place, so
+	// retries cost no allocation beyond what f itself does.
+	t := &Txn[K, V, A]{m: m, intents: make([][]intent[K, V], len(m.shards)), occ: true}
+	for {
+		for i := range t.intents {
+			t.intents[i] = t.intents[i][:0]
 		}
+		t.reads = t.reads[:0]
+		f(t)
+		for i, list := range t.intents {
+			if len(list) > 0 && !locked[i] {
+				panic(fmt.Sprintf("shard: UpdateAtomicKeys wrote shard %d outside the declared key footprint", i))
+			}
+		}
+		if m.installLocked(t.touched(), t.intents, func() bool { return m.validateReads(t.reads) }) {
+			return
+		}
+		m.occAborts.Add(1)
+		runtime.Gosched()
 	}
-	m.installLocked(t.touched(), t.intents)
 }
+
+// OCCAborts reports how many UpdateAtomicKeys attempts were aborted by
+// install-time read validation (each implies an unfenced point writer
+// committed on the transaction's read set) since the map was created.
+func (m *Map[K, V, A]) OCCAborts() int64 { return m.occAborts.Load() }
 
 // installLocked is the install phase shared by UpdateAtomic and
 // UpdateAtomicKeys: with the touched shards' writer slots held,
-// core.InstallAtomic brackets the per-shard installs with the seqlocks and
-// publishes one freshly allocated GSN on every touched shard.
-func (m *Map[K, V, A]) installLocked(touched []int, intents [][]intent[K, V]) {
-	core.InstallAtomic(m.shards, touched, func() {
+// core.InstallAtomicValidated brackets the per-shard installs with the
+// seqlocks, runs the validation gate (nil for UpdateAtomic, the read-set
+// check for UpdateAtomicKeys) while they are odd, and on success publishes
+// one freshly allocated GSN on every touched shard.  It reports whether the
+// transaction installed.
+func (m *Map[K, V, A]) installLocked(touched []int, intents [][]intent[K, V], validate func() bool) bool {
+	return core.InstallAtomicValidated(m.shards, touched, validate, func() {
 		for _, i := range touched {
 			list := intents[i]
 			m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
