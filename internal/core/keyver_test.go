@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"mvgc/internal/ftree"
 )
@@ -80,14 +81,44 @@ func TestKeyVersionWholesale(t *testing.T) {
 		t.Fatalf("small batch moved an untouched stripe (%#x -> %#x)", w0, w)
 	}
 
-	// Table-scale batch: every stripe moves (wholesale bracket).
-	big := make([]ftree.Entry[int, int], 64)
+	// Table-scale batch: every stripe moves (wholesale bracket).  256
+	// distinct keys over 64 stripes, so the unique-stripe count is well
+	// past the half-table threshold whatever the hash does.
+	big := make([]ftree.Entry[int, int], 256)
 	for i := range big {
 		big[i] = ftree.Entry[int, int]{Key: i + 100, Val: i}
 	}
 	m.Update(0, func(tx *Txn[int, int, struct{}]) { tx.InsertBatch(big, nil) })
 	if w := m.StripeWord(idle); w != w0+1 {
 		t.Fatalf("wholesale batch left stripe at %#x, want %#x", w, w0+1)
+	}
+}
+
+// TestKeyVersionDuplicateWritesStayPerKey: the wholesale-degrade threshold
+// counts unique stripes, not write calls — a transaction rewriting one key
+// hundreds of times must keep its per-key bracket instead of flipping to a
+// whole-table bracket that would stall every optimistic reader on the map.
+func TestKeyVersionDuplicateWritesStayPerKey(t *testing.T) {
+	m := newKVMap(t, 2, 64)
+	defer m.Close()
+	idle := m.KeyStripe(999)
+	if idle == m.KeyStripe(1) {
+		t.Skip("stripe collision with probe key")
+	}
+	w0 := m.StripeWord(idle)
+	m.Update(0, func(tx *Txn[int, int, struct{}]) {
+		for n := 0; n < 200; n++ { // 200 notes, one unique stripe
+			tx.Insert(1, n)
+		}
+	})
+	if w := m.StripeWord(idle); w != w0 {
+		t.Fatalf("duplicate-key transaction degraded to a wholesale bracket (%#x -> %#x)", w0, w)
+	}
+	// The written stripe may tick more than once (surviving duplicates
+	// each count a completed write — harmless, false-abort fodder only)
+	// but must return stable and moved.
+	if w := m.StripeWord(m.KeyStripe(1)); !StableStripe(w) || w == 0 {
+		t.Fatalf("written key's stripe %#x, want stable and moved", w)
 	}
 }
 
@@ -125,6 +156,78 @@ func TestKeyVersionStableUnderConcurrency(t *testing.T) {
 	// extra version ticks, so the total must be at least the commit count.
 	if versions < procs*per {
 		t.Fatalf("completed-write count %d < committed writes %d", versions, procs*per)
+	}
+}
+
+// TestStripeLockStallsUnfencedWriter: a plain commit whose key hashes to an
+// install-locked stripe must not become visible until the lock clears —
+// the write-lock half of the OCC install — while a transaction declaring
+// HoldsStripeLocks (the installer's own replay) passes immediately.  After
+// the unlock the stalled writer's commit lands on the installed state, so
+// its value wins (it serializes after the install).
+func TestStripeLockStallsUnfencedWriter(t *testing.T) {
+	m := newKVMap(t, 2, 64)
+	defer m.Close()
+	k := 5
+	stripe := m.KeyStripe(k)
+	m.Update(0, func(tx *Txn[int, int, struct{}]) { tx.Insert(k, 1) })
+
+	m.LockStripes([]uint64{stripe})
+	if w := m.StripeWord(stripe); StableStripe(w) {
+		t.Fatalf("locked stripe reads stable: %#x", w)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Update(1, func(tx *Txn[int, int, struct{}]) { tx.Insert(k, 2) })
+	}()
+	select {
+	case <-done:
+		t.Fatal("unfenced commit crossed an install-locked stripe")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	// The lock holder's own install passes through and stays invisible to
+	// the stalled writer until the unlock.
+	m.UpdateUnstamped(0, func(tx *Txn[int, int, struct{}]) {
+		tx.HoldsStripeLocks()
+		tx.Insert(k, 3)
+	})
+	m.UnlockStripes([]uint64{stripe})
+	<-done
+
+	var v int
+	m.Read(0, func(s Snapshot[int, int, struct{}]) { v, _ = s.Get(k) })
+	if v != 2 {
+		t.Fatalf("k = %d after unlock, want 2 (stalled writer must land on the installed state)", v)
+	}
+	if w := m.StripeWord(stripe); !StableStripe(w) {
+		t.Fatalf("stripe still unstable after unlock and drain: %#x", w)
+	}
+}
+
+// TestStripeLockBlocksStableRead: StableStripeWord must wait out an install
+// lock (an optimistic reader must not sample a stripe whose keys are
+// mid-install), and duplicate stripe indices in Lock/UnlockStripes are
+// idempotent, leaving the completed-write count untouched.
+func TestStripeLockBlocksStableRead(t *testing.T) {
+	m := newKVMap(t, 2, 64)
+	defer m.Close()
+	stripe := m.KeyStripe(9)
+	w0 := m.StripeWord(stripe)
+
+	m.LockStripes([]uint64{stripe, stripe}) // duplicates are idempotent
+	got := make(chan uint64, 1)
+	go func() { got <- m.StableStripeWord(stripe) }()
+	select {
+	case w := <-got:
+		t.Fatalf("stable read %#x crossed an install lock", w)
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.UnlockStripes([]uint64{stripe, stripe})
+	if w := <-got; w != w0 {
+		t.Fatalf("lock/unlock changed the stripe word: %#x -> %#x", w0, w)
 	}
 }
 

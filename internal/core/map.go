@@ -256,11 +256,22 @@ type Txn[K, V, A any] struct {
 	// Written-key version stripes (see keyver.go): kstripes lists the
 	// stripes this transaction's commit must bracket, kvAll degrades to a
 	// wholesale bracket when the key set is table-scale or unknown
-	// (SetRoot).  The slice's backing array is pid-local and reused, so
-	// noting allocates nothing warm.
+	// (SetRoot), and kvOwned (HoldsStripeLocks) exempts the commit bracket
+	// from the install-lock stall.  The slice's backing array is pid-local
+	// and reused, so noting allocates nothing warm.
 	kstripes []uint64
 	kvAll    bool
+	kvOwned  bool
+	kvDedup  int // next kstripes length worth deduplicating at (see kvNote)
 }
+
+// HoldsStripeLocks declares that this transaction runs inside an install
+// whose caller holds install locks (Map.LockStripes) covering every stripe
+// the transaction writes: the commit bracket skips the install-lock stall,
+// which would otherwise deadlock on the caller's own locks.  The pid-local
+// Txn struct is reset between transactions, so set the flag inside the
+// transaction callback on every run.
+func (t *Txn[K, V, A]) HoldsStripeLocks() { t.kvOwned = true }
 
 // apply installs a new intermediate root, collecting the previous one if
 // this transaction owned it.

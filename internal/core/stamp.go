@@ -141,17 +141,28 @@ func InstallAtomic[K, V, A any](maps []*Map[K, V, A], touched []int, commitAll f
 // typically re-reads the key-version stripes (keyver.go) of the
 // transaction's read set.  A nil validate always installs.
 //
-// Validating once before the first install is sound because every write
-// path brackets its Set with the written keys' stripe words: a conflicting
-// write that lands after validation but before this transaction's roots are
-// visible moves the stripes, so any LATER optimistic reader of both states
-// fails its own validation, and fenced readers never see the window at all
-// (the seqlocks are odd throughout).  The transaction linearizes at the
-// validation read.
+// Validation alone does NOT make the install atomic: between validate
+// returning true and commitAll's Sets becoming visible, an unfenced point
+// writer could commit on a key this transaction writes, and the installed
+// roots — absolute values computed from the validated reads — would
+// silently erase it (a lost update admitted by no serial order).  A
+// validating caller must therefore hold install locks (Map.LockStripes) on
+// every stripe its commitAll writes, taken BEFORE validate runs and
+// released only after this call returns: the locks stall unfenced writers'
+// commit brackets off the write set for the whole validate-to-install
+// window, and — because locking precedes validation — two concurrent
+// installers that read each other's write sets cannot both pass validation
+// (one of them must observe the other's lock, which validation treats as a
+// conflict), which forecloses write skew.  commitAll's own transactions
+// declare Txn.HoldsStripeLocks so they pass their own locks.  With the
+// locks held the transaction linearizes at its validation read: reads of
+// unwritten stripes stay current-or-aborted by the stripe-word compare, and
+// writes cannot be disturbed or disturb until published.
+// shard.Map.installLocked is the reference caller of this protocol.
 //
-// A read-only transaction (touched empty) skips the seqlock protocol: its
-// validation alone proves all reads held simultaneously at the validation
-// point, which is its linearization.
+// A read-only transaction (touched empty) skips the seqlock protocol and
+// needs no locks: its validation alone proves all reads held simultaneously
+// at the validation point, which is its linearization.
 func InstallAtomicValidated[K, V, A any](maps []*Map[K, V, A], touched []int, validate func() bool, commitAll func()) bool {
 	if len(touched) == 0 {
 		return validate == nil || validate()

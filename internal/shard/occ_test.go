@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"mvgc/internal/core"
 	"mvgc/internal/ftree"
@@ -220,6 +221,108 @@ func TestOCCReadOnlyTxn(t *testing.T) {
 	})
 	if a != 10 || b != 20 {
 		t.Fatalf("read-only txn got (%d, %d), want (10, 20)", a, b)
+	}
+}
+
+// TestOCCInstallWindowLostUpdate lands an unfenced point increment
+// deterministically inside the validate-to-install window — after the
+// transaction's read-set validation has passed, before any shard's root is
+// published — via the testPostValidate hook.  This is the window validation
+// alone cannot cover: without the write-set install locks the increment
+// commits mid-window and the install's absolute value silently erases it
+// (final 200, a lost update).  With the locks the increment must stall
+// until the install publishes and then land on top of it (final 205),
+// whichever side of the window the scheduler puts it on.
+func TestOCCInstallWindowLostUpdate(t *testing.T) {
+	const k = int64(3)
+	m := newSharded(t, "pswf", 2, 4, []ftree.Entry[int64, int64]{{Key: k, Val: 100}})
+	defer m.Close()
+
+	var hammer sync.WaitGroup
+	fired := false
+	m.testPostValidate = func() {
+		if fired { // only the first attempt's window hosts the race
+			return
+		}
+		fired = true
+		hammer.Add(1)
+		go func() {
+			defer hammer.Done()
+			// Unfenced single-key read-modify-write: no writer slot, atomic
+			// on its own (core re-runs the callback on root conflict).
+			m.shards[m.ShardFor(k)].WithCached(func(h *coreHandle) {
+				h.Update(func(tx *coreTxn) {
+					v, _ := tx.Get(k)
+					tx.Insert(k, v+5)
+				})
+			})
+		}()
+		// Park inside the window long enough for the increment to either
+		// commit (the pre-lock bug) or reach the install-lock stall (the
+		// guarantee under test).
+		time.Sleep(2 * time.Millisecond)
+	}
+	m.UpdateAtomicKeys([]int64{k}, func(tx *Txn[int64, int64, int64]) {
+		v, _ := tx.Get(k)
+		tx.Insert(k, v*2)
+	})
+	m.testPostValidate = nil
+	hammer.Wait()
+
+	if v, _ := m.Get(k); v != 205 {
+		t.Fatalf("k = %d, want 205 (100*2+5): an unfenced write in the validate-to-install window was lost", v)
+	}
+}
+
+// TestOCCWriteSkew: two transactions with disjoint single-shard footprints
+// each read BOTH keys and conditionally write only their own — the classic
+// write-skew shape, invisible to any per-key check.  Lock-before-validate
+// makes it impossible: each locks its write stripe before validating its
+// read of the other's key, so when the windows overlap at least one sees
+// the other's lock (or its completed write) and aborts.  The on-call
+// invariant a+b >= 1 must hold after every round.
+func TestOCCWriteSkew(t *testing.T) {
+	m := newSharded(t, "pswf", 4, 4, nil)
+	defer m.Close()
+	a, b := int64(0), int64(-1)
+	for i := int64(1); i < 64; i++ {
+		if m.ShardFor(i) != m.ShardFor(a) {
+			b = i
+			break
+		}
+	}
+	if b < 0 {
+		t.Skip("hash put 64 keys on one shard")
+	}
+
+	rounds := 400
+	if testing.Short() {
+		rounds = 100
+	}
+	for r := 0; r < rounds; r++ {
+		m.Insert(a, 1)
+		m.Insert(b, 1)
+		var wg sync.WaitGroup
+		oncall := func(mine, other int64) {
+			defer wg.Done()
+			m.UpdateAtomicKeys([]int64{mine}, func(tx *Txn[int64, int64, int64]) {
+				mv, _ := tx.Get(mine)
+				ov, _ := tx.Get(other)
+				runtime.Gosched() // widen the read-to-install overlap
+				if mv+ov > 1 {
+					tx.Insert(mine, 0)
+				}
+			})
+		}
+		wg.Add(2)
+		go oncall(a, b)
+		go oncall(b, a)
+		wg.Wait()
+		va, _ := m.Get(a)
+		vb, _ := m.Get(b)
+		if va+vb < 1 {
+			t.Fatalf("round %d: write skew committed (a=%d, b=%d, both saw sum 2 and both went off call)", r, va, vb)
+		}
 	}
 }
 

@@ -28,13 +28,16 @@
 //     (latest-GSN, install-seq) vector around pinning, retrying until the
 //     seqlock vector is stable (stamps collected before the pins bound the
 //     cut either way) and falling back to briefly fencing the writer
-//     slots.  UpdateAtomicKeys adds optimistic read validation on top:
+//     slots.  UpdateAtomicKeys adds full optimistic concurrency on top:
 //     every authoritative read inside the transaction is sampled against
-//     per-key version stripes (core/keyver.go) and revalidated at install
-//     time, so a committed transaction is a true multi-key
-//     compare-and-swap, serializable against all writers — including plain
-//     point updates that never take the writer slot.  See the GSN protocol
-//     and OCC notes in core/stamp.go, core/keyver.go and DESIGN.md.
+//     per-key version stripes (core/keyver.go), the write set's stripes
+//     are install-locked, and the read set is revalidated at install time
+//     with the locks held through publication — so a committed transaction
+//     is a true multi-key compare-and-swap, serializable against all
+//     writers, including plain point updates that never take the writer
+//     slot (they stall off the locked write set and are validation
+//     conflicts on the read set).  See the GSN protocol and OCC notes in
+//     core/stamp.go, core/keyver.go and DESIGN.md.
 //
 // Operations whose keys live on one shard (point reads, per-key updates, a
 // Range that happens to hash into one shard) keep the paper's full
@@ -55,6 +58,7 @@ package shard
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -110,6 +114,13 @@ type Map[K, V, A any] struct {
 	// because install-time validation found a read key's version stripe
 	// moved (an unfenced writer hit the read set).
 	occAborts atomic.Int64
+	// testPostValidate, when non-nil, runs inside an UpdateAtomicKeys
+	// install after its read-set validation passes and before any shard's
+	// root is published — the validate-to-install window.  Tests use it to
+	// land racing work deterministically in the window the install locks
+	// must protect; it must not itself commit a fenced or stripe-stalled
+	// write synchronously (the slots and write locks are held).
+	testPostValidate func()
 }
 
 // New builds a sharded map.  mkOps must return a fresh ftree.Ops per call:
@@ -624,16 +635,21 @@ func (t *Txn[K, V, A]) Get(k K) (V, bool) {
 }
 
 // readTracked is the optimistic stable read: load k's version stripe (a
-// stable word, yielding past in-flight writers), read the value, and accept
-// only if the stripe did not move — so the recorded word names exactly the
-// write-state the value came from.  The (shard, stripe, word) sample joins
-// the transaction's read set for install-time validation.
+// stable word, waiting out in-flight writers and foreign install locks
+// with bounded backoff), read the value, and accept only if the stripe did
+// not move — so the recorded word names exactly the write-state the value
+// came from.  The (shard, stripe, word) sample joins the transaction's
+// read set for install-time validation.  The wait is bounded by commit
+// brackets and install windows, which contain no user code — but a
+// wholesale bracket (a SetRoot or table-scale batch commit on the read
+// shard) marks every stripe for its whole commit, so a read colliding with
+// one waits for that commit's Set; see the UpdateAtomicKeys contract.
 func (t *Txn[K, V, A]) readTracked(i int, k K) (V, bool) {
 	s := t.m.shards[i]
 	stripe := s.KeyStripe(k)
 	var v V
 	var ok bool
-	for {
+	for n := 0; ; n++ {
 		w := s.StableStripeWord(stripe)
 		s.WithCached(func(h *core.Handle[K, V, A]) {
 			h.Read(func(sn core.Snapshot[K, V, A]) { v, ok = sn.Get(k) })
@@ -642,7 +658,7 @@ func (t *Txn[K, V, A]) readTracked(i int, k K) (V, bool) {
 			t.reads = append(t.reads, readSample{shard: i, stripe: stripe, word: w})
 			return v, ok
 		}
-		runtime.Gosched()
+		core.Backoff(n)
 	}
 }
 
@@ -650,9 +666,18 @@ func (t *Txn[K, V, A]) readTracked(i int, k K) (V, bool) {
 // still hold their recorded words.  Equality means no writer entered the
 // stripe since the read — every sampled value is still current — so the
 // caller may treat "now" as the moment all its reads happened at once.
-func (m *Map[K, V, A]) validateReads(reads []readSample) bool {
+// wstripes lists, per shard, the stripes the calling transaction has
+// install-locked (its write set): on those, and only those, the lock bit is
+// masked before comparing — the caller's own lock is not a conflict, but a
+// FOREIGN lock means another transaction is mid-install over the sampled
+// key and the read must not survive validation.
+func (m *Map[K, V, A]) validateReads(reads []readSample, wstripes [][]uint64) bool {
 	for _, r := range reads {
-		if m.shards[r.shard].StripeWord(r.stripe) != r.word {
+		w := m.shards[r.shard].StripeWord(r.stripe)
+		if w&core.StripeLock != 0 && wstripes != nil && slices.Contains(wstripes[r.shard], r.stripe) {
+			w &^= core.StripeLock
+		}
+		if w != r.word {
 			return false
 		}
 	}
@@ -731,62 +756,115 @@ func (m *Map[K, V, A]) UpdateAtomic(f func(t *Txn[K, V, A])) {
 	// see core.InstallAtomic) cannot wedge the fence.
 	core.LockWriterSlots(m.shards, touched)
 	defer core.UnlockWriterSlots(m.shards, touched)
-	m.installLocked(touched, t.intents, nil)
+	m.installLocked(touched, t.intents, nil, nil, nil)
 }
 
 // UpdateAtomicKeys runs an atomic cross-shard transaction whose key
-// footprint is declared up front, with full optimistic-concurrency
-// validation: reads inside f (Txn.Get) are sampled against per-key version
-// stripes, and at install time — after the touched shards' install
-// seqlocks go odd — every sampled stripe is revalidated; on any mismatch
-// nothing is installed and the whole transaction retries (f runs again
-// against the new state).  A committed transaction is therefore a true
-// multi-key compare-and-swap, serializable against ALL writers: other
-// atomic transactions and the batch combiners are excluded by the writer
-// slots (acquired before f runs, so they cannot move the read set at all),
-// and unfenced plain point writers are caught by validation.  f may run
-// several times and must be a pure function of its reads; it may READ any
-// key on any shard (all reads are validated), but may WRITE only keys
-// whose shards are covered by the declared footprint — a write outside it
-// panics before anything is installed.
+// footprint is declared up front, as a full optimistic-concurrency
+// transaction in the classic lock-write-set / validate-read-set / install
+// shape: reads inside f (Txn.Get) are sampled against per-key version
+// stripes; at install time the write set's stripes are install-locked
+// FIRST, then — after the touched shards' install seqlocks go odd — every
+// sampled stripe is revalidated; on any mismatch nothing is installed and
+// the whole transaction retries (f runs again against the new state).  The
+// locks are held until the last shard's root is published, and unfenced
+// writers' commit brackets stall on them (core/keyver.go), so no point
+// write can land on the write set between validation and publication — the
+// window in which an absolute install would silently erase it.  A
+// committed transaction is therefore a true multi-key compare-and-swap,
+// serializable against ALL writers: other atomic transactions and the
+// batch combiners are excluded by the writer slots (held while f runs, so
+// they cannot move the read set at all), unfenced point writers on the
+// read set are caught by validation and on the write set are held off by
+// the locks, and two concurrent OCC transactions reading each other's
+// write sets cannot both commit (lock-before-validate means one observes
+// the other's lock and aborts — no write skew).  f may run several times
+// and must be a pure function of its reads; it may READ any key on any
+// shard (all reads are validated), but may WRITE only keys whose shards
+// are covered by the declared footprint — a write outside it panics before
+// anything is installed.
 //
 // Progress is optimistic: each abort implies a conflicting point write
 // committed on a read key's stripe, so the system as a whole advances, but
 // a transaction hammered by unfenced writers on its own read set retries
-// unboundedly (OCCAborts counts these).
+// unboundedly (OCCAborts counts these).  The writer slots are released and
+// reacquired between attempts, with escalating bounded backoff, so an
+// abort storm never starves the footprint shards' combiners or other
+// atomic transactions.  Two waits are worth knowing about: an unfenced
+// point write whose key shares a stripe with the write set stalls for the
+// install window (bounded: validation plus the per-shard Sets, no user
+// code), and a read colliding with a wholesale stripe bracket — a SetRoot
+// or table-scale batch commit on the read shard marks every stripe — waits
+// for that commit's Set.
 func (m *Map[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *Txn[K, V, A])) {
-	locked := make([]bool, len(m.shards))
+	inFootprint := make([]bool, len(m.shards))
 	touched := make([]int, 0, len(keys))
 	for _, k := range keys {
-		if i := m.ShardFor(k); !locked[i] {
-			locked[i] = true
+		if i := m.ShardFor(k); !inFootprint[i] {
+			inFootprint[i] = true
 			touched = append(touched, i)
 		}
 	}
 	sort.Ints(touched)
-	core.LockWriterSlots(m.shards, touched)
-	defer core.UnlockWriterSlots(m.shards, touched)
-	// One Txn serves every attempt: an abort storm (sustained unfenced
-	// writes on the read set) retries with the buffers reset in place, so
-	// retries cost no allocation beyond what f itself does.
+	// One Txn, write-stripe list set and handle buffer serve every
+	// attempt: an abort storm (sustained unfenced writes on the read set)
+	// retries with the buffers reset in place, so a retry's allocations
+	// are only the install path's short-lived closures and whatever f
+	// itself does.
 	t := &Txn[K, V, A]{m: m, intents: make([][]intent[K, V], len(m.shards)), occ: true}
-	for {
-		for i := range t.intents {
-			t.intents[i] = t.intents[i][:0]
-		}
-		t.reads = t.reads[:0]
-		f(t)
-		for i, list := range t.intents {
-			if len(list) > 0 && !locked[i] {
-				panic(fmt.Sprintf("shard: UpdateAtomicKeys wrote shard %d outside the declared key footprint", i))
-			}
-		}
-		if m.installLocked(t.touched(), t.intents, func() bool { return m.validateReads(t.reads) }) {
+	wstripes := make([][]uint64, len(m.shards))
+	hbuf := make([]*core.Handle[K, V, A], len(m.shards))
+	for attempt := 0; ; attempt++ {
+		if m.atomicKeysAttempt(touched, inFootprint, t, wstripes, hbuf, f) {
 			return
 		}
 		m.occAborts.Add(1)
-		runtime.Gosched()
+		core.Backoff(attempt)
 	}
+}
+
+// atomicKeysAttempt runs one lock-validate-install attempt of an
+// UpdateAtomicKeys transaction and reports whether it committed.  The
+// footprint shards' writer slots are held only for the attempt's duration
+// — released before the caller's backoff — so fenced writers on those
+// shards make progress between aborts.
+func (m *Map[K, V, A]) atomicKeysAttempt(touched []int, inFootprint []bool, t *Txn[K, V, A], wstripes [][]uint64, hbuf []*core.Handle[K, V, A], f func(t *Txn[K, V, A])) bool {
+	core.LockWriterSlots(m.shards, touched)
+	defer core.UnlockWriterSlots(m.shards, touched)
+	for i := range t.intents {
+		t.intents[i] = t.intents[i][:0]
+	}
+	t.reads = t.reads[:0]
+	f(t)
+	for i, list := range t.intents {
+		if len(list) > 0 && !inFootprint[i] {
+			panic(fmt.Sprintf("shard: UpdateAtomicKeys wrote shard %d outside the declared key footprint", i))
+		}
+	}
+	// The write set's stripes, per shard.  Stale entries from a previous
+	// attempt must not survive: validateReads masks the lock bit exactly on
+	// the stripes listed here, and masking a stripe we did not lock this
+	// attempt would validate a read another transaction's install is about
+	// to overwrite.
+	for i := range wstripes {
+		wstripes[i] = wstripes[i][:0]
+	}
+	write := t.touched()
+	for _, i := range write {
+		for _, in := range t.intents[i] {
+			wstripes[i] = append(wstripes[i], m.shards[i].KeyStripe(in.key))
+		}
+	}
+	validate := func() bool {
+		if !m.validateReads(t.reads, wstripes) {
+			return false
+		}
+		if hook := m.testPostValidate; hook != nil {
+			hook()
+		}
+		return true
+	}
+	return m.installLocked(write, t.intents, wstripes, hbuf, validate)
 }
 
 // OCCAborts reports how many UpdateAtomicKeys attempts were aborted by
@@ -795,21 +873,67 @@ func (m *Map[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *Txn[K, V, A])) {
 func (m *Map[K, V, A]) OCCAborts() int64 { return m.occAborts.Load() }
 
 // installLocked is the install phase shared by UpdateAtomic and
-// UpdateAtomicKeys: with the touched shards' writer slots held,
-// core.InstallAtomicValidated brackets the per-shard installs with the
-// seqlocks, runs the validation gate (nil for UpdateAtomic, the read-set
-// check for UpdateAtomicKeys) while they are odd, and on success publishes
-// one freshly allocated GSN on every touched shard.  It reports whether the
-// transaction installed.
-func (m *Map[K, V, A]) installLocked(touched []int, intents [][]intent[K, V], validate func() bool) bool {
-	return core.InstallAtomicValidated(m.shards, touched, validate, func() {
-		for _, i := range touched {
-			list := intents[i]
-			m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
-				h.UpdateUnstamped(func(tx *core.Txn[K, V, A]) { replay(tx, list) })
+// UpdateAtomicKeys: with the touched shards' writer slots held, it leases
+// one handle per touched shard, install-locks the write set's stripes
+// (wstripes, nil for UpdateAtomic — it validates nothing, so blind
+// last-writer-wins races with point writers are its documented semantics
+// and need no locks), and runs core.InstallAtomicValidated, which brackets
+// the per-shard installs with the seqlocks, runs the validation gate while
+// they are odd, and on success publishes one freshly allocated GSN on
+// every touched shard.  It reports whether the transaction installed; the
+// stripe locks are released on every exit, aborts and panics included.
+//
+// Ordering matters twice here.  The handles are leased BEFORE the stripes
+// are locked: a point writer stalled on an install lock sits inside its
+// transaction holding a pid, so leasing afterwards could find the pools
+// drained by the very writers waiting on us — a deadlock.  Leasing first
+// is safe because no stripe of these shards can be locked by anyone else
+// (locking requires the writer slots we hold), so the pools churn.  And
+// the stripes are locked BEFORE validation runs (inside
+// InstallAtomicValidated), which is what makes validate-then-install
+// atomic against unfenced writers; see core.InstallAtomicValidated.
+func (m *Map[K, V, A]) installLocked(touched []int, intents [][]intent[K, V], wstripes [][]uint64, hbuf []*core.Handle[K, V, A], validate func() bool) bool {
+	ok := false
+	// hbuf lets UpdateAtomicKeys amortize the lease slots across retry
+	// attempts; one-shot callers (UpdateAtomic) pass nil.
+	handles := hbuf
+	if handles == nil {
+		handles = make([]*core.Handle[K, V, A], len(touched))
+	}
+	var rec func(j int)
+	rec = func(j int) {
+		if j < len(touched) {
+			m.shards[touched[j]].WithCached(func(h *core.Handle[K, V, A]) {
+				handles[j] = h
+				rec(j + 1)
 			})
+			return
 		}
-	})
+		if wstripes != nil {
+			for _, i := range touched {
+				m.shards[i].LockStripes(wstripes[i])
+			}
+			defer func() {
+				for _, i := range touched {
+					m.shards[i].UnlockStripes(wstripes[i])
+				}
+			}()
+		}
+		ok = core.InstallAtomicValidated(m.shards, touched, validate, func() {
+			for j, i := range touched {
+				list := intents[i]
+				handles[j].UpdateUnstamped(func(tx *core.Txn[K, V, A]) {
+					// The replay writes exactly the stripes this install
+					// locked (when it locked any); without the declaration
+					// its commit bracket would stall on our own locks.
+					tx.HoldsStripeLocks()
+					replay(tx, list)
+				})
+			}
+		})
+	}
+	rec(0)
+	return ok
 }
 
 // StartBatching launches one Appendix-F combining writer per shard: each
