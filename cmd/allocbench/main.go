@@ -32,17 +32,19 @@ import (
 	"mvgc/internal/ycsb"
 )
 
-// openDB opens a single-shard DB so the point-update-db cell isolates the
-// front door's cost rather than shard routing variance.
-func openDB(records uint64, procs int, noRecycle bool) (*mvgc.DB[uint64, uint64, struct{}], error) {
+// openDB opens the sharded DB the point-update-db cell routes through.
+// Shard count doesn't affect B/op (each shard's magazines recycle the same
+// way); it's a flag so CI can pin it and humans can match their ycsb runs.
+func openDB(records uint64, shards, procs int, noRecycle bool) (*mvgc.DB[uint64, uint64, struct{}], error) {
 	return mvgc.OpenPlainDB[uint64, uint64](
-		mvgc.DBOptions[uint64]{Shards: 1, Procs: procs, NoRecycle: noRecycle}, initial(records))
+		mvgc.DBOptions[uint64]{Shards: shards, Procs: procs, NoRecycle: noRecycle}, initial(records))
 }
 
 func main() {
 	var (
 		records  = flag.Uint64("records", 100_000, "keys preloaded into every structure")
 		batch    = flag.Int("batch", 1000, "entries per batch-commit operation")
+		shards   = bench.ShardsFlag("shard count for the point-update-db cell")
 		procs    = flag.Int("procs", 4, "process count P per map")
 		jsonPath = flag.String("json", "", "write a BENCH_alloc/v1 report to this file")
 	)
@@ -52,7 +54,7 @@ func main() {
 	for _, recycle := range []bool{true, false} {
 		rep.Results = append(rep.Results,
 			cell("point-update", recycle, benchPointUpdate(*records, *procs, !recycle)),
-			cell("point-update-db", recycle, benchPointUpdateDB(*records, *procs, !recycle)),
+			cell("point-update-db", recycle, benchPointUpdateDB(*records, *shards, *procs, !recycle)),
 			cell("batch-commit", recycle, benchBatchCommit(*records, *batch, *procs, !recycle)),
 		)
 	}
@@ -124,8 +126,8 @@ func benchPointUpdate(records uint64, procs int, noRecycle bool) testing.Benchma
 
 // benchPointUpdateDB measures the same write through the pid-free sharded
 // front door: hash the key, take a cached lease, commit.
-func benchPointUpdateDB(records uint64, procs int, noRecycle bool) testing.BenchmarkResult {
-	db, err := openDB(records, procs, noRecycle)
+func benchPointUpdateDB(records uint64, shards, procs int, noRecycle bool) testing.BenchmarkResult {
+	db, err := openDB(records, shards, procs, noRecycle)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "allocbench:", err)
 		os.Exit(1)

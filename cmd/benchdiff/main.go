@@ -1,7 +1,7 @@
 // Command benchdiff compares two benchmark reports of the same schema and
 // fails when any cell regressed by more than the tolerance.  CI runs it
 // against the previous run's artifact so regressions block the merge
-// instead of landing silently.  Two schemas are understood:
+// instead of landing silently.  Three schemas are understood:
 //
 //   - BENCH_ycsb/v1 (cmd/ycsbbench -json): cells are (structure, workload)
 //     throughputs; a regression is a Mops drop beyond the tolerance.
@@ -10,6 +10,10 @@
 //     tolerance — and any increase from a 0 B/op baseline fails outright,
 //     so the magazine allocator's zero-allocation write path is a CI
 //     invariant, not a one-off measurement.
+//   - BENCH_net/v1 (cmd/netbench -json): cells are (conns, depth) points of
+//     the serving-layer sweep; a regression is an ops/s drop OR a
+//     commits-per-op increase beyond the tolerance, so both the front
+//     door's throughput and its write-coalescing property gate the merge.
 //
 // Usage:
 //
@@ -223,6 +227,61 @@ func diffAlloc(oldR, newR bench.AllocReport, tol float64) *diffResult {
 	return d
 }
 
+// diffNet gates on the serving layer's two headline numbers per (conns,
+// depth) cell: lower ops/s is worse, and higher commits-per-op is worse —
+// a coalescing regression (more combiner commits for the same traffic) is
+// a regression even if throughput happens to hold.
+func diffNet(oldR, newR bench.NetReport, tol float64) *diffResult {
+	d := &diffResult{Title: "Serving-layer diff (" + bench.NetSchema + ")",
+		Gate: true, Tolerance: tol, Metric: "ops/s drop or commits/op increase"}
+	if oldR.Shards != newR.Shards || oldR.WriteFrac != newR.WriteFrac ||
+		oldR.Keys != newR.Keys || oldR.DurationSec != newR.DurationSec {
+		d.Gate = false
+		d.Notes = append(d.Notes, fmt.Sprintf(
+			"run configs differ (shards %d→%d, writefrac %.2f→%.2f, keys %d→%d, dur %.2fs→%.2fs); numbers are indicative only, regressions will not fail the diff",
+			oldR.Shards, newR.Shards, oldR.WriteFrac, newR.WriteFrac,
+			oldR.Keys, newR.Keys, oldR.DurationSec, newR.DurationSec))
+	}
+
+	key := func(r bench.NetRecord) string { return fmt.Sprintf("conns=%d/depth=%d", r.Conns, r.Depth) }
+	fmtCell := func(r bench.NetRecord) string {
+		return fmt.Sprintf("%9.0f ops/s %6.4f c/op", r.OpsPerSec, r.CommitsPerOp)
+	}
+	base := make(map[string]bench.NetRecord, len(oldR.Results))
+	for _, r := range oldR.Results {
+		base[key(r)] = r
+	}
+	seen := make(map[string]bool, len(newR.Results))
+	for _, r := range newR.Results {
+		k := key(r)
+		seen[k] = true
+		old, ok := base[k]
+		if !ok {
+			d.Rows = append(d.Rows, cellDiff{Status: "new cell", Cell: k, New: fmtCell(r)})
+			continue
+		}
+		delta := 0.0
+		if old.OpsPerSec > 0 {
+			delta = (r.OpsPerSec - old.OpsPerSec) / old.OpsPerSec
+		}
+		status := "ok"
+		slow := old.OpsPerSec > 0 && r.OpsPerSec < old.OpsPerSec*(1.0-tol)
+		uncoalesced := old.CommitsPerOp > 0 && r.CommitsPerOp > old.CommitsPerOp*(1.0+tol)
+		if slow || uncoalesced {
+			status = "REGRESSED"
+			d.Regressed = true
+		}
+		d.Rows = append(d.Rows, cellDiff{Status: status, Cell: k,
+			Old: fmtCell(old), New: fmtCell(r), Delta: fmt.Sprintf("(%+.1f%% ops/s)", delta*100)})
+	}
+	for _, r := range oldR.Results {
+		if k := key(r); !seen[k] {
+			d.Rows = append(d.Rows, cellDiff{Status: "dropped", Cell: k, Old: fmtCell(r)})
+		}
+	}
+	return d
+}
+
 func decode(path string, v any) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -292,8 +351,17 @@ func main() {
 			fatal(err)
 		}
 		d = diffAlloc(oldR, newR, *tol)
+	case bench.NetSchema:
+		var oldR, newR bench.NetReport
+		if err := decode(*oldPath, &oldR); err != nil {
+			fatal(err)
+		}
+		if err := decode(*newPath, &newR); err != nil {
+			fatal(err)
+		}
+		d = diffNet(oldR, newR, *tol)
 	default:
-		fatal(fmt.Sprintf("unknown schema %q (want %q or %q)", oldSchema, bench.YCSBSchema, bench.AllocSchema))
+		fatal(fmt.Sprintf("unknown schema %q (want %q, %q or %q)", oldSchema, bench.YCSBSchema, bench.AllocSchema, bench.NetSchema))
 	}
 
 	d.renderText(os.Stdout)

@@ -117,6 +117,76 @@ func TestAllocConfigMismatchDowngrade(t *testing.T) {
 	}
 }
 
+func netReport(cells []bench.NetRecord) bench.NetReport {
+	return bench.NetReport{Shards: 4, WriteFrac: 1.0, Keys: 100000, DurationSec: 2, Results: cells}
+}
+
+// TestNetThroughputRegressionGates: a matched serving-layer cell whose
+// ops/s dropped beyond tolerance fails the gate.
+func TestNetThroughputRegressionGates(t *testing.T) {
+	oldR := netReport([]bench.NetRecord{{Conns: 16, Depth: 8, OpsPerSec: 100000, CommitsPerOp: 0.05}})
+	newR := netReport([]bench.NetRecord{{Conns: 16, Depth: 8, OpsPerSec: 50000, CommitsPerOp: 0.05}})
+	d := diffNet(oldR, newR, 0.25)
+	if !d.Regressed || d.exitCode() != 1 {
+		t.Fatalf("50%% ops/s drop must gate: regressed=%v exit=%d", d.Regressed, d.exitCode())
+	}
+}
+
+// TestNetCoalescingRegressionGates: commits-per-op growing past tolerance
+// fails even when throughput held — the coalescing property is gated in
+// its own right.
+func TestNetCoalescingRegressionGates(t *testing.T) {
+	oldR := netReport([]bench.NetRecord{{Conns: 16, Depth: 8, OpsPerSec: 100000, CommitsPerOp: 0.05}})
+	newR := netReport([]bench.NetRecord{{Conns: 16, Depth: 8, OpsPerSec: 110000, CommitsPerOp: 0.50}})
+	d := diffNet(oldR, newR, 0.25)
+	if !d.Regressed || d.exitCode() != 1 {
+		t.Fatalf("10x commits/op must gate despite faster ops/s: exit=%d", d.exitCode())
+	}
+}
+
+// TestNetWithinToleranceOK: jitter inside the tolerance band on both
+// metrics passes, and new/dropped sweep points stay advisory.
+func TestNetWithinToleranceOK(t *testing.T) {
+	oldR := netReport([]bench.NetRecord{
+		{Conns: 16, Depth: 8, OpsPerSec: 100000, CommitsPerOp: 0.050},
+		{Conns: 1, Depth: 1, OpsPerSec: 5000, CommitsPerOp: 1.0},
+	})
+	newR := netReport([]bench.NetRecord{
+		{Conns: 16, Depth: 8, OpsPerSec: 90000, CommitsPerOp: 0.055},
+		{Conns: 64, Depth: 64, OpsPerSec: 400000, CommitsPerOp: 0.01},
+	})
+	d := diffNet(oldR, newR, 0.25)
+	if d.Regressed || d.exitCode() != 0 {
+		t.Fatalf("in-tolerance diff must pass: regressed=%v exit=%d", d.Regressed, d.exitCode())
+	}
+	var statuses []string
+	for _, r := range d.Rows {
+		statuses = append(statuses, r.Status)
+	}
+	joined := strings.Join(statuses, ",")
+	if !strings.Contains(joined, "new cell") || !strings.Contains(joined, "dropped") {
+		t.Fatalf("sweep-point churn not reported: %v", statuses)
+	}
+}
+
+// TestNetConfigMismatchDowngrade mirrors the YCSB downgrade for the
+// serving-layer schema.
+func TestNetConfigMismatchDowngrade(t *testing.T) {
+	oldR := netReport([]bench.NetRecord{{Conns: 16, Depth: 8, OpsPerSec: 100000, CommitsPerOp: 0.05}})
+	newR := netReport([]bench.NetRecord{{Conns: 16, Depth: 8, OpsPerSec: 10000, CommitsPerOp: 0.9}})
+	newR.Shards = 8 // sweep re-tuned: not comparable
+	d := diffNet(oldR, newR, 0.25)
+	if !d.Regressed {
+		t.Fatal("the drop should still be reported as a regression")
+	}
+	if d.Gate || d.exitCode() != 0 {
+		t.Fatalf("config mismatch must downgrade to advisory: gate=%v exit=%d", d.Gate, d.exitCode())
+	}
+	if len(d.Notes) == 0 || !strings.Contains(d.Notes[0], "run configs differ") {
+		t.Fatalf("missing config-mismatch warning: %v", d.Notes)
+	}
+}
+
 // TestRenderMarkdown sanity-checks the step-summary table shape.
 func TestRenderMarkdown(t *testing.T) {
 	oldR := ycsbReport(map[string]float64{"ours/A": 1.0})

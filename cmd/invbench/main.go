@@ -34,7 +34,7 @@ func main() {
 		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "total threads (default GOMAXPROCS; paper: 144)")
 		window   = flag.Duration("window", 3*time.Second, "co-running window (paper: 30s)")
 		qts      = flag.String("querythreads", "", "comma-separated query-thread counts to sweep")
-		shards   = flag.Int("shards", 2, "shard count for the sharded-index row (0 skips it)")
+		shards   = bench.ShardsFlag("shard count for the sharded-index row (0 skips it)")
 		jsonPath = flag.String("json", "", "also write machine-readable results (BENCH_inv.json schema) to this path")
 	)
 	flag.Parse()

@@ -1,0 +1,73 @@
+// Command mvgcd serves a sharded multiversion map over the netproto wire
+// protocol (a RESP subset): the repo's network front door.
+//
+// Pipelined clients (internal/netclient, cmd/netbench, or anything that
+// speaks RESP arrays of bulk strings) get SET/GET/DEL/SUM/LEN/MCAS/PING/
+// STATS; every connection's writes flow through the per-shard combining
+// writers, so N connections' pipelined SETs coalesce into O(shards)
+// commits per batching interval (see internal/netserver).
+//
+// Usage:
+//
+//	mvgcd -addr :6380 -shards 8 -maxconns 256 -latency 1ms
+//
+// SIGINT/SIGTERM shut down gracefully: accepted requests are committed
+// and answered before the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mvgc/internal/bench"
+	"mvgc/internal/netserver"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":6380", "listen address")
+		shards     = bench.ShardsFlag("")
+		maxConns   = flag.Int("maxconns", 256, "connections served concurrently (combiner fan-in)")
+		pipeline   = flag.Int("pipeline", 1024, "max outstanding responses per connection")
+		latency    = flag.Duration("latency", time.Millisecond, "combiner batching latency bound")
+		consistent = flag.Bool("consistent", false, "serve SUM/LEN from globally consistent snapshots")
+	)
+	flag.Parse()
+
+	srv, err := netserver.New(netserver.Config{
+		Shards:      *shards,
+		MaxConns:    *maxConns,
+		MaxPipeline: *pipeline,
+		MaxLatency:  *latency,
+		Consistent:  *consistent,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvgcd:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvgcd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mvgcd: serving on %s (shards=%d maxconns=%d latency=%s)\n",
+		ln.Addr(), *shards, *maxConns, *latency)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("mvgcd: shutting down")
+		srv.Shutdown()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "mvgcd:", err)
+		os.Exit(1)
+	}
+}

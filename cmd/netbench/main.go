@@ -1,0 +1,251 @@
+// Command netbench sweeps the serving layer across connection count and
+// pipelining depth and emits a BENCH_net/v1 report: throughput, p50/p99
+// latency, and the headline coalescing metric commits-per-op — combiner
+// commits divided by write operations.  An unbatched server pays one
+// commit per write (1.0); the pipelined front door should drive the ratio
+// toward zero as connections and depth grow, because every shard's
+// in-flight writes from ALL connections ride one commit per batching
+// interval (O(shards) commits for N sockets' traffic).
+//
+// The server runs in-process on a loopback listener, so the sweep is
+// self-contained and STATS deltas are exact; -addr targets an external
+// mvgcd instead (commits-per-op then includes any other clients' traffic).
+//
+// Usage:
+//
+//	netbench -conns 1,4,16,64 -depth 1,8,64 -shards 8 -dur 2s -json BENCH_net.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mvgc/internal/bench"
+	"mvgc/internal/netclient"
+	"mvgc/internal/netserver"
+	"mvgc/internal/ycsb"
+)
+
+func main() {
+	var (
+		connsCSV  = flag.String("conns", "1,4,16,64", "connection counts to sweep")
+		depthCSV  = flag.String("depth", "1,8,64", "pipelining depths to sweep")
+		shards    = bench.ShardsFlag("")
+		keys      = flag.Int64("keys", 100_000, "key space size")
+		writeFrac = flag.Float64("writefrac", 1.0, "fraction of ops that are SETs (rest GETs)")
+		dur       = flag.Duration("dur", 2*time.Second, "measured duration per cell")
+		latency   = flag.Duration("latency", time.Millisecond, "server combiner batching latency bound")
+		addr      = flag.String("addr", "", "benchmark an external server instead of in-process")
+		jsonPath  = flag.String("json", "", "write a BENCH_net/v1 report to this file")
+	)
+	flag.Parse()
+
+	conns, err := csvInts(*connsCSV)
+	if err == nil {
+		var depths []int
+		depths, err = csvInts(*depthCSV)
+		if err == nil {
+			err = run(conns, depths, *shards, *keys, *writeFrac, *dur, *latency, *addr, *jsonPath)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netbench:", err)
+		os.Exit(1)
+	}
+}
+
+func csvInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad sweep list %q", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(conns, depths []int, shards int, keys int64, writeFrac float64, dur, latency time.Duration, addr, jsonPath string) error {
+	if addr == "" {
+		maxConns := 0
+		for _, c := range conns {
+			if c > maxConns {
+				maxConns = c
+			}
+		}
+		srv, err := netserver.New(netserver.Config{
+			Shards:     shards,
+			MaxConns:   maxConns + 1, // +1: the control connection reading STATS
+			MaxLatency: latency,
+		})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(ln)
+		defer srv.Shutdown()
+		addr = ln.Addr().String()
+	}
+
+	ctl, err := netclient.Dial(addr, 4)
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+
+	rep := &bench.NetReport{
+		Shards:      shards,
+		WriteFrac:   writeFrac,
+		Keys:        keys,
+		DurationSec: dur.Seconds(),
+	}
+	fmt.Printf("%6s %6s %12s %10s %10s %14s\n", "conns", "depth", "ops/s", "p50(us)", "p99(us)", "commits/op")
+	for _, c := range conns {
+		for _, d := range depths {
+			rec, err := cell(addr, c, d, keys, writeFrac, dur, ctl)
+			if err != nil {
+				return err
+			}
+			rep.Results = append(rep.Results, rec)
+			fmt.Printf("%6d %6d %12.0f %10.1f %10.1f %14.4f\n",
+				rec.Conns, rec.Depth, rec.OpsPerSec, rec.P50Us, rec.P99Us, rec.CommitsPerOp)
+		}
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return rep.WriteJSON(f)
+	}
+	return nil
+}
+
+// stat reads one counter from the server.
+func stat(ctl *netclient.Client, key string) (int64, error) {
+	s, err := ctl.Stats()
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range strings.Fields(s) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			return strconv.ParseInt(v, 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("STATS reply %q lacks %q", s, key)
+}
+
+// cell measures one (connections, depth) point: each connection keeps
+// depth requests in flight (windowed pipelining), latencies are per-op
+// send-to-reply, and commits-per-op is the server-side combiner commit
+// delta over the write ops this cell issued.
+func cell(addr string, conns, depth int, keys int64, writeFrac float64, dur time.Duration, ctl *netclient.Client) (bench.NetRecord, error) {
+	batches0, err := stat(ctl, "batches")
+	if err != nil {
+		return bench.NetRecord{}, err
+	}
+
+	type res struct {
+		ops    int64
+		writes int64
+		lats   []time.Duration
+		err    error
+	}
+	results := make([]res, conns)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(dur)
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &results[w]
+			c, err := netclient.Dial(addr, depth)
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer c.Close()
+			rng := ycsb.NewSplitMix64(uint64(w)*0x9E3779B97F4A7C15 + 1)
+			type inflight struct {
+				p  *netclient.Pending
+				t0 time.Time
+			}
+			window := make([]inflight, 0, depth)
+			wait := func(f inflight) {
+				if err := f.p.Wait(); err != nil && r.err == nil {
+					r.err = err
+				}
+				r.lats = append(r.lats, time.Since(f.t0))
+				r.ops++
+			}
+			for r.err == nil && time.Now().Before(deadline) {
+				k := int64(rng.Next() % uint64(keys))
+				var p *netclient.Pending
+				if writeFrac >= 1 || rng.Float64() < writeFrac {
+					p = c.SetAsync(k, k)
+					r.writes++
+				} else {
+					p = c.GetAsync(k)
+				}
+				window = append(window, inflight{p, time.Now()})
+				if len(window) >= depth {
+					// Window full: push the batch to the wire, then retire
+					// the oldest.  (Replies are in order, so the oldest is
+					// always the next to complete.)
+					if err := c.Flush(); err != nil {
+						r.err = err
+						break
+					}
+					wait(window[0])
+					copy(window, window[1:])
+					window = window[:len(window)-1]
+				}
+			}
+			if err := c.Flush(); err == nil {
+				for _, f := range window {
+					wait(f)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rec := bench.NetRecord{Conns: conns, Depth: depth}
+	var lats []time.Duration
+	var writes int64
+	for i := range results {
+		if results[i].err != nil {
+			return rec, results[i].err
+		}
+		rec.Ops += results[i].ops
+		writes += results[i].writes
+		lats = append(lats, results[i].lats...)
+	}
+	rec.OpsPerSec = float64(rec.Ops) / dur.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		rec.P50Us = float64(lats[n/2].Microseconds())
+		rec.P99Us = float64(lats[n*99/100].Microseconds())
+	}
+	batches1, err := stat(ctl, "batches")
+	if err != nil {
+		return rec, err
+	}
+	if writes > 0 {
+		rec.CommitsPerOp = float64(batches1-batches0) / float64(writes)
+	}
+	return rec, nil
+}

@@ -29,7 +29,7 @@ func main() {
 	var (
 		records    = flag.Uint64("records", 1_000_000, "loaded key count (paper: 5e7)")
 		threads    = flag.Int("threads", 0, "client threads (default GOMAXPROCS)")
-		shards     = flag.Int("shards", 8, "shard count for ours-sharded")
+		shards     = bench.ShardsFlag("shard count for ours-sharded")
 		dur        = flag.Duration("dur", 3*time.Second, "measured duration per cell")
 		latency    = flag.Duration("latency", 50*time.Millisecond, "batched update latency bound (paper: 50ms)")
 		structures = flag.String("structures", "", "comma-separated structures (default ours,ours-sharded,skiplist,lfbst,bptree,hashmap)")

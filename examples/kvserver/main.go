@@ -1,239 +1,97 @@
-// KV server: a line-protocol TCP key-value store built on mvgc.DB, the
-// sharded, goroutine-safe front door.  Every connection is its own
-// goroutine and never sees a process id: reads run as delay-free snapshot
-// transactions on the key's shard, and writes flow through that shard's
-// Appendix-F combining writer, so S shards give S concurrent combiners.
-// Each shard's pid pool doubles as admission control.
+// KV server example: a demo session against the real serving layer.
 //
-// Protocol (one command per line):
+// What used to be a hand-rolled line-protocol server here is now the
+// production stack — internal/netserver (pipelined binary-protocol server,
+// also the heart of cmd/mvgcd) spoken to through internal/netclient (the
+// pipelining client).  This example just wires the two together on a
+// loopback listener and walks through the command set, so it stays a
+// minimal, readable tour of the network front door:
 //
-//	SET <key> <value>      → OK
-//	GET <key>              → <value> | NOT_FOUND
-//	SUM <lo> <hi>          → <sum of values in [lo,hi]>   (O(S log n))
-//	LEN                    → <number of keys>
-//	MCAS <k1> <expect1> <new1> [<k2> <expect2> <new2> ...]
-//	                       → OK | FAIL          (requires -atomic)
-//
-// MCAS is a multi-key compare-and-swap built on DB.UpdateAtomicKeys: the
-// declared keys' shards are fenced before the expectations are read, so
-// validation and the writes form one atomic step against every other
-// fence-respecting writer — other MCAS calls and the combiners all SETs
-// flow through — and the whole swap commits under one global commit
-// sequence number.  In -atomic mode SUM and LEN read via ViewConsistent,
-// so those consistent readers never see a swap half-applied (a plain View
-// remains per-shard and could).
+//	SET/DEL  → per-shard combining writers: every pipelined write from
+//	           every connection rides O(shards) batch commits, and the OK
+//	           comes back only after the write's commit published
+//	GET      → delay-free cached-handle point read on the key's shard
+//	SUM/LEN  → fan-out snapshot reads (O(S log n) via the sum augment);
+//	           -atomic makes them globally consistent (ViewConsistent)
+//	MCAS     → DB.UpdateAtomicKeys: serializable multi-key compare-and-swap
+//	           against all writers, combiners included
 //
 // Run with:
 //
 //	go run ./examples/kvserver -shards 4          # serves one demo session in-process
-//	go run ./examples/kvserver -shards 4 -atomic  # adds the MCAS demo
+//	go run ./examples/kvserver -shards 4 -atomic  # consistent SUM/LEN + the MCAS demo
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"net"
-	"strconv"
-	"strings"
-	"time"
 
-	"mvgc"
-	"mvgc/internal/batch"
-	"mvgc/internal/core"
+	"mvgc/internal/netclient"
+	"mvgc/internal/netserver"
 )
-
-// writeSlots bounds concurrent SETs: each batch client buffer is a
-// single-producer ring, so a connection leases an exclusive slot per SET.
-const writeSlots = 16
-
-type server struct {
-	db     *mvgc.DB[int64, int64, int64]
-	slots  *core.PidPool // leases batch client ids 0..writeSlots-1
-	atomic bool          // enables the MCAS endpoint
-}
-
-func newServer(shards int, atomic bool) *server {
-	db, err := mvgc.OpenDB[int64, int64, int64](mvgc.DBOptions[int64]{
-		Shards: shards,
-		Grain:  1024,
-	}, mvgc.SumAug[int64](), nil)
-	if err != nil {
-		panic(err)
-	}
-	// One combining writer per shard; writeSlots client buffers per shard.
-	db.StartBatching(batch.Config{
-		Clients:    writeSlots,
-		BufCap:     8192,
-		MaxLatency: time.Millisecond,
-	}, nil)
-	return &server{db: db, slots: core.NewPidPool(0, writeSlots), atomic: atomic}
-}
-
-// view is the fan-out read mode: globally consistent when the server runs
-// with -atomic (so an MCAS is never observed half-applied), per-shard
-// otherwise.
-func (s *server) view(f func(sn mvgc.DBSnapshot[int64, int64, int64])) {
-	if s.atomic {
-		s.db.ViewConsistent(f)
-		return
-	}
-	s.db.View(f)
-}
-
-func (s *server) handle(conn net.Conn) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		reply := s.exec(sc.Text())
-		fmt.Fprintln(w, reply)
-		w.Flush()
-	}
-}
-
-func (s *server) exec(line string) string {
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		return "ERR empty"
-	}
-	switch strings.ToUpper(fields[0]) {
-	case "SET":
-		if len(fields) != 3 {
-			return "ERR usage: SET <key> <value>"
-		}
-		k, err1 := strconv.ParseInt(fields[1], 10, 64)
-		v, err2 := strconv.ParseInt(fields[2], 10, 64)
-		if err1 != nil || err2 != nil {
-			return "ERR bad integer"
-		}
-		s.slots.Do(func(client int) {
-			s.db.SubmitWait(client, batch.Request[int64, int64]{Op: batch.OpInsert, Key: k, Val: v})
-		})
-		return "OK"
-	case "GET":
-		if len(fields) != 2 {
-			return "ERR usage: GET <key>"
-		}
-		k, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return "ERR bad integer"
-		}
-		if v, ok := s.db.Get(k); ok {
-			return strconv.FormatInt(v, 10)
-		}
-		return "NOT_FOUND"
-	case "SUM":
-		if len(fields) != 3 {
-			return "ERR usage: SUM <lo> <hi>"
-		}
-		lo, err1 := strconv.ParseInt(fields[1], 10, 64)
-		hi, err2 := strconv.ParseInt(fields[2], 10, 64)
-		if err1 != nil || err2 != nil {
-			return "ERR bad integer"
-		}
-		var out string
-		s.view(func(sn mvgc.DBSnapshot[int64, int64, int64]) {
-			out = strconv.FormatInt(sn.AugRange(lo, hi), 10)
-		})
-		return out
-	case "LEN":
-		var out string
-		s.view(func(sn mvgc.DBSnapshot[int64, int64, int64]) {
-			out = strconv.FormatInt(sn.Len(), 10)
-		})
-		return out
-	case "MCAS":
-		if !s.atomic {
-			return "ERR MCAS requires -atomic"
-		}
-		if len(fields) < 4 || (len(fields)-1)%3 != 0 {
-			return "ERR usage: MCAS <key> <expect> <new> [...]"
-		}
-		n := (len(fields) - 1) / 3
-		keys := make([]int64, n)
-		expects := make([]int64, n)
-		news := make([]int64, n)
-		for i := 0; i < n; i++ {
-			var errs [3]error
-			keys[i], errs[0] = strconv.ParseInt(fields[1+3*i], 10, 64)
-			expects[i], errs[1] = strconv.ParseInt(fields[2+3*i], 10, 64)
-			news[i], errs[2] = strconv.ParseInt(fields[3+3*i], 10, 64)
-			if errs[0] != nil || errs[1] != nil || errs[2] != nil {
-				return "ERR bad integer"
-			}
-		}
-		swapped := false
-		s.db.UpdateAtomicKeys(keys, func(t *mvgc.DBTxn[int64, int64, int64]) {
-			for i, k := range keys {
-				if v, ok := t.Get(k); !ok || v != expects[i] {
-					return // no intents buffered: nothing commits
-				}
-			}
-			swapped = true
-			for i, k := range keys {
-				t.Insert(k, news[i])
-			}
-		})
-		if swapped {
-			return "OK"
-		}
-		return "FAIL"
-	}
-	return "ERR unknown command"
-}
 
 func main() {
 	shards := flag.Int("shards", 4, "number of independent map shards")
-	atomic := flag.Bool("atomic", false, "enable the MCAS multi-key compare-and-swap endpoint")
+	atomic := flag.Bool("atomic", false, "globally consistent SUM/LEN; demos MCAS")
 	flag.Parse()
 
-	s := newServer(*shards, *atomic)
+	srv, err := netserver.New(netserver.Config{Shards: *shards, Consistent: *atomic})
+	if err != nil {
+		panic(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
 	}
+	go srv.Serve(ln)
 	fmt.Printf("kvserver listening on %v (%d shards)\n", ln.Addr(), *shards)
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go s.handle(conn)
-		}
-	}()
 
 	// Demo session against our own server.
-	conn, err := net.Dial("tcp", ln.Addr().String())
+	c, err := netclient.Dial(ln.Addr().String(), 16)
 	if err != nil {
 		panic(err)
 	}
-	r := bufio.NewScanner(conn)
-	send := func(cmd string) {
-		fmt.Fprintf(conn, "%s\n", cmd)
-		r.Scan()
-		fmt.Printf("%-14s → %s\n", cmd, r.Text())
+	show := func(cmd string, out string, err error) {
+		if err != nil {
+			out = "ERR " + err.Error()
+		}
+		fmt.Printf("%-22s → %s\n", cmd, out)
 	}
-	for i := 1; i <= 5; i++ {
-		send(fmt.Sprintf("SET %d %d", i, i*100))
+	for i := int64(1); i <= 5; i++ {
+		err := c.Set(i, i*100)
+		show(fmt.Sprintf("SET %d %d", i, i*100), "OK", err)
 	}
-	send("GET 3")
-	send("GET 99")
-	send("SUM 1 5")
-	send("LEN")
+	v, ok, err := c.Get(3)
+	show("GET 3", fmt.Sprint(v), err)
+	_, ok, err = c.Get(99)
+	if err == nil && !ok {
+		show("GET 99", "NOT_FOUND", nil)
+	} else {
+		show("GET 99", "unexpected hit", err)
+	}
+	sum, err := c.Sum(1, 5)
+	show("SUM 1 5", fmt.Sprint(sum), err)
+	n, err := c.Len()
+	show("LEN", fmt.Sprint(n), err)
 	if *atomic {
 		// Multi-key CAS: keys 1 and 2 hold 100 and 200, so the first swap
-		// applies atomically and the second (stale expectation) must FAIL
+		// applies atomically and the second (stale expectation) must fail
 		// without touching either key.
-		send("MCAS 1 100 111 2 200 222")
-		send("MCAS 1 100 123 2 222 333")
-		send("GET 1")
-		send("GET 2")
+		swapped, err := c.MCAS([]int64{1, 2}, []int64{100, 200}, []int64{111, 222})
+		show("MCAS 1 100… 2 200…", fmt.Sprint(swapped), err)
+		swapped, err = c.MCAS([]int64{1, 2}, []int64{100, 222}, []int64{123, 333})
+		show("MCAS stale expect", fmt.Sprint(swapped), err)
+		v, _, err = c.Get(1)
+		show("GET 1", fmt.Sprint(v), err)
+		v, _, err = c.Get(2)
+		show("GET 2", fmt.Sprint(v), err)
 	}
-	conn.Close()
-	ln.Close()
+	stats, err := c.Stats()
+	show("STATS", stats, err)
 
-	s.db.Close()
-	fmt.Println("leaked nodes:", s.db.Live())
+	c.Close()
+	db := srv.DB()
+	srv.Shutdown() // closes the DB too
+	fmt.Println("leaked nodes:", db.Live())
 }

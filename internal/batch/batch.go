@@ -37,6 +37,11 @@ type Request[K, V any] struct {
 	Op  Op
 	Key K
 	Val V
+
+	// done, when non-nil, is the completion callback SubmitAsync attached:
+	// the combiner invokes it exactly once, after the commit containing the
+	// request has been published (or during the final drain on Stop).
+	done func()
 }
 
 // ring is a single-producer single-consumer bounded queue.  The producer
@@ -51,7 +56,8 @@ type ring[K, V any] struct {
 }
 
 // Batcher owns the single combining writer for a Map.  Clients call Submit
-// (or SubmitWait) from their own goroutine; the combiner goroutine commits
+// (SubmitWait, or SubmitAsync for pipelined completion callbacks) from
+// their own goroutine; the combiner goroutine commits
 // batches until Stop.  The combiner's process identity is a Handle leased
 // from the map's pool, so callers never assign it a pid.
 type Batcher[K, V, A any] struct {
@@ -169,6 +175,24 @@ func (b *Batcher[K, V, A]) SubmitWait(client int, r Request[K, V]) {
 	}
 }
 
+// SubmitAsync enqueues an update and returns without waiting for the
+// commit; done is invoked exactly once, after the commit containing the
+// request has been published — including the final drain commit when the
+// combiner is stopped with requests still buffered.  This is the
+// pipelining primitive: N in-flight writes cost N ring slots, not N
+// blocked goroutines (SubmitWait parks its caller per request).
+//
+// done runs on the combiner goroutine, after the batch's watermarks are
+// published, so it may itself call Submit/SubmitAsync — but it must not
+// block: every callback in the batch (and every later commit) waits
+// behind it.  Hand off to a channel or flip a flag; don't do work there.
+// Like Submit, SubmitAsync applies backpressure (blocks) while the
+// client's ring is full.
+func (b *Batcher[K, V, A]) SubmitAsync(client int, r Request[K, V], done func()) {
+	r.done = done
+	b.Submit(client, r)
+}
+
 // Flush blocks until everything submitted by client before the call has
 // committed.
 func (b *Batcher[K, V, A]) Flush(client int) {
@@ -190,10 +214,12 @@ func (b *Batcher[K, V, A]) run() {
 	}
 	var inserts []ftree.Entry[K, V]
 	var deletes []K
+	var cbs []func()
 	marks := make([]mark, 0, len(b.rings))
 	for {
 		inserts = inserts[:0]
 		deletes = deletes[:0]
+		cbs = cbs[:0]
 		marks = marks[:0]
 		total := 0
 		for _, q := range b.rings {
@@ -203,6 +229,13 @@ func (b *Batcher[K, V, A]) run() {
 			}
 			for i := h; i < t; i++ {
 				r := q.buf[i&q.mask]
+				if r.done != nil {
+					// The slot is ours until head advances; dropping the
+					// closure now keeps a drained ring from retaining it
+					// until the producer happens to overwrite the slot.
+					cbs = append(cbs, r.done)
+					q.buf[i&q.mask].done = nil
+				}
 				if r.Op == OpInsert {
 					inserts = append(inserts, ftree.Entry[K, V]{Key: r.Key, Val: r.Val})
 				} else {
@@ -254,6 +287,15 @@ func (b *Batcher[K, V, A]) run() {
 			for _, mk := range marks {
 				mk.q.committed.Store(mk.seq)
 			}
+			// Completion callbacks fire after the watermarks: an async
+			// waiter's callback and a SubmitWait on the same batch agree on
+			// what "committed" means.  Exactly once per request: the gather
+			// consumed each slot's callback before advancing head, and each
+			// slot is gathered by exactly one commit (this one).
+			for i, cb := range cbs {
+				cb()
+				cbs[i] = nil
+			}
 			continue // stay hot while work is flowing
 		}
 		select {
@@ -269,10 +311,15 @@ func (b *Batcher[K, V, A]) run() {
 func (b *Batcher[K, V, A]) finalDrain() {
 	var inserts []ftree.Entry[K, V]
 	var deletes []K
+	var cbs []func()
 	for _, q := range b.rings {
 		h, t := q.head.Load(), q.tail.Load()
 		for i := h; i < t; i++ {
 			r := q.buf[i&q.mask]
+			if r.done != nil {
+				cbs = append(cbs, r.done)
+				q.buf[i&q.mask].done = nil
+			}
 			if r.Op == OpInsert {
 				inserts = append(inserts, ftree.Entry[K, V]{Key: r.Key, Val: r.Val})
 			} else {
@@ -297,5 +344,11 @@ func (b *Batcher[K, V, A]) finalDrain() {
 	}
 	for _, q := range b.rings {
 		q.committed.Store(q.tail.Load())
+	}
+	// Shutdown keeps the exactly-once contract: every callback gathered by
+	// the final drain fires here, after its commit, and no other commit can
+	// have gathered it (head was advanced under this goroutine throughout).
+	for _, cb := range cbs {
+		cb()
 	}
 }

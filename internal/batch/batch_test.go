@@ -3,6 +3,7 @@ package batch
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -236,5 +237,75 @@ func TestCombinerPublishesKeyVersions(t *testing.T) {
 		t.Fatalf("batched delete left stripe at %#x (was %#x)", w2, w1)
 	}
 	b.Stop()
+	m.Close()
+}
+
+// TestSubmitAsyncExactlyOnce: every SubmitAsync callback fires exactly
+// once, after the commit containing its request — the contract the
+// pipelined network server's in-order response writers depend on.
+func TestSubmitAsyncExactlyOnce(t *testing.T) {
+	const n = 2000
+	m := newIntMap(t, 2)
+	b := New(m, Config{Clients: 2, BufCap: 64, MaxLatency: 100 * time.Microsecond}, nil)
+	b.Start()
+	fired := make([]atomic.Int32, n)
+	var done atomic.Int32
+	all := make(chan struct{})
+	for i := int64(0); i < n; i++ {
+		i := i
+		b.SubmitAsync(int(i)%2, Request[int64, int64]{Op: OpInsert, Key: i, Val: i * 2}, func() {
+			fired[i].Add(1)
+			if done.Add(1) == n {
+				close(all)
+			}
+		})
+	}
+	select {
+	case <-all:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("only %d/%d callbacks fired", done.Load(), n)
+	}
+	// Callbacks fire after the watermark publication, so by now every
+	// request is committed and visible.
+	read(m, func(s core.Snapshot[int64, int64, int64]) {
+		if s.Len() != n {
+			t.Fatalf("Len = %d after all callbacks, want %d", s.Len(), n)
+		}
+	})
+	b.Stop()
+	for i := range fired {
+		if c := fired[i].Load(); c != 1 {
+			t.Fatalf("callback %d fired %d times", i, c)
+		}
+	}
+	m.Close()
+}
+
+// TestSubmitAsyncShutdownDrain: callbacks for requests still buffered when
+// Stop is called fire exactly once from the final drain — a server shutting
+// down must complete every accepted write's response, never drop or double
+// it.
+func TestSubmitAsyncShutdownDrain(t *testing.T) {
+	const n = 100
+	m := newIntMap(t, 2)
+	b := New(m, Config{Clients: 1, MaxLatency: time.Hour}, nil) // combiner never wakes on its own
+	b.Start()
+	time.Sleep(5 * time.Millisecond) // let it park in its timer
+	fired := make([]atomic.Int32, n)
+	for i := int64(0); i < n; i++ {
+		i := i
+		b.SubmitAsync(0, Request[int64, int64]{Op: OpInsert, Key: i, Val: i}, func() { fired[i].Add(1) })
+	}
+	b.Stop() // final drain commits and must fire every callback
+	for i := range fired {
+		if c := fired[i].Load(); c != 1 {
+			t.Fatalf("callback %d fired %d times across shutdown", i, c)
+		}
+	}
+	read(m, func(s core.Snapshot[int64, int64, int64]) {
+		if s.Len() != n {
+			t.Fatalf("Len = %d after Stop drain", s.Len())
+		}
+	})
 	m.Close()
 }

@@ -106,3 +106,41 @@ func (r *InvReport) WriteJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
 }
+
+// NetSchema identifies the machine-readable result format emitted by
+// cmd/netbench -json; bump the version when fields change meaning.
+const NetSchema = "BENCH_net/v1"
+
+// NetRecord is one (connections, pipeline-depth) cell of the serving-layer
+// sweep.  CommitsPerOp is the headline coalescing metric: combiner commits
+// divided by write ops — it should fall toward shards/(batch arrival rate)
+// as connections and depth grow, far below the 1.0 of an unbatched server.
+type NetRecord struct {
+	Conns        int     `json:"conns"`
+	Depth        int     `json:"depth"`
+	Ops          int64   `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P50Us        float64 `json:"p50_us"`
+	P99Us        float64 `json:"p99_us"`
+	CommitsPerOp float64 `json:"commits_per_op"`
+}
+
+// NetReport is the BENCH_net.json document: serving-layer configuration
+// plus every swept cell, so successive PRs can track the network front
+// door's throughput, tail latency and write-coalescing trajectory.
+type NetReport struct {
+	Schema      string      `json:"schema"`
+	Shards      int         `json:"shards"`
+	WriteFrac   float64     `json:"write_frac"`
+	Keys        int64       `json:"keys"`
+	DurationSec float64     `json:"duration_sec"`
+	Results     []NetRecord `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *NetReport) WriteJSON(w io.Writer) error {
+	r.Schema = NetSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"flag"
+	"runtime"
+)
+
+// DefaultShards is the one place every cmd/* benchmark derives its -shards
+// default from: GOMAXPROCS capped at 8, floor 1.  More shards than cores
+// buys no commit parallelism but still splits the combiners' batches
+// (worse coalescing), and past 8 the fan-out read cost dominates on the
+// machines these benchmarks target.  CI passes -shards explicitly so
+// recorded configs stay comparable across runners; the default is for
+// humans at a terminal.
+func DefaultShards() int {
+	s := runtime.GOMAXPROCS(0)
+	if s > 8 {
+		s = 8
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ShardsFlag registers the standard -shards flag with the shared default.
+// usage may be empty for the stock description.
+func ShardsFlag(usage string) *int {
+	if usage == "" {
+		usage = "shard count (default: GOMAXPROCS capped at 8)"
+	}
+	return flag.Int("shards", DefaultShards(), usage)
+}

@@ -1,0 +1,415 @@
+// Package netclient is the pipelining client for the netproto serving
+// layer.  Every operation has an async form returning a *Pending: the
+// request is encoded into the connection's write buffer and the call
+// returns immediately; Pending.Wait blocks until the in-order reply
+// arrives.  Because the server replies strictly in request order, one
+// reader goroutine matching replies to a FIFO of pendings is all the
+// demultiplexing the protocol needs.
+//
+// Pipelining is what lets a single connection amortize the server's
+// combiner commits: D outstanding SETs from this client land in the same
+// shard batches as every other connection's, so per-op commit cost falls
+// as depth and connection count grow (cmd/netbench sweeps both).
+//
+// The client is safe for concurrent use; requests from multiple goroutines
+// are serialized onto the wire in submission order.
+package netclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mvgc/internal/netproto"
+)
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("netclient: client closed")
+
+// Pending is one in-flight request's future reply.
+type Pending struct {
+	done chan struct{}
+	err  error
+
+	kind byte
+	n    int64
+	null bool
+	text string // error line or bulk payload, copied out of the read buffer
+}
+
+// Wait blocks until the reply arrives (or the connection fails) and
+// returns the transport/protocol error, if any.  Command-level errors
+// (server "-ERR ..." replies) surface on the typed accessors, not here.
+func (p *Pending) Wait() error {
+	<-p.done
+	return p.err
+}
+
+// Err waits and returns the first error of any kind — transport, protocol
+// or server-reported.
+func (p *Pending) Err() error {
+	if err := p.Wait(); err != nil {
+		return err
+	}
+	if p.kind == netproto.KindError {
+		return errors.New(p.text)
+	}
+	return nil
+}
+
+// Int waits and returns an integer reply (SUM, LEN, MCAS).
+func (p *Pending) Int() (int64, error) {
+	if err := p.Err(); err != nil {
+		return 0, err
+	}
+	if p.kind != netproto.KindInt {
+		return 0, fmt.Errorf("netclient: unexpected reply kind %q", p.kind)
+	}
+	return p.n, nil
+}
+
+// Value waits and returns a GET reply: value, whether the key was present.
+func (p *Pending) Value() (int64, bool, error) {
+	if err := p.Err(); err != nil {
+		return 0, false, err
+	}
+	if p.kind != netproto.KindBulk {
+		return 0, false, fmt.Errorf("netclient: unexpected reply kind %q", p.kind)
+	}
+	if p.null {
+		return 0, false, nil
+	}
+	v, err := netproto.ParseInt([]byte(p.text))
+	if err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// Text waits and returns a bulk or simple reply as a string (STATS, PING).
+func (p *Pending) Text() (string, error) {
+	if err := p.Err(); err != nil {
+		return "", err
+	}
+	return p.text, nil
+}
+
+// Client is one pipelined connection.
+type Client struct {
+	nc net.Conn
+
+	mu     sync.Mutex // serializes encoding + enqueueing (wire order = FIFO order)
+	w      *netproto.Writer
+	closed bool
+
+	queue    chan *Pending // FIFO the reader goroutine completes in order
+	readDone chan struct{}
+}
+
+// Dial connects with the given pipeline window: up to depth requests may
+// be outstanding before an async call implicitly flushes and blocks.
+// depth <= 0 means 256.
+func Dial(addr string, depth int) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc, depth), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe-like
+// transports).
+func NewClient(nc net.Conn, depth int) *Client {
+	if depth <= 0 {
+		depth = 256
+	}
+	c := &Client{
+		nc:       nc,
+		w:        netproto.NewWriter(nc),
+		queue:    make(chan *Pending, depth),
+		readDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// readLoop completes pendings in FIFO order; on transport failure it fails
+// the current and all later pendings with the same error.
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	r := netproto.NewReader(c.nc)
+	var rep netproto.Reply
+	var fail error
+	for p := range c.queue {
+		if fail == nil {
+			if err := r.ReadReply(&rep); err != nil {
+				fail = err
+			}
+		}
+		if fail != nil {
+			p.err = fail
+			close(p.done)
+			continue
+		}
+		p.kind = rep.Kind
+		switch rep.Kind {
+		case netproto.KindInt:
+			p.n = rep.Int
+		case netproto.KindSimple:
+			p.text = string(rep.Line)
+		case netproto.KindError:
+			p.text = string(rep.Line)
+		case netproto.KindBulk:
+			if rep.Bulk == nil {
+				p.null = true
+			} else {
+				p.text = string(rep.Bulk)
+			}
+		}
+		close(p.done)
+	}
+}
+
+// enqueue registers p as the next expected reply.  Called with mu held,
+// immediately after encoding p's request.  If the window is full, the
+// write buffer is flushed first — the server can only drain the window by
+// seeing the requests — and then the send blocks until the reader frees a
+// slot, which bounds outstanding requests without deadlock.
+func (c *Client) enqueue(p *Pending) error {
+	select {
+	case c.queue <- p:
+	default:
+		if err := c.w.Flush(); err != nil {
+			p.err = err
+			close(p.done)
+			return err
+		}
+		c.queue <- p
+	}
+	return nil
+}
+
+func (c *Client) newPending() *Pending { return &Pending{done: make(chan struct{})} }
+
+// failClosed completes p immediately with ErrClosed.
+func failClosed(p *Pending) *Pending {
+	p.err = ErrClosed
+	close(p.done)
+	return p
+}
+
+// SetAsync pipelines SET key val.
+func (c *Client) SetAsync(key, val int64) *Pending {
+	p := c.newPending()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return failClosed(p)
+	}
+	c.w.BeginCommand(3)
+	c.w.ArgString(netproto.CmdSet)
+	c.w.ArgInt(key)
+	c.w.ArgInt(val)
+	c.enqueue(p)
+	return p
+}
+
+// DelAsync pipelines DEL key.
+func (c *Client) DelAsync(key int64) *Pending {
+	p := c.newPending()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return failClosed(p)
+	}
+	c.w.BeginCommand(2)
+	c.w.ArgString(netproto.CmdDel)
+	c.w.ArgInt(key)
+	c.enqueue(p)
+	return p
+}
+
+// GetAsync pipelines GET key.
+func (c *Client) GetAsync(key int64) *Pending {
+	p := c.newPending()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return failClosed(p)
+	}
+	c.w.BeginCommand(2)
+	c.w.ArgString(netproto.CmdGet)
+	c.w.ArgInt(key)
+	c.enqueue(p)
+	return p
+}
+
+// SumAsync pipelines SUM lo hi.
+func (c *Client) SumAsync(lo, hi int64) *Pending {
+	p := c.newPending()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return failClosed(p)
+	}
+	c.w.BeginCommand(3)
+	c.w.ArgString(netproto.CmdSum)
+	c.w.ArgInt(lo)
+	c.w.ArgInt(hi)
+	c.enqueue(p)
+	return p
+}
+
+// LenAsync pipelines LEN.
+func (c *Client) LenAsync() *Pending {
+	p := c.newPending()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return failClosed(p)
+	}
+	c.w.BeginCommand(1)
+	c.w.ArgString(netproto.CmdLen)
+	c.enqueue(p)
+	return p
+}
+
+// MCASAsync pipelines MCAS k1 e1 n1 [...]: swap every keys[i] from
+// expects[i] to news[i] atomically, all or nothing.
+func (c *Client) MCASAsync(keys, expects, news []int64) *Pending {
+	p := c.newPending()
+	if len(keys) == 0 || len(keys) != len(expects) || len(keys) != len(news) {
+		p.err = errors.New("netclient: MCAS wants equal-length non-empty key/expect/new slices")
+		close(p.done)
+		return p
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return failClosed(p)
+	}
+	c.w.BeginCommand(1 + 3*len(keys))
+	c.w.ArgString(netproto.CmdMCAS)
+	for i := range keys {
+		c.w.ArgInt(keys[i])
+		c.w.ArgInt(expects[i])
+		c.w.ArgInt(news[i])
+	}
+	c.enqueue(p)
+	return p
+}
+
+// PingAsync pipelines PING.
+func (c *Client) PingAsync() *Pending {
+	p := c.newPending()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return failClosed(p)
+	}
+	c.w.BeginCommand(1)
+	c.w.ArgString(netproto.CmdPing)
+	c.enqueue(p)
+	return p
+}
+
+// StatsAsync pipelines STATS.
+func (c *Client) StatsAsync() *Pending {
+	p := c.newPending()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return failClosed(p)
+	}
+	c.w.BeginCommand(1)
+	c.w.ArgString(netproto.CmdStats)
+	c.enqueue(p)
+	return p
+}
+
+// Flush pushes all encoded-but-buffered requests to the wire.  Waiting on
+// a Pending without flushing first can deadlock a quiet connection — the
+// synchronous wrappers and window-full sends flush for you.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return c.w.Flush()
+}
+
+// Set is the synchronous SET: flushes and waits.
+func (c *Client) Set(key, val int64) error {
+	p := c.SetAsync(key, val)
+	c.Flush()
+	return p.Err()
+}
+
+// Del is the synchronous DEL.
+func (c *Client) Del(key int64) error {
+	p := c.DelAsync(key)
+	c.Flush()
+	return p.Err()
+}
+
+// Get is the synchronous GET.
+func (c *Client) Get(key int64) (int64, bool, error) {
+	p := c.GetAsync(key)
+	c.Flush()
+	return p.Value()
+}
+
+// Sum is the synchronous SUM over [lo, hi].
+func (c *Client) Sum(lo, hi int64) (int64, error) {
+	p := c.SumAsync(lo, hi)
+	c.Flush()
+	return p.Int()
+}
+
+// Len is the synchronous LEN.
+func (c *Client) Len() (int64, error) {
+	p := c.LenAsync()
+	c.Flush()
+	return p.Int()
+}
+
+// MCAS is the synchronous multi-key compare-and-swap; true = swapped.
+func (c *Client) MCAS(keys, expects, news []int64) (bool, error) {
+	p := c.MCASAsync(keys, expects, news)
+	c.Flush()
+	n, err := p.Int()
+	return n == 1, err
+}
+
+// Ping is the synchronous PING.
+func (c *Client) Ping() error {
+	p := c.PingAsync()
+	c.Flush()
+	return p.Err()
+}
+
+// Stats fetches the server's coalescing counters as "k=v ..." text.
+func (c *Client) Stats() (string, error) {
+	p := c.StatsAsync()
+	c.Flush()
+	return p.Text()
+}
+
+// Close flushes, closes the connection, and waits for the reader to finish
+// failing or completing every outstanding Pending.  Safe to call twice.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.w.Flush()
+	close(c.queue) // senders are excluded by closed; reader drains and exits
+	err := c.nc.Close()
+	c.mu.Unlock()
+	<-c.readDone
+	return err
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package netproto
+
+const raceEnabled = false

@@ -1,0 +1,612 @@
+// Package netserver is the pipelined binary-protocol serving layer over
+// mvgc.DB: the front door that turns N sockets' traffic into the
+// concurrency shape the underlying store amortizes best.
+//
+// Each accepted connection runs two goroutines joined by a bounded FIFO of
+// response slots:
+//
+//   - The read loop decodes requests (netproto) and never blocks on a
+//     response.  Writes (SET/DEL) are submitted to the key's shard
+//     combiner via the async completion path (shard.Map.SubmitAsync) — the
+//     request's response slot is enqueued first, then the submission
+//     carries a callback that marks the slot ready when the combiner's
+//     batch commit publishes.  Reads (GET) take the cached-handle point
+//     path and complete immediately.  MCAS runs mvgc.DB.UpdateAtomicKeys
+//     inline.
+//   - The writer drains slots strictly in request order, waiting for each
+//     slot's completion, so pipelined replies come back in protocol order
+//     no matter which shard's combiner commits first.
+//
+// This is what makes the serving layer cheaper than goroutine-per-request
+// over SubmitWait: N connections × D-deep pipelines keep N×D writes in
+// flight on 2N goroutines, and all of a shard's in-flight writes ride ONE
+// combiner commit per batching interval — O(shards) commits for N sockets'
+// traffic instead of N (see DESIGN.md, "The network coalescing path";
+// cmd/netbench measures commits-per-op).
+//
+// Backpressure is layered: a connection may have at most Config.MaxPipeline
+// responses outstanding (the read loop stalls on the slot FIFO beyond
+// that), each combiner ring bounds in-flight writes per connection, and
+// Config.MaxConns bounds connections being served concurrently (each holds
+// a combiner client slot for its lifetime).
+package netserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvgc"
+	"mvgc/internal/batch"
+	"mvgc/internal/netproto"
+)
+
+// Config sizes a Server.  The zero value serves: GOMAXPROCS shards, 64
+// connection slots, 1024-deep pipelines, 1ms combiner latency bound.
+type Config struct {
+	// Shards is the number of independent map shards (default GOMAXPROCS,
+	// floor 1).  More shards = more combiners = more parallel commits.
+	Shards int
+	// MaxConns bounds connections served concurrently; each holds one
+	// combiner client slot (an SPSC ring per shard) for its lifetime, so
+	// this is also the combiner fan-in.  Further connections are accepted
+	// but wait for a slot (admission control).  Default 64.
+	MaxConns int
+	// MaxPipeline bounds one connection's outstanding responses; a read
+	// loop that gets further ahead stalls until the writer catches up.
+	// Default 1024.
+	MaxPipeline int
+	// MaxLatency is the per-shard combiner's batching latency bound: how
+	// long a submitted write may wait for its commit (batch.Config).
+	// Default 1ms.
+	MaxLatency time.Duration
+	// BufCap is each combiner ring's capacity (batch.Config).  Default
+	// 1024.
+	BufCap int
+	// Consistent routes SUM and LEN through ViewConsistent, so fan-out
+	// reads never observe an MCAS half-applied; plain per-shard fan-out
+	// otherwise.  Point reads are unaffected (single-shard reads are
+	// atomic either way).
+	Consistent bool
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards < 1 {
+			c.Shards = 1
+		}
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
+	if c.MaxPipeline <= 0 {
+		c.MaxPipeline = 1024
+	}
+	if c.MaxLatency <= 0 {
+		c.MaxLatency = time.Millisecond
+	}
+	if c.BufCap <= 0 {
+		c.BufCap = 1024
+	}
+}
+
+// Server is a pipelined netproto server over one sharded DB.
+type Server struct {
+	cfg Config
+	db  *mvgc.DB[int64, int64, int64]
+
+	// ids holds the free combiner client slots; a connection leases one
+	// for its lifetime (the combiner rings are single-producer).
+	ids chan int
+
+	mu     sync.Mutex
+	lns    []net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+	doneCh chan struct{} // closed by Shutdown/Close to abort slot waiters
+
+	serveWG sync.WaitGroup // accept loops + connection goroutines
+	nconns  atomic.Int64
+}
+
+// New opens the sharded DB (int64 keys and values, sum-augmented so SUM is
+// O(S log n)) and starts one combining writer per shard.  Close releases
+// everything; the caller owns listeners (Serve) until then.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	db, err := mvgc.OpenDB[int64, int64, int64](mvgc.DBOptions[int64]{
+		Shards: cfg.Shards,
+		Grain:  1024,
+	}, mvgc.SumAug[int64](), nil)
+	if err != nil {
+		return nil, err
+	}
+	db.StartBatching(batch.Config{
+		Clients:    cfg.MaxConns,
+		BufCap:     cfg.BufCap,
+		MaxLatency: cfg.MaxLatency,
+	}, nil)
+	s := &Server{
+		cfg:    cfg,
+		db:     db,
+		ids:    make(chan int, cfg.MaxConns),
+		conns:  make(map[*conn]struct{}),
+		doneCh: make(chan struct{}),
+	}
+	for i := 0; i < cfg.MaxConns; i++ {
+		s.ids <- i
+	}
+	return s, nil
+}
+
+// DB exposes the underlying store (tests and embedded servers).
+func (s *Server) DB() *mvgc.DB[int64, int64, int64] { return s.db }
+
+// Serve accepts connections on ln until the listener fails or the server
+// shuts down; it returns nil after Shutdown/Close.  Multiple Serve calls
+// (several listeners) are allowed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("netserver: server closed")
+	}
+	s.lns = append(s.lns, ln)
+	s.serveWG.Add(1)
+	s.mu.Unlock()
+	defer s.serveWG.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.serveWG.Add(1)
+		go s.handle(nc)
+	}
+}
+
+// Shutdown stops the server gracefully: listeners close, every connection's
+// read loop is interrupted at its next frame boundary, all responses for
+// requests already read are committed, written and flushed, and only then
+// are the combiners drained and the DB closed.  No accepted request's
+// response is dropped.
+func (s *Server) Shutdown() error { return s.stop(true) }
+
+// Close force-closes listeners and connections; in-flight responses may be
+// lost (their commits still complete — the combiners drain — but the
+// sockets are gone).  Prefer Shutdown.
+func (s *Server) Close() error { return s.stop(false) }
+
+func (s *Server) stop(graceful bool) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.doneCh)
+	for _, ln := range s.lns {
+		ln.Close()
+	}
+	for c := range s.conns {
+		if graceful {
+			// Wake a read loop parked in Read; everything it already
+			// enqueued still drains through its writer.
+			c.nc.SetReadDeadline(time.Now())
+		} else {
+			c.nc.Close()
+		}
+	}
+	s.mu.Unlock()
+	s.serveWG.Wait()
+	// All read loops have exited and all writers have drained: every
+	// accepted write's completion callback has fired (the combiners were
+	// live throughout).  Now the final drain can't strand a response.
+	s.db.Close()
+	return nil
+}
+
+// Conns reports connections currently being served.
+func (s *Server) Conns() int64 { return s.nconns.Load() }
+
+// respKind discriminates a slot's prepared response.
+type respKind uint8
+
+const (
+	respOK respKind = iota
+	respPong
+	respErr
+	respInt
+	respValue // BulkInt(n)
+	respNull
+	respBulk // Bulk([]byte(msg))
+)
+
+// slot is one in-flight response: enqueued on the connection's FIFO at
+// decode time, completed either immediately (reads, errors) or by the
+// shard combiner's commit callback (writes), encoded by the writer in
+// FIFO order.
+type slot struct {
+	kind respKind
+	n    int64
+	msg  string
+	// ready gates the writer; buffered so completion never blocks the
+	// combiner.  done sends on it and is allocated once per slot, so a
+	// recycled slot's async submission costs no closure allocation.
+	ready chan struct{}
+	done  func()
+}
+
+func newSlot() *slot {
+	sl := &slot{ready: make(chan struct{}, 1)}
+	sl.done = func() { sl.ready <- struct{}{} }
+	return sl
+}
+
+// conn is one served connection.
+type conn struct {
+	srv     *Server
+	nc      net.Conn
+	client  int // leased combiner client slot
+	pending chan *slot
+	free    chan *slot
+}
+
+// handle serves one connection to completion; it runs on the connection's
+// read-loop goroutine.
+func (s *Server) handle(nc net.Conn) {
+	defer s.serveWG.Done()
+	// Lease a combiner client slot; bail out if the server shuts down
+	// while this connection is queued for admission.
+	var id int
+	select {
+	case id = <-s.ids:
+	case <-s.doneCh:
+		nc.Close()
+		return
+	}
+	defer func() { s.ids <- id }()
+
+	c := &conn{
+		srv:     s,
+		nc:      nc,
+		client:  id,
+		pending: make(chan *slot, s.cfg.MaxPipeline),
+		free:    make(chan *slot, s.cfg.MaxPipeline),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.nconns.Add(1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.nconns.Add(-1)
+	}()
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		c.writeLoop()
+	}()
+	c.readLoop()
+	close(c.pending) // no more slots; the writer drains and flushes
+	writerWG.Wait()
+	nc.Close()
+}
+
+// slot leases a response slot, recycling the writer's returns.  Recycled
+// slots carry the previous response's payload, so every field a handler
+// might leave unset is cleared here — a handler that sets kind but not n
+// (MCAS's failure path, say) must not echo a stale value.
+func (c *conn) slot() *slot {
+	select {
+	case sl := <-c.free:
+		sl.kind = 0
+		sl.n = 0
+		sl.msg = ""
+		return sl
+	default:
+		return newSlot()
+	}
+}
+
+// enqueue places sl at the back of the response FIFO (applying the
+// pipeline-depth backpressure) — always BEFORE the operation that will
+// complete it, so wire order is request order.
+func (c *conn) enqueue(sl *slot) { c.pending <- sl }
+
+// complete finishes an operation handled inline on the read loop.
+func (sl *slot) complete() { sl.ready <- struct{}{} }
+
+// writeLoop encodes responses in FIFO order.  Before parking on an
+// incomplete slot it flushes everything already encoded, so a stalled
+// write never withholds earlier completed responses from the client.
+// Write errors go sticky inside the buffered writer; the loop keeps
+// draining so every combiner callback finds its slot (and the recycle
+// list) in place.
+func (c *conn) writeLoop() {
+	w := netproto.NewWriter(c.nc)
+	for sl := range c.pending {
+		select {
+		case <-sl.ready:
+		default:
+			w.Flush()
+			<-sl.ready
+		}
+		switch sl.kind {
+		case respOK:
+			w.Simple("OK")
+		case respPong:
+			w.Simple("PONG")
+		case respErr:
+			w.Error(sl.msg)
+		case respInt:
+			w.Int(sl.n)
+		case respValue:
+			w.BulkInt(sl.n)
+		case respNull:
+			w.Null()
+		case respBulk:
+			w.Bulk([]byte(sl.msg))
+		}
+		sl.msg = ""
+		select {
+		case c.free <- sl:
+		default: // recycle list full; let it be collected
+		}
+		if len(c.pending) == 0 {
+			w.Flush()
+		}
+	}
+	w.Flush()
+}
+
+// fail enqueues an error response; the connection survives (framing is
+// intact — parse errors of VALUES are command errors, not protocol
+// errors).
+func (c *conn) fail(msg string) {
+	sl := c.slot()
+	sl.kind = respErr
+	sl.msg = msg
+	sl.complete()
+	c.enqueue(sl)
+}
+
+// eqFold reports ASCII case-insensitive equality with an upper-case name.
+func eqFold(b []byte, upper string) bool {
+	if len(b) != len(upper) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		ch := b[i]
+		if 'a' <= ch && ch <= 'z' {
+			ch -= 'a' - 'A'
+		}
+		if ch != upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// argInt parses one int64 argument.
+func argInt(b []byte) (int64, bool) {
+	v, err := netproto.ParseInt(b)
+	return v, err == nil
+}
+
+// readLoop decodes and dispatches until EOF, a protocol error, or
+// shutdown.  It never waits for a response: the only things that block it
+// are its own backpressure bounds (pipeline FIFO, combiner ring).
+func (c *conn) readLoop() {
+	r := netproto.NewReader(c.nc)
+	var cmd netproto.Command
+	for {
+		if err := r.ReadCommand(&cmd); err != nil {
+			// EOF (client finished), deadline (shutdown), or a framing
+			// error: in every case the connection stops reading and the
+			// writer drains what was accepted.
+			return
+		}
+		name := cmd.Args[0]
+		switch {
+		case eqFold(name, netproto.CmdSet):
+			c.execWrite(&cmd, batch.OpInsert)
+		case eqFold(name, netproto.CmdDel):
+			c.execWrite(&cmd, batch.OpDelete)
+		case eqFold(name, netproto.CmdGet):
+			c.execGet(&cmd)
+		case eqFold(name, netproto.CmdSum):
+			c.execSum(&cmd)
+		case eqFold(name, netproto.CmdLen):
+			c.execLen()
+		case eqFold(name, netproto.CmdMCAS):
+			c.execMCAS(&cmd)
+		case eqFold(name, netproto.CmdPing):
+			sl := c.slot()
+			sl.kind = respPong
+			sl.complete()
+			c.enqueue(sl)
+		case eqFold(name, netproto.CmdStats):
+			c.execStats()
+		default:
+			c.fail(fmt.Sprintf("ERR unknown command %q", name))
+		}
+	}
+}
+
+// execWrite is the coalescing path: enqueue the response slot, then hand
+// the write to the key's shard combiner with the slot's completion
+// callback.  The reply reaches the wire only after the combiner commit
+// containing this write has published — a replied SET is committed — yet
+// the read loop moves on immediately, so every write this and other
+// connections pipeline meanwhile rides the same O(shards) commits.
+func (c *conn) execWrite(cmd *netproto.Command, op batch.Op) {
+	wantArgs := 3
+	if op == batch.OpDelete {
+		wantArgs = 2
+	}
+	if len(cmd.Args) != wantArgs {
+		c.fail("ERR wrong number of arguments")
+		return
+	}
+	k, ok1 := argInt(cmd.Args[1])
+	var v int64
+	ok2 := true
+	if op == batch.OpInsert {
+		v, ok2 = argInt(cmd.Args[2])
+	}
+	if !ok1 || !ok2 {
+		c.fail("ERR bad integer")
+		return
+	}
+	sl := c.slot()
+	sl.kind = respOK
+	c.enqueue(sl)
+	c.srv.db.SubmitAsync(c.client, batch.Request[int64, int64]{Op: op, Key: k, Val: v}, sl.done)
+}
+
+// execGet serves the cached-handle point read: decode, read, complete —
+// all inline, 0 B/op on the store side.
+func (c *conn) execGet(cmd *netproto.Command) {
+	if len(cmd.Args) != 2 {
+		c.fail("ERR wrong number of arguments")
+		return
+	}
+	k, ok := argInt(cmd.Args[1])
+	if !ok {
+		c.fail("ERR bad integer")
+		return
+	}
+	sl := c.slot()
+	if v, found := c.srv.db.Get(k); found {
+		sl.kind = respValue
+		sl.n = v
+	} else {
+		sl.kind = respNull
+	}
+	sl.complete()
+	c.enqueue(sl)
+}
+
+// view is the fan-out read mode SUM and LEN use: globally consistent when
+// the server was configured for it, per-shard otherwise.
+func (c *conn) view(f func(sn mvgc.DBSnapshot[int64, int64, int64])) {
+	if c.srv.cfg.Consistent {
+		c.srv.db.ViewConsistent(f)
+		return
+	}
+	c.srv.db.View(f)
+}
+
+func (c *conn) execSum(cmd *netproto.Command) {
+	if len(cmd.Args) != 3 {
+		c.fail("ERR wrong number of arguments")
+		return
+	}
+	lo, ok1 := argInt(cmd.Args[1])
+	hi, ok2 := argInt(cmd.Args[2])
+	if !ok1 || !ok2 {
+		c.fail("ERR bad integer")
+		return
+	}
+	sl := c.slot()
+	sl.kind = respInt
+	c.view(func(sn mvgc.DBSnapshot[int64, int64, int64]) { sl.n = sn.AugRange(lo, hi) })
+	sl.complete()
+	c.enqueue(sl)
+}
+
+func (c *conn) execLen() {
+	sl := c.slot()
+	sl.kind = respInt
+	c.view(func(sn mvgc.DBSnapshot[int64, int64, int64]) { sl.n = sn.Len() })
+	sl.complete()
+	c.enqueue(sl)
+}
+
+// execMCAS maps MCAS onto DB.UpdateAtomicKeys: the declared footprint is
+// the swapped keys, expectations are validated reads, and the commit is a
+// serializable multi-key compare-and-swap against every other writer —
+// including the combiners all pipelined SETs flow through.  It runs inline
+// on the read loop (it must observe its own connection's earlier SETs no
+// differently than any other writer's), so an MCAS is a pipeline barrier
+// for its connection; replies stay in order regardless.
+func (c *conn) execMCAS(cmd *netproto.Command) {
+	if len(cmd.Args) < 4 || (len(cmd.Args)-1)%3 != 0 {
+		c.fail("ERR usage: MCAS <key> <expect> <new> [...]")
+		return
+	}
+	n := (len(cmd.Args) - 1) / 3
+	keys := make([]int64, n)
+	expects := make([]int64, n)
+	news := make([]int64, n)
+	for i := 0; i < n; i++ {
+		var ok [3]bool
+		keys[i], ok[0] = argInt(cmd.Args[1+3*i])
+		expects[i], ok[1] = argInt(cmd.Args[2+3*i])
+		news[i], ok[2] = argInt(cmd.Args[3+3*i])
+		if !ok[0] || !ok[1] || !ok[2] {
+			c.fail("ERR bad integer")
+			return
+		}
+	}
+	swapped := false
+	c.srv.db.UpdateAtomicKeys(keys, func(t *mvgc.DBTxn[int64, int64, int64]) {
+		swapped = false // f may re-run after an OCC abort
+		for i, k := range keys {
+			if v, ok := t.Get(k); !ok || v != expects[i] {
+				return // no intents buffered: nothing commits
+			}
+		}
+		swapped = true
+		for i, k := range keys {
+			t.Insert(k, news[i])
+		}
+	})
+	sl := c.slot()
+	sl.kind = respInt
+	if swapped {
+		sl.n = 1
+	}
+	sl.complete()
+	c.enqueue(sl)
+}
+
+// execStats renders the serving-layer counters netbench uses to prove
+// coalescing: batches/applied are the shard combiners' commit and request
+// totals (applied/batches = writes per combiner commit), commits is the
+// store's total committed write transactions.
+func (c *conn) execStats() {
+	s := c.srv
+	sl := c.slot()
+	sl.kind = respBulk
+	sl.msg = "batches=" + strconv.FormatInt(s.db.Batches(), 10) +
+		" applied=" + strconv.FormatInt(s.db.Applied(), 10) +
+		" commits=" + strconv.FormatInt(s.db.Commits(), 10) +
+		" conns=" + strconv.FormatInt(s.Conns(), 10) +
+		" shards=" + strconv.FormatInt(int64(s.db.NumShards()), 10)
+	sl.complete()
+	c.enqueue(sl)
+}

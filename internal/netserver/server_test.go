@@ -1,0 +1,317 @@
+package netserver
+
+import (
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mvgc/internal/netclient"
+)
+
+// startServer brings up a real listener on a random loopback port and
+// returns the server plus its dialable address.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	return s, ln.Addr().String()
+}
+
+// statInt extracts one counter from a STATS reply.
+func statInt(t *testing.T, stats, key string) int64 {
+	t.Helper()
+	for _, f := range strings.Fields(stats) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				t.Fatalf("STATS field %q: %v", f, err)
+			}
+			return n
+		}
+	}
+	t.Fatalf("STATS reply %q lacks %q", stats, key)
+	return 0
+}
+
+// TestServerCommands drives every command synchronously over a real
+// socket.
+func TestServerCommands(t *testing.T) {
+	s, addr := startServer(t, Config{Shards: 2, MaxConns: 4})
+	defer s.Shutdown()
+
+	c, err := netclient.Dial(addr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("PING: %v", err)
+	}
+	for k := int64(1); k <= 10; k++ {
+		if err := c.Set(k, k*100); err != nil {
+			t.Fatalf("SET %d: %v", k, err)
+		}
+	}
+	if v, ok, err := c.Get(7); err != nil || !ok || v != 700 {
+		t.Fatalf("GET 7 = (%d, %v, %v), want (700, true, nil)", v, ok, err)
+	}
+	if _, ok, err := c.Get(99); err != nil || ok {
+		t.Fatalf("GET 99 present=%v err=%v, want absent", ok, err)
+	}
+	if n, err := c.Len(); err != nil || n != 10 {
+		t.Fatalf("LEN = (%d, %v), want 10", n, err)
+	}
+	// sum(100..1000 step 100) = 5500
+	if sum, err := c.Sum(1, 10); err != nil || sum != 5500 {
+		t.Fatalf("SUM 1 10 = (%d, %v), want 5500", sum, err)
+	}
+	if err := c.Del(3); err != nil {
+		t.Fatalf("DEL: %v", err)
+	}
+	if _, ok, _ := c.Get(3); ok {
+		t.Fatal("GET 3 still present after DEL")
+	}
+
+	// MCAS: wrong expectation fails and writes nothing, right one swaps all.
+	if ok, err := c.MCAS([]int64{1, 2}, []int64{100, 999}, []int64{-1, -2}); err != nil || ok {
+		t.Fatalf("MCAS with bad expect = (%v, %v), want (false, nil)", ok, err)
+	}
+	if v, _, _ := c.Get(1); v != 100 {
+		t.Fatalf("failed MCAS wrote key 1: %d", v)
+	}
+	if ok, err := c.MCAS([]int64{1, 2}, []int64{100, 200}, []int64{111, 222}); err != nil || !ok {
+		t.Fatalf("MCAS = (%v, %v), want (true, nil)", ok, err)
+	}
+	if v, _, _ := c.Get(2); v != 222 {
+		t.Fatalf("MCAS swapped key 2 to %d, want 222", v)
+	}
+	// Recycled-slot regression: a failing MCAS right after a successful one
+	// reuses the success's response slot, which must not echo its stale :1.
+	if ok, err := c.MCAS([]int64{1, 2}, []int64{100, 222}, []int64{0, 0}); err != nil || ok {
+		t.Fatalf("stale-expect MCAS on recycled slot = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	// Command errors keep the connection alive.
+	if _, err := c.Sum(1, 2); err != nil {
+		t.Fatalf("SUM after MCAS: %v", err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatalf("STATS: %v", err)
+	}
+	if got := statInt(t, stats, "shards"); got != 2 {
+		t.Fatalf("STATS shards = %d, want 2", got)
+	}
+	if statInt(t, stats, "applied") < 11 { // 10 SETs + 1 DEL rode combiners
+		t.Fatalf("STATS applied = %d, want >= 11", statInt(t, stats, "applied"))
+	}
+}
+
+// TestPipelinedClientsCoalesce is the tentpole property end to end: many
+// connections pipelining writes concurrently, all acknowledged writes
+// visible, and the combiner commit count far below the op count.
+func TestPipelinedClientsCoalesce(t *testing.T) {
+	const (
+		clients = 8
+		perConn = 400
+		depth   = 64
+	)
+	s, addr := startServer(t, Config{Shards: 2, MaxConns: clients, MaxLatency: time.Millisecond})
+	defer s.Shutdown()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := netclient.Dial(addr, depth)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			pend := make([]*netclient.Pending, 0, perConn)
+			for i := 0; i < perConn; i++ {
+				k := int64(ci*perConn + i)
+				pend = append(pend, c.SetAsync(k, k))
+			}
+			if err := c.Flush(); err != nil {
+				errs <- err
+				return
+			}
+			for _, p := range pend {
+				if err := p.Err(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	c, err := netclient.Dial(addr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	total := int64(clients * perConn)
+	if n, err := c.Len(); err != nil || n != total {
+		t.Fatalf("LEN = (%d, %v), want %d", n, err, total)
+	}
+	// Every acknowledged SET must be readable: spot-check a stripe.
+	for k := int64(0); k < total; k += 37 {
+		if v, ok, err := c.Get(k); err != nil || !ok || v != k {
+			t.Fatalf("GET %d = (%d, %v, %v)", k, v, ok, err)
+		}
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := statInt(t, stats, "applied")
+	batches := statInt(t, stats, "batches")
+	if applied < total {
+		t.Fatalf("applied = %d, want >= %d", applied, total)
+	}
+	// The whole point: thousands of pipelined writes ride far fewer
+	// combiner commits.  Be loose here (CI machines stall); netbench
+	// measures the real ratio.
+	if batches*4 > applied {
+		t.Fatalf("no coalescing: %d batches for %d applied writes", batches, applied)
+	}
+	t.Logf("coalescing: %d writes in %d commits (%.1f writes/commit)",
+		applied, batches, float64(applied)/float64(batches))
+}
+
+// TestGracefulShutdownDrains: a reply is only written after the write's
+// combiner commit published, so every SET acknowledged before/through a
+// graceful shutdown must be durable, successes must form an order-prefix
+// (protocol order), and nothing may hang — even though Shutdown lands in
+// the middle of a pipelined burst.
+func TestGracefulShutdownDrains(t *testing.T) {
+	const n = 2000
+	// Long MaxLatency: at shutdown time most accepted writes are still
+	// sitting uncommitted in combiner rings, so returning their replies
+	// requires the drain path to keep the combiners alive until every
+	// writer finished.
+	s, addr := startServer(t, Config{Shards: 2, MaxConns: 2, MaxLatency: 20 * time.Millisecond})
+
+	c, err := netclient.Dial(addr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	pend := make([]*netclient.Pending, 0, n)
+	for i := 0; i < n; i++ {
+		pend = append(pend, c.SetAsync(int64(i), int64(i)))
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Make sure shutdown lands mid-burst, not before the server has read
+	// anything: once the first reply is back, the read loop is deep in the
+	// pipeline (replies are in order, so request 0 was read first).
+	if err := pend[0].Err(); err != nil {
+		t.Fatalf("first SET: %v", err)
+	}
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		if err := s.Shutdown(); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+
+	// No pending may hang: each either got its committed "+OK" or failed
+	// with a transport error once the drained connection closed.
+	acked := 0
+	sawFailure := false
+	deadline := time.After(30 * time.Second)
+	for i, p := range pend {
+		done := make(chan error, 1)
+		go func() { done <- p.Err() }()
+		select {
+		case err := <-done:
+			if err == nil {
+				if sawFailure {
+					t.Fatalf("reply %d succeeded after an earlier failure: order violated", i)
+				}
+				acked++
+			} else {
+				sawFailure = true
+			}
+		case <-deadline:
+			t.Fatalf("pending %d neither completed nor failed: shutdown lost it", i)
+		}
+	}
+	select {
+	case <-shutdownDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Shutdown did not return")
+	}
+	if s.Conns() != 0 {
+		t.Fatalf("Conns() = %d after Shutdown", s.Conns())
+	}
+	t.Logf("graceful shutdown: %d/%d writes acknowledged, all committed", acked, n)
+
+	// Dialing a shut-down server must fail (listener closed).
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+// TestAdmissionControl: more connections than MaxConns — the extras queue
+// for a combiner client slot and are served as slots free, none dropped.
+func TestAdmissionControl(t *testing.T) {
+	const conns = 6
+	s, addr := startServer(t, Config{Shards: 1, MaxConns: 2})
+	defer s.Shutdown()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := netclient.Dial(addr, 8)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Set(int64(i), int64(i)); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	c, err := netclient.Dial(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if n, err := c.Len(); err != nil || n != conns {
+		t.Fatalf("LEN = (%d, %v), want %d", n, err, conns)
+	}
+}

@@ -964,6 +964,16 @@ func (m *Map[K, V, A]) SubmitWait(client int, r batch.Request[K, V]) {
 	m.batchers[m.ShardFor(r.Key)].SubmitWait(client, r)
 }
 
+// SubmitAsync routes a buffered update and returns immediately; done runs
+// exactly once on the owning shard's combiner goroutine after the commit
+// containing the request has been published (see batch.Batcher.SubmitAsync
+// for the callback contract: fast, non-blocking).  This is how a pipelined
+// connection keeps many writes in flight without parking a goroutine per
+// write.
+func (m *Map[K, V, A]) SubmitAsync(client int, r batch.Request[K, V], done func()) {
+	m.batchers[m.ShardFor(r.Key)].SubmitAsync(client, r, done)
+}
+
 // Flush blocks until everything the client submitted (on any shard) before
 // the call has committed.
 func (m *Map[K, V, A]) Flush(client int) {
@@ -985,6 +995,17 @@ func (m *Map[K, V, A]) Batches() int64 {
 	var n int64
 	for _, b := range m.batchers {
 		n += b.Batches()
+	}
+	return n
+}
+
+// Applied sums combiner-committed requests across shard combiners.
+// Batches()/Applied() is the write-coalescing ratio: commits per submitted
+// write, the number the network layer drives toward O(shards)/N.
+func (m *Map[K, V, A]) Applied() int64 {
+	var n int64
+	for _, b := range m.batchers {
+		n += b.Applied()
 	}
 	return n
 }
