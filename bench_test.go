@@ -18,6 +18,7 @@ import (
 	"mvgc/internal/core"
 	"mvgc/internal/experiments"
 	"mvgc/internal/ftree"
+	"mvgc/internal/shard"
 	"mvgc/internal/vlist"
 	"mvgc/internal/vm"
 	"mvgc/internal/ycsb"
@@ -585,6 +586,50 @@ func BenchmarkAllocBatchCommit(b *testing.B) {
 			b.StopTimer()
 			w.Close()
 			m.Close()
+		})
+	}
+}
+
+// BenchmarkScanWarm measures the steady-state cross-shard scan: 100
+// entries per op off a snapshot pinned once outside the timed loop,
+// streamed through the pooled loser-tree merge into a reused append
+// buffer.  Run with -benchmem: warm scans must report 0 B/op — the merge
+// state (iterator stacks, tournament slice) comes from the Map's pool and
+// the results land in the caller's buffer.  cmd/allocbench emits the same
+// cell ("scan-warm") into BENCH_alloc/v1 and CI gates it absolutely.
+func BenchmarkScanWarm(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			initial := make([]ftree.Entry[uint64, uint64], 100_000)
+			for i := range initial {
+				initial[i] = ftree.Entry[uint64, uint64]{Key: uint64(i), Val: uint64(i)}
+			}
+			sm, err := shard.New(
+				shard.Config[uint64]{Shards: shards, Procs: 2, Hash: ycsb.Mix64},
+				func() *ftree.Ops[uint64, uint64, struct{}] {
+					return ftree.New[uint64, uint64, struct{}](ftree.IntCmp[uint64], ftree.NoAug[uint64, uint64](), 0)
+				},
+				initial,
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := ycsb.NewSplitMix64(14)
+			var buf []ftree.Entry[uint64, uint64]
+			sm.View(func(s shard.Snap[uint64, uint64, struct{}]) {
+				for i := 0; i < 1000; i++ { // warm the scan-state pool
+					buf = s.ScanAppend(buf[:0], rng.Next()%100_000, 100)
+				}
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			sm.View(func(s shard.Snap[uint64, uint64, struct{}]) {
+				for i := 0; i < b.N; i++ {
+					buf = s.ScanAppend(buf[:0], rng.Next()%100_000, 100)
+				}
+			})
+			b.StopTimer()
+			sm.Close()
 		})
 	}
 }

@@ -11,9 +11,10 @@
 //     so the magazine allocator's zero-allocation write path is a CI
 //     invariant, not a one-off measurement.
 //   - BENCH_net/v1 (cmd/netbench -json): cells are (conns, depth) points of
-//     the serving-layer sweep; a regression is an ops/s drop OR a
-//     commits-per-op increase beyond the tolerance, so both the front
-//     door's throughput and its write-coalescing property gate the merge.
+//     the serving-layer sweep (the SCAN-mix cell keys separately via its
+//     scan fraction); a regression is an ops/s drop OR a commits-per-op
+//     increase beyond the tolerance, so both the front door's throughput
+//     and its write-coalescing property gate the merge.
 //
 // Usage:
 //
@@ -243,7 +244,16 @@ func diffNet(oldR, newR bench.NetReport, tol float64) *diffResult {
 			oldR.Keys, newR.Keys, oldR.DurationSec, newR.DurationSec))
 	}
 
-	key := func(r bench.NetRecord) string { return fmt.Sprintf("conns=%d/depth=%d", r.Conns, r.Depth) }
+	key := func(r bench.NetRecord) string {
+		k := fmt.Sprintf("conns=%d/depth=%d", r.Conns, r.Depth)
+		if r.ScanFrac > 0 {
+			// The scan cell keys separately from the GET/SET cell at the
+			// same sweep point; plain cells keep their pre-scan keys so old
+			// baselines still match.
+			k += fmt.Sprintf("/scan=%.2f", r.ScanFrac)
+		}
+		return k
+	}
 	fmtCell := func(r bench.NetRecord) string {
 		return fmt.Sprintf("%9.0f ops/s %6.4f c/op", r.OpsPerSec, r.CommitsPerOp)
 	}

@@ -2,8 +2,8 @@
 // protocol (a RESP subset): the repo's network front door.
 //
 // Pipelined clients (internal/netclient, cmd/netbench, or anything that
-// speaks RESP arrays of bulk strings) get SET/GET/DEL/SUM/LEN/MCAS/PING/
-// STATS; every connection's writes flow through the per-shard combining
+// speaks RESP arrays of bulk strings) get SET/GET/DEL/SUM/LEN/SCAN/MCAS/
+// PING/STATS; every connection's writes flow through the per-shard combining
 // writers, so N connections' pipelined SETs coalesce into O(shards)
 // commits per batching interval (see internal/netserver).
 //
@@ -35,7 +35,7 @@ func main() {
 		maxConns   = flag.Int("maxconns", 256, "connections served concurrently (combiner fan-in)")
 		pipeline   = flag.Int("pipeline", 1024, "max outstanding responses per connection")
 		latency    = flag.Duration("latency", time.Millisecond, "combiner batching latency bound")
-		consistent = flag.Bool("consistent", false, "serve SUM/LEN from globally consistent snapshots")
+		consistent = flag.Bool("consistent", false, "serve SUM/LEN/SCAN from globally consistent snapshots")
 	)
 	flag.Parse()
 

@@ -7,6 +7,11 @@
 // in-flight writes from ALL connections ride one commit per batching
 // interval (O(shards) commits for N sockets' traffic).
 //
+// After the GET/SET grid, one scan cell runs at the sweep's widest
+// (conns, depth) point with -scanfrac of its operations issued as SCAN
+// commands (uniform length 1–100), so the server-side merged-scan path is
+// tracked by the same report; -scanfrac 0 skips it.
+//
 // The server runs in-process on a loopback listener, so the sweep is
 // self-contained and STATS deltas are exact; -addr targets an external
 // mvgcd instead (commits-per-op then includes any other clients' traffic).
@@ -40,6 +45,7 @@ func main() {
 		shards    = bench.ShardsFlag("")
 		keys      = flag.Int64("keys", 100_000, "key space size")
 		writeFrac = flag.Float64("writefrac", 1.0, "fraction of ops that are SETs (rest GETs)")
+		scanFrac  = flag.Float64("scanfrac", 0.05, "scan cell: fraction of ops that are SCANs (0 skips the scan cell)")
 		dur       = flag.Duration("dur", 2*time.Second, "measured duration per cell")
 		latency   = flag.Duration("latency", time.Millisecond, "server combiner batching latency bound")
 		addr      = flag.String("addr", "", "benchmark an external server instead of in-process")
@@ -52,7 +58,7 @@ func main() {
 		var depths []int
 		depths, err = csvInts(*depthCSV)
 		if err == nil {
-			err = run(conns, depths, *shards, *keys, *writeFrac, *dur, *latency, *addr, *jsonPath)
+			err = run(conns, depths, *shards, *keys, *writeFrac, *scanFrac, *dur, *latency, *addr, *jsonPath)
 		}
 	}
 	if err != nil {
@@ -73,7 +79,7 @@ func csvInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(conns, depths []int, shards int, keys int64, writeFrac float64, dur, latency time.Duration, addr, jsonPath string) error {
+func run(conns, depths []int, shards int, keys int64, writeFrac, scanFrac float64, dur, latency time.Duration, addr, jsonPath string) error {
 	if addr == "" {
 		maxConns := 0
 		for _, c := range conns {
@@ -110,17 +116,43 @@ func run(conns, depths []int, shards int, keys int64, writeFrac float64, dur, la
 		Keys:        keys,
 		DurationSec: dur.Seconds(),
 	}
-	fmt.Printf("%6s %6s %12s %10s %10s %14s\n", "conns", "depth", "ops/s", "p50(us)", "p99(us)", "commits/op")
+	fmt.Printf("%6s %6s %6s %12s %10s %10s %14s\n", "conns", "depth", "scan%", "ops/s", "p50(us)", "p99(us)", "commits/op")
+	emit := func(rec bench.NetRecord) {
+		rep.Results = append(rep.Results, rec)
+		fmt.Printf("%6d %6d %6.0f %12.0f %10.1f %10.1f %14.4f\n",
+			rec.Conns, rec.Depth, rec.ScanFrac*100, rec.OpsPerSec, rec.P50Us, rec.P99Us, rec.CommitsPerOp)
+	}
 	for _, c := range conns {
 		for _, d := range depths {
-			rec, err := cell(addr, c, d, keys, writeFrac, dur, ctl)
+			rec, err := cell(addr, c, d, keys, writeFrac, 0, dur, ctl)
 			if err != nil {
 				return err
 			}
-			rep.Results = append(rep.Results, rec)
-			fmt.Printf("%6d %6d %12.0f %10.1f %10.1f %14.4f\n",
-				rec.Conns, rec.Depth, rec.OpsPerSec, rec.P50Us, rec.P99Us, rec.CommitsPerOp)
+			emit(rec)
 		}
+	}
+	if scanFrac > 0 {
+		// One scan cell at the sweep's widest point: scanFrac of the ops are
+		// SCAN commands of uniform length 1–100, streamed through the server's
+		// loser-tree merge off one consistent cut, mixed with the usual
+		// GET/SET traffic.  Kept to a single cell so the sweep's cost stays
+		// dominated by the classic grid.
+		maxC, maxD := conns[0], depths[0]
+		for _, c := range conns {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for _, d := range depths {
+			if d > maxD {
+				maxD = d
+			}
+		}
+		rec, err := cell(addr, maxC, maxD, keys, writeFrac, scanFrac, dur, ctl)
+		if err != nil {
+			return err
+		}
+		emit(rec)
 	}
 
 	if jsonPath != "" {
@@ -151,8 +183,9 @@ func stat(ctl *netclient.Client, key string) (int64, error) {
 // cell measures one (connections, depth) point: each connection keeps
 // depth requests in flight (windowed pipelining), latencies are per-op
 // send-to-reply, and commits-per-op is the server-side combiner commit
-// delta over the write ops this cell issued.
-func cell(addr string, conns, depth int, keys int64, writeFrac float64, dur time.Duration, ctl *netclient.Client) (bench.NetRecord, error) {
+// delta over the write ops this cell issued.  A positive scanFrac replaces
+// that fraction of operations with SCAN commands of uniform length 1–100.
+func cell(addr string, conns, depth int, keys int64, writeFrac, scanFrac float64, dur time.Duration, ctl *netclient.Client) (bench.NetRecord, error) {
 	batches0, err := stat(ctl, "batches")
 	if err != nil {
 		return bench.NetRecord{}, err
@@ -194,10 +227,13 @@ func cell(addr string, conns, depth int, keys int64, writeFrac float64, dur time
 			for r.err == nil && time.Now().Before(deadline) {
 				k := int64(rng.Next() % uint64(keys))
 				var p *netclient.Pending
-				if writeFrac >= 1 || rng.Float64() < writeFrac {
+				switch {
+				case scanFrac > 0 && rng.Float64() < scanFrac:
+					p = c.ScanAsync(k, 1+int(rng.Intn(100)))
+				case writeFrac >= 1 || rng.Float64() < writeFrac:
 					p = c.SetAsync(k, k)
 					r.writes++
-				} else {
+				default:
 					p = c.GetAsync(k)
 				}
 				window = append(window, inflight{p, time.Now()})
@@ -223,7 +259,7 @@ func cell(addr string, conns, depth int, keys int64, writeFrac float64, dur time
 	}
 	wg.Wait()
 
-	rec := bench.NetRecord{Conns: conns, Depth: depth}
+	rec := bench.NetRecord{Conns: conns, Depth: depth, ScanFrac: scanFrac}
 	var lats []time.Duration
 	var writes int64
 	for i := range results {

@@ -3,7 +3,10 @@
 // ("ours"), its hash-sharded scale-out ("ours-sharded", S independent map
 // instances each with its own combining writer) and the concurrent
 // baselines (skip list, non-blocking external BST, B+tree, striped hash
-// map).
+// map).  -scan adds workload E (95% short scans of uniform length 1–100,
+// 5% inserts): on ours-sharded every scan streams a consistent GSN cut
+// through the pooled loser-tree merge, and on the point baselines a scan
+// degrades to consecutive point reads.
 //
 // Usage:
 //
@@ -11,6 +14,7 @@
 //	ycsbbench -records 50000000       # the paper's key-space size
 //	ycsbbench -structures ours,ours-sharded -shards 8 -dur 10s
 //	ycsbbench -txn -txnkeys 4         # add multi-key transfer cells (atomic, per-shard, validated OCC)
+//	ycsbbench -scan                   # add workload E scan cells
 //	ycsbbench -json BENCH_ycsb.json   # machine-readable results
 package main
 
@@ -23,6 +27,7 @@ import (
 
 	"mvgc/internal/bench"
 	"mvgc/internal/experiments"
+	"mvgc/internal/ycsb"
 )
 
 func main() {
@@ -36,6 +41,7 @@ func main() {
 		jsonPath   = flag.String("json", "", "also write machine-readable results (BENCH_ycsb.json schema) to this path")
 		txn        = flag.Bool("txn", false, "also run the multi-key transfer workload (UpdateAtomic vs per-shard Update)")
 		txnKeys    = flag.Int("txnkeys", 2, "keys touched per transfer transaction (with -txn)")
+		scan       = flag.Bool("scan", false, "also run YCSB workload E (95% short scans / 5% inserts)")
 	)
 	flag.Parse()
 
@@ -49,6 +55,9 @@ func main() {
 	}
 	if *structures != "" {
 		cfg.Structures = strings.Split(*structures, ",")
+	}
+	if *scan {
+		cfg.Workloads = append(cfg.Workloads, ycsb.WorkloadE)
 	}
 	results := experiments.RunFigure7(cfg, os.Stdout)
 

@@ -88,6 +88,29 @@ func (db *DB[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *DBTxn[K, V, A])) {
 // (Snap.GSNs), with no atomic transaction torn across shards.
 func (db *DB[K, V, A]) ViewConsistent(f func(s DBSnapshot[K, V, A])) { db.Map.ViewConsistent(f) }
 
+// Scan returns up to n entries with keys ≥ lo in global key order — the
+// YCSB-style short range scan.  The merge is a loser-tree over per-shard
+// iterators (O(log S) per element) on pooled scan state; by default the
+// scan pins a per-shard View, with DBOptions.AtomicDefault it pins a
+// ViewConsistent cut so no atomic transaction is observed torn.  For a
+// zero-allocation warm scan, pin a snapshot yourself and use
+// DBSnapshot.ScanAppend with a reused buffer.
+func (db *DB[K, V, A]) Scan(lo K, n int) []Entry[K, V] {
+	var out []Entry[K, V]
+	db.View(func(s DBSnapshot[K, V, A]) { out = s.ScanAppend(nil, lo, n) })
+	return out
+}
+
+// RangeFunc streams the entries with keys in [lo, hi] in global key order
+// to f, stopping early when f returns false; it reports whether the walk
+// ran to completion.  Nothing is materialized.  Consistency follows
+// DBOptions.AtomicDefault exactly like Scan.
+func (db *DB[K, V, A]) RangeFunc(lo, hi K, f func(k K, v V) bool) bool {
+	done := true
+	db.View(func(s DBSnapshot[K, V, A]) { done = s.RangeFunc(lo, hi, f) })
+	return done
+}
+
 // DBSnapshot is the fan-out read view passed to DB.View: one pinned
 // immutable version per shard.
 type DBSnapshot[K, V, A any] = shard.Snap[K, V, A]

@@ -134,6 +134,67 @@ func TestDBAtomicModes(t *testing.T) {
 	}
 }
 
+// TestDBScan covers the front door's ordered-read surface: Scan and
+// RangeFunc merge all shards in global key order, and the snapshot-level
+// streaming forms (ScanFunc, ScanAppend, ForEachCond) expose early exit
+// and buffer reuse.
+func TestDBScan(t *testing.T) {
+	db, err := mvgc.OpenPlainDB[uint64, uint64](mvgc.DBOptions[uint64]{Shards: 4, Procs: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 500
+	for k := uint64(0); k < n; k++ {
+		db.Insert(k, k*3)
+	}
+	got := db.Scan(100, 50)
+	if len(got) != 50 {
+		t.Fatalf("Scan returned %d entries, want 50", len(got))
+	}
+	for i, e := range got {
+		if e.Key != uint64(100+i) || e.Val != e.Key*3 {
+			t.Fatalf("Scan[%d] = %d:%d", i, e.Key, e.Val)
+		}
+	}
+	if tail := db.Scan(n-10, 100); len(tail) != 10 {
+		t.Fatalf("tail Scan returned %d entries, want 10", len(tail))
+	}
+	visited := 0
+	if !db.RangeFunc(10, 19, func(k, v uint64) bool {
+		if k != uint64(10+visited) {
+			t.Fatalf("RangeFunc out of order at %d: %d", visited, k)
+		}
+		visited++
+		return true
+	}) {
+		t.Fatal("RangeFunc reported early stop")
+	}
+	if visited != 10 {
+		t.Fatalf("RangeFunc visited %d, want 10", visited)
+	}
+	if db.RangeFunc(0, n, func(k, v uint64) bool { return k < 5 }) {
+		t.Fatal("early-stopped RangeFunc reported completion")
+	}
+	db.View(func(s mvgc.DBSnapshot[uint64, uint64, struct{}]) {
+		if m := s.ScanFunc(0, 7, func(k, v uint64) bool { return true }); m != 7 {
+			t.Fatalf("ScanFunc visited %d, want 7", m)
+		}
+		buf := make([]mvgc.Entry[uint64, uint64], 0, 32)
+		buf = s.ScanAppend(buf, 0, 20)
+		if len(buf) != 20 || buf[19].Key != 19 {
+			t.Fatalf("ScanAppend = %d entries, last %v", len(buf), buf[len(buf)-1])
+		}
+		count := 0
+		if s.ForEachCond(func(k, v uint64) bool { count++; return count < 3 }) {
+			t.Fatal("ForEachCond reported completion despite early stop")
+		}
+		if count != 3 {
+			t.Fatalf("ForEachCond visited %d, want 3", count)
+		}
+	})
+}
+
 // TestDBAugmented: cross-shard AugRange combines per-shard range sums.
 func TestDBAugmented(t *testing.T) {
 	var initial []mvgc.Entry[int64, int64]

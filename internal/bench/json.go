@@ -115,9 +115,14 @@ const NetSchema = "BENCH_net/v1"
 // sweep.  CommitsPerOp is the headline coalescing metric: combiner commits
 // divided by write ops — it should fall toward shards/(batch arrival rate)
 // as connections and depth grow, far below the 1.0 of an unbatched server.
+// ScanFrac is zero for the classic GET/SET grid and positive for the scan
+// cell, where that fraction of operations are SCAN commands streaming a
+// merged range off one consistent cut; it is part of the cell's identity
+// (omitempty keeps pre-scan baselines' keys byte-identical).
 type NetRecord struct {
 	Conns        int     `json:"conns"`
 	Depth        int     `json:"depth"`
+	ScanFrac     float64 `json:"scan_frac,omitempty"`
 	Ops          int64   `json:"ops"`
 	OpsPerSec    float64 `json:"ops_per_sec"`
 	P50Us        float64 `json:"p50_us"`

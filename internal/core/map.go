@@ -223,6 +223,32 @@ func (s Snapshot[K, V, A]) Range(lo, hi K) []ftree.Entry[K, V] {
 // ForEach visits all entries in key order.
 func (s Snapshot[K, V, A]) ForEach(f func(K, V)) { s.ops.ForEach(s.root, f) }
 
+// ForEachCond visits entries in key order until f returns false; it
+// reports whether the walk ran to completion.  This is the streaming
+// alternative to Range when the caller wants the first k entries: nothing
+// is materialized and the walk stops the moment f says so.
+func (s Snapshot[K, V, A]) ForEachCond(f func(K, V) bool) bool {
+	return s.ops.ForEachCond(s.root, f)
+}
+
+// ScanFunc streams up to n entries with keys ≥ lo, in key order, to f,
+// stopping early if f returns false; it returns the number visited.  The
+// short ordered scan, without materializing a Range slice.
+func (s Snapshot[K, V, A]) ScanFunc(lo K, n int, f func(K, V) bool) int {
+	if n <= 0 {
+		return 0
+	}
+	got := 0
+	s.ops.ForEachCondFrom(s.root, lo, func(k K, v V) bool {
+		got++
+		if !f(k, v) {
+			return false
+		}
+		return got < n
+	})
+	return got
+}
+
 // Select returns the entry of zero-based rank i.
 func (s Snapshot[K, V, A]) Select(i int64) (ftree.Entry[K, V], bool) {
 	return s.ops.Select(s.root, i)

@@ -113,6 +113,28 @@ func (o *Ops[K, V, A]) ForEachCond(t *Node[K, V, A], f func(K, V) bool) bool {
 	return o.ForEachCond(t.right, f)
 }
 
+// ForEachCondFrom visits borrowed tree t's entries with key ≥ lo in key
+// order until f returns false; it reports whether the walk ran to
+// completion.  The pre-lo prefix is skipped structurally (O(log n) to
+// reach the first qualifying entry), so a short scan near lo never touches
+// the rest of the tree.
+func (o *Ops[K, V, A]) ForEachCondFrom(t *Node[K, V, A], lo K, f func(K, V) bool) bool {
+	if t == nil {
+		return true
+	}
+	if o.Cmp(t.key, lo) < 0 {
+		// t and everything left of it are below lo.
+		return o.ForEachCondFrom(t.right, lo, f)
+	}
+	if !o.ForEachCondFrom(t.left, lo, f) {
+		return false
+	}
+	if !f(t.key, t.val) {
+		return false
+	}
+	return o.ForEachCond(t.right, f)
+}
+
 // Entries returns the contents of borrowed tree t in key order.
 func (o *Ops[K, V, A]) Entries(t *Node[K, V, A]) []Entry[K, V] {
 	out := make([]Entry[K, V], 0, size(t))

@@ -6,6 +6,14 @@ package ftree
 // Because versions are immutable, iterators never observe mutation and
 // need no invalidation protocol — one more consequence of the functional
 // representation.
+//
+// An Iter is reusable: Reset and SeekGE re-position it on a (possibly
+// different) tree of the same Ops family while keeping the descent
+// stack's backing array, so a warm re-seek allocates nothing.  That is
+// what makes iterators poolable — the shard layer keeps S of them parked
+// per scan slot and re-seeks them for every scan (see internal/shard's
+// scan state pool).  Like an Arena, a given Iter is single-owner state:
+// it may be reused freely, but never concurrently.
 type Iter[K, V, A any] struct {
 	ops   *Ops[K, V, A]
 	stack []*Node[K, V, A] // path of nodes whose entry is still pending
@@ -16,8 +24,7 @@ type Iter[K, V, A any] struct {
 // reports whether any entry exists.
 func (o *Ops[K, V, A]) NewIter(t *Node[K, V, A]) *Iter[K, V, A] {
 	it := &Iter[K, V, A]{ops: o}
-	it.descendLeft(t)
-	it.advance()
+	it.Reset(t)
 	return it
 }
 
@@ -25,8 +32,31 @@ func (o *Ops[K, V, A]) NewIter(t *Node[K, V, A]) *Iter[K, V, A] {
 // key ≥ k.
 func (o *Ops[K, V, A]) NewIterAt(t *Node[K, V, A], k K) *Iter[K, V, A] {
 	it := &Iter[K, V, A]{ops: o}
+	it.SeekGE(t, k)
+	return it
+}
+
+// Bind attaches a zero-value Iter to an Ops family so a pooled iterator
+// can be created without going through NewIter's seek.  Reset or SeekGE
+// must follow before use.
+func (it *Iter[K, V, A]) Bind(o *Ops[K, V, A]) { it.ops = o }
+
+// Reset re-positions the iterator at borrowed tree t's smallest entry,
+// reusing the descent stack's backing array: after the stack has grown to
+// the tree's height once, further Resets allocate nothing.
+func (it *Iter[K, V, A]) Reset(t *Node[K, V, A]) {
+	it.stack = it.stack[:0]
+	it.descendLeft(t)
+	it.advance()
+}
+
+// SeekGE re-positions the iterator at the smallest entry of borrowed tree
+// t with key ≥ k, in O(log n).  Like Reset it keeps the stack's backing
+// array, so a warm seek is allocation-free.
+func (it *Iter[K, V, A]) SeekGE(t *Node[K, V, A], k K) {
+	it.stack = it.stack[:0]
 	for t != nil {
-		c := o.Cmp(k, t.key)
+		c := it.ops.Cmp(k, t.key)
 		switch {
 		case c == 0:
 			it.stack = append(it.stack, t)
@@ -39,7 +69,6 @@ func (o *Ops[K, V, A]) NewIterAt(t *Node[K, V, A], k K) *Iter[K, V, A] {
 		}
 	}
 	it.advance()
-	return it
 }
 
 func (it *Iter[K, V, A]) descendLeft(t *Node[K, V, A]) {

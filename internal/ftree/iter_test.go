@@ -73,6 +73,75 @@ func TestIterSeek(t *testing.T) {
 	o.Release(root)
 }
 
+// TestIterReuse: Reset and SeekGE re-position one iterator across
+// different trees of the same family, and a value-typed Bind+SeekGE works
+// exactly like NewIterAt — the contract the shard scan pool leans on.
+func TestIterReuse(t *testing.T) {
+	o := intOps(0)
+	rng := rand.New(rand.NewSource(29))
+	rootA, refA := buildRandom(o, rng, 500, 2000)
+	rootB, refB := buildRandom(o, rng, 500, 2000)
+
+	var it Iter[int64, int64, int64] // zero value, as pooled state
+	it.Bind(o)
+	count := func(reseek func()) int {
+		reseek()
+		n := 0
+		for ; it.Valid(); it.Next() {
+			n++
+		}
+		return n
+	}
+	if n := count(func() { it.Reset(rootA) }); n != len(refA) {
+		t.Fatalf("Reset(A) visited %d, want %d", n, len(refA))
+	}
+	if n := count(func() { it.Reset(rootB) }); n != len(refB) {
+		t.Fatalf("Reset(B) after A visited %d, want %d", n, len(refB))
+	}
+	// SeekGE on a reused iterator matches a fresh NewIterAt.
+	for seek := int64(0); seek < 2100; seek += 97 {
+		fresh := o.NewIterAt(rootA, seek)
+		it.SeekGE(rootA, seek)
+		if it.Valid() != fresh.Valid() {
+			t.Fatalf("SeekGE(%d): valid=%v, fresh=%v", seek, it.Valid(), fresh.Valid())
+		}
+		if it.Valid() && (it.Key() != fresh.Key() || it.Val() != fresh.Val()) {
+			t.Fatalf("SeekGE(%d) at %d, fresh at %d", seek, it.Key(), fresh.Key())
+		}
+	}
+	o.Release(rootA)
+	o.Release(rootB)
+	checkExact(t, o)
+}
+
+// TestIterWarmSeekNoAlloc pins the pooling payoff: once the descent stack
+// has grown to the tree's height, Reset and SeekGE never touch the heap.
+func TestIterWarmSeekNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless")
+	}
+	o := intOps(0)
+	rng := rand.New(rand.NewSource(31))
+	root, _ := buildRandom(o, rng, 5000, 20000)
+	defer o.Release(root)
+
+	var it Iter[int64, int64, int64]
+	it.Bind(o)
+	it.Reset(root) // grow the stack once
+	seek := int64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		it.SeekGE(root, seek)
+		for i := 0; i < 10 && it.Valid(); i++ {
+			it.Next()
+		}
+		it.Reset(root)
+		seek = (seek + 613) % 20000
+	})
+	if allocs != 0 {
+		t.Fatalf("warm re-seek allocates %.1f times per run", allocs)
+	}
+}
+
 // TestIterQuickMatchesEntries: for random trees, iteration equals the
 // recursive in-order traversal, from any seek point.
 func TestIterQuickMatchesEntries(t *testing.T) {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ftree
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ftree
+
+// raceEnabled gates allocation-count assertions: race instrumentation
+// allocates per memory access, so AllocsPerRun is meaningless under -race.
+const raceEnabled = true

@@ -35,7 +35,8 @@ type Pending struct {
 	kind byte
 	n    int64
 	null bool
-	text string // error line or bulk payload, copied out of the read buffer
+	text string  // error line or bulk payload, copied out of the read buffer
+	arr  []int64 // array reply elements, copied out of the read buffer
 }
 
 // Wait blocks until the reply arrives (or the connection fails) and
@@ -93,6 +94,28 @@ func (p *Pending) Text() (string, error) {
 		return "", err
 	}
 	return p.text, nil
+}
+
+// Entry is one scanned key-value pair.
+type Entry struct{ Key, Val int64 }
+
+// Entries waits and decodes a SCAN reply's alternating key/value array
+// into entries in ascending key order.
+func (p *Pending) Entries() ([]Entry, error) {
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	if p.kind != netproto.KindArray {
+		return nil, fmt.Errorf("netclient: unexpected reply kind %q", p.kind)
+	}
+	if len(p.arr)%2 != 0 {
+		return nil, fmt.Errorf("netclient: odd scan reply length %d", len(p.arr))
+	}
+	out := make([]Entry, 0, len(p.arr)/2)
+	for i := 0; i+1 < len(p.arr); i += 2 {
+		out = append(out, Entry{Key: p.arr[i], Val: p.arr[i+1]})
+	}
+	return out, nil
 }
 
 // Client is one pipelined connection.
@@ -166,6 +189,8 @@ func (c *Client) readLoop() {
 			} else {
 				p.text = string(rep.Bulk)
 			}
+		case netproto.KindArray:
+			p.arr = append(p.arr, rep.Array...)
 		}
 		close(p.done)
 	}
@@ -257,6 +282,24 @@ func (c *Client) SumAsync(lo, hi int64) *Pending {
 	c.w.ArgString(netproto.CmdSum)
 	c.w.ArgInt(lo)
 	c.w.ArgInt(hi)
+	c.enqueue(p)
+	return p
+}
+
+// ScanAsync pipelines SCAN lo n: up to n entries with keys ≥ lo in
+// ascending key order, merged across all shards (one consistent cut when
+// the server runs with Config.Consistent).
+func (c *Client) ScanAsync(lo int64, n int) *Pending {
+	p := c.newPending()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return failClosed(p)
+	}
+	c.w.BeginCommand(3)
+	c.w.ArgString(netproto.CmdScan)
+	c.w.ArgInt(lo)
+	c.w.ArgInt(int64(n))
 	c.enqueue(p)
 	return p
 }
@@ -366,6 +409,13 @@ func (c *Client) Sum(lo, hi int64) (int64, error) {
 	p := c.SumAsync(lo, hi)
 	c.Flush()
 	return p.Int()
+}
+
+// Scan is the synchronous SCAN: up to n entries with keys ≥ lo.
+func (c *Client) Scan(lo int64, n int) ([]Entry, error) {
+	p := c.ScanAsync(lo, n)
+	c.Flush()
+	return p.Entries()
 }
 
 // Len is the synchronous LEN.

@@ -18,6 +18,7 @@
 //	:<int>\r\n         integer
 //	$<len>\r\n<bytes>\r\n  bulk string
 //	$-1\r\n            null (e.g. GET on a missing key)
+//	*<n>\r\n:<int>...  array of n integers (SCAN's key/value pairs)
 //
 // Reader and Writer reuse their buffers across calls — a warm
 // request/reply cycle performs no heap allocation in this package — which
@@ -44,6 +45,7 @@ const (
 	CmdGet   = "GET"   // GET <key>                 → $<val> | $-1
 	CmdSum   = "SUM"   // SUM <lo> <hi>             → :<sum of values in [lo,hi]>
 	CmdLen   = "LEN"   // LEN                       → :<keys>
+	CmdScan  = "SCAN"  // SCAN <lo> <n>             → *<2m> of :k :v pairs, ascending keys
 	CmdMCAS  = "MCAS"  // MCAS (<k> <expect> <new>)+ → :1 swapped | :0 conflict
 	CmdStats = "STATS" // STATS                     → $key=value ... (see netserver)
 )
@@ -54,6 +56,11 @@ const (
 	KindError  = '-'
 	KindInt    = ':'
 	KindBulk   = '$'
+	// KindArray is an array reply (*<n>).  This protocol's arrays carry
+	// integer elements only — SCAN's alternating key/value stream — which
+	// keeps the decoder reuse-friendly: elements land in Reply.Array with
+	// no per-element allocation.
+	KindArray = '*'
 )
 
 // Wire limits.  A frame that exceeds them is a protocol error: the peer is
@@ -84,13 +91,15 @@ type Command struct {
 	offs []int  // arg boundaries within buf: arg i is buf[offs[i]:offs[i+1]]
 }
 
-// Reply is one decoded response.  Line and Bulk alias the Reader's buffer
-// and are valid only until the next ReadReply on that Reader.
+// Reply is one decoded response.  Line, Bulk and Array alias the Reply's
+// reused storage and are valid only until the next ReadReply decoding
+// into the same Reply.
 type Reply struct {
-	Kind byte
-	Int  int64  // KindInt
-	Line []byte // KindSimple / KindError text
-	Bulk []byte // KindBulk payload; nil means the null bulk ($-1)
+	Kind  byte
+	Int   int64   // KindInt
+	Line  []byte  // KindSimple / KindError text
+	Bulk  []byte  // KindBulk payload; nil means the null bulk ($-1)
+	Array []int64 // KindArray integer elements (SCAN's k,v,k,v,... stream)
 }
 
 // Err returns the reply's error when it is a KindError reply, nil
@@ -241,6 +250,7 @@ func (r *Reader) ReadReply(rep *Reply) error {
 	rep.Int = 0
 	rep.Line = nil
 	rep.Bulk = nil
+	rep.Array = rep.Array[:0]
 	switch rep.Kind {
 	case KindSimple, KindError:
 		rep.Line = line[1:]
@@ -267,6 +277,31 @@ func (r *Reader) ReadReply(rep *Reply) error {
 			return protoErrf("bulk not CRLF-terminated")
 		}
 		rep.Bulk = buf[:l]
+		return nil
+	case KindArray:
+		n, err := parseInt(line[1:])
+		if err != nil {
+			return err
+		}
+		// MaxArgs bounds the element count like a request's: a SCAN reply
+		// carries two elements per entry, so this allows 2048-entry scans.
+		if n < 0 || n > MaxArgs {
+			return protoErrf("bad array length %d", n)
+		}
+		for i := int64(0); i < n; i++ {
+			el, err := r.readLine()
+			if err != nil {
+				return noEOF(err)
+			}
+			if len(el) == 0 || el[0] != KindInt {
+				return protoErrf("array element must be an integer, got %q", el)
+			}
+			v, err := parseInt(el[1:])
+			if err != nil {
+				return err
+			}
+			rep.Array = append(rep.Array, v)
+		}
 		return nil
 	default:
 		return protoErrf("unknown reply kind %q", rep.Kind)
@@ -355,6 +390,11 @@ func (w *Writer) BulkInt(v int64) {
 
 // Null writes the null bulk reply ($-1), GET's missing-key encoding.
 func (w *Writer) Null() { w.bw.WriteString("$-1\r\n") }
+
+// BeginArray starts a *<n> array reply; exactly n integer elements (Int
+// calls) must follow.  SCAN replies are arrays of 2m integers: the m
+// scanned entries' keys and values, alternating, in ascending key order.
+func (w *Writer) BeginArray(n int) { w.lineInt(KindArray, int64(n)) }
 
 // Flush writes buffered frames to the connection and reports the sticky
 // write error, if any.

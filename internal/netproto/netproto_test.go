@@ -107,6 +107,71 @@ func TestReplyRoundTrip(t *testing.T) {
 	})
 }
 
+// TestArrayReplyRoundTrip: the SCAN reply shape — an integer-only array —
+// encodes and decodes through the same Reply, including the empty array
+// and buffer reuse across frames.
+func TestArrayReplyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginArray(4)
+	w.Int(10)
+	w.Int(-100)
+	w.Int(20)
+	w.Int(200)
+	w.BeginArray(0)
+	w.BeginArray(1)
+	w.Int(7)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	var rep Reply
+	if err := r.ReadReply(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindArray || len(rep.Array) != 4 {
+		t.Fatalf("array reply = kind %q, %d elems", rep.Kind, len(rep.Array))
+	}
+	for i, want := range []int64{10, -100, 20, 200} {
+		if rep.Array[i] != want {
+			t.Fatalf("array[%d] = %d, want %d", i, rep.Array[i], want)
+		}
+	}
+	if err := r.ReadReply(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindArray || len(rep.Array) != 0 {
+		t.Fatalf("empty array reply = kind %q, %d elems", rep.Kind, len(rep.Array))
+	}
+	// The reused Reply must not accrete the previous frames' elements.
+	if err := r.ReadReply(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Array) != 1 || rep.Array[0] != 7 {
+		t.Fatalf("reused Reply array = %v, want [7]", rep.Array)
+	}
+}
+
+// TestMalformedArrayReplies: array framing violations on the reply stream
+// are hard errors, same as command-side violations.
+func TestMalformedArrayReplies(t *testing.T) {
+	cases := []string{
+		"*2\r\n:1\r\n",         // truncated mid-array
+		"*1\r\n$1\r\n5\r\n",    // bulk element in an integer-only array
+		"*-1\r\n",              // negative element count
+		"*1\r\n:abc\r\n",       // non-numeric element
+		"*100000000000000\r\n", // element count overflow
+	}
+	for _, in := range cases {
+		r := NewReader(strings.NewReader(in))
+		var rep Reply
+		if err := r.ReadReply(&rep); err == nil || err == io.EOF {
+			t.Fatalf("input %.40q: err = %v, want protocol error", in, err)
+		}
+	}
+}
+
 // TestMalformedFrames: every framing violation must be a hard error (the
 // connection's framing is lost) rather than a silent mis-parse.
 func TestMalformedFrames(t *testing.T) {

@@ -68,10 +68,10 @@ type Config struct {
 	// BufCap is each combiner ring's capacity (batch.Config).  Default
 	// 1024.
 	BufCap int
-	// Consistent routes SUM and LEN through ViewConsistent, so fan-out
-	// reads never observe an MCAS half-applied; plain per-shard fan-out
-	// otherwise.  Point reads are unaffected (single-shard reads are
-	// atomic either way).
+	// Consistent routes the fan-out reads — SUM, LEN and SCAN — through
+	// ViewConsistent, so they never observe an MCAS half-applied; plain
+	// per-shard fan-out otherwise.  Point reads are unaffected
+	// (single-shard reads are atomic either way).
 	Consistent bool
 }
 
@@ -232,7 +232,8 @@ const (
 	respInt
 	respValue // BulkInt(n)
 	respNull
-	respBulk // Bulk([]byte(msg))
+	respBulk  // Bulk([]byte(msg))
+	respArray // BeginArray(len(arr)) + Int per element
 )
 
 // slot is one in-flight response: enqueued on the connection's FIFO at
@@ -243,6 +244,11 @@ type slot struct {
 	kind respKind
 	n    int64
 	msg  string
+	// arr carries an array reply's integer elements (SCAN's alternating
+	// key/value stream).  The backing array survives recycling, so a warm
+	// connection's scans stop allocating once a slot has grown to the
+	// largest scan it has served.
+	arr []int64
 	// ready gates the writer; buffered so completion never blocks the
 	// combiner.  done sends on it and is allocated once per slot, so a
 	// recycled slot's async submission costs no closure allocation.
@@ -325,6 +331,7 @@ func (c *conn) slot() *slot {
 		sl.kind = 0
 		sl.n = 0
 		sl.msg = ""
+		sl.arr = sl.arr[:0]
 		return sl
 	default:
 		return newSlot()
@@ -369,6 +376,11 @@ func (c *conn) writeLoop() {
 			w.Null()
 		case respBulk:
 			w.Bulk([]byte(sl.msg))
+		case respArray:
+			w.BeginArray(len(sl.arr))
+			for _, v := range sl.arr {
+				w.Int(v)
+			}
 		}
 		sl.msg = ""
 		select {
@@ -441,6 +453,8 @@ func (c *conn) readLoop() {
 			c.execSum(&cmd)
 		case eqFold(name, netproto.CmdLen):
 			c.execLen()
+		case eqFold(name, netproto.CmdScan):
+			c.execScan(&cmd)
 		case eqFold(name, netproto.CmdMCAS):
 			c.execMCAS(&cmd)
 		case eqFold(name, netproto.CmdPing):
@@ -534,6 +548,44 @@ func (c *conn) execSum(cmd *netproto.Command) {
 	sl := c.slot()
 	sl.kind = respInt
 	c.view(func(sn mvgc.DBSnapshot[int64, int64, int64]) { sl.n = sn.AugRange(lo, hi) })
+	sl.complete()
+	c.enqueue(sl)
+}
+
+// maxScanEntries bounds one SCAN's result so the reply's element count
+// (two per entry) stays within the protocol's array bound.
+const maxScanEntries = netproto.MaxArgs / 2
+
+// execScan streams up to n entries with keys ≥ lo — the loser-tree merge
+// over all shards — into the slot's reusable element buffer and replies
+// with an array of alternating keys and values in ascending key order.
+// Under Config.Consistent the scan observes one global GSN cut, so a
+// concurrent MCAS (or any atomic transaction) is never seen half-applied
+// mid-scan; per-shard snapshots otherwise.  Like GET it runs inline on
+// the read loop against a pinned snapshot, so it never blocks writers.
+func (c *conn) execScan(cmd *netproto.Command) {
+	if len(cmd.Args) != 3 {
+		c.fail("ERR wrong number of arguments")
+		return
+	}
+	lo, ok1 := argInt(cmd.Args[1])
+	n, ok2 := argInt(cmd.Args[2])
+	if !ok1 || !ok2 {
+		c.fail("ERR bad integer")
+		return
+	}
+	if n < 0 || n > maxScanEntries {
+		c.fail(fmt.Sprintf("ERR scan count must be in [0, %d]", maxScanEntries))
+		return
+	}
+	sl := c.slot()
+	sl.kind = respArray
+	c.view(func(sn mvgc.DBSnapshot[int64, int64, int64]) {
+		sn.ScanFunc(lo, int(n), func(k, v int64) bool {
+			sl.arr = append(sl.arr, k, v)
+			return true
+		})
+	})
 	sl.complete()
 	c.enqueue(sl)
 }

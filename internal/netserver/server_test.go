@@ -102,6 +102,43 @@ func TestServerCommands(t *testing.T) {
 		t.Fatalf("stale-expect MCAS on recycled slot = (%v, %v), want (false, nil)", ok, err)
 	}
 
+	// SCAN streams ascending keys across shards; DEL'd key 3 must be gone.
+	entries, err := c.Scan(1, 100)
+	if err != nil {
+		t.Fatalf("SCAN: %v", err)
+	}
+	if len(entries) != 9 { // keys 1..10 minus the deleted 3
+		t.Fatalf("SCAN returned %d entries, want 9", len(entries))
+	}
+	prev := int64(0)
+	for _, e := range entries {
+		if e.Key <= prev {
+			t.Fatalf("SCAN out of order: %d after %d", e.Key, prev)
+		}
+		if e.Key == 3 {
+			t.Fatal("SCAN returned the deleted key")
+		}
+		prev = e.Key
+	}
+	if entries[0].Key != 1 || entries[0].Val != 111 { // MCAS swapped 1 → 111
+		t.Fatalf("SCAN[0] = %d:%d, want 1:111", entries[0].Key, entries[0].Val)
+	}
+	// Bounded n stops the stream early.
+	if short, err := c.Scan(1, 3); err != nil || len(short) != 3 {
+		t.Fatalf("SCAN 1 3 = %d entries (%v), want 3", len(short), err)
+	}
+	// An empty result is an empty array, not an error.
+	if none, err := c.Scan(1_000_000, 10); err != nil || len(none) != 0 {
+		t.Fatalf("SCAN past end = %d entries (%v), want 0", len(none), err)
+	}
+	// Oversized and malformed SCANs are command errors, not dropped conns.
+	if _, err := c.Scan(0, maxScanEntries+1); err == nil {
+		t.Fatal("oversized SCAN n accepted")
+	}
+	if _, err := c.Scan(0, -1); err == nil {
+		t.Fatal("negative SCAN n accepted")
+	}
+
 	// Command errors keep the connection alive.
 	if _, err := c.Sum(1, 2); err != nil {
 		t.Fatalf("SUM after MCAS: %v", err)
@@ -197,6 +234,95 @@ func TestPipelinedClientsCoalesce(t *testing.T) {
 	}
 	t.Logf("coalescing: %d writes in %d commits (%.1f writes/commit)",
 		applied, batches, float64(applied)/float64(batches))
+}
+
+// TestConsistentScanInvariant: under Config.Consistent, a SCAN rides one
+// global GSN cut, so it can never observe an MCAS transfer half-applied —
+// the wire-level version of the torn-scan regression.  Writers move value
+// between random keys with MCAS (atomic across shards, sum-preserving);
+// scanning readers assert the total never wavers.
+func TestConsistentScanInvariant(t *testing.T) {
+	const keys, balance = 64, 100
+	s, addr := startServer(t, Config{Shards: 4, MaxConns: 8, Consistent: true})
+	defer s.Shutdown()
+
+	load, err := netclient.Dial(addr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer load.Close()
+	for k := int64(0); k < keys; k++ {
+		if err := load.Set(k, balance); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := netclient.Dial(addr, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			rng := uint64(w)*0x9E3779B9 + 5
+			for i := 0; i < 300; i++ {
+				rng = rng*6364136223846793005 + 1
+				a := int64(rng>>33) % keys
+				b := (a + 1 + int64(rng>>17)%(keys-1)) % keys
+				va, _, err1 := c.Get(a)
+				vb, _, err2 := c.Get(b)
+				if err1 != nil || err2 != nil {
+					t.Error(err1, err2)
+					return
+				}
+				// Stale expectations just fail the MCAS; only successful
+				// swaps change state, and every one preserves the sum.
+				if _, err := c.MCAS([]int64{a, b}, []int64{va, vb}, []int64{va - 1, vb + 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(stop)
+	}()
+
+	c, err := netclient.Dial(addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	scans := 0
+	for {
+		entries, err := c.Scan(0, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != keys {
+			t.Fatalf("consistent SCAN returned %d entries, want %d", len(entries), keys)
+		}
+		var sum int64
+		for _, e := range entries {
+			sum += e.Val
+		}
+		if sum != keys*balance {
+			t.Fatalf("consistent SCAN observed a torn transfer: sum = %d, want %d", sum, keys*balance)
+		}
+		scans++
+		select {
+		case <-stop:
+			t.Logf("verified %d consistent scans against the MCAS storm", scans)
+			return
+		default:
+		}
+	}
 }
 
 // TestGracefulShutdownDrains: a reply is only written after the write's

@@ -1,0 +1,5 @@
+//go:build !race
+
+package shard
+
+const raceEnabled = false

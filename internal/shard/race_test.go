@@ -1,0 +1,7 @@
+//go:build race
+
+package shard
+
+// raceEnabled gates allocation-count assertions: race instrumentation
+// allocates per memory access, so AllocsPerRun is meaningless under -race.
+const raceEnabled = true

@@ -121,6 +121,11 @@ type Map[K, V, A any] struct {
 	// must protect; it must not itself commit a fenced or stripe-stalled
 	// write synchronously (the slots and write locks are held).
 	testPostValidate func()
+
+	// scans pools merge state for ordered cross-shard reads (see scan.go):
+	// S reusable tree iterators plus the loser-tree array, leased per scan
+	// so a warm fixed-length scan allocates nothing.
+	scans sync.Pool
 }
 
 // New builds a sharded map.  mkOps must return a fresh ftree.Ops per call:
@@ -456,64 +461,15 @@ func (s Snap[K, V, A]) AugRange(lo, hi K) A {
 }
 
 // Range returns the entries with keys in [lo, hi] across all shards,
-// merged into global key order.
+// merged into global key order.  It materializes the whole result; use
+// RangeFunc, ScanFunc or ForEachCond to stream with early exit instead.
 func (s Snap[K, V, A]) Range(lo, hi K) []ftree.Entry[K, V] {
 	var out []ftree.Entry[K, V]
-	s.mergeRange(lo, hi, func(k K, v V) {
+	s.RangeFunc(lo, hi, func(k K, v V) bool {
 		out = append(out, ftree.Entry[K, V]{Key: k, Val: v})
+		return true
 	})
 	return out
-}
-
-// ForEach visits every entry across all shards in global key order (an
-// S-way merge over the per-shard in-order iterators).
-func (s Snap[K, V, A]) ForEach(f func(K, V)) {
-	cmp := s.m.shards[0].Ops().Cmp
-	its := make([]*ftree.Iter[K, V, A], len(s.snaps))
-	for i, sn := range s.snaps {
-		its[i] = s.m.shards[i].Ops().NewIter(sn.Root())
-	}
-	for {
-		best := -1
-		for i, it := range its {
-			if !it.Valid() {
-				continue
-			}
-			if best < 0 || cmp(it.Key(), its[best].Key()) < 0 {
-				best = i
-			}
-		}
-		if best < 0 {
-			return
-		}
-		f(its[best].Key(), its[best].Val())
-		its[best].Next()
-	}
-}
-
-// mergeRange is the bounded-range S-way merge behind Range.
-func (s Snap[K, V, A]) mergeRange(lo, hi K, f func(K, V)) {
-	cmp := s.m.shards[0].Ops().Cmp
-	its := make([]*ftree.Iter[K, V, A], len(s.snaps))
-	for i, sn := range s.snaps {
-		its[i] = s.m.shards[i].Ops().NewIterAt(sn.Root(), lo)
-	}
-	for {
-		best := -1
-		for i, it := range its {
-			if !it.Valid() || cmp(it.Key(), hi) > 0 {
-				continue
-			}
-			if best < 0 || cmp(it.Key(), its[best].Key()) < 0 {
-				best = i
-			}
-		}
-		if best < 0 {
-			return
-		}
-		f(its[best].Key(), its[best].Val())
-		its[best].Next()
-	}
 }
 
 // Txn buffers a cross-shard write transaction: Insert and Delete record

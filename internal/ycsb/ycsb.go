@@ -138,17 +138,32 @@ const (
 	OpRead OpKind = iota
 	// OpUpdate overwrites the value of an existing key.
 	OpUpdate
+	// OpScan is a short ordered range scan: read Op.Len consecutive
+	// entries starting at the first key ≥ Op.Key.
+	OpScan
+	// OpInsert adds a record beyond the loaded key space, growing the
+	// dataset under the scanners' feet (YCSB workload E's write side).
+	OpInsert
 )
 
-// Workload is an operation mix over a loaded key space.
+// Workload is an operation mix over a loaded key space.  Proportions not
+// claimed by ReadProp or ScanProp are updates — except that a scan
+// workload's remainder is inserts, per the YCSB E definition.
 type Workload struct {
 	// Name is the YCSB letter, for reporting.
 	Name string
-	// ReadProp is the fraction of reads; the rest are updates.
+	// ReadProp is the fraction of point reads.
 	ReadProp float64
+	// ScanProp is the fraction of short scans; when it is positive the
+	// non-read, non-scan remainder becomes inserts instead of updates.
+	ScanProp float64
+	// MaxScanLen is the scan-length ceiling: each scan's length is drawn
+	// uniformly from [1, MaxScanLen], the YCSB default distribution.
+	MaxScanLen int
 }
 
-// Standard mixes from the YCSB core workloads, as run in Figure 7.
+// Standard mixes from the YCSB core workloads: A/B/C as run in Figure 7,
+// E as the short-range-scan workload the scan subsystem is benched on.
 var (
 	// WorkloadA is the update-heavy mix: 50% reads, 50% updates.
 	WorkloadA = Workload{Name: "A (50/50)", ReadProp: 0.5}
@@ -156,6 +171,9 @@ var (
 	WorkloadB = Workload{Name: "B (95/5)", ReadProp: 0.95}
 	// WorkloadC is read-only.
 	WorkloadC = Workload{Name: "C (100/0)", ReadProp: 1.0}
+	// WorkloadE is the short-ranges mix: 95% scans of uniform length
+	// 1–100 starting at zipfian-drawn keys, 5% inserts of fresh records.
+	WorkloadE = Workload{Name: "E (95/5 scan)", ScanProp: 0.95, MaxScanLen: 100}
 )
 
 // Op is one generated operation.
@@ -163,6 +181,8 @@ type Op struct {
 	Kind OpKind
 	Key  uint64
 	Val  uint64
+	// Len is the scan length for OpScan (1 ≤ Len ≤ MaxScanLen).
+	Len int
 }
 
 // Generator produces the operation stream for one worker.
@@ -170,20 +190,36 @@ type Generator struct {
 	w    Workload
 	keys *ScrambledZipfian
 	rng  *SplitMix64
+	// records is the loaded key-space size; inserts land above it.
+	records uint64
 }
 
 // NewGenerator builds a per-worker generator over records keys with an
 // independent seed.
 func NewGenerator(w Workload, records uint64, seed uint64) *Generator {
-	return &Generator{w: w, keys: NewScrambledZipfian(records), rng: NewSplitMix64(seed)}
+	return &Generator{w: w, keys: NewScrambledZipfian(records), rng: NewSplitMix64(seed), records: records}
 }
 
-// Next produces the next operation.
+// Next produces the next operation.  Scan starts and read/update keys are
+// drawn from the scrambled-zipfian request distribution over the loaded
+// space; insert keys are drawn uniformly from the fringe [records,
+// 2·records), so the dataset grows while scan starts stay in the loaded
+// region (repeated fringe keys degrade to overwrites, which keeps workers
+// coordination-free).
 func (g *Generator) Next() Op {
-	op := Op{Key: g.keys.Next(g.rng)}
-	if g.rng.Float64() >= g.w.ReadProp {
-		op.Kind = OpUpdate
-		op.Val = g.rng.Next()
+	u := g.rng.Float64()
+	switch {
+	case u < g.w.ReadProp:
+		return Op{Kind: OpRead, Key: g.keys.Next(g.rng)}
+	case u < g.w.ReadProp+g.w.ScanProp:
+		return Op{
+			Kind: OpScan,
+			Key:  g.keys.Next(g.rng),
+			Len:  1 + int(g.rng.Intn(uint64(g.w.MaxScanLen))),
+		}
+	case g.w.ScanProp > 0:
+		return Op{Kind: OpInsert, Key: g.records + g.rng.Intn(g.records), Val: g.rng.Next()}
+	default:
+		return Op{Kind: OpUpdate, Key: g.keys.Next(g.rng), Val: g.rng.Next()}
 	}
-	return op
 }
