@@ -142,7 +142,16 @@ func diffYCSB(oldR, newR bench.YCSBReport, tol float64) *diffResult {
 			oldR.Threads, newR.Threads, oldR.Records, newR.Records, oldR.DurationSec, newR.DurationSec))
 	}
 
-	key := func(r bench.YCSBRecord) string { return r.Structure + "/" + r.Workload }
+	key := func(r bench.YCSBRecord) string {
+		k := r.Structure + "/" + r.Workload
+		if r.WAL {
+			// WAL cells key separately from their in-memory twins; plain
+			// cells keep their pre-WAL keys, so old baselines still match
+			// and a first -wal run surfaces as advisory "new cell" rows.
+			k += "/wal"
+		}
+		return k
+	}
 	base := make(map[string]float64, len(oldR.Results))
 	for _, r := range oldR.Results {
 		base[key(r)] = r.Mops

@@ -206,3 +206,44 @@ func TestRenderMarkdown(t *testing.T) {
 		}
 	}
 }
+
+// TestYCSBWALCellKeying pins satellite rules for the durability cells:
+// WAL cells key with a "/wal" suffix so (1) a pre-WAL baseline still
+// matches every plain cell byte-for-byte, (2) first-appearance WAL cells
+// are advisory "new cell" rows, and (3) once baselined, a WAL-cell
+// regression gates like any other.
+func TestYCSBWALCellKeying(t *testing.T) {
+	oldR := ycsbReport(map[string]float64{"ours-sharded/A": 2.0})
+	newR := ycsbReport(map[string]float64{"ours-sharded/A": 2.0})
+	newR.Results = append(newR.Results,
+		bench.YCSBRecord{Structure: "ours-sharded", Workload: "A", Mops: 0.4, WAL: true})
+
+	d := diffYCSB(oldR, newR, 0.25)
+	if d.Regressed || d.exitCode() != 0 {
+		t.Fatalf("first WAL cell must be advisory: regressed=%v exit=%d", d.Regressed, d.exitCode())
+	}
+	found := false
+	for _, r := range d.Rows {
+		if r.Cell == "ours-sharded/A/wal" {
+			found = true
+			if r.Status != "new cell" {
+				t.Fatalf("WAL cell status = %q, want \"new cell\"", r.Status)
+			}
+		}
+		if r.Cell == "ours-sharded/A" && r.Status != "ok" {
+			t.Fatalf("plain cell status = %q: WAL cell must not shadow its in-memory twin", r.Status)
+		}
+	}
+	if !found {
+		t.Fatal("WAL cell not keyed separately")
+	}
+
+	// Once both sides carry the WAL cell, it gates.
+	oldR.Results = append(oldR.Results,
+		bench.YCSBRecord{Structure: "ours-sharded", Workload: "A", Mops: 0.4, WAL: true})
+	newR.Results[len(newR.Results)-1].Mops = 0.1
+	d = diffYCSB(oldR, newR, 0.25)
+	if !d.Regressed || d.exitCode() != 1 {
+		t.Fatalf("baselined WAL cell regression must gate: regressed=%v exit=%d", d.Regressed, d.exitCode())
+	}
+}

@@ -10,9 +10,16 @@
 // Usage:
 //
 //	mvgcd -addr :6380 -shards 8 -maxconns 256 -latency 1ms
+//	mvgcd -addr :6380 -wal /var/lib/mvgcd -wal-fsync always
 //
-// SIGINT/SIGTERM shut down gracefully: accepted requests are committed
-// and answered before the process exits.
+// With -wal every acknowledged write is appended to a segmented redo log
+// and fsynced per -wal-fsync before its +OK goes out; on restart mvgcd
+// recovers the newest checkpoint snapshot plus all logged records before
+// serving, so a kill -9 loses nothing that was acked.
+//
+// SIGINT/SIGTERM shut down gracefully: accepted requests are committed,
+// answered and — with -wal — flushed to durable storage before the
+// process exits.
 package main
 
 import (
@@ -36,6 +43,8 @@ func main() {
 		pipeline   = flag.Int("pipeline", 1024, "max outstanding responses per connection")
 		latency    = flag.Duration("latency", time.Millisecond, "combiner batching latency bound")
 		consistent = flag.Bool("consistent", false, "serve SUM/LEN/SCAN from globally consistent snapshots")
+		walDir     = flag.String("wal", "", "write-ahead log directory (empty = purely in-memory)")
+		walFsync   = flag.String("wal-fsync", "always", "WAL fsync policy: always, interval or off")
 	)
 	flag.Parse()
 
@@ -45,6 +54,8 @@ func main() {
 		MaxPipeline: *pipeline,
 		MaxLatency:  *latency,
 		Consistent:  *consistent,
+		WALDir:      *walDir,
+		WALFsync:    *walFsync,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvgcd:", err)
@@ -55,8 +66,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mvgcd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("mvgcd: serving on %s (shards=%d maxconns=%d latency=%s)\n",
-		ln.Addr(), *shards, *maxConns, *latency)
+	durability := "in-memory"
+	if *walDir != "" {
+		durability = fmt.Sprintf("wal=%s fsync=%s", *walDir, *walFsync)
+	}
+	fmt.Printf("mvgcd: serving on %s (shards=%d maxconns=%d latency=%s %s)\n",
+		ln.Addr(), *shards, *maxConns, *latency, durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -15,6 +15,7 @@
 //	ycsbbench -structures ours,ours-sharded -shards 8 -dur 10s
 //	ycsbbench -txn -txnkeys 4         # add multi-key transfer cells (atomic, per-shard, validated OCC)
 //	ycsbbench -scan                   # add workload E scan cells
+//	ycsbbench -wal -walfsync always   # add ours-sharded durability-tax cells
 //	ycsbbench -json BENCH_ycsb.json   # machine-readable results
 package main
 
@@ -42,6 +43,8 @@ func main() {
 		txn        = flag.Bool("txn", false, "also run the multi-key transfer workload (UpdateAtomic vs per-shard Update)")
 		txnKeys    = flag.Int("txnkeys", 2, "keys touched per transfer transaction (with -txn)")
 		scan       = flag.Bool("scan", false, "also run YCSB workload E (95% short scans / 5% inserts)")
+		walOn      = flag.Bool("wal", false, "also run ours-sharded with a write-ahead log attached (durability tax cells)")
+		walFsync   = flag.String("walfsync", "always", "WAL fsync policy for -wal cells: always, interval or off")
 	)
 	flag.Parse()
 
@@ -60,6 +63,19 @@ func main() {
 		cfg.Workloads = append(cfg.Workloads, ycsb.WorkloadE)
 	}
 	results := experiments.RunFigure7(cfg, os.Stdout)
+
+	if *walOn {
+		// The same sharded structure with every batch commit logged and
+		// fsynced: the delta against the plain ours-sharded cells is the
+		// durability tax.  Records carry "wal": true, so pre-WAL baseline
+		// keys are untouched and benchdiff treats these as new cells on
+		// first appearance.
+		wcfg := cfg
+		wcfg.WAL = true
+		wcfg.WALFsync = *walFsync
+		wcfg.Structures = []string{"ours-sharded"}
+		results = append(results, experiments.RunFigure7(wcfg, os.Stdout)...)
+	}
 
 	if *txn {
 		tcfg := experiments.DefaultTxn()

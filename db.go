@@ -1,15 +1,21 @@
 package mvgc
 
 import (
+	"encoding/binary"
 	"errors"
 	"runtime"
+	"time"
 
 	"mvgc/internal/ftree"
 	"mvgc/internal/shard"
+	"mvgc/internal/wal"
 	"mvgc/internal/ycsb"
 )
 
 var errNilAugmenter = errors.New("mvgc: OpenDB requires an augmenter; use OpenPlainDB for unaugmented maps")
+
+// ErrClosed is returned by writes that arrive after DB.Close has begun.
+var ErrClosed = shard.ErrClosed
 
 // DB is the goroutine-safe front door to a sharded multiversion map: no
 // pid appears anywhere in its API.  Keys are hash-partitioned across S
@@ -43,13 +49,14 @@ type DB[K, V, A any] struct {
 
 // Update runs a buffered multi-key write transaction.  By default commits
 // are atomic per shard (see DB); with DBOptions.AtomicDefault it behaves
-// like UpdateAtomic.
-func (db *DB[K, V, A]) Update(f func(t *DBTxn[K, V, A])) {
+// like UpdateAtomic.  The error is nil unless the database is closed or
+// write-ahead logging is enabled and the log cannot persist the commit —
+// see shard.Map.Update for the exact durability contract.
+func (db *DB[K, V, A]) Update(f func(t *DBTxn[K, V, A])) error {
 	if db.atomicDefault {
-		db.Map.UpdateAtomic(f)
-		return
+		return db.Map.UpdateAtomic(f)
 	}
-	db.Map.Update(f)
+	return db.Map.Update(f)
 }
 
 // View runs f against a fan-out snapshot.  By default the snapshot is
@@ -67,7 +74,7 @@ func (db *DB[K, V, A]) View(f func(s DBSnapshot[K, V, A])) {
 // every touched shard under one global commit sequence number: a concurrent
 // ViewConsistent never observes it torn.  Single-shard transactions cost
 // the same as Update.
-func (db *DB[K, V, A]) UpdateAtomic(f func(t *DBTxn[K, V, A])) { db.Map.UpdateAtomic(f) }
+func (db *DB[K, V, A]) UpdateAtomic(f func(t *DBTxn[K, V, A])) error { return db.Map.UpdateAtomic(f) }
 
 // UpdateAtomicKeys runs an atomic transaction whose key footprint is
 // declared up front — a full multi-key compare-and-swap, serializable
@@ -79,8 +86,8 @@ func (db *DB[K, V, A]) UpdateAtomic(f func(t *DBTxn[K, V, A])) { db.Map.UpdateAt
 // any key but must write only keys covered by the declared footprint, and
 // must be a pure function of its reads since it can run more than once
 // (see shard.Map.UpdateAtomicKeys for the exact contract).
-func (db *DB[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *DBTxn[K, V, A])) {
-	db.Map.UpdateAtomicKeys(keys, f)
+func (db *DB[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *DBTxn[K, V, A])) error {
+	return db.Map.UpdateAtomicKeys(keys, f)
 }
 
 // ViewConsistent runs f against a globally consistent snapshot: one pinned
@@ -149,10 +156,47 @@ type DBOptions[K any] struct {
 	// snapshot — i.e. Update/View become UpdateAtomic/ViewConsistent.
 	// Single-key operations are unaffected either way.
 	AtomicDefault bool
+
+	// WALDir enables write-ahead logging: every committed write is
+	// appended to a segmented redo log under this directory and fsynced
+	// per WALFsync before the call returns, and OpenDB recovers the
+	// newest checkpoint snapshot plus all logged records after a crash.
+	// Requires integer or string key AND value types (OpenDB derives the
+	// wire codecs the same way it derives Hash/Cmp); for other types open
+	// the map without a WAL and attach one via shard.Map.AttachWAL with
+	// explicit codecs.  Empty (the default) disables logging entirely —
+	// the database is purely in-memory and writes never touch the disk.
+	WALDir string
+	// WALFsync is the fsync policy: "always" (default — acked means
+	// durable), "interval" (group fsync at most every WALFsyncInterval),
+	// or "off" (fsync only on checkpoint/close; a crash may lose
+	// recently acked writes but never corrupts the log).
+	WALFsync string
+	// WALFsyncInterval is the flush period for WALFsync "interval"
+	// (default 10ms).
+	WALFsyncInterval time.Duration
+	// WALSegmentBytes caps each log segment before rotation (default
+	// 64 MiB).
+	WALSegmentBytes int64
+	// WALMaxBytes fails writes with wal.ErrWALFull once live log bytes
+	// exceed this bound, instead of filling the disk (0 = unbounded).
+	// Checkpoint retires segments and makes room.
+	WALMaxBytes int64
+	// WALFS overrides the log's filesystem (tests inject wal.MemFS or
+	// wal.FaultFS here; nil = the real disk).
+	WALFS wal.FS
 }
 
 // OpenDB opens a sharded map with the given augmenter and initial
 // contents; use OpenPlainDB for the common unaugmented case.
+//
+// With DBOptions.WALDir set, OpenDB is also the recovery path: it loads
+// the newest valid checkpoint snapshot, replays every durable record in
+// global commit (GSN) order, truncates any torn tail left by a crash, and
+// only then accepts writes — all before returning.  When the directory
+// holds prior state the caller's initial entries are ignored (the log is
+// the source of truth); on a fresh directory a non-empty initial is
+// checkpointed immediately so it is durable from the start.
 func OpenDB[K, V, A any](o DBOptions[K], aug Augmenter[K, V, A], initial []Entry[K, V]) (*DB[K, V, A], error) {
 	if aug == nil {
 		return nil, errNilAugmenter
@@ -180,6 +224,45 @@ func OpenDB[K, V, A any](o DBOptions[K], aug Augmenter[K, V, A], initial []Entry
 		}
 		o.Cmp = c
 	}
+	var (
+		wcfg      shard.WALConfig[K, V]
+		rec       *wal.Recovered
+		recovered bool
+	)
+	if o.WALDir != "" {
+		encK, decK, ok := autoCodec[K]()
+		if !ok {
+			return nil, errors.New("mvgc: WAL requires an integer or string key type; use shard.Map.AttachWAL with explicit codecs")
+		}
+		encV, decV, ok := autoCodec[V]()
+		if !ok {
+			return nil, errors.New("mvgc: WAL requires an integer or string value type; use shard.Map.AttachWAL with explicit codecs")
+		}
+		pol, err := wal.ParsePolicy(o.WALFsync)
+		if err != nil {
+			return nil, err
+		}
+		log, r, err := wal.Open(wal.Options{
+			Dir: o.WALDir, FS: o.WALFS,
+			SegmentBytes: o.WALSegmentBytes, MaxBytes: o.WALMaxBytes,
+			Policy: pol, Interval: o.WALFsyncInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rec = r
+		wcfg = shard.WALConfig[K, V]{Log: log, EncKey: encK, DecKey: decK, EncVal: encV, DecVal: decV}
+		recovered = rec.Snapshot != nil || len(rec.Records) > 0
+		if recovered {
+			// The log is the source of truth: the snapshot replaces the
+			// caller's initial entries, and records replay on top below.
+			initial, err = shard.DecodeWALSnapshot(wcfg, rec.Snapshot)
+			if err != nil {
+				log.Close()
+				return nil, err
+			}
+		}
+	}
 	cmp, grain := o.Cmp, o.Grain
 	s, err := shard.New(
 		shard.Config[K]{Shards: o.Shards, Procs: o.Procs, Algorithm: o.Algorithm, Hash: o.Hash, NoRecycle: o.NoRecycle},
@@ -187,9 +270,29 @@ func OpenDB[K, V, A any](o DBOptions[K], aug Augmenter[K, V, A], initial []Entry
 		initial,
 	)
 	if err != nil {
+		if wcfg.Log != nil {
+			wcfg.Log.Close()
+		}
 		return nil, err
 	}
-	return &DB[K, V, A]{Map: s, atomicDefault: o.AtomicDefault}, nil
+	db := &DB[K, V, A]{Map: s, atomicDefault: o.AtomicDefault}
+	if wcfg.Log != nil {
+		if err := s.RecoverWAL(wcfg, rec); err != nil {
+			wcfg.Log.Close()
+			return nil, err
+		}
+		if err := s.AttachWAL(wcfg); err != nil {
+			wcfg.Log.Close()
+			return nil, err
+		}
+		if !recovered && len(initial) > 0 {
+			if err := s.Checkpoint(); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+	}
+	return db, nil
 }
 
 // OpenPlainDB opens an unaugmented sharded map — the common key-value
@@ -219,6 +322,46 @@ func autoHash[K any]() (func(K) uint64, bool) {
 		return func(k K) uint64 { return HashString(any(k).(string)) }, true
 	}
 	return nil, false
+}
+
+// autoCodec returns default WAL wire codecs for integer and string types
+// (fixed 8-byte little-endian for integers, raw bytes for strings); ok is
+// false for other kinds, where the WAL must be attached manually with
+// explicit codecs via shard.Map.AttachWAL.
+func autoCodec[T any]() (enc func(dst []byte, t T) []byte, dec func(b []byte) (T, error), ok bool) {
+	errShort := errors.New("mvgc: WAL codec: truncated 8-byte integer")
+	encU64 := func(dst []byte, x uint64) []byte { return binary.LittleEndian.AppendUint64(dst, x) }
+	decU64 := func(b []byte) (uint64, error) {
+		if len(b) != 8 {
+			return 0, errShort
+		}
+		return binary.LittleEndian.Uint64(b), nil
+	}
+	var zero T
+	switch any(zero).(type) {
+	case int:
+		return func(dst []byte, t T) []byte { return encU64(dst, uint64(any(t).(int))) },
+			func(b []byte) (T, error) { x, err := decU64(b); return any(int(x)).(T), err }, true
+	case int32:
+		return func(dst []byte, t T) []byte { return encU64(dst, uint64(any(t).(int32))) },
+			func(b []byte) (T, error) { x, err := decU64(b); return any(int32(x)).(T), err }, true
+	case int64:
+		return func(dst []byte, t T) []byte { return encU64(dst, uint64(any(t).(int64))) },
+			func(b []byte) (T, error) { x, err := decU64(b); return any(int64(x)).(T), err }, true
+	case uint:
+		return func(dst []byte, t T) []byte { return encU64(dst, uint64(any(t).(uint))) },
+			func(b []byte) (T, error) { x, err := decU64(b); return any(uint(x)).(T), err }, true
+	case uint32:
+		return func(dst []byte, t T) []byte { return encU64(dst, uint64(any(t).(uint32))) },
+			func(b []byte) (T, error) { x, err := decU64(b); return any(uint32(x)).(T), err }, true
+	case uint64:
+		return func(dst []byte, t T) []byte { return encU64(dst, any(t).(uint64)) },
+			func(b []byte) (T, error) { x, err := decU64(b); return any(x).(T), err }, true
+	case string:
+		return func(dst []byte, t T) []byte { return append(dst, any(t).(string)...) },
+			func(b []byte) (T, error) { return any(string(b)).(T), nil }, true
+	}
+	return nil, nil, false
 }
 
 // autoCmp returns a default ordering for integer and string key types; ok

@@ -40,9 +40,23 @@ type Request[K, V any] struct {
 
 	// done, when non-nil, is the completion callback SubmitAsync attached:
 	// the combiner invokes it exactly once, after the commit containing the
-	// request has been published (or during the final drain on Stop).
-	done func()
+	// request has been published (or during the final drain on Stop).  A
+	// non-nil argument means the batch was NOT committed: the persist hook
+	// refused it (e.g. the WAL is poisoned or full) and the request's write
+	// was discarded.
+	done func(error)
 }
+
+// Persist is the durability hook a Batcher's owner may install with
+// SetPersist: the combiner calls it once per gathered batch, handing over
+// the batch's inserts and deletes plus a commit closure that applies the
+// batch to the in-memory map and returns the commit's GSN (0 when the
+// batch was a no-op).  The hook decides whether to run the commit at all
+// (fail-fast when the log is unusable), logs the committed batch keyed by
+// the returned GSN, and makes it durable; its error is delivered to every
+// request callback in the batch.  The slices are owned by the combiner
+// and valid only for the duration of the call.
+type Persist[K, V any] func(inserts []ftree.Entry[K, V], deletes []K, commit func() uint64) error
 
 // ring is a single-producer single-consumer bounded queue.  The producer
 // (client) advances tail; the consumer (combiner) advances head.
@@ -65,6 +79,7 @@ type Batcher[K, V, A any] struct {
 	w        *core.Handle[K, V, A]
 	rings    []*ring[K, V]
 	comb     func(old, new V) V
+	persist  Persist[K, V]
 	interval time.Duration
 	maxBatch int
 
@@ -129,6 +144,10 @@ func nextPow2(n int) int {
 	return p
 }
 
+// SetPersist installs the durability hook; call before Start.  See
+// Persist for the contract.
+func (b *Batcher[K, V, A]) SetPersist(p Persist[K, V]) { b.persist = p }
+
 // Start launches the combiner goroutine.
 func (b *Batcher[K, V, A]) Start() { go b.run() }
 
@@ -188,7 +207,7 @@ func (b *Batcher[K, V, A]) SubmitWait(client int, r Request[K, V]) {
 // behind it.  Hand off to a channel or flip a flag; don't do work there.
 // Like Submit, SubmitAsync applies backpressure (blocks) while the
 // client's ring is full.
-func (b *Batcher[K, V, A]) SubmitAsync(client int, r Request[K, V], done func()) {
+func (b *Batcher[K, V, A]) SubmitAsync(client int, r Request[K, V], done func(error)) {
 	r.done = done
 	b.Submit(client, r)
 }
@@ -214,7 +233,7 @@ func (b *Batcher[K, V, A]) run() {
 	}
 	var inserts []ftree.Entry[K, V]
 	var deletes []K
-	var cbs []func()
+	var cbs []func(error)
 	marks := make([]mark, 0, len(b.rings))
 	for {
 		inserts = inserts[:0]
@@ -261,29 +280,18 @@ func (b *Batcher[K, V, A]) run() {
 			// magazine keeps its high-water capacity between commits, so a
 			// steady batch size reserves for free.
 			b.w.ReserveNodes(total + total/4)
-			// Commit under the map's writer slot: one uncontended mutex per
-			// batch (thousands of requests), so a cross-shard atomic install
-			// or a fenced consistent view never has to chase a stream of
-			// combiner commits — the combiner "respects the fence".  The
-			// commit is GSN-stamped like any other (core stamps on Set), so
-			// batched updates order correctly under ViewConsistent.  Reserve
-			// stays outside the slot: it touches global free lists and needs
-			// no exclusion.
-			b.m.LockWriterSlot()
-			b.w.Update(func(tx *core.Txn[K, V, A]) {
-				if len(inserts) > 0 {
-					tx.InsertBatch(inserts, b.comb)
+			err := b.commit(inserts, deletes)
+			if err == nil {
+				b.batches.Add(1)
+				b.applied.Add(int64(total))
+				if int64(total) > b.maxSeen.Load() {
+					b.maxSeen.Store(int64(total))
 				}
-				if len(deletes) > 0 {
-					tx.DeleteBatch(deletes)
-				}
-			})
-			b.m.UnlockWriterSlot()
-			b.batches.Add(1)
-			b.applied.Add(int64(total))
-			if int64(total) > b.maxSeen.Load() {
-				b.maxSeen.Store(int64(total))
 			}
+			// Watermarks advance even when the persist hook refused the
+			// batch: "committed" means resolved — SubmitWait and Flush must
+			// never wedge behind a poisoned log; only the callbacks carry
+			// the verdict.
 			for _, mk := range marks {
 				mk.q.committed.Store(mk.seq)
 			}
@@ -293,7 +301,7 @@ func (b *Batcher[K, V, A]) run() {
 			// consumed each slot's callback before advancing head, and each
 			// slot is gathered by exactly one commit (this one).
 			for i, cb := range cbs {
-				cb()
+				cb(err)
 				cbs[i] = nil
 			}
 			continue // stay hot while work is flowing
@@ -308,10 +316,42 @@ func (b *Batcher[K, V, A]) run() {
 	}
 }
 
+// commit applies one gathered batch under the writer slot, routing it
+// through the persist hook when one is installed.  The hook receives a
+// closure over the in-memory commit so it can bracket {apply, log} under
+// its own ordering lock and group-sync afterwards; without a hook the
+// closure just runs.
+func (b *Batcher[K, V, A]) commit(inserts []ftree.Entry[K, V], deletes []K) error {
+	do := func() uint64 {
+		// Commit under the map's writer slot: one uncontended mutex per
+		// batch (thousands of requests), so a cross-shard atomic install
+		// or a fenced consistent view never has to chase a stream of
+		// combiner commits — the combiner "respects the fence".  The
+		// commit is GSN-stamped like any other (core stamps on Set), so
+		// batched updates order correctly under ViewConsistent.
+		b.m.LockWriterSlot()
+		b.w.Update(func(tx *core.Txn[K, V, A]) {
+			if len(inserts) > 0 {
+				tx.InsertBatch(inserts, b.comb)
+			}
+			if len(deletes) > 0 {
+				tx.DeleteBatch(deletes)
+			}
+		})
+		b.m.UnlockWriterSlot()
+		return b.w.LastStamp()
+	}
+	if b.persist != nil {
+		return b.persist(inserts, deletes, do)
+	}
+	do()
+	return nil
+}
+
 func (b *Batcher[K, V, A]) finalDrain() {
 	var inserts []ftree.Entry[K, V]
 	var deletes []K
-	var cbs []func()
+	var cbs []func(error)
 	for _, q := range b.rings {
 		h, t := q.head.Load(), q.tail.Load()
 		for i := h; i < t; i++ {
@@ -328,19 +368,13 @@ func (b *Batcher[K, V, A]) finalDrain() {
 		}
 		q.head.Store(t)
 	}
+	var err error
 	if len(inserts)+len(deletes) > 0 {
-		b.m.LockWriterSlot()
-		b.w.Update(func(tx *core.Txn[K, V, A]) {
-			if len(inserts) > 0 {
-				tx.InsertBatch(inserts, b.comb)
-			}
-			if len(deletes) > 0 {
-				tx.DeleteBatch(deletes)
-			}
-		})
-		b.m.UnlockWriterSlot()
-		b.batches.Add(1)
-		b.applied.Add(int64(len(inserts) + len(deletes)))
+		err = b.commit(inserts, deletes)
+		if err == nil {
+			b.batches.Add(1)
+			b.applied.Add(int64(len(inserts) + len(deletes)))
+		}
 	}
 	for _, q := range b.rings {
 		q.committed.Store(q.tail.Load())
@@ -349,6 +383,6 @@ func (b *Batcher[K, V, A]) finalDrain() {
 	// the final drain fires here, after its commit, and no other commit can
 	// have gathered it (head was advanced under this goroutine throughout).
 	for _, cb := range cbs {
-		cb()
+		cb(err)
 	}
 }

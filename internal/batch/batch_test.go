@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -253,7 +254,10 @@ func TestSubmitAsyncExactlyOnce(t *testing.T) {
 	all := make(chan struct{})
 	for i := int64(0); i < n; i++ {
 		i := i
-		b.SubmitAsync(int(i)%2, Request[int64, int64]{Op: OpInsert, Key: i, Val: i * 2}, func() {
+		b.SubmitAsync(int(i)%2, Request[int64, int64]{Op: OpInsert, Key: i, Val: i * 2}, func(err error) {
+			if err != nil {
+				t.Errorf("callback %d got error %v", i, err)
+			}
 			fired[i].Add(1)
 			if done.Add(1) == n {
 				close(all)
@@ -294,7 +298,7 @@ func TestSubmitAsyncShutdownDrain(t *testing.T) {
 	fired := make([]atomic.Int32, n)
 	for i := int64(0); i < n; i++ {
 		i := i
-		b.SubmitAsync(0, Request[int64, int64]{Op: OpInsert, Key: i, Val: i}, func() { fired[i].Add(1) })
+		b.SubmitAsync(0, Request[int64, int64]{Op: OpInsert, Key: i, Val: i}, func(error) { fired[i].Add(1) })
 	}
 	b.Stop() // final drain commits and must fire every callback
 	for i := range fired {
@@ -308,4 +312,52 @@ func TestSubmitAsyncShutdownDrain(t *testing.T) {
 		}
 	})
 	m.Close()
+}
+
+// TestPersistHook: the persist hook brackets every batch commit, sees the
+// commit GSN, and its error (fail-fast: commit closure never run) is
+// delivered to every callback in the batch while watermarks still advance.
+func TestPersistHook(t *testing.T) {
+	m := newIntMap(t, 2)
+	defer m.Close()
+	b := New(m, Config{Clients: 1, MaxLatency: 100 * time.Microsecond}, nil)
+	var gsns []uint64
+	var failing atomic.Bool
+	errRefused := errors.New("log refused")
+	b.SetPersist(func(ins []ftree.Entry[int64, int64], dels []int64, commit func() uint64) error {
+		if failing.Load() {
+			return errRefused // fail fast: no memory commit either
+		}
+		g := commit()
+		if g != 0 {
+			gsns = append(gsns, g)
+		}
+		return nil
+	})
+	b.Start()
+
+	okCh := make(chan error, 1)
+	b.SubmitAsync(0, Request[int64, int64]{Op: OpInsert, Key: 1, Val: 10}, func(err error) { okCh <- err })
+	if err := <-okCh; err != nil {
+		t.Fatalf("healthy persist delivered error %v", err)
+	}
+	if len(gsns) == 0 || gsns[0] == 0 {
+		t.Fatalf("persist hook saw no commit GSN: %v", gsns)
+	}
+
+	failing.Store(true)
+	b.SubmitAsync(0, Request[int64, int64]{Op: OpInsert, Key: 2, Val: 20}, func(err error) { okCh <- err })
+	if err := <-okCh; !errors.Is(err, errRefused) {
+		t.Fatalf("refused batch delivered %v, want %v", err, errRefused)
+	}
+	b.Flush(0) // must not wedge on a failing persist hook
+	read(m, func(s core.Snapshot[int64, int64, int64]) {
+		if _, ok := s.Get(2); ok {
+			t.Fatal("refused batch was committed to memory")
+		}
+		if v, ok := s.Get(1); !ok || v != 10 {
+			t.Fatal("accepted batch missing")
+		}
+	})
+	b.Stop()
 }

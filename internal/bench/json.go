@@ -14,6 +14,10 @@ type YCSBRecord struct {
 	Structure string  `json:"structure"`
 	Workload  string  `json:"workload"`
 	Mops      float64 `json:"mops"`
+	// WAL marks cells measured with the write-ahead log attached (every
+	// batch commit appends and fsyncs).  Omitted when false so pre-WAL
+	// baselines stay byte-identical.
+	WAL bool `json:"wal,omitempty"`
 }
 
 // YCSBReport is the BENCH_ycsb.json document: run configuration plus every

@@ -173,6 +173,12 @@ func (h *Handle[K, V, A]) UpdateUnstamped(f func(t *Txn[K, V, A])) int {
 // reports whether the transaction committed.
 func (h *Handle[K, V, A]) TryUpdate(f func(t *Txn[K, V, A])) bool { return h.m.TryUpdate(h.pid, f) }
 
+// LastStamp returns the GSN of the most recent stamped commit made
+// through this handle, or 0 when that commit was a no-op (nothing
+// published — e.g. a delete of an absent key).  Valid until the next
+// transaction on the handle; the WAL layer keys redo records with it.
+func (h *Handle[K, V, A]) LastStamp() uint64 { return h.m.lastStamps[h.pid] }
+
 // ReserveNodes pre-fills the leased pid's arena so the next n node
 // allocations are magazine hits: block transfers from the global free
 // lists, plus at most one contiguous chunk carve.  A combining writer

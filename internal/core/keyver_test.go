@@ -240,9 +240,9 @@ func TestInstallAtomicValidated(t *testing.T) {
 	maps := []*Map[int, int, struct{}]{m}
 
 	committed := false
-	ok := InstallAtomicValidated(maps, []int{0}, func() bool { return false }, func() { committed = true })
-	if ok || committed {
-		t.Fatalf("failed validation must not install (ok=%v committed=%v)", ok, committed)
+	g0, ok := InstallAtomicValidated(maps, []int{0}, func() bool { return false }, func() { committed = true })
+	if ok || committed || g0 != 0 {
+		t.Fatalf("failed validation must not install (ok=%v committed=%v gsn=%d)", ok, committed, g0)
 	}
 	if seq := m.InstallSeq(); seq%2 != 0 {
 		t.Fatalf("seqlock left odd after aborted install: %d", seq)
@@ -251,22 +251,22 @@ func TestInstallAtomicValidated(t *testing.T) {
 		t.Fatalf("aborted install published a stamp: %d", g)
 	}
 
-	ok = InstallAtomicValidated(maps, []int{0}, func() bool { return true }, func() {
+	gsn, ok := InstallAtomicValidated(maps, []int{0}, func() bool { return true }, func() {
 		m.UpdateUnstamped(0, func(tx *Txn[int, int, struct{}]) { tx.Insert(1, 1) })
 	})
-	if !ok {
-		t.Fatal("passing validation must install")
+	if !ok || gsn == 0 {
+		t.Fatalf("passing validation must install and return its GSN (ok=%v gsn=%d)", ok, gsn)
 	}
-	if g := m.LatestStamp(); g == 0 {
-		t.Fatal("validated install did not publish a stamp")
+	if g := m.LatestStamp(); g != gsn {
+		t.Fatalf("validated install published stamp %d, returned %d", g, gsn)
 	}
 
 	// Read-only: no seqlock movement, verdict is the validator's.
 	seq := m.InstallSeq()
-	if !InstallAtomicValidated(maps, nil, func() bool { return true }, nil) {
+	if _, ok := InstallAtomicValidated(maps, nil, func() bool { return true }, nil); !ok {
 		t.Fatal("read-only validation should pass")
 	}
-	if InstallAtomicValidated(maps, nil, func() bool { return false }, nil) {
+	if _, ok := InstallAtomicValidated(maps, nil, func() bool { return false }, nil); ok {
 		t.Fatal("read-only validation should fail")
 	}
 	if m.InstallSeq() != seq {

@@ -46,6 +46,11 @@ type Map[K, V, A any] struct {
 	latestStamp atomic.Uint64
 	installSeq  atomic.Uint64
 	slotMu      sync.Mutex
+	// lastStamps[p] is the GSN of pid p's most recent stamped commit, 0
+	// when that commit was a no-op (pid exclusivity makes the plain slice
+	// safe).  Read back via Handle.LastStamp by callers that need their
+	// own commit's GSN, e.g. to key a WAL record.
+	lastStamps []uint64
 
 	// Per-key version state (see keyver.go): kvtab is the striped table of
 	// (in-flight, completed-writes) seqlock words commits bracket their Set
@@ -137,6 +142,7 @@ func NewMap[K, V, A any](cfg Config, ops *ftree.Ops[K, V, A], initial []ftree.En
 	mp.pops = make([]*ftree.Ops[K, V, A], cfg.Procs)
 	mp.txns = make([]Txn[K, V, A], cfg.Procs)
 	mp.rbufs = make([][]*ftree.Node[K, V, A], cfg.Procs)
+	mp.lastStamps = make([]uint64, cfg.Procs)
 	for pid := 0; pid < cfg.Procs; pid++ {
 		mp.arenas[pid] = ops.NewArena()
 		mp.pops[pid] = ops.Bound(mp.arenas[pid])
@@ -409,6 +415,9 @@ func (m *Map[K, V, A]) tryUpdate(pid int, f func(t *Txn[K, V, A]), stamped bool)
 	}
 	root := m.m.Acquire(pid)
 	po := m.pops[pid]
+	// Zero pid's stamp record up front so a no-op (or aborted, or
+	// unstamped) transaction never leaves a stale GSN for LastStamp.
+	m.lastStamps[pid] = 0
 	// The transaction struct is pid-local and reused across transactions
 	// (pid exclusivity makes that safe), so a warm write allocates only
 	// tree nodes — which come from pid's arena.
@@ -436,7 +445,7 @@ func (m *Map[K, V, A]) tryUpdate(pid int, f func(t *Txn[K, V, A]), stamped bool)
 		// Stamp after visibility: a commit's GSN is allocated only once its
 		// Set is done, so observing LatestStamp() >= g proves commit g is
 		// contained in any later-acquired version (see stamp.go).
-		m.stamp()
+		m.stamp(pid)
 	}
 	m.kvExitTxn(tx)
 	// Response point for a successful commit: the new version is visible.

@@ -72,9 +72,16 @@ func (m *Map[K, V, A]) BumpStamp(g uint64) {
 	}
 }
 
-// stamp allocates the next GSN and publishes it; called after every
-// successful stamped Set.
-func (m *Map[K, V, A]) stamp() { m.BumpStamp(m.stampSrc.Add(1)) }
+// stamp allocates the next GSN, publishes it, and records it as pid's
+// last commit stamp; called after every successful stamped Set.  The
+// per-pid record is what lets a caller that just committed learn its
+// own GSN (Handle.LastStamp) — e.g. to key the commit's redo record —
+// without widening every transaction signature.
+func (m *Map[K, V, A]) stamp(pid int) {
+	g := m.stampSrc.Add(1)
+	m.BumpStamp(g)
+	m.lastStamps[pid] = g
+}
 
 // LockWriterSlot acquires the map's writer slot — the mutual exclusion
 // among cross-map atomic installers (and the combiner's batch commits).
@@ -163,9 +170,13 @@ func InstallAtomic[K, V, A any](maps []*Map[K, V, A], touched []int, commitAll f
 // A read-only transaction (touched empty) skips the seqlock protocol and
 // needs no locks: its validation alone proves all reads held simultaneously
 // at the validation point, which is its linearization.
-func InstallAtomicValidated[K, V, A any](maps []*Map[K, V, A], touched []int, validate func() bool, commitAll func()) bool {
+//
+// On success the allocated stamp is returned (0 on abort or for read-only
+// transactions): it is the transaction's global commit sequence number,
+// which the WAL layer uses to key the install's redo record.
+func InstallAtomicValidated[K, V, A any](maps []*Map[K, V, A], touched []int, validate func() bool, commitAll func()) (uint64, bool) {
 	if len(touched) == 0 {
-		return validate == nil || validate()
+		return 0, validate == nil || validate()
 	}
 	for _, i := range touched {
 		maps[i].BeginInstall()
@@ -182,12 +193,12 @@ func InstallAtomicValidated[K, V, A any](maps []*Map[K, V, A], touched []int, va
 		}
 	}()
 	if validate != nil && !validate() {
-		return false
+		return 0, false
 	}
 	commitAll()
 	g := maps[touched[0]].stampSrc.Add(1)
 	for _, i := range touched {
 		maps[i].BumpStamp(g)
 	}
-	return true
+	return g, true
 }

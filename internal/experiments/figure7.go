@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +16,7 @@ import (
 	"mvgc/internal/core"
 	"mvgc/internal/ftree"
 	"mvgc/internal/shard"
+	"mvgc/internal/wal"
 	"mvgc/internal/ycsb"
 )
 
@@ -35,6 +38,14 @@ type Figure7Config struct {
 	Structures []string
 	// Workloads to run; nil means YCSB A, B, C.
 	Workloads []ycsb.Workload
+	// WAL attaches a write-ahead log (temp directory, real disk) to the
+	// ours-sharded structure: every batch commit appends its post-images
+	// and fsyncs per WALFsync, measuring the durability tax.  Other
+	// structures ignore it.
+	WAL bool
+	// WALFsync is the fsync policy for WAL cells ("always", "interval",
+	// "off"; default always).
+	WALFsync string
 }
 
 // DefaultFigure7 returns a host-scaled configuration.
@@ -211,6 +222,28 @@ func runYCSBOursSharded(cfg Figure7Config, w ycsb.Workload) float64 {
 	if err != nil {
 		panic(err)
 	}
+	if cfg.WAL {
+		dir, derr := os.MkdirTemp("", "figure7-wal-")
+		if derr != nil {
+			panic(derr)
+		}
+		defer os.RemoveAll(dir)
+		pol, perr := wal.ParsePolicy(cfg.WALFsync)
+		if perr != nil {
+			panic(perr)
+		}
+		log, _, werr := wal.Open(wal.Options{Dir: dir, Policy: pol})
+		if werr != nil {
+			panic(werr)
+		}
+		u64 := func(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+		du64 := func(b []byte) (uint64, error) { return binary.LittleEndian.Uint64(b), nil }
+		if aerr := sm.AttachWAL(shard.WALConfig[uint64, uint64]{
+			Log: log, EncKey: u64, DecKey: du64, EncVal: u64, DecVal: du64,
+		}); aerr != nil {
+			panic(aerr)
+		}
+	}
 	sm.StartBatching(batch.Config{
 		Clients:    cfg.Threads,
 		BufCap:     1 << 15,
@@ -258,13 +291,21 @@ func runYCSBOursSharded(cfg Figure7Config, w ycsb.Workload) float64 {
 func RunFigure7(cfg Figure7Config, w io.Writer) []bench.YCSBRecord {
 	var records []bench.YCSBRecord
 	headers := append([]string{"workload"}, cfg.Structures...)
-	t := bench.NewTable(fmt.Sprintf("Figure 7: YCSB throughput (Mop/s), %d threads, %d records",
-		cfg.Threads, cfg.Records), headers...)
+	title := fmt.Sprintf("Figure 7: YCSB throughput (Mop/s), %d threads, %d records",
+		cfg.Threads, cfg.Records)
+	if cfg.WAL {
+		fsync := cfg.WALFsync
+		if fsync == "" {
+			fsync = "always"
+		}
+		title += fmt.Sprintf(", WAL fsync=%s", fsync)
+	}
+	t := bench.NewTable(title, headers...)
 	for _, wl := range cfg.Workloads {
 		row := []string{wl.Name}
 		for _, s := range cfg.Structures {
 			mops := RunFigure7Cell(cfg, s, wl)
-			records = append(records, bench.YCSBRecord{Structure: s, Workload: wl.Name, Mops: mops})
+			records = append(records, bench.YCSBRecord{Structure: s, Workload: wl.Name, Mops: mops, WAL: cfg.WAL})
 			row = append(row, bench.F2(mops))
 		}
 		t.AddRow(row...)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"mvgc/internal/netproto"
 )
@@ -126,8 +127,25 @@ type Client struct {
 	w      *netproto.Writer
 	closed bool
 
+	// fail is the sticky transport error (*errorBox); once set, every new
+	// operation fails fast.  Lock-free on purpose: the read loop must be
+	// able to poison the client while an op goroutine holds mu blocked on
+	// a full queue — taking mu here would deadlock exactly when the
+	// connection dies under a saturated pipeline.
+	fail atomic.Pointer[errorBox]
+
 	queue    chan *Pending // FIFO the reader goroutine completes in order
 	readDone chan struct{}
+}
+
+type errorBox struct{ err error }
+
+// failErr returns the sticky transport error, or nil.
+func (c *Client) failErr() error {
+	if b := c.fail.Load(); b != nil {
+		return b.err
+	}
+	return nil
 }
 
 // Dial connects with the given pipeline window: up to depth requests may
@@ -158,7 +176,10 @@ func NewClient(nc net.Conn, depth int) *Client {
 }
 
 // readLoop completes pendings in FIFO order; on transport failure it fails
-// the current and all later pendings with the same error.
+// the current and all later pendings with the same error, poisons the
+// client so new operations fail fast instead of encoding onto a dead
+// connection, and closes the socket to unwedge any writer blocked in the
+// kernel.
 func (c *Client) readLoop() {
 	defer close(c.readDone)
 	r := netproto.NewReader(c.nc)
@@ -168,6 +189,7 @@ func (c *Client) readLoop() {
 		if fail == nil {
 			if err := r.ReadReply(&rep); err != nil {
 				fail = err
+				c.poison(err)
 			}
 		}
 		if fail != nil {
@@ -196,16 +218,30 @@ func (c *Client) readLoop() {
 	}
 }
 
+// poison records the first transport error (new operations fail fast with
+// it) and closes the socket so a writer blocked against a dead peer's full
+// kernel buffer gets unstuck.  Safe from any goroutine without locks;
+// Close-induced read errors are shadowed by the closed flag, which ops
+// check first.
+func (c *Client) poison(err error) {
+	if c.fail.CompareAndSwap(nil, &errorBox{err}) {
+		c.nc.Close()
+	}
+}
+
 // enqueue registers p as the next expected reply.  Called with mu held,
 // immediately after encoding p's request.  If the window is full, the
 // write buffer is flushed first — the server can only drain the window by
 // seeing the requests — and then the send blocks until the reader frees a
-// slot, which bounds outstanding requests without deadlock.
+// slot, which bounds outstanding requests without deadlock (on a failed
+// connection the reader drains the queue failing everything, so the send
+// still returns promptly).
 func (c *Client) enqueue(p *Pending) error {
 	select {
 	case c.queue <- p:
 	default:
 		if err := c.w.Flush(); err != nil {
+			c.fail.CompareAndSwap(nil, &errorBox{err})
 			p.err = err
 			close(p.done)
 			return err
@@ -217,11 +253,19 @@ func (c *Client) enqueue(p *Pending) error {
 
 func (c *Client) newPending() *Pending { return &Pending{done: make(chan struct{})} }
 
-// failClosed completes p immediately with ErrClosed.
-func failClosed(p *Pending) *Pending {
-	p.err = ErrClosed
+// dead reports (with mu held) whether new operations must fail fast, and
+// fails p with the reason when so.
+func (c *Client) dead(p *Pending) bool {
+	switch {
+	case c.closed:
+		p.err = ErrClosed
+	case c.failErr() != nil:
+		p.err = c.failErr()
+	default:
+		return false
+	}
 	close(p.done)
-	return p
+	return true
 }
 
 // SetAsync pipelines SET key val.
@@ -229,8 +273,8 @@ func (c *Client) SetAsync(key, val int64) *Pending {
 	p := c.newPending()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return failClosed(p)
+	if c.dead(p) {
+		return p
 	}
 	c.w.BeginCommand(3)
 	c.w.ArgString(netproto.CmdSet)
@@ -245,8 +289,8 @@ func (c *Client) DelAsync(key int64) *Pending {
 	p := c.newPending()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return failClosed(p)
+	if c.dead(p) {
+		return p
 	}
 	c.w.BeginCommand(2)
 	c.w.ArgString(netproto.CmdDel)
@@ -260,8 +304,8 @@ func (c *Client) GetAsync(key int64) *Pending {
 	p := c.newPending()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return failClosed(p)
+	if c.dead(p) {
+		return p
 	}
 	c.w.BeginCommand(2)
 	c.w.ArgString(netproto.CmdGet)
@@ -275,8 +319,8 @@ func (c *Client) SumAsync(lo, hi int64) *Pending {
 	p := c.newPending()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return failClosed(p)
+	if c.dead(p) {
+		return p
 	}
 	c.w.BeginCommand(3)
 	c.w.ArgString(netproto.CmdSum)
@@ -293,8 +337,8 @@ func (c *Client) ScanAsync(lo int64, n int) *Pending {
 	p := c.newPending()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return failClosed(p)
+	if c.dead(p) {
+		return p
 	}
 	c.w.BeginCommand(3)
 	c.w.ArgString(netproto.CmdScan)
@@ -309,8 +353,8 @@ func (c *Client) LenAsync() *Pending {
 	p := c.newPending()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return failClosed(p)
+	if c.dead(p) {
+		return p
 	}
 	c.w.BeginCommand(1)
 	c.w.ArgString(netproto.CmdLen)
@@ -329,8 +373,8 @@ func (c *Client) MCASAsync(keys, expects, news []int64) *Pending {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return failClosed(p)
+	if c.dead(p) {
+		return p
 	}
 	c.w.BeginCommand(1 + 3*len(keys))
 	c.w.ArgString(netproto.CmdMCAS)
@@ -348,8 +392,8 @@ func (c *Client) PingAsync() *Pending {
 	p := c.newPending()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return failClosed(p)
+	if c.dead(p) {
+		return p
 	}
 	c.w.BeginCommand(1)
 	c.w.ArgString(netproto.CmdPing)
@@ -362,8 +406,8 @@ func (c *Client) StatsAsync() *Pending {
 	p := c.newPending()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return failClosed(p)
+	if c.dead(p) {
+		return p
 	}
 	c.w.BeginCommand(1)
 	c.w.ArgString(netproto.CmdStats)
@@ -380,7 +424,14 @@ func (c *Client) Flush() error {
 	if c.closed {
 		return ErrClosed
 	}
-	return c.w.Flush()
+	if err := c.failErr(); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		c.fail.CompareAndSwap(nil, &errorBox{err})
+		return err
+	}
+	return nil
 }
 
 // Set is the synchronous SET: flushes and waits.

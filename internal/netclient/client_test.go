@@ -1,0 +1,81 @@
+package netclient
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestAbruptConnectionLoss is the regression test for a server dying with
+// a pipeline in flight: a fake server acks the first few requests and then
+// drops the connection.  Every outstanding Pending must complete (acked
+// ones cleanly, the rest with the transport error), and — the part that
+// used to hang — every operation issued after the loss must fail fast
+// instead of encoding onto the dead connection.
+func TestAbruptConnectionLoss(t *testing.T) {
+	const acks = 5
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Ack the first few in-order requests, then die mid-pipeline.
+		// (Replies may race ahead of the requests themselves; the
+		// protocol is strictly in-order so the client pairs them up.)
+		for i := 0; i < acks; i++ {
+			nc.Write([]byte("+OK\r\n"))
+		}
+		nc.Close()
+	}()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(nc, 8)
+	defer c.Close()
+
+	const total = 100
+	pend := make([]*Pending, 0, total)
+	for i := 0; i < total; i++ {
+		pend = append(pend, c.SetAsync(int64(i), int64(i)))
+	}
+	c.Flush()
+
+	// Every pending completes; none may hang.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i, p := range pend {
+			err := p.Err()
+			if i < acks && err != nil {
+				t.Errorf("acked request %d: %v", i, err)
+			}
+			if i >= acks && err == nil {
+				t.Errorf("request %d succeeded after connection loss", i)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pendings did not complete after connection loss")
+	}
+
+	// New operations fail fast with the sticky transport error.
+	start := time.Now()
+	if err := c.SetAsync(1, 1).Err(); err == nil {
+		t.Fatal("SetAsync after loss returned nil error")
+	}
+	if err := c.Flush(); err == nil {
+		t.Fatal("Flush after loss returned nil error")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("post-loss operations took %v, want fail-fast", d)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"mvgc"
 	"mvgc/internal/batch"
 	"mvgc/internal/netproto"
+	"mvgc/internal/wal"
 )
 
 // Config sizes a Server.  The zero value serves: GOMAXPROCS shards, 64
@@ -73,6 +74,15 @@ type Config struct {
 	// per-shard fan-out otherwise.  Point reads are unaffected
 	// (single-shard reads are atomic either way).
 	Consistent bool
+	// WALDir enables the write-ahead log: every +OK'd write is durable per
+	// WALFsync, and New recovers prior state from the directory before
+	// serving.  Empty disables logging (purely in-memory, the default).
+	WALDir string
+	// WALFsync is the log's fsync policy: "always" (default), "interval"
+	// or "off" (see mvgc.DBOptions.WALFsync).
+	WALFsync string
+	// WALFS overrides the log's filesystem (tests; nil = the real disk).
+	WALFS wal.FS
 }
 
 func (c *Config) fill() {
@@ -121,8 +131,11 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
 	db, err := mvgc.OpenDB[int64, int64, int64](mvgc.DBOptions[int64]{
-		Shards: cfg.Shards,
-		Grain:  1024,
+		Shards:   cfg.Shards,
+		Grain:    1024,
+		WALDir:   cfg.WALDir,
+		WALFsync: cfg.WALFsync,
+		WALFS:    cfg.WALFS,
 	}, mvgc.SumAug[int64](), nil)
 	if err != nil {
 		return nil, err
@@ -214,9 +227,10 @@ func (s *Server) stop(graceful bool) error {
 	s.serveWG.Wait()
 	// All read loops have exited and all writers have drained: every
 	// accepted write's completion callback has fired (the combiners were
-	// live throughout).  Now the final drain can't strand a response.
-	s.db.Close()
-	return nil
+	// live throughout).  Now the final drain can't strand a response —
+	// and Close's WAL flush makes every acked write durable before the
+	// log is released.
+	return s.db.Close()
 }
 
 // Conns reports connections currently being served.
@@ -251,14 +265,24 @@ type slot struct {
 	arr []int64
 	// ready gates the writer; buffered so completion never blocks the
 	// combiner.  done sends on it and is allocated once per slot, so a
-	// recycled slot's async submission costs no closure allocation.
+	// recycled slot's async submission costs no closure allocation.  A
+	// non-nil error from the combiner (WAL failure, map closing) rewrites
+	// the prepared response into a protocol error before release: the
+	// client must never see +OK for a write that was not committed (and,
+	// with a WAL, not made durable).
 	ready chan struct{}
-	done  func()
+	done  func(error)
 }
 
 func newSlot() *slot {
 	sl := &slot{ready: make(chan struct{}, 1)}
-	sl.done = func() { sl.ready <- struct{}{} }
+	sl.done = func(err error) {
+		if err != nil {
+			sl.kind = respErr
+			sl.msg = "ERR " + err.Error()
+		}
+		sl.ready <- struct{}{}
+	}
 	return sl
 }
 

@@ -126,7 +126,47 @@ type Map[K, V, A any] struct {
 	// S reusable tree iterators plus the loser-tree array, leased per scan
 	// so a warm fixed-length scan allocates nothing.
 	scans sync.Pool
+
+	// wal, when non-nil, is the attached redo log (see wal.go in this
+	// package): every write path logs under walMu[i] — held across
+	// {in-memory commit + Append} so the per-shard log order equals the
+	// per-shard commit order — and acks after the log's fsync policy runs.
+	wal    *walBinding[K, V]
+	walMu  []sync.Mutex
+	ckptMu sync.Mutex
+
+	// closing/gates/closedCh make Close idempotent and safe against
+	// in-flight operations: every front-door method passes an enter/exit
+	// gate on its (first) shard, Close flips closing and waits for the
+	// gates to drain before tearing anything down, and a second Close
+	// blocks on closedCh until the first finishes.
+	closing  atomic.Bool
+	closedCh chan struct{}
+	gates    []gate
 }
+
+// gate is a padded in-flight counter; one per shard so hot point ops on
+// different shards never share a cache line.
+type gate struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// enter registers an in-flight operation against shard i's gate; false
+// means the map is closing and the operation must not touch the shards.
+// The increment is published before closing is checked, so Close's drain
+// (which flips closing first, then scans the gates) cannot miss us.
+func (m *Map[K, V, A]) enter(i int) bool {
+	g := &m.gates[i]
+	g.n.Add(1)
+	if m.closing.Load() {
+		g.n.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (m *Map[K, V, A]) exit(i int) { m.gates[i].n.Add(-1) }
 
 // New builds a sharded map.  mkOps must return a fresh ftree.Ops per call:
 // every shard gets its own, so allocation accounting (Ops().Live()) stays
@@ -143,7 +183,12 @@ func New[K, V, A any](cfg Config[K], mkOps func() *ftree.Ops[K, V, A], initial [
 		i := int(cfg.Hash(e.Key) % uint64(cfg.Shards))
 		parts[i] = append(parts[i], e)
 	}
-	m := &Map[K, V, A]{hash: cfg.Hash}
+	m := &Map[K, V, A]{
+		hash:     cfg.Hash,
+		walMu:    make([]sync.Mutex, cfg.Shards),
+		gates:    make([]gate, cfg.Shards),
+		closedCh: make(chan struct{}),
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		s, err := core.NewMap(core.Config{Algorithm: cfg.Algorithm, Procs: cfg.Procs, NoRecycle: cfg.NoRecycle, Stamp: &m.gsn}, mkOps(), parts[i])
 		if err != nil {
@@ -172,8 +217,14 @@ func (m *Map[K, V, A]) ShardFor(k K) int { return int(m.hash(k) % uint64(len(m.s
 func (m *Map[K, V, A]) Shard(i int) *core.Map[K, V, A] { return m.shards[i] }
 
 // Get runs a point read as a delay-free read transaction on k's shard.
+// After Close it reports absent.
 func (m *Map[K, V, A]) Get(k K) (v V, ok bool) {
-	m.shards[m.ShardFor(k)].WithCached(func(h *core.Handle[K, V, A]) {
+	i := m.ShardFor(k)
+	if !m.enter(i) {
+		return
+	}
+	defer m.exit(i)
+	m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
 		h.Read(func(s core.Snapshot[K, V, A]) { v, ok = s.Get(k) })
 	})
 	return
@@ -186,79 +237,187 @@ func (m *Map[K, V, A]) Has(k K) bool {
 }
 
 // Insert adds or replaces one entry in a single-shard write transaction.
-func (m *Map[K, V, A]) Insert(k K, v V) {
-	m.shards[m.ShardFor(k)].WithCached(func(h *core.Handle[K, V, A]) {
-		h.Update(func(tx *core.Txn[K, V, A]) { tx.Insert(k, v) })
-	})
+// With a WAL attached the write is durable (per the log's fsync policy)
+// when Insert returns nil; a non-nil error means the write must be treated
+// as lost — ErrClosed before any effect, a log error after the log was
+// poisoned (fail-fast: once the log errors, writes are refused before
+// touching memory).
+func (m *Map[K, V, A]) Insert(k K, v V) error {
+	i := m.ShardFor(k)
+	if !m.enter(i) {
+		return ErrClosed
+	}
+	defer m.exit(i)
+	if m.wal == nil {
+		m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
+			h.Update(func(tx *core.Txn[K, V, A]) { tx.Insert(k, v) })
+		})
+		return nil
+	}
+	return m.walPoint(i,
+		func(tx *core.Txn[K, V, A]) { tx.Insert(k, v) },
+		func(e *walEnc[K, V], tx *core.Txn[K, V, A]) { e.appendInsert(k, v) })
 }
 
-// InsertWith adds one entry, combining with any existing value.
-func (m *Map[K, V, A]) InsertWith(k K, v V, comb func(old, new V) V) {
-	m.shards[m.ShardFor(k)].WithCached(func(h *core.Handle[K, V, A]) {
-		h.Update(func(tx *core.Txn[K, V, A]) { tx.InsertWith(k, v, comb) })
-	})
+// InsertWith adds one entry, combining with any existing value.  The
+// logged record carries the combined post-image (read back inside the
+// committing transaction), so replay never re-applies the delta.
+func (m *Map[K, V, A]) InsertWith(k K, v V, comb func(old, new V) V) error {
+	i := m.ShardFor(k)
+	if !m.enter(i) {
+		return ErrClosed
+	}
+	defer m.exit(i)
+	if m.wal == nil {
+		m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
+			h.Update(func(tx *core.Txn[K, V, A]) { tx.InsertWith(k, v, comb) })
+		})
+		return nil
+	}
+	return m.walPoint(i,
+		func(tx *core.Txn[K, V, A]) { tx.InsertWith(k, v, comb) },
+		func(e *walEnc[K, V], tx *core.Txn[K, V, A]) {
+			if post, ok := tx.Get(k); ok {
+				e.appendInsert(k, post)
+			} else {
+				e.appendInsert(k, v)
+			}
+		})
 }
 
 // Delete removes one entry in a single-shard write transaction.
-func (m *Map[K, V, A]) Delete(k K) {
-	m.shards[m.ShardFor(k)].WithCached(func(h *core.Handle[K, V, A]) {
-		h.Update(func(tx *core.Txn[K, V, A]) { tx.Delete(k) })
-	})
+func (m *Map[K, V, A]) Delete(k K) error {
+	i := m.ShardFor(k)
+	if !m.enter(i) {
+		return ErrClosed
+	}
+	defer m.exit(i)
+	if m.wal == nil {
+		m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
+			h.Update(func(tx *core.Txn[K, V, A]) { tx.Delete(k) })
+		})
+		return nil
+	}
+	return m.walPoint(i,
+		func(tx *core.Txn[K, V, A]) { tx.Delete(k) },
+		func(e *walEnc[K, V], tx *core.Txn[K, V, A]) { e.appendDelete(k) })
 }
 
 // InsertBatch partitions the batch by shard and commits each part as one
 // atomic per-shard write transaction, all shards in parallel; nil comb
-// overwrites.  Atomicity is per shard, not global.
-func (m *Map[K, V, A]) InsertBatch(entries []ftree.Entry[K, V], comb func(old, new V) V) {
+// overwrites.  Atomicity is per shard, not global.  With a WAL attached
+// each shard's part is one record (combined post-images read back inside
+// the committing transaction) and the fsync is grouped: one Commit for the
+// whole batch.
+func (m *Map[K, V, A]) InsertBatch(entries []ftree.Entry[K, V], comb func(old, new V) V) error {
+	if !m.enter(0) {
+		return ErrClosed
+	}
+	defer m.exit(0)
 	parts := make([][]ftree.Entry[K, V], len(m.shards))
 	for _, e := range entries {
 		i := m.ShardFor(e.Key)
 		parts[i] = append(parts[i], e)
 	}
-	var wg sync.WaitGroup
-	for i, part := range parts {
-		if len(part) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(i int, part []ftree.Entry[K, V]) {
-			defer wg.Done()
-			m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
-				h.Update(func(tx *core.Txn[K, V, A]) { tx.InsertBatch(part, comb) })
-			})
-		}(i, part)
-	}
-	wg.Wait()
+	return m.batchFanout(len(parts), func(i int) bool { return len(parts[i]) > 0 },
+		func(i int, tx *core.Txn[K, V, A]) { tx.InsertBatch(parts[i], comb) },
+		func(i int, e *walEnc[K, V], tx *core.Txn[K, V, A]) {
+			for _, en := range parts[i] {
+				if comb != nil {
+					if v, ok := tx.Get(en.Key); ok {
+						e.appendInsert(en.Key, v)
+						continue
+					}
+				}
+				e.appendInsert(en.Key, en.Val)
+			}
+		})
 }
 
 // DeleteBatch removes keys, one atomic write transaction per affected
-// shard, all shards in parallel.
-func (m *Map[K, V, A]) DeleteBatch(keys []K) {
+// shard, all shards in parallel; with a WAL attached, one record per shard
+// and one grouped fsync.
+func (m *Map[K, V, A]) DeleteBatch(keys []K) error {
+	if !m.enter(0) {
+		return ErrClosed
+	}
+	defer m.exit(0)
 	parts := make([][]K, len(m.shards))
 	for _, k := range keys {
 		i := m.ShardFor(k)
 		parts[i] = append(parts[i], k)
 	}
+	return m.batchFanout(len(parts), func(i int) bool { return len(parts[i]) > 0 },
+		func(i int, tx *core.Txn[K, V, A]) { tx.DeleteBatch(parts[i]) },
+		func(i int, e *walEnc[K, V], tx *core.Txn[K, V, A]) {
+			for _, k := range parts[i] {
+				e.appendDelete(k)
+			}
+		})
+}
+
+// batchFanout commits one write transaction per non-empty shard part, all
+// in parallel.  Without a WAL it is fire-and-forget; with one, every
+// shard's commit+append runs under that shard's walMu and a single group
+// Commit covers the whole fan-out.  The first error wins (sticky log
+// errors make the rest fail identically anyway).
+func (m *Map[K, V, A]) batchFanout(n int, nonEmpty func(i int) bool, apply func(i int, tx *core.Txn[K, V, A]), encode func(i int, e *walEnc[K, V], tx *core.Txn[K, V, A])) error {
+	if m.wal != nil {
+		if err := m.wal.log.Err(); err != nil {
+			return err
+		}
+	}
 	var wg sync.WaitGroup
-	for i, part := range parts {
-		if len(part) == 0 {
+	errs := make([]error, n)
+	appended := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if !nonEmpty(i) {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, part []K) {
+		go func(i int) {
 			defer wg.Done()
-			m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
-				h.Update(func(tx *core.Txn[K, V, A]) { tx.DeleteBatch(part) })
-			})
-		}(i, part)
+			if m.wal == nil {
+				m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
+					h.Update(func(tx *core.Txn[K, V, A]) { apply(i, tx) })
+				})
+				return
+			}
+			e := m.wal.getEnc()
+			defer m.wal.putEnc(e)
+			appended[i], errs[i] = m.walShardCommit(i, e,
+				func(tx *core.Txn[K, V, A]) { apply(i, tx) },
+				func(tx *core.Txn[K, V, A]) {
+					e.buf = e.buf[:0]
+					encode(i, e, tx)
+				})
+		}(i)
 	}
 	wg.Wait()
+	if m.wal == nil {
+		return nil
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, a := range appended {
+		if a {
+			return m.wal.log.Commit()
+		}
+	}
+	return nil
 }
 
 // Len returns the total entry count.  Each shard is counted from its own
 // consistent snapshot, but the snapshots are taken sequentially, so under
 // concurrent writes the total is approximate (per-shard semantics).
 func (m *Map[K, V, A]) Len() int64 {
+	if !m.enter(0) {
+		return 0
+	}
+	defer m.exit(0)
 	var n int64
 	for _, s := range m.shards {
 		s.WithCached(func(h *core.Handle[K, V, A]) {
@@ -295,8 +454,13 @@ func (m *Map[K, V, A]) withPinned(f func(snaps []core.Snapshot[K, V, A])) {
 // consistent, NOT a single global snapshot: a concurrent cross-shard
 // transaction (UpdateAtomic or plain Update) may be visible on some shards
 // of the Snap and not others.  Use ViewConsistent when that matters.
-// View blocks while any shard's admission pool is exhausted.
+// View blocks while any shard's admission pool is exhausted.  After Close
+// it returns without running f.
 func (m *Map[K, V, A]) View(f func(s Snap[K, V, A])) {
+	if !m.enter(0) {
+		return
+	}
+	defer m.exit(0)
 	m.withPinned(func(snaps []core.Snapshot[K, V, A]) {
 		f(Snap[K, V, A]{m: m, snaps: snaps})
 	})
@@ -323,8 +487,18 @@ func (m *Map[K, V, A]) View(f func(s Snap[K, V, A])) {
 // falls back to briefly fencing the writer slots in ascending shard order:
 // with the slots held no atomic install or combiner commit can run, so the
 // fenced attempt is definitive.  Plain writers are never blocked in either
-// path.
+// path.  After Close it returns without running f.
 func (m *Map[K, V, A]) ViewConsistent(f func(s Snap[K, V, A])) {
+	if !m.enter(0) {
+		return
+	}
+	defer m.exit(0)
+	m.viewConsistent(f)
+}
+
+// viewConsistent is ViewConsistent without the close gate, for internal
+// callers (Checkpoint) that already hold a gate entry.
+func (m *Map[K, V, A]) viewConsistent(f func(s Snap[K, V, A])) {
 	n := len(m.shards)
 	gsns := make([]uint64, n)
 	seqs := make([]uint64, n)
@@ -660,18 +834,55 @@ func replay[K, V, A any](tx *core.Txn[K, V, A], list []intent[K, V]) {
 // intents atomically (in ascending shard order).  Atomicity is per shard;
 // there is no global commit point, and a concurrent View or ViewConsistent
 // may observe some shards' commits and not others'.  Use UpdateAtomic when
-// the transaction must never be seen torn.
-func (m *Map[K, V, A]) Update(f func(t *Txn[K, V, A])) {
+// the transaction must never be seen torn.  With a WAL attached each
+// shard's commit appends one record and a single group fsync covers the
+// whole transaction; durability (like atomicity) is per shard — a crash
+// between per-shard fsync points can persist some shards' legs and not
+// others'.
+func (m *Map[K, V, A]) Update(f func(t *Txn[K, V, A])) error {
+	if !m.enter(0) {
+		return ErrClosed
+	}
+	defer m.exit(0)
 	t := &Txn[K, V, A]{m: m, intents: make([][]intent[K, V], len(m.shards))}
 	f(t)
+	if m.wal == nil {
+		for i, list := range t.intents {
+			if len(list) == 0 {
+				continue
+			}
+			m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
+				h.Update(func(tx *core.Txn[K, V, A]) { replay(tx, list) })
+			})
+		}
+		return nil
+	}
+	if err := m.wal.log.Err(); err != nil {
+		return err
+	}
+	e := m.wal.getEnc()
+	defer m.wal.putEnc(e)
+	appended := false
 	for i, list := range t.intents {
 		if len(list) == 0 {
 			continue
 		}
-		m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
-			h.Update(func(tx *core.Txn[K, V, A]) { replay(tx, list) })
-		})
+		list := list
+		a, err := m.walShardCommit(i, e,
+			func(tx *core.Txn[K, V, A]) { replay(tx, list) },
+			func(tx *core.Txn[K, V, A]) {
+				e.buf = e.buf[:0]
+				encodeIntents(e, tx, list)
+			})
+		if err != nil {
+			return err
+		}
+		appended = appended || a
 	}
+	if !appended {
+		return nil
+	}
+	return m.wal.log.Commit()
 }
 
 // UpdateAtomic runs a buffered cross-shard write transaction with a global
@@ -693,26 +904,112 @@ func (m *Map[K, V, A]) Update(f func(t *Txn[K, V, A])) {
 // fence UpdateAtomicKeys' stable reads and ViewConsistent's fallback rely
 // on (an atomic transaction must never bypass another's fence, whatever
 // its footprint).
-func (m *Map[K, V, A]) UpdateAtomic(f func(t *Txn[K, V, A])) {
+func (m *Map[K, V, A]) UpdateAtomic(f func(t *Txn[K, V, A])) error {
+	if !m.enter(0) {
+		return ErrClosed
+	}
+	defer m.exit(0)
 	t := &Txn[K, V, A]{m: m, intents: make([][]intent[K, V], len(m.shards))}
 	f(t)
 	touched := t.touched()
+	if len(touched) == 0 {
+		return nil
+	}
+	if m.wal != nil {
+		if err := m.wal.log.Err(); err != nil {
+			return err
+		}
+	}
 	if len(touched) == 1 {
 		i := touched[0]
 		list := t.intents[i]
+		if m.wal == nil {
+			m.shards[i].LockWriterSlot()
+			defer m.shards[i].UnlockWriterSlot()
+			m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
+				h.Update(func(tx *core.Txn[K, V, A]) { replay(tx, list) })
+			})
+			return nil
+		}
+		// Lock order: walMu before the writer slot, matching the combiner's
+		// persist hook (which holds walMu while its commit takes the slot).
+		e := m.wal.getEnc()
+		defer m.wal.putEnc(e)
+		var g uint64
+		var err error
+		m.walMu[i].Lock()
 		m.shards[i].LockWriterSlot()
-		defer m.shards[i].UnlockWriterSlot()
 		m.shards[i].WithCached(func(h *core.Handle[K, V, A]) {
-			h.Update(func(tx *core.Txn[K, V, A]) { replay(tx, list) })
+			h.Update(func(tx *core.Txn[K, V, A]) {
+				replay(tx, list)
+				e.buf = e.buf[:0]
+				encodeIntents(e, tx, list)
+			})
+			g = h.LastStamp()
 		})
-		return
+		m.shards[i].UnlockWriterSlot()
+		if g != 0 {
+			err = m.wal.log.Append(g, e.buf)
+		}
+		m.walMu[i].Unlock()
+		if err != nil || g == 0 {
+			return err
+		}
+		return m.wal.log.Commit()
 	}
-	// Slots are released by defer so a panic out of a user comb during the
-	// install (which forfeits atomicity for the legs already installed —
-	// see core.InstallAtomic) cannot wedge the fence.
-	core.LockWriterSlots(m.shards, touched)
-	defer core.UnlockWriterSlots(m.shards, touched)
-	m.installLocked(touched, t.intents, nil, nil, nil)
+	if m.wal == nil {
+		// Slots are released by defer so a panic out of a user comb during
+		// the install (which forfeits atomicity for the legs already
+		// installed — see core.InstallAtomic) cannot wedge the fence.
+		core.LockWriterSlots(m.shards, touched)
+		defer core.UnlockWriterSlots(m.shards, touched)
+		m.installLocked(touched, t.intents, nil, nil, nil, nil)
+		return nil
+	}
+	// WAL'd multi-shard install: every touched shard's walMu is held
+	// (ascending) around the whole install, so the transaction's single
+	// record — all shards' ops under the install GSN — cannot interleave
+	// out of commit order with any shard's other records.
+	e := m.wal.getEnc()
+	m.lockWALMus(touched)
+	unlock := func() {
+		if touched != nil {
+			m.unlockWALMus(touched)
+			touched = nil
+		}
+	}
+	defer unlock()
+	defer m.wal.putEnc(e)
+	// marks[j] is where shard j's ops start in the shared record buffer:
+	// a per-shard install retries its transaction on conflict, re-running
+	// the encode, so each attempt truncates back to its own mark first.
+	marks := make([]int, len(touched))
+	for j := range marks {
+		marks[j] = -1
+	}
+	install := func() (uint64, bool) {
+		core.LockWriterSlots(m.shards, touched)
+		defer core.UnlockWriterSlots(m.shards, touched)
+		return m.installLocked(touched, t.intents, nil, nil, nil,
+			func(j, i int, tx *core.Txn[K, V, A]) {
+				if marks[j] < 0 {
+					marks[j] = len(e.buf)
+				} else {
+					e.buf = e.buf[:marks[j]]
+				}
+				encodeIntents(e, tx, t.intents[i])
+			})
+	}
+	g, _ := install()
+	var err error
+	if g != 0 {
+		err = m.wal.log.Append(g, e.buf)
+	}
+	unlock()
+	if err != nil || g == 0 {
+		return err
+	}
+	return m.wal.log.Commit()
 }
 
 // UpdateAtomicKeys runs an atomic cross-shard transaction whose key
@@ -752,7 +1049,11 @@ func (m *Map[K, V, A]) UpdateAtomic(f func(t *Txn[K, V, A])) {
 // code), and a read colliding with a wholesale stripe bracket — a SetRoot
 // or table-scale batch commit on the read shard marks every stripe — waits
 // for that commit's Set.
-func (m *Map[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *Txn[K, V, A])) {
+func (m *Map[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *Txn[K, V, A])) error {
+	if !m.enter(0) {
+		return ErrClosed
+	}
+	defer m.exit(0)
 	inFootprint := make([]bool, len(m.shards))
 	touched := make([]int, 0, len(keys))
 	for _, k := range keys {
@@ -770,9 +1071,22 @@ func (m *Map[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *Txn[K, V, A])) {
 	t := &Txn[K, V, A]{m: m, intents: make([][]intent[K, V], len(m.shards)), occ: true}
 	wstripes := make([][]uint64, len(m.shards))
 	hbuf := make([]*core.Handle[K, V, A], len(m.shards))
+	var e *walEnc[K, V]
+	var marks []int
+	if m.wal != nil {
+		e = m.wal.getEnc()
+		defer m.wal.putEnc(e)
+		marks = make([]int, len(touched))
+	}
 	for attempt := 0; ; attempt++ {
-		if m.atomicKeysAttempt(touched, inFootprint, t, wstripes, hbuf, f) {
-			return
+		if m.wal != nil {
+			if err := m.wal.log.Err(); err != nil {
+				return err
+			}
+		}
+		committed, err := m.atomicKeysAttempt(touched, inFootprint, t, wstripes, hbuf, f, e, marks)
+		if committed || err != nil {
+			return err
 		}
 		m.occAborts.Add(1)
 		core.Backoff(attempt)
@@ -783,8 +1097,23 @@ func (m *Map[K, V, A]) UpdateAtomicKeys(keys []K, f func(t *Txn[K, V, A])) {
 // UpdateAtomicKeys transaction and reports whether it committed.  The
 // footprint shards' writer slots are held only for the attempt's duration
 // — released before the caller's backoff — so fenced writers on those
-// shards make progress between aborts.
-func (m *Map[K, V, A]) atomicKeysAttempt(touched []int, inFootprint []bool, t *Txn[K, V, A], wstripes [][]uint64, hbuf []*core.Handle[K, V, A], f func(t *Txn[K, V, A])) bool {
+// shards make progress between aborts.  With a WAL (e non-nil) the
+// footprint shards' walMu bracket the attempt: logged point writers on
+// those shards are held off from first read to Append, so a committed
+// attempt's record lands in per-shard commit order.
+func (m *Map[K, V, A]) atomicKeysAttempt(touched []int, inFootprint []bool, t *Txn[K, V, A], wstripes [][]uint64, hbuf []*core.Handle[K, V, A], f func(t *Txn[K, V, A]), e *walEnc[K, V], marks []int) (bool, error) {
+	walHeld := false
+	if e != nil {
+		m.lockWALMus(touched)
+		walHeld = true
+	}
+	unlockWAL := func() {
+		if walHeld {
+			walHeld = false
+			m.unlockWALMus(touched)
+		}
+	}
+	defer unlockWAL()
 	core.LockWriterSlots(m.shards, touched)
 	defer core.UnlockWriterSlots(m.shards, touched)
 	for i := range t.intents {
@@ -820,7 +1149,38 @@ func (m *Map[K, V, A]) atomicKeysAttempt(touched []int, inFootprint []bool, t *T
 		}
 		return true
 	}
-	return m.installLocked(write, t.intents, wstripes, hbuf, validate)
+	var onReplay func(j, i int, tx *core.Txn[K, V, A])
+	if e != nil {
+		e.buf = e.buf[:0]
+		for j := range write {
+			marks[j] = -1
+		}
+		onReplay = func(j, i int, tx *core.Txn[K, V, A]) {
+			// Per-shard installs retry on conflict; truncate back to this
+			// shard's mark so a re-run never duplicates its ops.
+			if marks[j] < 0 {
+				marks[j] = len(e.buf)
+			} else {
+				e.buf = e.buf[:marks[j]]
+			}
+			encodeIntents(e, tx, t.intents[i])
+		}
+	}
+	g, ok := m.installLocked(write, t.intents, wstripes, hbuf, validate, onReplay)
+	if e == nil || !ok {
+		return ok, nil
+	}
+	var err error
+	if g != 0 {
+		err = m.wal.log.Append(g, e.buf)
+	}
+	unlockWAL()
+	if err != nil || g == 0 {
+		// Committed in memory either way; a non-nil err reports the log is
+		// poisoned (sticky), so the caller sees the durability failure.
+		return true, err
+	}
+	return true, m.wal.log.Commit()
 }
 
 // OCCAborts reports how many UpdateAtomicKeys attempts were aborted by
@@ -848,7 +1208,14 @@ func (m *Map[K, V, A]) OCCAborts() int64 { return m.occAborts.Load() }
 // the stripes are locked BEFORE validation runs (inside
 // InstallAtomicValidated), which is what makes validate-then-install
 // atomic against unfenced writers; see core.InstallAtomicValidated.
-func (m *Map[K, V, A]) installLocked(touched []int, intents [][]intent[K, V], wstripes [][]uint64, hbuf []*core.Handle[K, V, A], validate func() bool) bool {
+// onReplay, when non-nil, runs inside each touched shard's install
+// transaction after its intents are replayed (j indexes touched, i is the
+// shard); the WAL paths use it to encode the shard's post-images from
+// inside the very transaction that commits them.  installLocked returns
+// the transaction's GSN (0 when nothing installed) and whether it
+// committed.
+func (m *Map[K, V, A]) installLocked(touched []int, intents [][]intent[K, V], wstripes [][]uint64, hbuf []*core.Handle[K, V, A], validate func() bool, onReplay func(j, i int, tx *core.Txn[K, V, A])) (uint64, bool) {
+	var gsn uint64
 	ok := false
 	// hbuf lets UpdateAtomicKeys amortize the lease slots across retry
 	// attempts; one-shot callers (UpdateAtomic) pass nil.
@@ -875,8 +1242,9 @@ func (m *Map[K, V, A]) installLocked(touched []int, intents [][]intent[K, V], ws
 				}
 			}()
 		}
-		ok = core.InstallAtomicValidated(m.shards, touched, validate, func() {
+		gsn, ok = core.InstallAtomicValidated(m.shards, touched, validate, func() {
 			for j, i := range touched {
+				j, i := j, i
 				list := intents[i]
 				handles[j].UpdateUnstamped(func(tx *core.Txn[K, V, A]) {
 					// The replay writes exactly the stripes this install
@@ -884,12 +1252,15 @@ func (m *Map[K, V, A]) installLocked(touched []int, intents [][]intent[K, V], ws
 					// its commit bracket would stall on our own locks.
 					tx.HoldsStripeLocks()
 					replay(tx, list)
+					if onReplay != nil {
+						onReplay(j, i, tx)
+					}
 				})
 			}
 		})
 	}
 	rec(0)
-	return ok
+	return gsn, ok
 }
 
 // StartBatching launches one Appendix-F combining writer per shard: each
@@ -901,45 +1272,88 @@ func (m *Map[K, V, A]) StartBatching(cfg batch.Config, comb func(old, new V) V) 
 	if m.batchers != nil {
 		panic("shard: StartBatching called twice")
 	}
+	if !m.enter(0) {
+		return
+	}
+	defer m.exit(0)
 	m.batchers = make([]*batch.Batcher[K, V, A], len(m.shards))
 	for i, s := range m.shards {
-		m.batchers[i] = batch.New(s, cfg, comb)
-		m.batchers[i].Start()
+		b := batch.New(s, cfg, comb)
+		if m.wal != nil {
+			b.SetPersist(m.walPersist(i, comb != nil))
+		}
+		m.batchers[i] = b
+		b.Start()
 	}
 }
 
 // Submit routes a buffered update to its key's shard batcher.  Requires
-// StartBatching.
+// StartBatching.  After Close the request is dropped.
 func (m *Map[K, V, A]) Submit(client int, r batch.Request[K, V]) {
-	m.batchers[m.ShardFor(r.Key)].Submit(client, r)
+	i := m.ShardFor(r.Key)
+	if !m.enter(i) {
+		return
+	}
+	defer m.exit(i)
+	m.batchers[i].Submit(client, r)
 }
 
 // SubmitWait routes a buffered update and blocks until its shard's
-// combiner has committed it.
+// combiner has committed it.  After Close it returns immediately (the
+// request is dropped).
 func (m *Map[K, V, A]) SubmitWait(client int, r batch.Request[K, V]) {
-	m.batchers[m.ShardFor(r.Key)].SubmitWait(client, r)
+	i := m.ShardFor(r.Key)
+	if !m.enter(i) {
+		return
+	}
+	defer m.exit(i)
+	m.batchers[i].SubmitWait(client, r)
 }
 
 // SubmitAsync routes a buffered update and returns immediately; done runs
 // exactly once on the owning shard's combiner goroutine after the commit
-// containing the request has been published (see batch.Batcher.SubmitAsync
-// for the callback contract: fast, non-blocking).  This is how a pipelined
+// containing the request has been resolved (see batch.Batcher.SubmitAsync
+// for the callback contract: fast, non-blocking).  A nil error means the
+// write committed — and, with a WAL attached, is durable per the log's
+// fsync policy; ErrClosed (delivered synchronously when the map is
+// closing) or a log error means it did not.  This is how a pipelined
 // connection keeps many writes in flight without parking a goroutine per
 // write.
-func (m *Map[K, V, A]) SubmitAsync(client int, r batch.Request[K, V], done func()) {
-	m.batchers[m.ShardFor(r.Key)].SubmitAsync(client, r, done)
+func (m *Map[K, V, A]) SubmitAsync(client int, r batch.Request[K, V], done func(error)) {
+	i := m.ShardFor(r.Key)
+	if !m.enter(i) {
+		if done != nil {
+			done(ErrClosed)
+		}
+		return
+	}
+	defer m.exit(i)
+	m.batchers[i].SubmitAsync(client, r, done)
 }
 
 // Flush blocks until everything the client submitted (on any shard) before
-// the call has committed.
+// the call has committed.  After Close it returns immediately.
 func (m *Map[K, V, A]) Flush(client int) {
+	if !m.enter(0) {
+		return
+	}
+	defer m.exit(0)
 	for _, b := range m.batchers {
 		b.Flush(client)
 	}
 }
 
-// StopBatching stops every shard's combiner after a final drain.
+// StopBatching stops every shard's combiner after a final drain.  It is
+// idempotent; Close calls it internally.
 func (m *Map[K, V, A]) StopBatching() {
+	if !m.enter(0) {
+		return
+	}
+	defer m.exit(0)
+	m.stopBatching()
+}
+
+func (m *Map[K, V, A]) stopBatching() {
 	for _, b := range m.batchers {
 		b.Stop()
 	}
@@ -1004,13 +1418,39 @@ func (m *Map[K, V, A]) Live() int64 {
 	return n
 }
 
-// Close stops any batchers and drains every shard.  All clients must have
-// quiesced.  After Close, Live() reports leaked nodes across all shards.
-func (m *Map[K, V, A]) Close() {
+// Close stops any batchers, closes the WAL (flushing and syncing its tail
+// whatever the fsync policy, so everything acked — and everything
+// committed — is on disk) and drains every shard.  It is idempotent and
+// safe against concurrent operations: the first caller flips the closing
+// flag, waits for every in-flight front-door operation to drain its gate,
+// then tears down; operations arriving after the flip fail fast with
+// ErrClosed (writes) or act as no-ops (reads); later Close calls block
+// until the first finishes and return nil.  After Close, Live() reports
+// leaked nodes across all shards.  The returned error is the WAL's close
+// error, if any.
+func (m *Map[K, V, A]) Close() error {
+	if !m.closing.CompareAndSwap(false, true) {
+		<-m.closedCh
+		return nil
+	}
+	// Drain: every front-door method increments its gate before loading
+	// closing, so once all gates read zero nothing is left inside and
+	// nothing new can enter.
+	for i := range m.gates {
+		for m.gates[i].n.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
 	if m.batchers != nil {
-		m.StopBatching()
+		m.stopBatching()
+	}
+	var err error
+	if m.wal != nil {
+		err = m.wal.log.Close()
 	}
 	for _, s := range m.shards {
 		s.Close()
 	}
+	close(m.closedCh)
+	return err
 }

@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// FaultKind selects what a scripted fault does when its operation fires.
+type FaultKind int
+
+const (
+	// FaultErr fails the operation with ErrInjected without side effects.
+	FaultErr FaultKind = iota
+	// FaultShortWrite applies only half of a Write's bytes, then fails.
+	// On non-write operations it behaves like FaultErr.
+	FaultShortWrite
+	// FaultCrash power-cuts the underlying filesystem (MemFS.Crash) before
+	// the operation takes effect; every later operation fails with
+	// ErrCrashed until the FaultFS is re-armed.
+	FaultCrash
+)
+
+// ErrInjected is returned by operations a FaultFS script fails.
+var ErrInjected = errors.New("wal: injected fault")
+
+// ErrCrashed is returned by every operation after a scripted crash.
+var ErrCrashed = errors.New("wal: crashed")
+
+// Crasher is implemented by filesystems that can simulate a power cut
+// (MemFS).  FaultCrash requires the wrapped FS to implement it.
+type Crasher interface {
+	Crash(torn int)
+}
+
+// FaultFS wraps an FS and injects faults at scripted operation indices.
+// Every write-side operation (Write, Sync, Create, Rename, Remove,
+// Truncate, SyncDir) increments a counter; when the counter hits a
+// scripted index the fault fires.  Read-side operations never count, so
+// a script's indices are stable across recovery re-reads.
+//
+// The intended use is a two-pass matrix: run the workload once with an
+// empty script to learn the operation count N via Ops(), then re-run it
+// N times with a crash scripted at each index 1..N and assert recovery
+// invariants after each.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	script map[int]FaultKind
+	torn   int // unsynced bytes a crash may leave behind
+	ops    int
+	crash  bool
+}
+
+// NewFaultFS wraps inner with an empty script.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, script: make(map[int]FaultKind)}
+}
+
+// Script arms a fault at the given 1-based write-operation index.
+func (f *FaultFS) Script(opIndex int, kind FaultKind) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.script[opIndex] = kind
+}
+
+// SetTorn sets how many unsynced bytes a scripted crash may leave behind
+// (the torn tail recovery must truncate).
+func (f *FaultFS) SetTorn(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.torn = n
+}
+
+// Ops returns how many write-side operations have executed (or tried to).
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether a scripted crash has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crash
+}
+
+// step counts one write-side operation and returns the fault to apply,
+// if any.  After a crash every operation fails.
+func (f *FaultFS) step() (kind FaultKind, fire bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crash {
+		return 0, false, ErrCrashed
+	}
+	f.ops++
+	kind, fire = f.script[f.ops]
+	if !fire {
+		return 0, false, nil
+	}
+	if kind == FaultCrash {
+		c, okc := f.inner.(Crasher)
+		if !okc {
+			return 0, false, fmt.Errorf("wal: FaultCrash requires a Crasher FS, got %T", f.inner)
+		}
+		f.crash = true
+		c.Crash(f.torn)
+		return 0, false, ErrCrashed
+	}
+	return kind, true, nil
+}
+
+// stepOp is step for operations with no short-write variant: any armed
+// fault degrades to a plain injected error.
+func (f *FaultFS) stepOp() error {
+	_, fire, err := f.step()
+	if err != nil {
+		return err
+	}
+	if fire {
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.stepOp(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+func (f *FaultFS) MkdirAll(dir string) error            { return f.inner.MkdirAll(dir) }
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.stepOp(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.stepOp(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.stepOp(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.stepOp(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile routes a file's write-side calls through the injector.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.inner.Read(p) }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	kind, fire, err := ff.fs.step()
+	if err != nil {
+		return 0, err
+	}
+	if fire {
+		if kind == FaultShortWrite {
+			n, _ := ff.inner.Write(p[:len(p)/2])
+			return n, ErrInjected
+		}
+		return 0, ErrInjected
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.stepOp(); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

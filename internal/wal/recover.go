@@ -1,0 +1,263 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one recovered redo record.
+type Record struct {
+	GSN     uint64
+	Payload []byte
+}
+
+// Recovered is what Open found on disk.
+type Recovered struct {
+	// SnapshotCut is the GSN the snapshot covers (0 when no snapshot).
+	SnapshotCut uint64
+	// Snapshot is the newest valid checkpoint payload, nil when none.
+	Snapshot []byte
+	// Records holds every valid record with GSN > SnapshotCut, in
+	// ascending GSN order (stable, so equal-GSN records — impossible
+	// today but cheap to guarantee — keep log order).
+	Records []Record
+	// MaxGSN is the highest GSN seen anywhere (records or cut): the
+	// caller must resume its GSN counter strictly above it.
+	MaxGSN uint64
+}
+
+// Open recovers the log in opts.Dir and returns a Log ready for new
+// appends plus what was recovered.  Recovery rules:
+//
+//   - the newest snapshot whose CRC validates wins; invalid or temp
+//     snapshot files are removed;
+//   - segments are scanned in sequence order; a torn tail (bad CRC,
+//     short frame) in the highest-numbered segment is truncated away —
+//     rotation seals segments with an fsync before creating the next,
+//     so a tear anywhere else is real corruption and fails Open;
+//   - new appends always go to a fresh segment, never a recovered one,
+//     so recovery never has to distinguish old bytes from new.
+func Open(opts Options) (*Log, *Recovered, error) {
+	if opts.FS == nil {
+		opts.FS = OsFS{}
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 50 * time.Millisecond
+	}
+	fs, dir := opts.FS, opts.Dir
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: readdir %s: %w", dir, err)
+	}
+
+	var segSeqs, snapSeqs []uint64
+	stray := []string{}
+	for _, name := range names {
+		if seq, ok := parseName(name, "seg-", ".wal"); ok {
+			segSeqs = append(segSeqs, seq)
+		} else if seq, ok := parseName(name, "ck-", ".snap"); ok {
+			snapSeqs = append(snapSeqs, seq)
+		} else if name == snapTmpName {
+			stray = append(stray, name)
+		}
+	}
+	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] < snapSeqs[j] })
+
+	rec := &Recovered{}
+	var snapSeq uint64
+	// Newest valid snapshot wins; anything newer that fails validation
+	// is an interrupted checkpoint and is removed.
+	for i := len(snapSeqs) - 1; i >= 0; i-- {
+		name := filepath.Join(dir, snapName(snapSeqs[i]))
+		cut, payload, ok := readSnapshot(fs, name)
+		if !ok {
+			stray = append(stray, snapName(snapSeqs[i]))
+			continue
+		}
+		snapSeq = snapSeqs[i]
+		rec.SnapshotCut, rec.Snapshot = cut, payload
+		// Older snapshots are superseded; an interrupted checkpoint may
+		// have left them behind.
+		for j := 0; j < i; j++ {
+			stray = append(stray, snapName(snapSeqs[j]))
+		}
+		break
+	}
+	for _, name := range stray {
+		// Best-effort: a failed cleanup leaves garbage the next Open
+		// retries, never wrong state.
+		fs.Remove(filepath.Join(dir, name)) //nolint:errcheck
+	}
+
+	var sealed []segInfo
+	var liveBytes int64
+	var maxSeq uint64
+	for i, seq := range segSeqs {
+		name := filepath.Join(dir, segName(seq))
+		last := i == len(segSeqs)-1
+		recs, maxGSN, good, torn, err := readSegment(fs, name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if torn {
+			if !last {
+				return nil, nil, fmt.Errorf("wal: %s: torn frame in non-final segment", name)
+			}
+			if err := fs.Truncate(name, good); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", name, err)
+			}
+		}
+		for _, r := range recs {
+			if r.GSN > rec.MaxGSN {
+				rec.MaxGSN = r.GSN
+			}
+			if r.GSN > rec.SnapshotCut {
+				rec.Records = append(rec.Records, r)
+			}
+		}
+		sealed = append(sealed, segInfo{seq: seq, name: name, maxGSN: maxGSN, size: good})
+		liveBytes += good
+		maxSeq = seq
+	}
+	if rec.SnapshotCut > rec.MaxGSN {
+		rec.MaxGSN = rec.SnapshotCut
+	}
+	sort.SliceStable(rec.Records, func(i, j int) bool { return rec.Records[i].GSN < rec.Records[j].GSN })
+
+	l := &Log{
+		fs:        fs,
+		dir:       dir,
+		opts:      opts,
+		curSeq:    maxSeq,
+		sealed:    sealed,
+		liveBytes: liveBytes,
+		snapSeq:   snapSeq,
+	}
+	l.syncCond.L = &l.syncMu
+	l.mu.Lock()
+	err = l.newSegmentLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Policy == FsyncInterval {
+		l.stopTick = make(chan struct{})
+		l.tickDone = make(chan struct{})
+		go l.tickLoop()
+	}
+	return l, rec, nil
+}
+
+// tickLoop is the FsyncInterval background syncer.
+func (l *Log) tickLoop() {
+	defer close(l.tickDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopTick:
+			return
+		case <-t.C:
+			l.Sync() //nolint:errcheck // sticky error surfaces on the next write
+		}
+	}
+}
+
+// parseName parses names like seg-00000042.wal into their sequence.
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	if mid == "" {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// readSnapshot validates one snapshot file.
+func readSnapshot(fs FS, name string) (cut uint64, payload []byte, ok bool) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return 0, nil, false
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return 0, nil, false
+	}
+	if len(data) < len(snapMagic)+8+8+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return 0, nil, false
+	}
+	body := data[len(snapMagic) : len(data)-4]
+	crc := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != crc {
+		return 0, nil, false
+	}
+	cut = binary.LittleEndian.Uint64(body)
+	plen := binary.LittleEndian.Uint64(body[8:])
+	if plen != uint64(len(body)-16) {
+		return 0, nil, false
+	}
+	return cut, body[16:], true
+}
+
+// readSegment parses one segment file.  good is the byte offset of the
+// end of the last valid frame (the truncation point when torn).
+func readSegment(fs FS, name string) (recs []Record, maxGSN uint64, good int64, torn bool, err error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, 0, 0, false, fmt.Errorf("wal: open %s: %w", name, err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return nil, 0, 0, false, fmt.Errorf("wal: read %s: %w", name, err)
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		// An empty or truncated-to-nothing header is a torn creation.
+		return nil, 0, 0, true, nil
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			return recs, maxGSN, int64(off), true, nil
+		}
+		blen := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if blen < 8 || blen > maxRecordBytes || off+frameHeader+blen > len(data) {
+			return recs, maxGSN, int64(off), true, nil
+		}
+		body := data[off+frameHeader : off+frameHeader+blen]
+		if crc32.Checksum(body, crcTable) != crc {
+			return recs, maxGSN, int64(off), true, nil
+		}
+		gsn := binary.LittleEndian.Uint64(body)
+		payload := make([]byte, blen-8)
+		copy(payload, body[8:])
+		recs = append(recs, Record{GSN: gsn, Payload: payload})
+		if gsn > maxGSN {
+			maxGSN = gsn
+		}
+		off += frameHeader + blen
+	}
+	return recs, maxGSN, int64(off), false, nil
+}

@@ -1,0 +1,486 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Policy selects when appended records are fsynced.
+type Policy int
+
+const (
+	// FsyncAlways syncs on every Commit: an acked write is a durable
+	// write.  This is the only policy under which the recovery matrix
+	// asserts acked-write survival.
+	FsyncAlways Policy = iota
+	// FsyncInterval syncs on a background timer; Commit returns
+	// immediately, so a crash can lose up to Interval of acked writes.
+	FsyncInterval
+	// FsyncOff never syncs except on Close.
+	FsyncOff
+)
+
+// ParsePolicy maps the -wal-fsync flag spellings onto policies.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or off)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir holds the segments and snapshots.  Created if missing.
+	Dir string
+	// FS defaults to the real filesystem (OsFS).
+	FS FS
+	// SegmentBytes rotates to a new segment file once the current one
+	// exceeds it (default 64 MiB).
+	SegmentBytes int64
+	// MaxBytes, when non-zero, bounds the log's live bytes (sealed
+	// segments plus the current one): Append fails with ErrWALFull
+	// beyond it until a checkpoint retires segments.  The bound is
+	// soft — a record in flight may overshoot it by one record.
+	MaxBytes int64
+	// Policy is the fsync policy (default FsyncAlways).
+	Policy Policy
+	// Interval is the FsyncInterval period (default 50 ms).
+	Interval time.Duration
+}
+
+// ErrWALFull is returned by Append when MaxBytes is exceeded.  It is not
+// sticky: a checkpoint that retires segments makes Append usable again.
+var ErrWALFull = errors.New("wal: log full (checkpoint to retire segments)")
+
+// ErrLogClosed is returned by operations on a closed Log.
+var ErrLogClosed = errors.New("wal: log closed")
+
+const (
+	segMagic  = "MVWAL001"
+	snapMagic = "MVCKPT01"
+	// frameHeader is u32 body length + u32 CRC-32C of the body.
+	frameHeader = 8
+	// maxRecordBytes bounds a single record body; recovery treats a
+	// larger length field as a torn frame.
+	maxRecordBytes = 1 << 30
+	// flushThreshold flushes the append buffer to the file (without
+	// syncing) once it grows past this, bounding memory under FsyncOff.
+	flushThreshold = 256 << 10
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segInfo describes a sealed (closed, fully synced) segment.
+type segInfo struct {
+	seq    uint64
+	name   string
+	maxGSN uint64 // highest record GSN inside; 0 when empty
+	size   int64
+}
+
+// Log is the write side of the WAL.  Append buffers a framed record;
+// Commit group-syncs everything appended so far — concurrent committers
+// elect one fsync leader and the rest ride its barrier, so a burst of
+// batches costs one fsync, not one per batch.
+type Log struct {
+	fs   FS
+	dir  string
+	opts Options
+
+	mu        sync.Mutex // file state; never acquired while holding syncMu
+	cur       File
+	curName   string
+	curSeq    uint64
+	curSize   int64 // bytes appended to the current segment (incl. header)
+	curMaxGSN uint64
+	buf       []byte // framed records not yet written to cur
+	appended  int64  // logical watermark: total framed bytes ever appended
+	sealed    []segInfo
+	liveBytes int64
+	snapSeq   uint64
+	err       error // sticky: the log is unusable after an I/O failure
+	closed    bool
+
+	syncMu   sync.Mutex
+	syncCond sync.Cond
+	synced   int64 // watermark: appended bytes known durable
+	syncing  bool  // a leader is inside flushAndSync
+
+	ckptMu sync.Mutex // single-flight checkpoints
+
+	stopTick chan struct{}
+	tickDone chan struct{}
+}
+
+func segName(seq uint64) string  { return fmt.Sprintf("seg-%08d.wal", seq) }
+func snapName(seq uint64) string { return fmt.Sprintf("ck-%08d.snap", seq) }
+
+const snapTmpName = "ck.tmp"
+
+// Create opens a Log in dir, recovering any existing state; see Open for
+// the recovery contract.  Most callers want Open (which also returns
+// what was recovered); Create discards it.
+func Create(opts Options) (*Log, error) {
+	l, _, err := Open(opts)
+	return l, err
+}
+
+// newSegmentLocked seals the current segment (if any) and starts the
+// next one.  The seal syncs the old file before the new one exists, so
+// a torn tail can only ever be in the highest-numbered segment; the
+// SyncDir makes the new entry crash-durable before any record lands in
+// it.
+func (l *Log) newSegmentLocked() error {
+	if l.cur != nil {
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+		if err := l.cur.Sync(); err != nil {
+			l.err = fmt.Errorf("wal: seal %s: %w", l.curName, err)
+			return l.err
+		}
+		if err := l.cur.Close(); err != nil {
+			l.err = fmt.Errorf("wal: seal %s: %w", l.curName, err)
+			return l.err
+		}
+		l.sealed = append(l.sealed, segInfo{seq: l.curSeq, name: l.curName, maxGSN: l.curMaxGSN, size: l.curSize})
+	}
+	seq := l.curSeq + 1
+	name := filepath.Join(l.dir, segName(seq))
+	f, err := l.fs.Create(name)
+	if err != nil {
+		l.err = fmt.Errorf("wal: create segment: %w", err)
+		return l.err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		l.err = fmt.Errorf("wal: segment header: %w", err)
+		return l.err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		l.err = fmt.Errorf("wal: sync dir: %w", err)
+		return l.err
+	}
+	l.cur, l.curName, l.curSeq = f, name, seq
+	l.curSize = int64(len(segMagic))
+	l.curMaxGSN = 0
+	l.liveBytes += int64(len(segMagic))
+	return nil
+}
+
+// flushLocked writes the append buffer to the current segment without
+// syncing.  A failed or short write poisons the log: the file may now
+// hold a partial frame that later appends would bury, so no further
+// record can ever be acked from this Log.
+func (l *Log) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	_, err := l.cur.Write(l.buf)
+	if err != nil {
+		l.err = fmt.Errorf("wal: write %s: %w", l.curName, err)
+		return l.err
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// Append frames one record and buffers it.  It does not make the record
+// durable — call Commit (typically once per gathered batch).  Append
+// returns ErrWALFull when MaxBytes is exceeded and the sticky log error
+// after any I/O failure.
+func (l *Log) Append(gsn uint64, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return ErrLogClosed
+	case l.err != nil:
+		return l.err
+	case len(payload)+8 > maxRecordBytes:
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	// curSize and liveBytes already count buffered-but-unflushed frames.
+	frame := int64(frameHeader + 8 + len(payload))
+	if l.opts.MaxBytes > 0 && l.liveBytes+frame > l.opts.MaxBytes {
+		return ErrWALFull
+	}
+	if l.curSize+frame > l.opts.SegmentBytes && l.curSize > int64(len(segMagic)) {
+		if err := l.newSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	l.buf = appendFrame(l.buf, gsn, payload)
+	l.appended += frame
+	l.curSize += frame
+	l.liveBytes += frame
+	if gsn > l.curMaxGSN {
+		l.curMaxGSN = gsn
+	}
+	if len(l.buf) >= flushThreshold {
+		return l.flushLocked()
+	}
+	return nil
+}
+
+// appendFrame encodes one record: u32 body length, u32 CRC-32C of the
+// body, body = u64 GSN + payload.
+func appendFrame(dst []byte, gsn uint64, payload []byte) []byte {
+	body := 8 + len(payload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // CRC placeholder
+	dst = binary.LittleEndian.AppendUint64(dst, gsn)
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start+4:], crcTable)
+	binary.LittleEndian.PutUint32(dst[start:], crc)
+	return dst
+}
+
+// Commit makes every record appended so far durable under FsyncAlways
+// (group commit: one leader fsyncs for all concurrent committers) and is
+// a no-op returning only the sticky error under the other policies.
+func (l *Log) Commit() error {
+	l.mu.Lock()
+	target := l.appended
+	err := l.err
+	closed := l.closed
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if closed {
+		return ErrLogClosed
+	}
+	if l.opts.Policy != FsyncAlways {
+		return nil
+	}
+	return l.syncTo(target)
+}
+
+// Sync forces a flush+fsync regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.appended
+	l.mu.Unlock()
+	return l.syncTo(target)
+}
+
+// syncTo blocks until the durable watermark covers target.  One caller
+// becomes the fsync leader; the rest wait on its barrier and re-elect if
+// the watermark still falls short (e.g. records appended after the
+// leader snapped its target).
+func (l *Log) syncTo(target int64) error {
+	l.syncMu.Lock()
+	for {
+		if l.synced >= target {
+			l.syncMu.Unlock()
+			return nil
+		}
+		if !l.syncing {
+			break
+		}
+		l.syncCond.Wait()
+	}
+	l.syncing = true
+	l.syncMu.Unlock()
+
+	reached, err := l.flushAndSync()
+
+	l.syncMu.Lock()
+	l.syncing = false
+	if err == nil && reached > l.synced {
+		l.synced = reached
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	return err
+}
+
+// flushAndSync writes the buffer and fsyncs the current segment,
+// returning the appended watermark the fsync covered.
+func (l *Log) flushAndSync() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.cur == nil {
+		return 0, ErrLogClosed
+	}
+	if err := l.flushLocked(); err != nil {
+		return 0, err
+	}
+	reached := l.appended
+	if err := l.cur.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: fsync %s: %w", l.curName, err)
+		return 0, l.err
+	}
+	return reached, nil
+}
+
+// Err returns the sticky log error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Checkpoint atomically installs a snapshot covering every commit with
+// GSN <= cut, then retires sealed segments (and older snapshots) wholly
+// below the cut.  The snapshot is written to a temp file, synced,
+// renamed into place, and the directory synced — only then is anything
+// deleted, so a crash at any point leaves either the old or the new
+// snapshot fully intact.  Checkpoints are single-flight; errors are not
+// sticky (a failed checkpoint leaves the log usable).
+func (l *Log) Checkpoint(cut uint64, snapshot []byte) error {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrLogClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	seq := l.snapSeq + 1
+	l.mu.Unlock()
+
+	tmp := filepath.Join(l.dir, snapTmpName)
+	f, err := l.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(encodeSnapshotFile(cut, snapshot)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	final := filepath.Join(l.dir, snapName(seq))
+	if err := l.fs.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint sync dir: %w", err)
+	}
+
+	// The snapshot is durable: retire everything it supersedes.
+	l.mu.Lock()
+	oldSnap := l.snapSeq
+	l.snapSeq = seq
+	keep := l.sealed[:0]
+	var retire []segInfo
+	for _, s := range l.sealed {
+		if s.maxGSN <= cut {
+			retire = append(retire, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	l.sealed = keep
+	for _, s := range retire {
+		l.liveBytes -= s.size
+	}
+	l.mu.Unlock()
+
+	for _, s := range retire {
+		if err := l.fs.Remove(s.name); err != nil {
+			return fmt.Errorf("wal: retire %s: %w", s.name, err)
+		}
+	}
+	if oldSnap != 0 {
+		if err := l.fs.Remove(filepath.Join(l.dir, snapName(oldSnap))); err != nil {
+			return fmt.Errorf("wal: retire snapshot %d: %w", oldSnap, err)
+		}
+	}
+	return nil
+}
+
+// encodeSnapshotFile frames a snapshot: magic, u64 cut, u64 payload
+// length, payload, u32 CRC-32C over cut+length+payload.
+func encodeSnapshotFile(cut uint64, payload []byte) []byte {
+	buf := make([]byte, 0, len(snapMagic)+8+8+len(payload)+4)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, cut)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.Checksum(buf[len(snapMagic):], crcTable)
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// Stats is a point-in-time snapshot of the log's shape, for tests and
+// STATS-style introspection.
+type Stats struct {
+	Segments  int   // sealed + current
+	LiveBytes int64 // bytes MaxBytes accounts against
+	Appended  int64 // logical bytes appended
+	Synced    int64 // logical bytes known durable
+}
+
+// Stat reports the log's current shape.
+func (l *Log) Stat() Stats {
+	l.mu.Lock()
+	segs := len(l.sealed) + 1
+	live := l.liveBytes
+	app := l.appended
+	l.mu.Unlock()
+	l.syncMu.Lock()
+	syn := l.synced
+	l.syncMu.Unlock()
+	return Stats{Segments: segs, LiveBytes: live, Appended: app, Synced: syn}
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close flushes and fsyncs outstanding records under every policy (the
+// graceful-shutdown path: SIGTERM must not lose interval/off-policy
+// acks), then closes the segment.  Safe to call once; the Log is
+// unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop := l.stopTick
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.tickDone
+	}
+
+	_, serr := l.flushAndSync()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur != nil {
+		if err := l.cur.Close(); err != nil && serr == nil {
+			serr = err
+		}
+		l.cur = nil
+	}
+	if errors.Is(serr, ErrLogClosed) {
+		serr = nil
+	}
+	return serr
+}

@@ -1,0 +1,463 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openMem(t *testing.T, fs FS, opts Options) (*Log, *Recovered) {
+	t.Helper()
+	opts.FS = fs
+	if opts.Dir == "" {
+		opts.Dir = "db"
+	}
+	l, rec, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func appendCommit(t *testing.T, l *Log, gsn uint64, payload string) {
+	t.Helper()
+	if err := l.Append(gsn, []byte(payload)); err != nil {
+		t.Fatalf("Append(%d): %v", gsn, err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit(%d): %v", gsn, err)
+	}
+}
+
+// TestRoundTrip: appended records come back in GSN order across segments.
+func TestRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	l, rec := openMem(t, fs, Options{SegmentBytes: 64}) // tiny: force rotations
+	if rec.MaxGSN != 0 || len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	// Deliberately out-of-order GSNs: per-shard commit order is only
+	// locally monotone, recovery must sort globally.
+	gsns := []uint64{2, 1, 5, 3, 4, 9, 7, 6, 8, 10}
+	for _, g := range gsns {
+		appendCommit(t, l, g, fmt.Sprintf("v%d", g))
+	}
+	if st := l.Stat(); st.Segments < 2 {
+		t.Fatalf("expected rotations at SegmentBytes=64, got %d segments", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec := openMem(t, fs, Options{SegmentBytes: 64})
+	defer l2.Close()
+	if rec.MaxGSN != 10 {
+		t.Fatalf("MaxGSN = %d, want 10", rec.MaxGSN)
+	}
+	if len(rec.Records) != len(gsns) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(gsns))
+	}
+	for i, r := range rec.Records {
+		want := uint64(i + 1)
+		if r.GSN != want || string(r.Payload) != fmt.Sprintf("v%d", want) {
+			t.Fatalf("record %d = (%d, %q)", i, r.GSN, r.Payload)
+		}
+	}
+}
+
+// TestTornTail: unsynced bytes left by a crash are truncated, synced
+// records survive.
+func TestTornTail(t *testing.T) {
+	for torn := 0; torn < 24; torn++ {
+		fs := NewMemFS()
+		l, _ := openMem(t, fs, Options{})
+		appendCommit(t, l, 1, "acked")
+		// Appended but never committed: may tear.
+		if err := l.Append(2, []byte("unacked")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := l.Sync(); err != nil { // flush to the file...
+			t.Fatalf("Sync: %v", err)
+		}
+		fs.Crash(torn) // ...but torn tails model partial page flushes
+
+		_, rec, err := Open(Options{Dir: "db", FS: fs})
+		if err != nil {
+			t.Fatalf("torn=%d: Open: %v", torn, err)
+		}
+		if len(rec.Records) < 1 || string(rec.Records[0].Payload) != "acked" {
+			t.Fatalf("torn=%d: acked record lost: %+v", torn, rec.Records)
+		}
+		for _, r := range rec.Records[1:] {
+			if string(r.Payload) != "unacked" {
+				t.Fatalf("torn=%d: phantom record %q", torn, r.Payload)
+			}
+		}
+	}
+}
+
+// TestTornTailMidFrame corrupts synced bytes' tail directly: only the
+// valid prefix comes back.
+func TestTornTailMidFrame(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{})
+	appendCommit(t, l, 1, "first")
+	appendCommit(t, l, 2, "second")
+	l.Close()
+
+	// Chop bytes off the tail of the (single) segment one at a time.
+	name := filepath.Join("db", segName(1))
+	fs.mu.Lock()
+	full := append([]byte(nil), fs.files[name].data...)
+	fs.mu.Unlock()
+	for cut := len(full) - 1; cut > len(segMagic); cut-- {
+		fs.mu.Lock()
+		fs.files[name].data = append([]byte(nil), full[:cut]...)
+		fs.files[name].synced = cut
+		fs.mu.Unlock()
+		l2, rec, err := Open(Options{Dir: "db", FS: fs})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		l2.Close()
+		for _, r := range rec.Records {
+			want := "first"
+			if r.GSN == 2 {
+				want = "second"
+			}
+			if string(r.Payload) != want {
+				t.Fatalf("cut=%d: record %d = %q", cut, r.GSN, r.Payload)
+			}
+		}
+		// Clean up the fresh segments Open created so the next iteration
+		// sees only the corrupted one.
+		names, _ := fs.ReadDir("db")
+		for _, n := range names {
+			if n != segName(1) {
+				fs.Remove(filepath.Join("db", n))
+			}
+		}
+	}
+}
+
+// TestCheckpointRetires: a checkpoint removes superseded segments and
+// snapshots, and recovery starts from the snapshot.
+func TestCheckpointRetires(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{SegmentBytes: 64})
+	for g := uint64(1); g <= 8; g++ {
+		appendCommit(t, l, g, fmt.Sprintf("v%d", g))
+	}
+	if err := l.Checkpoint(6, []byte("snap@6")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for g := uint64(9); g <= 10; g++ {
+		appendCommit(t, l, g, fmt.Sprintf("v%d", g))
+	}
+	if err := l.Checkpoint(8, []byte("snap@8")); err != nil {
+		t.Fatalf("Checkpoint 2: %v", err)
+	}
+	l.Close()
+
+	names, _ := fs.ReadDir("db")
+	snaps := 0
+	for _, n := range names {
+		if _, ok := parseName(n, "ck-", ".snap"); ok {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("want 1 snapshot after second checkpoint, dir: %v", names)
+	}
+
+	_, rec, err := Open(Options{Dir: "db", FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if rec.SnapshotCut != 8 || string(rec.Snapshot) != "snap@8" {
+		t.Fatalf("snapshot = (%d, %q)", rec.SnapshotCut, rec.Snapshot)
+	}
+	for _, r := range rec.Records {
+		if r.GSN <= 8 {
+			t.Fatalf("record %d not filtered by cut", r.GSN)
+		}
+	}
+	if rec.MaxGSN != 10 {
+		t.Fatalf("MaxGSN = %d", rec.MaxGSN)
+	}
+}
+
+// TestSnapshotOnly: recovery from a checkpoint with no later records
+// still reports the cut as MaxGSN (the GSN counter must resume above it).
+func TestSnapshotOnly(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{})
+	appendCommit(t, l, 41, "x")
+	if err := l.Checkpoint(41, []byte("snap")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	l.Close()
+	_, rec, err := Open(Options{Dir: "db", FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if rec.MaxGSN != 41 || len(rec.Records) != 0 {
+		t.Fatalf("rec = %+v", rec)
+	}
+}
+
+// TestWALFull: MaxBytes rejects appends without poisoning the log, and a
+// checkpoint that retires segments clears the condition.
+func TestWALFull(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{SegmentBytes: 64, MaxBytes: 256})
+	var g uint64
+	for {
+		g++
+		err := l.Append(g, bytes.Repeat([]byte("x"), 16))
+		if errors.Is(err, ErrWALFull) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if g > 100 {
+			t.Fatal("MaxBytes never enforced")
+		}
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("ErrWALFull must not be sticky, got %v", err)
+	}
+	if err := l.Checkpoint(g, []byte("snap")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := l.Append(g+1, []byte("after")); err != nil {
+		t.Fatalf("Append after checkpoint: %v", err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit after checkpoint: %v", err)
+	}
+	l.Close()
+}
+
+// TestStickyError: an fsync failure poisons the log; later appends and
+// commits fail fast.
+func TestStickyError(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	l, _ := openMem(t, ffs, Options{})
+	appendCommit(t, l, 1, "ok")
+	ffs.Script(ffs.Ops()+2, FaultErr) // next op is the append's Write, then its Sync
+	if err := l.Append(2, []byte("doomed")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Commit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Commit = %v, want injected", err)
+	}
+	if err := l.Append(3, []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append after poison = %v", err)
+	}
+	if err := l.Err(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+// TestGroupCommit: concurrent committers all return with their records
+// durable; under -race this also exercises the leader/follower protocol.
+func TestGroupCommit(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{})
+	const writers, each = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				gsn := uint64(w*each + i + 1)
+				if err := l.Append(gsn, []byte{byte(w)}); err != nil {
+					errs <- err
+					return
+				}
+				if err := l.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("writer: %v", err)
+	}
+	st := l.Stat()
+	if st.Synced != st.Appended {
+		t.Fatalf("synced %d < appended %d after all commits", st.Synced, st.Appended)
+	}
+	l.Close()
+	_, rec, err := Open(Options{Dir: "db", FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(rec.Records) != writers*each {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), writers*each)
+	}
+}
+
+// TestLogCrashMatrix: crash at every write-side operation of a fixed
+// workload; every committed record must survive, every surviving record
+// must be one that was at least appended.
+func TestLogCrashMatrix(t *testing.T) {
+	// Dry run to learn the op count.
+	workload := func(ffs *FaultFS) (acked []uint64, attempted []uint64) {
+		l, _, err := Open(Options{Dir: "db", FS: ffs, SegmentBytes: 96})
+		if err != nil {
+			return nil, nil
+		}
+		defer l.Close()
+		for g := uint64(1); g <= 12; g++ {
+			if g == 7 {
+				// Mid-workload checkpoint covering the first half.
+				l.Checkpoint(4, []byte("snap@4")) //nolint:errcheck
+			}
+			attempted = append(attempted, g)
+			if l.Append(g, []byte(fmt.Sprintf("v%d", g))) != nil {
+				continue
+			}
+			if l.Commit() == nil {
+				acked = append(acked, g)
+			}
+		}
+		return acked, attempted
+	}
+	dry := NewFaultFS(NewMemFS())
+	workload(dry)
+	n := dry.Ops()
+	if n < 20 {
+		t.Fatalf("workload too small to be interesting: %d ops", n)
+	}
+
+	for op := 1; op <= n; op++ {
+		for _, torn := range []int{0, 3} {
+			mem := NewMemFS()
+			ffs := NewFaultFS(mem)
+			ffs.SetTorn(torn)
+			ffs.Script(op, FaultCrash)
+			acked, _ := workload(ffs)
+
+			_, rec, err := Open(Options{Dir: "db", FS: mem})
+			if err != nil {
+				t.Fatalf("op=%d torn=%d: recovery failed: %v", op, torn, err)
+			}
+			got := make(map[uint64]bool)
+			if rec.Snapshot != nil {
+				if string(rec.Snapshot) != "snap@4" {
+					t.Fatalf("op=%d: bad snapshot %q", op, rec.Snapshot)
+				}
+				for g := uint64(1); g <= 4; g++ {
+					got[g] = true
+				}
+			}
+			for _, r := range rec.Records {
+				if want := fmt.Sprintf("v%d", r.GSN); string(r.Payload) != want {
+					t.Fatalf("op=%d torn=%d: record %d corrupt: %q", op, torn, r.GSN, r.Payload)
+				}
+				got[r.GSN] = true
+			}
+			for _, g := range acked {
+				if !got[g] {
+					t.Fatalf("op=%d torn=%d: acked record %d lost (have %v)", op, torn, g, got)
+				}
+			}
+			if len(got) > 12 {
+				t.Fatalf("op=%d torn=%d: phantom records: %v", op, torn, got)
+			}
+		}
+	}
+}
+
+// TestShortWrite: a short write is poisonous but recovery still sees the
+// previously synced prefix.
+func TestShortWrite(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	l, _ := openMem(t, ffs, Options{})
+	appendCommit(t, l, 1, "good")
+	ffs.Script(ffs.Ops()+1, FaultShortWrite)
+	if err := l.Append(2, []byte("short")); err == nil {
+		if err := l.Commit(); err == nil {
+			t.Fatal("short write went unnoticed")
+		}
+	}
+	_, rec, err := Open(Options{Dir: "db", FS: mem})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	found := false
+	for _, r := range rec.Records {
+		if r.GSN == 1 && string(r.Payload) == "good" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("synced record lost after short write: %+v", rec.Records)
+	}
+}
+
+// TestParsePolicy covers the flag spellings.
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"": FsyncAlways, "always": FsyncAlways, "interval": FsyncInterval, "off": FsyncOff} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}
+
+// TestPolicies: interval and off ack immediately; Close syncs both.
+func TestPolicies(t *testing.T) {
+	for _, pol := range []Policy{FsyncInterval, FsyncOff} {
+		fs := NewMemFS()
+		l, _ := openMem(t, fs, Options{Policy: pol, Interval: time.Hour})
+		for g := uint64(1); g <= 5; g++ {
+			appendCommit(t, l, g, "v")
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		fs.Crash(0) // Close must have synced everything
+		_, rec, err := Open(Options{Dir: "db", FS: fs})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if len(rec.Records) != 5 {
+			t.Fatalf("policy %v: %d records survived Close, want 5", pol, len(rec.Records))
+		}
+	}
+}
+
+// TestCloseIdempotent: double Close is a no-op.
+func TestCloseIdempotent(t *testing.T) {
+	l, _ := openMem(t, NewMemFS(), Options{})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := l.Append(1, []byte("x")); !errors.Is(err, ErrLogClosed) {
+		t.Fatalf("Append after Close = %v", err)
+	}
+}
