@@ -255,8 +255,11 @@ func (m *Map[K, V, A]) Checkpoint() error {
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
 	w := m.wal
-	e := w.getEnc()
-	defer w.putEnc(e)
+	// Deliberately NOT the pooled encoder: a checkpoint serializes the
+	// whole map, and returning that buffer to the sync.Pool would park
+	// database-sized capacity there indefinitely and hand it to point
+	// writes.  Checkpoints are rare; a throwaway allocation is fine.
+	e := &walEnc[K, V]{cfg: &w.cfg}
 	var cut uint64
 	m.viewConsistent(func(s Snap[K, V, A]) {
 		gsns := s.GSNs()

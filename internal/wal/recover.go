@@ -36,12 +36,20 @@ type Recovered struct {
 // Open recovers the log in opts.Dir and returns a Log ready for new
 // appends plus what was recovered.  Recovery rules:
 //
-//   - the newest snapshot whose CRC validates wins; invalid or temp
-//     snapshot files are removed;
+//   - the newest snapshot whose CRC validates wins; snapshots whose
+//     bytes are readable but fail validation (an interrupted checkpoint)
+//     are removed, while an I/O error reading one fails Open — deleting
+//     a snapshot we could not read would silently lose every write it
+//     covers;
 //   - segments are scanned in sequence order; a torn tail (bad CRC,
-//     short frame) in the highest-numbered segment is truncated away —
-//     rotation seals segments with an fsync before creating the next,
-//     so a tear anywhere else is real corruption and fails Open;
+//     short frame) in the highest-numbered segment is truncated away
+//     and the truncate fsynced — rotation seals segments with an fsync
+//     before creating the next, so a tear anywhere else is real
+//     corruption and fails Open;
+//   - a segment whose header never made it to disk (a crash between
+//     segment creation and its first fsync) cannot hold acked data and
+//     is removed, not truncated to an empty file a later Open would
+//     refuse as a torn non-final segment;
 //   - new appends always go to a fresh segment, never a recovered one,
 //     so recovery never has to distinguish old bytes from new.
 func Open(opts Options) (*Log, *Recovered, error) {
@@ -83,7 +91,14 @@ func Open(opts Options) (*Log, *Recovered, error) {
 	// is an interrupted checkpoint and is removed.
 	for i := len(snapSeqs) - 1; i >= 0; i-- {
 		name := filepath.Join(dir, snapName(snapSeqs[i]))
-		cut, payload, ok := readSnapshot(fs, name)
+		cut, payload, ok, rerr := readSnapshot(fs, name)
+		if rerr != nil {
+			// A transient read failure is NOT an invalid snapshot: the
+			// checkpoint that wrote it already retired the segments (and
+			// the older snapshot) it supersedes, so deleting it here
+			// would silently lose every acked write it covers.
+			return nil, nil, fmt.Errorf("wal: snapshot %s: %w", name, rerr)
+		}
 		if !ok {
 			stray = append(stray, snapName(snapSeqs[i]))
 			continue
@@ -109,9 +124,31 @@ func Open(opts Options) (*Log, *Recovered, error) {
 	for i, seq := range segSeqs {
 		name := filepath.Join(dir, segName(seq))
 		last := i == len(segSeqs)-1
-		recs, maxGSN, good, torn, err := readSegment(fs, name)
+		recs, maxGSN, good, size, torn, err := readSegment(fs, name)
 		if err != nil {
 			return nil, nil, err
+		}
+		if torn && good == 0 && (last || size <= int64(len(segMagic))) {
+			// The header never became durable: a crash hit between
+			// Create+SyncDir and the segment's first fsync.  No record
+			// in it was ever acked (an ack requires a successful fsync,
+			// which would have made the header durable too), so remove
+			// the file — truncating it to zero bytes would leave an
+			// empty segment a later Open refuses as torn-non-final once
+			// new segments are created after it.  Non-final is the same
+			// artifact reappearing when a removal did not survive a
+			// power cut, but only while the file is at most header-sized;
+			// a larger magic-less non-final segment is real corruption
+			// and falls through to the error below.  The SyncDir makes
+			// the removal stick.
+			if err := fs.Remove(name); err != nil {
+				return nil, nil, fmt.Errorf("wal: remove headerless %s: %w", name, err)
+			}
+			if err := fs.SyncDir(dir); err != nil {
+				return nil, nil, fmt.Errorf("wal: sync dir: %w", err)
+			}
+			maxSeq = seq // never reuse the dead name
+			continue
 		}
 		if torn {
 			if !last {
@@ -119,6 +156,13 @@ func Open(opts Options) (*Log, *Recovered, error) {
 			}
 			if err := fs.Truncate(name, good); err != nil {
 				return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", name, err)
+			}
+			// Truncate alone is not crash-durable: fsync the file so the
+			// torn bytes cannot reappear after a power cut, by which time
+			// this segment may no longer be final and the tear would fail
+			// Open outright.
+			if err := syncFile(fs, name); err != nil {
+				return nil, nil, fmt.Errorf("wal: sync truncated %s: %w", name, err)
 			}
 		}
 		for _, r := range recs {
@@ -193,62 +237,83 @@ func parseName(name, prefix, suffix string) (uint64, bool) {
 	return seq, true
 }
 
-// readSnapshot validates one snapshot file.
-func readSnapshot(fs FS, name string) (cut uint64, payload []byte, ok bool) {
+// readSnapshot validates one snapshot file.  ok=false (with nil err)
+// means the bytes were read but fail validation — an interrupted
+// checkpoint the caller may delete; a non-nil err is an I/O failure and
+// says nothing about the snapshot's contents.
+func readSnapshot(fs FS, name string) (cut uint64, payload []byte, ok bool, err error) {
 	f, err := fs.Open(name)
 	if err != nil {
-		return 0, nil, false
+		return 0, nil, false, err
 	}
 	data, err := io.ReadAll(f)
 	f.Close()
 	if err != nil {
-		return 0, nil, false
+		return 0, nil, false, err
 	}
 	if len(data) < len(snapMagic)+8+8+4 || string(data[:len(snapMagic)]) != snapMagic {
-		return 0, nil, false
+		return 0, nil, false, nil
 	}
 	body := data[len(snapMagic) : len(data)-4]
 	crc := binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.Checksum(body, crcTable) != crc {
-		return 0, nil, false
+		return 0, nil, false, nil
 	}
 	cut = binary.LittleEndian.Uint64(body)
 	plen := binary.LittleEndian.Uint64(body[8:])
 	if plen != uint64(len(body)-16) {
-		return 0, nil, false
+		return 0, nil, false, nil
 	}
-	return cut, body[16:], true
+	return cut, body[16:], true, nil
+}
+
+// syncFile fsyncs the named file, making a recovery-time truncate itself
+// durable.  Opening read-only is fine: fsync flushes a file's data and
+// size regardless of the handle's access mode.
+func syncFile(fs FS, name string) error {
+	f, err := fs.Open(name)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // readSegment parses one segment file.  good is the byte offset of the
-// end of the last valid frame (the truncation point when torn).
-func readSegment(fs FS, name string) (recs []Record, maxGSN uint64, good int64, torn bool, err error) {
+// end of the last valid frame (the truncation point when torn); size is
+// the raw file length (good == 0 with torn means the header itself is
+// missing or invalid).
+func readSegment(fs FS, name string) (recs []Record, maxGSN uint64, good, size int64, torn bool, err error) {
 	f, err := fs.Open(name)
 	if err != nil {
-		return nil, 0, 0, false, fmt.Errorf("wal: open %s: %w", name, err)
+		return nil, 0, 0, 0, false, fmt.Errorf("wal: open %s: %w", name, err)
 	}
 	data, err := io.ReadAll(f)
 	f.Close()
 	if err != nil {
-		return nil, 0, 0, false, fmt.Errorf("wal: read %s: %w", name, err)
+		return nil, 0, 0, 0, false, fmt.Errorf("wal: read %s: %w", name, err)
 	}
+	size = int64(len(data))
 	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
 		// An empty or truncated-to-nothing header is a torn creation.
-		return nil, 0, 0, true, nil
+		return nil, 0, 0, size, true, nil
 	}
 	off := len(segMagic)
 	for off < len(data) {
 		if len(data)-off < frameHeader {
-			return recs, maxGSN, int64(off), true, nil
+			return recs, maxGSN, int64(off), size, true, nil
 		}
 		blen := int(binary.LittleEndian.Uint32(data[off:]))
 		crc := binary.LittleEndian.Uint32(data[off+4:])
 		if blen < 8 || blen > maxRecordBytes || off+frameHeader+blen > len(data) {
-			return recs, maxGSN, int64(off), true, nil
+			return recs, maxGSN, int64(off), size, true, nil
 		}
 		body := data[off+frameHeader : off+frameHeader+blen]
 		if crc32.Checksum(body, crcTable) != crc {
-			return recs, maxGSN, int64(off), true, nil
+			return recs, maxGSN, int64(off), size, true, nil
 		}
 		gsn := binary.LittleEndian.Uint64(body)
 		payload := make([]byte, blen-8)
@@ -259,5 +324,5 @@ func readSegment(fs FS, name string) (recs []Record, maxGSN uint64, good int64, 
 		}
 		off += frameHeader + blen
 	}
-	return recs, maxGSN, int64(off), false, nil
+	return recs, maxGSN, int64(off), size, false, nil
 }

@@ -144,6 +144,134 @@ func TestTornTailMidFrame(t *testing.T) {
 	}
 }
 
+// TestRecoverAfterHeaderTornCrash: a crash between segment creation and
+// its first fsync leaves a durable zero/partial-header segment.  Recovery
+// must remove it — keeping a truncated-to-empty segment bricked every
+// later Open with "torn frame in non-final segment" once a new segment
+// was created after it.
+func TestRecoverAfterHeaderTornCrash(t *testing.T) {
+	for torn := 0; torn <= len(segMagic); torn++ {
+		fs := NewMemFS()
+		openMem(t, fs, Options{}) // creates seg-1: entry SyncDir'd, header never fsynced
+		fs.Crash(torn)            // durable entry, 0..len(segMagic) header bytes
+
+		l, _ := openMem(t, fs, Options{}) // recovery #1 must clean up, not truncate-to-empty
+		appendCommit(t, l, 1, "v1")
+		if err := l.Close(); err != nil {
+			t.Fatalf("torn=%d: Close: %v", torn, err)
+		}
+
+		l2, rec := openMem(t, fs, Options{}) // the review's bricked Open
+		l2.Close()
+		if len(rec.Records) != 1 || rec.Records[0].GSN != 1 || string(rec.Records[0].Payload) != "v1" {
+			t.Fatalf("torn=%d: acked record lost after headerless-segment cleanup: %+v", torn, rec.Records)
+		}
+	}
+}
+
+// TestEmptyNonFinalSegmentTolerated: a header-sized-or-smaller non-final
+// segment (a headerless-segment removal that did not survive a power cut)
+// is cleaned up, while a larger magic-less non-final segment is real
+// corruption and still fails Open.
+func TestEmptyNonFinalSegmentTolerated(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{})
+	appendCommit(t, l, 1, "v1")
+	l.Close()
+
+	// Plant an empty durable segment below the real one.
+	empty := filepath.Join("db", segName(0))
+	if f, err := fs.Create(empty); err != nil {
+		t.Fatalf("Create: %v", err)
+	} else {
+		f.Close()
+	}
+	fs.SyncDir("db")
+
+	l2, rec := openMem(t, fs, Options{})
+	l2.Close()
+	if len(rec.Records) != 1 || string(rec.Records[0].Payload) != "v1" {
+		t.Fatalf("records after empty-segment cleanup: %+v", rec.Records)
+	}
+	if names, _ := fs.ReadDir("db"); func() bool {
+		for _, n := range names {
+			if n == segName(0) {
+				return true
+			}
+		}
+		return false
+	}() {
+		t.Fatalf("empty segment not removed: %v", names)
+	}
+
+	// A magic-less non-final segment LARGER than the header cannot be a
+	// creation artifact: Open must refuse it.
+	if f, err := fs.Create(empty); err != nil {
+		t.Fatalf("Create: %v", err)
+	} else {
+		f.Write([]byte("garbage-not-magic")) //nolint:errcheck
+		f.Sync()                             //nolint:errcheck
+		f.Close()
+	}
+	fs.SyncDir("db")
+	if _, _, err := Open(Options{Dir: "db", FS: fs}); err == nil {
+		t.Fatal("Open accepted a corrupt non-final segment")
+	}
+	fs.Remove(empty)
+}
+
+// snapFailFS fails reads of one file by name; FaultFS deliberately never
+// injects on the read side, so snapshot I/O errors need their own shim.
+type snapFailFS struct {
+	FS
+	base string
+}
+
+func (f snapFailFS) Open(name string) (File, error) {
+	if filepath.Base(name) == f.base {
+		return nil, errors.New("injected read failure")
+	}
+	return f.FS.Open(name)
+}
+
+// TestSnapshotReadErrorFailsOpen: an I/O error reading the newest
+// snapshot must fail Open — deleting it as "invalid" would silently lose
+// every acked write it covers, since the checkpoint already retired the
+// segments (and older snapshot) below its cut.
+func TestSnapshotReadErrorFailsOpen(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{})
+	appendCommit(t, l, 7, "v7")
+	if err := l.Checkpoint(7, []byte("snap@7")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	l.Close()
+
+	snap := snapName(1)
+	if _, _, err := Open(Options{Dir: "db", FS: snapFailFS{FS: fs, base: snap}}); err == nil {
+		t.Fatal("Open succeeded despite unreadable snapshot")
+	}
+	names, _ := fs.ReadDir("db")
+	present := false
+	for _, n := range names {
+		if n == snap {
+			present = true
+		}
+	}
+	if !present {
+		t.Fatalf("snapshot deleted after transient read error: %v", names)
+	}
+
+	// The error really was transient: a plain reopen recovers the cut.
+	_, rec, err := Open(Options{Dir: "db", FS: fs})
+	if err != nil {
+		t.Fatalf("Open after transient error: %v", err)
+	}
+	if rec.SnapshotCut != 7 || string(rec.Snapshot) != "snap@7" {
+		t.Fatalf("snapshot = (%d, %q)", rec.SnapshotCut, rec.Snapshot)
+	}
+}
+
 // TestCheckpointRetires: a checkpoint removes superseded segments and
 // snapshots, and recovery starts from the snapshot.
 func TestCheckpointRetires(t *testing.T) {
@@ -354,7 +482,7 @@ func TestLogCrashMatrix(t *testing.T) {
 			ffs.Script(op, FaultCrash)
 			acked, _ := workload(ffs)
 
-			_, rec, err := Open(Options{Dir: "db", FS: mem})
+			l1, rec, err := Open(Options{Dir: "db", FS: mem})
 			if err != nil {
 				t.Fatalf("op=%d torn=%d: recovery failed: %v", op, torn, err)
 			}
@@ -380,6 +508,37 @@ func TestLogCrashMatrix(t *testing.T) {
 			}
 			if len(got) > 12 {
 				t.Fatalf("op=%d torn=%d: phantom records: %v", op, torn, got)
+			}
+			// Recovery must leave a log that survives a full clean cycle:
+			// append, close, reopen (regression for the headerless-segment
+			// state that bricked every Open after recovery #1).
+			if err := l1.Append(99, []byte("v99")); err != nil {
+				t.Fatalf("op=%d torn=%d: append after recovery: %v", op, torn, err)
+			}
+			if err := l1.Commit(); err != nil {
+				t.Fatalf("op=%d torn=%d: commit after recovery: %v", op, torn, err)
+			}
+			if err := l1.Close(); err != nil {
+				t.Fatalf("op=%d torn=%d: close after recovery: %v", op, torn, err)
+			}
+			l2, rec2, err := Open(Options{Dir: "db", FS: mem})
+			if err != nil {
+				t.Fatalf("op=%d torn=%d: second recovery failed: %v", op, torn, err)
+			}
+			l2.Close()
+			got2 := make(map[uint64]bool)
+			if rec2.Snapshot != nil {
+				for g := uint64(1); g <= 4; g++ {
+					got2[g] = true
+				}
+			}
+			for _, r := range rec2.Records {
+				got2[r.GSN] = true
+			}
+			for _, g := range append(append([]uint64(nil), acked...), 99) {
+				if !got2[g] {
+					t.Fatalf("op=%d torn=%d: record %d lost across second recovery (have %v)", op, torn, g, got2)
+				}
 			}
 		}
 	}
