@@ -1,7 +1,7 @@
 // Command benchdiff compares two benchmark reports of the same schema and
 // fails when any cell regressed by more than the tolerance.  CI runs it
 // against the previous run's artifact so regressions block the merge
-// instead of landing silently.  Three schemas are understood:
+// instead of landing silently.  Four schemas are understood:
 //
 //   - BENCH_ycsb/v1 (cmd/ycsbbench -json): cells are (structure, workload)
 //     throughputs; a regression is a Mops drop beyond the tolerance.
@@ -15,6 +15,11 @@
 //     scan fraction); a regression is an ops/s drop OR a commits-per-op
 //     increase beyond the tolerance, so both the front door's throughput
 //     and its write-coalescing property gate the merge.
+//   - BENCH_mem/v1 (cmd/ycsbbench -longreader -memjson): cells are
+//     per-GC-algorithm long-reader storm measurements; a regression is a
+//     peak-retained-versions increase OR a write-throughput drop beyond
+//     the tolerance, so the space bound under a pinned snapshot gates the
+//     merge alongside its cost.
 //
 // Usage:
 //
@@ -301,6 +306,59 @@ func diffNet(oldR, newR bench.NetReport, tol float64) *diffResult {
 	return d
 }
 
+// diffMem gates on the long-reader storm's two headline numbers per
+// algorithm cell: a higher peak retained-version count is worse (the
+// space bound eroding), and lower write Mops is worse (the storm's
+// throughput while contending with the pinned snapshot).  Peak heap is
+// printed for context but not gated — it tracks peak versions and is far
+// noisier (GC pacing, sampler timing).
+func diffMem(oldR, newR bench.MemReport, tol float64) *diffResult {
+	d := &diffResult{Title: "Long-reader space diff (" + bench.MemSchema + ")",
+		Gate: true, Tolerance: tol, Metric: "peak-versions increase or write-throughput drop"}
+	if oldR.Records != newR.Records || oldR.Writers != newR.Writers || oldR.OpsPerWriter != newR.OpsPerWriter {
+		d.Gate = false
+		d.Notes = append(d.Notes, fmt.Sprintf(
+			"run configs differ (records %d→%d, writers %d→%d, ops/writer %d→%d); numbers are indicative only, regressions will not fail the diff",
+			oldR.Records, newR.Records, oldR.Writers, newR.Writers, oldR.OpsPerWriter, newR.OpsPerWriter))
+	}
+
+	fmtCell := func(r bench.MemRecord) string {
+		return fmt.Sprintf("%8d vers %6.1f MiB %6.3f Mops", r.PeakVersions, float64(r.PeakHeapBytes)/(1<<20), r.WriteMops)
+	}
+	base := make(map[string]bench.MemRecord, len(oldR.Results))
+	for _, r := range oldR.Results {
+		base[r.Algorithm] = r
+	}
+	seen := make(map[string]bool, len(newR.Results))
+	for _, r := range newR.Results {
+		seen[r.Algorithm] = true
+		old, ok := base[r.Algorithm]
+		if !ok {
+			d.Rows = append(d.Rows, cellDiff{Status: "new cell", Cell: r.Algorithm, New: fmtCell(r)})
+			continue
+		}
+		delta := 0.0
+		if old.PeakVersions > 0 {
+			delta = float64(r.PeakVersions-old.PeakVersions) / float64(old.PeakVersions)
+		}
+		status := "ok"
+		bloated := old.PeakVersions > 0 && float64(r.PeakVersions) > float64(old.PeakVersions)*(1.0+tol)
+		slow := old.WriteMops > 0 && r.WriteMops < old.WriteMops*(1.0-tol)
+		if bloated || slow {
+			status = "REGRESSED"
+			d.Regressed = true
+		}
+		d.Rows = append(d.Rows, cellDiff{Status: status, Cell: r.Algorithm,
+			Old: fmtCell(old), New: fmtCell(r), Delta: fmt.Sprintf("(%+.1f%% vers)", delta*100)})
+	}
+	for _, r := range oldR.Results {
+		if !seen[r.Algorithm] {
+			d.Rows = append(d.Rows, cellDiff{Status: "dropped", Cell: r.Algorithm, Old: fmtCell(r)})
+		}
+	}
+	return d
+}
+
 func decode(path string, v any) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -379,8 +437,17 @@ func main() {
 			fatal(err)
 		}
 		d = diffNet(oldR, newR, *tol)
+	case bench.MemSchema:
+		var oldR, newR bench.MemReport
+		if err := decode(*oldPath, &oldR); err != nil {
+			fatal(err)
+		}
+		if err := decode(*newPath, &newR); err != nil {
+			fatal(err)
+		}
+		d = diffMem(oldR, newR, *tol)
 	default:
-		fatal(fmt.Sprintf("unknown schema %q (want %q, %q or %q)", oldSchema, bench.YCSBSchema, bench.AllocSchema, bench.NetSchema))
+		fatal(fmt.Sprintf("unknown schema %q (want %q, %q, %q or %q)", oldSchema, bench.YCSBSchema, bench.AllocSchema, bench.NetSchema, bench.MemSchema))
 	}
 
 	d.renderText(os.Stdout)

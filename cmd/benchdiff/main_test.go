@@ -187,6 +187,81 @@ func TestNetConfigMismatchDowngrade(t *testing.T) {
 	}
 }
 
+func memReport(cells []bench.MemRecord) bench.MemReport {
+	return bench.MemReport{Records: 100000, Writers: 4, OpsPerWriter: 200000, Results: cells}
+}
+
+// TestMemVersionsRegressionGates: a matched algorithm cell whose peak
+// retained-version count grew beyond tolerance fails the gate — the space
+// bound eroding is the regression this schema exists to catch.
+func TestMemVersionsRegressionGates(t *testing.T) {
+	oldR := memReport([]bench.MemRecord{{Algorithm: "sbgc", PeakVersions: 16, PeakHeapBytes: 5 << 20, WriteMops: 0.6}})
+	newR := memReport([]bench.MemRecord{{Algorithm: "sbgc", PeakVersions: 4000, PeakHeapBytes: 40 << 20, WriteMops: 0.6}})
+	d := diffMem(oldR, newR, 0.25)
+	if !d.Regressed || d.exitCode() != 1 {
+		t.Fatalf("peak-versions blowup must gate: regressed=%v exit=%d", d.Regressed, d.exitCode())
+	}
+}
+
+// TestMemThroughputRegressionGates: write throughput collapsing past
+// tolerance fails even when the space bound held — a compactor that holds
+// the plateau by stalling writers is a regression in its own right.
+func TestMemThroughputRegressionGates(t *testing.T) {
+	oldR := memReport([]bench.MemRecord{{Algorithm: "sbgc", PeakVersions: 16, PeakHeapBytes: 5 << 20, WriteMops: 0.6}})
+	newR := memReport([]bench.MemRecord{{Algorithm: "sbgc", PeakVersions: 14, PeakHeapBytes: 5 << 20, WriteMops: 0.2}})
+	d := diffMem(oldR, newR, 0.25)
+	if !d.Regressed || d.exitCode() != 1 {
+		t.Fatalf("3x write-throughput drop must gate despite fewer versions: exit=%d", d.exitCode())
+	}
+}
+
+// TestMemWithinToleranceOK: jitter inside the band passes (including a
+// peak-version improvement and the epoch cell's huge-but-stable count),
+// and algorithm churn stays advisory.
+func TestMemWithinToleranceOK(t *testing.T) {
+	oldR := memReport([]bench.MemRecord{
+		{Algorithm: "sbgc", PeakVersions: 16, PeakHeapBytes: 5 << 20, WriteMops: 0.6},
+		{Algorithm: "epoch", PeakVersions: 800000, PeakHeapBytes: 80 << 20, WriteMops: 0.3},
+		{Algorithm: "rcu", PeakVersions: 2, PeakHeapBytes: 4 << 20, WriteMops: 0.1},
+	})
+	newR := memReport([]bench.MemRecord{
+		{Algorithm: "sbgc", PeakVersions: 13, PeakHeapBytes: 5 << 20, WriteMops: 0.55},
+		{Algorithm: "epoch", PeakVersions: 800003, PeakHeapBytes: 82 << 20, WriteMops: 0.31},
+		{Algorithm: "hp", PeakVersions: 12, PeakHeapBytes: 5 << 20, WriteMops: 0.7},
+	})
+	d := diffMem(oldR, newR, 0.25)
+	if d.Regressed || d.exitCode() != 0 {
+		t.Fatalf("in-tolerance diff must pass: regressed=%v exit=%d", d.Regressed, d.exitCode())
+	}
+	var statuses []string
+	for _, r := range d.Rows {
+		statuses = append(statuses, r.Status)
+	}
+	joined := strings.Join(statuses, ",")
+	if !strings.Contains(joined, "new cell") || !strings.Contains(joined, "dropped") {
+		t.Fatalf("algorithm churn not reported: %v", statuses)
+	}
+}
+
+// TestMemConfigMismatchDowngrade mirrors the other schemas' downgrade: a
+// storm re-tuned (different writers or op count) produces incomparable
+// peaks, so regressions print but do not fail.
+func TestMemConfigMismatchDowngrade(t *testing.T) {
+	oldR := memReport([]bench.MemRecord{{Algorithm: "sbgc", PeakVersions: 16, PeakHeapBytes: 5 << 20, WriteMops: 0.6}})
+	newR := memReport([]bench.MemRecord{{Algorithm: "sbgc", PeakVersions: 64, PeakHeapBytes: 20 << 20, WriteMops: 0.6}})
+	newR.Writers = 16 // storm re-tuned: not comparable
+	d := diffMem(oldR, newR, 0.25)
+	if !d.Regressed {
+		t.Fatal("the blowup should still be reported as a regression")
+	}
+	if d.Gate || d.exitCode() != 0 {
+		t.Fatalf("config mismatch must downgrade to advisory: gate=%v exit=%d", d.Gate, d.exitCode())
+	}
+	if len(d.Notes) == 0 || !strings.Contains(d.Notes[0], "run configs differ") {
+		t.Fatalf("missing config-mismatch warning: %v", d.Notes)
+	}
+}
+
 // TestRenderMarkdown sanity-checks the step-summary table shape.
 func TestRenderMarkdown(t *testing.T) {
 	oldR := ycsbReport(map[string]float64{"ours/A": 1.0})

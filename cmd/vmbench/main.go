@@ -28,7 +28,7 @@ func main() {
 		procs   = flag.Int("procs", 0, "total threads, 1 writer + rest readers (default GOMAXPROCS; paper: 141)")
 		dur     = flag.Duration("dur", 3*time.Second, "measured duration per cell (paper: 15s)")
 		reps    = flag.Int("reps", 1, "runs to average (paper: 3)")
-		algs    = flag.String("algs", "", "comma-separated algorithms (default all: base,pswf,pslf,hp,epoch,rcu)")
+		algs    = flag.String("algs", "", "comma-separated algorithms (default all: base,pswf,pslf,hp,epoch,rcu,sbgc)")
 	)
 	flag.Parse()
 	if !*table2 && !*figure6 {

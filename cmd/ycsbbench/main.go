@@ -17,11 +17,21 @@
 //	ycsbbench -scan                   # add workload E scan cells
 //	ycsbbench -wal -walfsync always   # add ours-sharded durability-tax cells
 //	ycsbbench -json BENCH_ycsb.json   # machine-readable results
+//
+// -longreader switches to the space experiment instead of Figure 7: one
+// read transaction pins a snapshot while writers commit a fixed-size
+// update storm, comparing peak retained versions, peak heap and write
+// throughput across GC algorithms (sbgc/epoch/hp/pswf); -memjson writes
+// the BENCH_mem/v1 document:
+//
+//	ycsbbench -longreader -memjson BENCH_mem.json
+//	ycsbbench -longreader -lrwriters 8 -lrops 500000 -lrrecords 100000
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -45,8 +55,41 @@ func main() {
 		scan       = flag.Bool("scan", false, "also run YCSB workload E (95% short scans / 5% inserts)")
 		walOn      = flag.Bool("wal", false, "also run ours-sharded with a write-ahead log attached (durability tax cells)")
 		walFsync   = flag.String("walfsync", "always", "WAL fsync policy for -wal cells: always, interval or off")
+		longReader = flag.Bool("longreader", false, "run the long-reader write-storm space experiment instead of Figure 7")
+		lrWriters  = flag.Int("lrwriters", 0, "writer processes for -longreader (default GOMAXPROCS-1, capped at 8)")
+		lrOps      = flag.Int("lrops", 0, "committed updates per writer for -longreader (default 200000)")
+		lrRecords  = flag.Uint64("lrrecords", 0, "loaded key count for -longreader (default 100000)")
+		lrAlgs     = flag.String("lralgs", "", "comma-separated GC algorithms for -longreader (default sbgc,epoch,hp,pswf)")
+		memJSON    = flag.String("memjson", "", "with -longreader, also write machine-readable results (BENCH_mem.json schema) to this path")
 	)
 	flag.Parse()
+
+	if *longReader {
+		lcfg := experiments.DefaultLongReader()
+		if *lrWriters > 0 {
+			lcfg.Writers = *lrWriters
+		}
+		if *lrOps > 0 {
+			lcfg.OpsPerWriter = *lrOps
+		}
+		if *lrRecords > 0 {
+			lcfg.Records = *lrRecords
+		}
+		if *lrAlgs != "" {
+			lcfg.Algorithms = strings.Split(*lrAlgs, ",")
+		}
+		results := experiments.RunLongReader(lcfg, os.Stdout)
+		if *memJSON != "" {
+			report := bench.MemReport{
+				Records:      lcfg.Records,
+				Writers:      lcfg.Writers,
+				OpsPerWriter: lcfg.OpsPerWriter,
+				Results:      results,
+			}
+			writeReport(*memJSON, report.WriteJSON)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultFigure7()
 	cfg.Records = *records
@@ -95,19 +138,25 @@ func main() {
 			DurationSec: cfg.Duration.Seconds(),
 			Results:     results,
 		}
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ycsbbench:", err)
-			os.Exit(1)
-		}
-		if err := report.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "ycsbbench:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "ycsbbench:", err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote", *jsonPath)
+		writeReport(*jsonPath, report.WriteJSON)
 	}
+}
+
+// writeReport writes one machine-readable document to path, exiting on any
+// I/O failure so CI never uploads a truncated artifact.
+func writeReport(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ycsbbench:", err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "ycsbbench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ycsbbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
 }

@@ -118,6 +118,24 @@ func (db *DB[K, V, A]) RangeFunc(lo, hi K, f func(k K, v V) bool) bool {
 	return done
 }
 
+// ForEachChunked visits every entry in global key order with bounded
+// staleness: every n entries the walk releases its snapshot pins and
+// re-seeks at the last visited key against a fresh snapshot, so a
+// full-table analytics walk never holds any shard's uncollected-version
+// window open for longer than one chunk.  Keys stream in strictly
+// increasing order and each key is visited at most once, but commits
+// landing ahead of the walk between chunks are observed — see
+// shard.Map.ForEachChunked for the exact semantics.  Each chunk's
+// consistency follows DBOptions.AtomicDefault exactly like Scan: with
+// AtomicDefault every chunk reflects one global commit cut.  It reports
+// whether the walk ran to completion; n <= 0 walks under a single pin.
+func (db *DB[K, V, A]) ForEachChunked(n int, f func(k K, v V) bool) bool {
+	if db.atomicDefault {
+		return db.Map.ForEachChunkedConsistent(n, f)
+	}
+	return db.Map.ForEachChunked(n, f)
+}
+
 // DBSnapshot is the fan-out read view passed to DB.View: one pinned
 // immutable version per shard.
 type DBSnapshot[K, V, A any] = shard.Snap[K, V, A]
@@ -136,7 +154,8 @@ type DBOptions[K any] struct {
 	// transactions per shard (default GOMAXPROCS+1, leaving room for one
 	// combining writer next to GOMAXPROCS readers).
 	Procs int
-	// Algorithm is the Version Maintenance algorithm (default pswf).
+	// Algorithm is the Version Maintenance algorithm, one of vm.Names():
+	// base, pswf, pslf, hp, epoch, rcu, sbgc (default pswf).
 	Algorithm string
 	// Hash maps keys to shards.  When nil, OpenDB falls back to a mixed
 	// hash for integer and string keys and errors on other kinds.

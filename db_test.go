@@ -195,6 +195,44 @@ func TestDBScan(t *testing.T) {
 	})
 }
 
+// TestDBForEachChunked covers the bounded-staleness front door on both
+// consistency settings: the full key set streams in order through the
+// chunked re-pinning walk, and early exit reports non-completion.
+func TestDBForEachChunked(t *testing.T) {
+	for _, atomicDefault := range []bool{false, true} {
+		db, err := mvgc.OpenPlainDB[uint64, uint64](
+			mvgc.DBOptions[uint64]{Shards: 4, Procs: 3, AtomicDefault: atomicDefault}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 300
+		for k := uint64(0); k < n; k++ {
+			db.Insert(k, k+1)
+		}
+		visited := uint64(0)
+		if !db.ForEachChunked(32, func(k, v uint64) bool {
+			if k != visited || v != k+1 {
+				t.Fatalf("atomic=%v: got %d:%d at position %d", atomicDefault, k, v, visited)
+			}
+			visited++
+			return true
+		}) {
+			t.Fatalf("atomic=%v: chunked walk did not complete", atomicDefault)
+		}
+		if visited != n {
+			t.Fatalf("atomic=%v: visited %d keys, want %d", atomicDefault, visited, n)
+		}
+		count := 0
+		if db.ForEachChunked(10, func(k, v uint64) bool { count++; return count < 15 }) {
+			t.Fatalf("atomic=%v: stopped walk reported completion", atomicDefault)
+		}
+		db.Close()
+		if live := db.Live(); live != 0 {
+			t.Fatalf("atomic=%v: leaked %d nodes", atomicDefault, live)
+		}
+	}
+}
+
 // TestDBAugmented: cross-shard AugRange combines per-shard range sums.
 func TestDBAugmented(t *testing.T) {
 	var initial []mvgc.Entry[int64, int64]

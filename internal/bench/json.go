@@ -111,6 +111,43 @@ func (r *InvReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// MemSchema identifies the machine-readable result format emitted by
+// cmd/ycsbbench -longreader; bump the version when fields change meaning.
+const MemSchema = "BENCH_mem/v1"
+
+// MemRecord is one algorithm's long-reader-plus-write-storm cell.
+// PeakVersions is the headline space metric: the largest retained-version
+// count observed while one read transaction pinned a snapshot through a
+// fixed-size write storm — a space-bounded collector plateaus at O(P),
+// an epoch-style one grows with the op count.  PeakHeapBytes is the
+// matching Go-heap high-water mark and WriteMops the writers' committed
+// throughput while contending with the pin.
+type MemRecord struct {
+	Algorithm     string  `json:"algorithm"`
+	PeakVersions  int64   `json:"peak_versions"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	WriteMops     float64 `json:"write_mops"`
+}
+
+// MemReport is the BENCH_mem.json document: storm configuration plus every
+// measured cell, so successive PRs can track the space-under-pinned-reader
+// trajectory the same way BENCH_ycsb tracks throughput.
+type MemReport struct {
+	Schema       string      `json:"schema"`
+	Records      uint64      `json:"records"`
+	Writers      int         `json:"writers"`
+	OpsPerWriter int         `json:"ops_per_writer"`
+	Results      []MemRecord `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *MemReport) WriteJSON(w io.Writer) error {
+	r.Schema = MemSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
 // NetSchema identifies the machine-readable result format emitted by
 // cmd/netbench -json; bump the version when fields change meaning.
 const NetSchema = "BENCH_net/v1"

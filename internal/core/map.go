@@ -85,7 +85,8 @@ type Map[K, V, A any] struct {
 
 // Config selects the Version Maintenance algorithm and process count.
 type Config struct {
-	// Algorithm is one of vm.Names(): base, pswf, pslf, hp, epoch, rcu.
+	// Algorithm is one of vm.Names(): base, pswf, pslf, hp, epoch, rcu,
+	// sbgc.
 	// Empty selects pswf.
 	Algorithm string
 	// Procs is the number of processes P that will use the map.

@@ -46,7 +46,7 @@ func DefaultTable2() Table2Config {
 		Procs:      runtime.GOMAXPROCS(0),
 		Duration:   3 * time.Second,
 		Reps:       1,
-		Algorithms: []string{"base", "pswf", "pslf", "hp", "epoch", "rcu"},
+		Algorithms: []string{"base", "pswf", "pslf", "hp", "epoch", "rcu", "sbgc"},
 		NQs:        []int{10, 1000},
 		NUs:        []int{10, 1000},
 	}

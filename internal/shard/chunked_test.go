@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"testing"
+
+	"mvgc/internal/vm"
+)
+
+// TestForEachChunkedVisitsAll: on a quiescent map the chunked walk streams
+// exactly the full in-order key set for every chunk size, including the
+// single-pin degenerate sizes, and an early stop reports non-completion.
+// Every VM algorithm runs, since each chunk boundary exercises a full
+// release/re-pin cycle against its collector.
+func TestForEachChunkedVisitsAll(t *testing.T) {
+	for _, alg := range vm.Names() {
+		t.Run(alg, func(t *testing.T) {
+			m := newSharded(t, alg, 5, 4, nil)
+			defer m.Close()
+			const n = 500
+			for i := 0; i < n; i++ {
+				if err := m.Insert(int64(i*2), int64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, chunk := range []int{1, 7, 64, n, 3 * n, 0, -3} {
+				var got []int64
+				done := m.ForEachChunked(chunk, func(k, v int64) bool {
+					got = append(got, k)
+					return true
+				})
+				if !done {
+					t.Fatalf("chunk=%d: walk did not complete", chunk)
+				}
+				if len(got) != n {
+					t.Fatalf("chunk=%d: visited %d keys, want %d", chunk, len(got), n)
+				}
+				for i, k := range got {
+					if k != int64(i*2) {
+						t.Fatalf("chunk=%d: got[%d] = %d, want %d", chunk, i, k, i*2)
+					}
+				}
+			}
+			var got []int64
+			if !m.ForEachChunkedConsistent(13, func(k, v int64) bool {
+				got = append(got, k)
+				return true
+			}) {
+				t.Fatal("consistent chunked walk did not complete")
+			}
+			if len(got) != n {
+				t.Fatalf("consistent walk visited %d keys, want %d", len(got), n)
+			}
+			count := 0
+			if m.ForEachChunked(10, func(k, v int64) bool { count++; return count < 25 }) {
+				t.Fatal("stopped walk reported completion")
+			}
+			if count != 25 {
+				t.Fatalf("stopped after %d visits, want 25", count)
+			}
+		})
+	}
+}
+
+// TestForEachChunkedBoundedStaleness pins the semantics that distinguish
+// the chunked walk from a single frozen snapshot: writes landing AHEAD of
+// the cursor between chunks are observed (the next chunk pins a fresh
+// snapshot), writes landing BEHIND it are not revisited, and the key
+// stream stays strictly increasing throughout.
+func TestForEachChunkedBoundedStaleness(t *testing.T) {
+	m := newSharded(t, "sbgc", 4, 6, nil)
+	defer m.Close()
+	for i := 0; i < 100; i++ {
+		if err := m.Insert(int64(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keys 0..99 walked in chunks of 10 give deterministic chunk
+	// boundaries: 55 is mid-chunk [50..59], and 90 and 500 are pinned
+	// only by later chunks.
+	var got []int64
+	done := m.ForEachChunked(10, func(k, v int64) bool {
+		if k == 55 {
+			if err := m.Insert(int64(-5), 1); err != nil { // behind: never visited
+				t.Fatal(err)
+			}
+			if err := m.Insert(int64(500), 1); err != nil { // ahead: must be visited
+				t.Fatal(err)
+			}
+			if err := m.Delete(int64(90)); err != nil { // ahead: must not be visited
+				t.Fatal(err)
+			}
+		}
+		got = append(got, k)
+		return true
+	})
+	if !done {
+		t.Fatal("walk did not complete")
+	}
+	seen := map[int64]bool{}
+	for i, k := range got {
+		if i > 0 && k <= got[i-1] {
+			t.Fatalf("keys not strictly increasing: %d after %d", k, got[i-1])
+		}
+		seen[k] = true
+	}
+	if seen[-5] {
+		t.Fatal("walk went backwards: visited a key inserted behind the cursor")
+	}
+	if seen[90] {
+		t.Fatal("walk visited a key deleted ahead of the cursor")
+	}
+	if !seen[500] {
+		t.Fatal("walk missed a key inserted ahead of the cursor (staleness not bounded)")
+	}
+	if len(got) != 100 { // 0..89, 91..99, 500
+		t.Fatalf("visited %d keys, want 100", len(got))
+	}
+}
+
+// TestForEachChunkedClosedMap: a walk on a closed map reports
+// non-completion instead of spinning or panicking.
+func TestForEachChunkedClosedMap(t *testing.T) {
+	m := newSharded(t, "pswf", 3, 4, nil)
+	for i := 0; i < 10; i++ {
+		if err := m.Insert(int64(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+	if m.ForEachChunked(4, func(k, v int64) bool { return true }) {
+		t.Fatal("walk over a closed map reported completion")
+	}
+}

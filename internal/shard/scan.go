@@ -230,3 +230,84 @@ func (s Snap[K, V, A]) ScanAppend(dst []ftree.Entry[K, V], lo K, n int) []ftree.
 func (s Snap[K, V, A]) Scan(lo K, n int) []ftree.Entry[K, V] {
 	return s.ScanAppend(nil, lo, n)
 }
+
+// ForEachChunked visits every entry in global key order like
+// Snap.ForEachCond, but with bounded staleness instead of one frozen
+// snapshot: every n entries the walk drops its pin and re-seeks at the
+// last visited key against a freshly pinned per-shard View (the pooled
+// seekGE restart — allocation-free once warm).  An analytics-length walk
+// therefore never stretches any shard's uncollected-version window beyond
+// one chunk.  The price is snapshot semantics: each key is visited at most
+// once and keys stream in strictly increasing order, but entries ahead of
+// the walk observe commits that land between chunks, and entries behind it
+// are never revisited.  It reports whether the walk ran to completion
+// (false when f stopped it or the map closed mid-walk).  n <= 0 degrades
+// to ForEachCond under a single pin.
+//
+// This lives on Map, not Snap, by construction: a Snap is only valid
+// inside the View callback that pinned it, so a walk that releases and
+// re-acquires pins has to own the pinning itself.
+func (m *Map[K, V, A]) ForEachChunked(n int, f func(K, V) bool) bool {
+	return m.forEachChunked(n, f, m.View)
+}
+
+// ForEachChunkedConsistent is ForEachChunked with every chunk pinned by
+// ViewConsistent: each chunk reflects one global commit cut — a fresh cut
+// per chunk, so the walk as a whole is bounded-stale, not atomic.
+func (m *Map[K, V, A]) ForEachChunkedConsistent(n int, f func(K, V) bool) bool {
+	return m.forEachChunked(n, f, m.ViewConsistent)
+}
+
+func (m *Map[K, V, A]) forEachChunked(n int, f func(K, V) bool, view func(func(Snap[K, V, A]))) bool {
+	if n <= 0 {
+		done, entered := false, false
+		view(func(s Snap[K, V, A]) {
+			entered = true
+			done = s.ForEachCond(f)
+		})
+		return done && entered
+	}
+	var (
+		last    K
+		first   = true
+		stopped = false
+	)
+	for {
+		entered, full := false, false
+		view(func(s Snap[K, V, A]) {
+			entered = true
+			st := m.getScan()
+			defer m.putScan(st)
+			if first {
+				st.seekMin(s)
+			} else {
+				st.seekGE(s, last)
+				// The anchor key itself was visited by the previous
+				// chunk (unless it was deleted in between).
+				if w := st.winner(); w >= 0 && st.cmp(st.its[w].Key(), last) == 0 {
+					st.step()
+				}
+			}
+			count := 0
+			for w := st.winner(); w >= 0; w = st.winner() {
+				k, v := st.its[w].Key(), st.its[w].Val()
+				if !f(k, v) {
+					stopped = true
+					return
+				}
+				last, first = k, false
+				if count++; count == n {
+					full = true
+					return
+				}
+				st.step()
+			}
+		})
+		if !entered || stopped {
+			return false
+		}
+		if !full {
+			return true
+		}
+	}
+}

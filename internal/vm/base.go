@@ -80,8 +80,8 @@ func (m *Base[T]) Drain() []*T {
 }
 
 // New constructs the named Version Maintenance algorithm for p processes.
-// Recognized names: pswf, pslf, hp, epoch, rcu, base.  It returns nil for
-// unknown names.
+// Recognized names: pswf, pslf, hp, epoch, rcu, sbgc, base.  It returns nil
+// for unknown names.
 func New[T any](name string, p int, initial *T) Maintainer[T] {
 	switch name {
 	case "pswf":
@@ -94,6 +94,8 @@ func New[T any](name string, p int, initial *T) Maintainer[T] {
 		return NewEpoch(p, initial)
 	case "rcu":
 		return NewRCU(p, initial)
+	case "sbgc":
+		return NewSBGC(p, initial)
 	case "base":
 		return NewBase(p, initial)
 	}
@@ -101,5 +103,5 @@ func New[T any](name string, p int, initial *T) Maintainer[T] {
 }
 
 // Names lists the available algorithms in the order the paper's tables
-// report them.
-func Names() []string { return []string{"base", "pswf", "pslf", "hp", "epoch", "rcu"} }
+// report them, followed by the post-paper additions.
+func Names() []string { return []string{"base", "pswf", "pslf", "hp", "epoch", "rcu", "sbgc"} }

@@ -20,7 +20,8 @@
 // being live (Definition 3.2), which implies each Release returns at most
 // one version.
 //
-// Five solutions are provided, matching the paper's evaluation (Section 7.1):
+// Six solutions match the paper's evaluation (Section 7.1), plus one from
+// the follow-on space-bounded GC literature:
 //
 //	PSWF   precise, safe and wait-free (Algorithm 4, the paper's contribution)
 //	PSLF   PSWF without helping; precise and lock-free (Section 7.1)
@@ -28,6 +29,8 @@
 //	Epoch  epoch based; safe but imprecise (Section 6)
 //	RCU    read-copy-update based; precise but the writer blocks (Section 6)
 //	Base   no maintenance at all; the no-VM baseline of Table 2
+//	SBGC   timestamp-interval compaction; safe, imprecise, space-bounded
+//	       under pinned readers (after arXiv 2108.02775 / 2212.13557)
 package vm
 
 // Maintainer is a solution to the Version Maintenance problem for versions

@@ -33,8 +33,8 @@ var allNames = Names()
 var preciseNames = []string{"pswf", "pslf", "rcu"}
 
 func TestNames(t *testing.T) {
-	if len(allNames) != 6 {
-		t.Fatalf("expected 6 algorithms, got %v", allNames)
+	if len(allNames) != 7 {
+		t.Fatalf("expected 7 algorithms, got %v", allNames)
 	}
 	for _, n := range allNames {
 		m := New[payload](n, 2, &payload{})
@@ -534,6 +534,9 @@ func TestUncollectedBounds(t *testing.T) {
 		"pslf": 2*procs + 1,
 		"rcu":  procs + 1,
 		"hp":   2*procs*procs + 1,
+		// SBGC compacts each retired list down to ≤ P entries once it
+		// reaches 2P, so at most 2P can be outstanding per process.
+		"sbgc": 2*procs*procs + 1,
 	}
 	for name, bound := range bounds {
 		t.Run(name, func(t *testing.T) {

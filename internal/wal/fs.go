@@ -113,6 +113,16 @@ func (OsFS) SyncDir(dir string) error {
 type MemFS struct {
 	mu    sync.Mutex
 	files map[string]*memFile
+	syncs int
+}
+
+// Syncs reports how many file fsyncs have been performed, so tests can
+// assert fsync *scheduling* (e.g. an idle FsyncInterval log must not
+// fsync at all), not just durability outcomes.
+func (fs *MemFS) Syncs() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncs
 }
 
 type memFile struct {
@@ -289,6 +299,7 @@ func (h *memHandle) Sync() error {
 	if err != nil {
 		return err
 	}
+	h.fs.syncs++
 	f.synced = len(f.data)
 	return nil
 }

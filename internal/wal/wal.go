@@ -18,8 +18,11 @@ const (
 	// write.  This is the only policy under which the recovery matrix
 	// asserts acked-write survival.
 	FsyncAlways Policy = iota
-	// FsyncInterval syncs on a background timer; Commit returns
-	// immediately, so a crash can lose up to Interval of acked writes.
+	// FsyncInterval bounds group-commit latency instead of syncing every
+	// Commit: the background syncer fsyncs once the oldest unsynced
+	// record has waited Interval (MaxLatency-style, not a fixed ticker —
+	// an idle log never fsyncs).  Commit returns immediately, so a crash
+	// can lose up to Interval (plus one fsync) of acked writes.
 	FsyncInterval
 	// FsyncOff never syncs except on Close.
 	FsyncOff
@@ -54,7 +57,9 @@ type Options struct {
 	MaxBytes int64
 	// Policy is the fsync policy (default FsyncAlways).
 	Policy Policy
-	// Interval is the FsyncInterval period (default 50 ms).
+	// Interval is the FsyncInterval latency bound: the longest any
+	// appended record waits before the background syncer fsyncs it
+	// (default 50 ms).
 	Interval time.Duration
 }
 
@@ -118,6 +123,13 @@ type Log struct {
 
 	ckptMu sync.Mutex // single-flight checkpoints
 
+	// FsyncInterval deadline state (under mu): armed is set by the first
+	// Append past the synced watermark and cleared by the background
+	// syncer just before it syncs, so the oldest unsynced record waits at
+	// most Interval plus one fsync.  armCh (capacity 1) kicks the syncer.
+	armed    bool
+	armedAt  time.Time
+	armCh    chan struct{}
 	stopTick chan struct{}
 	tickDone chan struct{}
 }
@@ -225,6 +237,17 @@ func (l *Log) Append(gsn uint64, payload []byte) error {
 	l.liveBytes += frame
 	if gsn > l.curMaxGSN {
 		l.curMaxGSN = gsn
+	}
+	// First unsynced record under FsyncInterval: arm the latency bound.
+	// Later appends ride the existing deadline, so the OLDEST unsynced
+	// record is what waits at most Interval.
+	if l.opts.Policy == FsyncInterval && !l.armed {
+		l.armed = true
+		l.armedAt = time.Now()
+		select {
+		case l.armCh <- struct{}{}:
+		default:
+		}
 	}
 	if len(l.buf) >= flushThreshold {
 		return l.flushLocked()

@@ -607,6 +607,50 @@ func TestPolicies(t *testing.T) {
 	}
 }
 
+// TestIntervalLatencyBound: FsyncInterval is a group-commit latency bound,
+// not a fixed ticker.  A record becomes durable within roughly Interval of
+// its append without any Commit-side fsync, and an idle log performs no
+// fsyncs at all — the previous ticker implementation fsynced every
+// Interval forever whether or not anything was appended.
+func TestIntervalLatencyBound(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{Policy: FsyncInterval, Interval: 10 * time.Millisecond})
+	defer l.Close()
+
+	waitSynced := func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			st := l.Stat()
+			if st.Synced >= st.Appended {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("record still unsynced long past the latency bound: %+v", st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	appendCommit(t, l, 1, "v1") // Commit is a no-op under FsyncInterval
+	waitSynced()
+
+	// Idle: nothing unsynced, so the armed deadline never fires and the
+	// fsync count must stay put across many would-be ticker periods.
+	base := fs.Syncs()
+	time.Sleep(100 * time.Millisecond)
+	if got := fs.Syncs(); got != base {
+		t.Fatalf("idle log fsynced %d times (fixed-ticker behavior); want 0", got-base)
+	}
+
+	// A fresh append re-arms the deadline and is synced within the bound.
+	appendCommit(t, l, 2, "v2")
+	waitSynced()
+	if fs.Syncs() == base {
+		t.Fatal("new unsynced record never triggered an fsync")
+	}
+}
+
 // TestCloseIdempotent: double Close is a no-op.
 func TestCloseIdempotent(t *testing.T) {
 	l, _ := openMem(t, NewMemFS(), Options{})
