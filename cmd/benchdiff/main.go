@@ -11,10 +11,11 @@
 //     so the magazine allocator's zero-allocation write path is a CI
 //     invariant, not a one-off measurement.
 //   - BENCH_net/v1 (cmd/netbench -json): cells are (conns, depth) points of
-//     the serving-layer sweep (the SCAN-mix cell keys separately via its
-//     scan fraction); a regression is an ops/s drop OR a commits-per-op
-//     increase beyond the tolerance, so both the front door's throughput
-//     and its write-coalescing property gate the merge.
+//     the serving-layer sweep (the SCAN-mix and replication cells key
+//     separately via their scan fraction / repl marker); a regression is an
+//     ops/s drop OR a commits-per-op increase beyond the tolerance, so both
+//     the front door's throughput and its write-coalescing property gate
+//     the merge.  Replication lag is reported for context, not gated.
 //   - BENCH_mem/v1 (cmd/ycsbbench -longreader -memjson): cells are
 //     per-GC-algorithm long-reader storm measurements; a regression is a
 //     peak-retained-versions increase OR a write-throughput drop beyond
@@ -266,10 +267,21 @@ func diffNet(oldR, newR bench.NetReport, tol float64) *diffResult {
 			// baselines still match.
 			k += fmt.Sprintf("/scan=%.2f", r.ScanFrac)
 		}
+		if r.Repl {
+			// Likewise the replication cell: same sweep point, different
+			// server (WAL-backed leader with a live follower attached).
+			k += "/repl"
+		}
 		return k
 	}
 	fmtCell := func(r bench.NetRecord) string {
-		return fmt.Sprintf("%9.0f ops/s %6.4f c/op", r.OpsPerSec, r.CommitsPerOp)
+		s := fmt.Sprintf("%9.0f ops/s %6.4f c/op", r.OpsPerSec, r.CommitsPerOp)
+		if r.Repl {
+			// Lag is printed for context but not gated: visibility round
+			// trips on shared runners are dominated by scheduler noise.
+			s += fmt.Sprintf(" lag %.0fus", r.ReplLagP50Us)
+		}
+		return s
 	}
 	base := make(map[string]bench.NetRecord, len(oldR.Results))
 	for _, r := range oldR.Results {

@@ -2,20 +2,30 @@
 // protocol (a RESP subset): the repo's network front door.
 //
 // Pipelined clients (internal/netclient, cmd/netbench, or anything that
-// speaks RESP arrays of bulk strings) get SET/GET/DEL/SUM/LEN/SCAN/MCAS/
-// PING/STATS; every connection's writes flow through the per-shard combining
-// writers, so N connections' pipelined SETs coalesce into O(shards)
-// commits per batching interval (see internal/netserver).
+// speaks RESP arrays of bulk strings) get SET/GET/DEL/SUM/LEN/SCAN/SCANC/
+// MCAS/PING/STATS; every connection's writes flow through the per-shard
+// combining writers, so N connections' pipelined SETs coalesce into
+// O(shards) commits per batching interval (see internal/netserver).
 //
 // Usage:
 //
 //	mvgcd -addr :6380 -shards 8 -maxconns 256 -latency 1ms
 //	mvgcd -addr :6380 -wal /var/lib/mvgcd -wal-fsync always
+//	mvgcd -addr :6381 -wal /var/lib/mvgcd-f -follow leader:6380
 //
 // With -wal every acknowledged write is appended to a segmented redo log
 // and fsynced per -wal-fsync before its +OK goes out; on restart mvgcd
 // recovers the newest checkpoint snapshot plus all logged records before
-// serving, so a kill -9 loses nothing that was acked.
+// serving, so a kill -9 loses nothing that was acked.  -checkpoint-bytes /
+// -checkpoint-age enable the background checkpointer, which bounds the
+// retained log by folding it into snapshots.
+//
+// With -follow the server starts as a read-only replica: it streams the
+// leader's WAL (REPL wire command), replays it through the same
+// GSN-ordered apply path recovery uses, and answers reads.  PROMOTE on
+// the wire — or SIGUSR1 — detaches it from the leader and enables
+// writes, with the GSN floored so stamps never rewind past replayed
+// history.
 //
 // SIGINT/SIGTERM shut down gracefully: accepted requests are committed,
 // answered and — with -wal — flushed to durable storage before the
@@ -31,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"mvgc"
 	"mvgc/internal/bench"
 	"mvgc/internal/netserver"
 )
@@ -45,6 +56,10 @@ func main() {
 		consistent = flag.Bool("consistent", false, "serve SUM/LEN/SCAN from globally consistent snapshots")
 		walDir     = flag.String("wal", "", "write-ahead log directory (empty = purely in-memory)")
 		walFsync   = flag.String("wal-fsync", "always", "WAL fsync policy: always, interval or off")
+		walSegment = flag.Int64("wal-segment-bytes", 0, "WAL segment size before rotation (0 = default 64MiB)")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "checkpoint when retained log exceeds this many bytes (0 = off)")
+		ckptAge    = flag.Duration("checkpoint-age", 0, "checkpoint when the log grew and this much time passed (0 = off)")
+		follow     = flag.String("follow", "", "follow a leader at this address (read-only until PROMOTE/SIGUSR1; requires -wal)")
 	)
 	flag.Parse()
 
@@ -54,8 +69,14 @@ func main() {
 		MaxPipeline: *pipeline,
 		MaxLatency:  *latency,
 		Consistent:  *consistent,
-		WALDir:      *walDir,
-		WALFsync:    *walFsync,
+		WAL: mvgc.WALOptions{
+			Dir:             *walDir,
+			Fsync:           *walFsync,
+			SegmentBytes:    *walSegment,
+			CheckpointBytes: *ckptBytes,
+			CheckpointAge:   *ckptAge,
+		},
+		Follow: *follow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvgcd:", err)
@@ -70,8 +91,12 @@ func main() {
 	if *walDir != "" {
 		durability = fmt.Sprintf("wal=%s fsync=%s", *walDir, *walFsync)
 	}
-	fmt.Printf("mvgcd: serving on %s (shards=%d maxconns=%d latency=%s %s)\n",
-		ln.Addr(), *shards, *maxConns, *latency, durability)
+	role := ""
+	if *follow != "" {
+		role = fmt.Sprintf(" following=%s", *follow)
+	}
+	fmt.Printf("mvgcd: serving on %s (shards=%d maxconns=%d latency=%s %s%s)\n",
+		ln.Addr(), *shards, *maxConns, *latency, durability, role)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -79,6 +104,15 @@ func main() {
 		<-sig
 		fmt.Println("mvgcd: shutting down")
 		srv.Shutdown()
+	}()
+
+	promote := make(chan os.Signal, 1)
+	signal.Notify(promote, syscall.SIGUSR1)
+	go func() {
+		for range promote {
+			fmt.Println("mvgcd: promoting to leader")
+			srv.Promote()
+		}
 	}()
 
 	if err := srv.Serve(ln); err != nil {

@@ -12,6 +12,12 @@
 // commands (uniform length 1–100), so the server-side merged-scan path is
 // tracked by the same report; -scanfrac 0 skips it.
 //
+// One replication cell follows (-repl, in-process only): the widest point
+// again, but against a WAL-backed leader streaming its log to a live
+// follower.  Alongside the usual throughput numbers the cell reports the
+// replication lag — how long after a probe write is acked on the leader
+// its value becomes readable on the follower — as p50/p99 percentiles.
+//
 // The server runs in-process on a loopback listener, so the sweep is
 // self-contained and STATS deltas are exact; -addr targets an external
 // mvgcd instead (commits-per-op then includes any other clients' traffic).
@@ -32,9 +38,11 @@ import (
 	"sync"
 	"time"
 
+	"mvgc"
 	"mvgc/internal/bench"
 	"mvgc/internal/netclient"
 	"mvgc/internal/netserver"
+	"mvgc/internal/wal"
 	"mvgc/internal/ycsb"
 )
 
@@ -46,6 +54,7 @@ func main() {
 		keys      = flag.Int64("keys", 100_000, "key space size")
 		writeFrac = flag.Float64("writefrac", 1.0, "fraction of ops that are SETs (rest GETs)")
 		scanFrac  = flag.Float64("scanfrac", 0.05, "scan cell: fraction of ops that are SCANs (0 skips the scan cell)")
+		repl      = flag.Bool("repl", true, "replication cell: rerun the widest point against a WAL-backed leader with a live follower (skipped with -addr)")
 		dur       = flag.Duration("dur", 2*time.Second, "measured duration per cell")
 		latency   = flag.Duration("latency", time.Millisecond, "server combiner batching latency bound")
 		addr      = flag.String("addr", "", "benchmark an external server instead of in-process")
@@ -58,7 +67,7 @@ func main() {
 		var depths []int
 		depths, err = csvInts(*depthCSV)
 		if err == nil {
-			err = run(conns, depths, *shards, *keys, *writeFrac, *scanFrac, *dur, *latency, *addr, *jsonPath)
+			err = run(conns, depths, *shards, *keys, *writeFrac, *scanFrac, *repl, *dur, *latency, *addr, *jsonPath)
 		}
 	}
 	if err != nil {
@@ -79,7 +88,8 @@ func csvInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(conns, depths []int, shards int, keys int64, writeFrac, scanFrac float64, dur, latency time.Duration, addr, jsonPath string) error {
+func run(conns, depths []int, shards int, keys int64, writeFrac, scanFrac float64, repl bool, dur, latency time.Duration, addr, jsonPath string) error {
+	external := addr != ""
 	if addr == "" {
 		maxConns := 0
 		for _, c := range conns {
@@ -119,8 +129,12 @@ func run(conns, depths []int, shards int, keys int64, writeFrac, scanFrac float6
 	fmt.Printf("%6s %6s %6s %12s %10s %10s %14s\n", "conns", "depth", "scan%", "ops/s", "p50(us)", "p99(us)", "commits/op")
 	emit := func(rec bench.NetRecord) {
 		rep.Results = append(rep.Results, rec)
-		fmt.Printf("%6d %6d %6.0f %12.0f %10.1f %10.1f %14.4f\n",
-			rec.Conns, rec.Depth, rec.ScanFrac*100, rec.OpsPerSec, rec.P50Us, rec.P99Us, rec.CommitsPerOp)
+		extra := ""
+		if rec.Repl {
+			extra = fmt.Sprintf("  repl lag p50=%.0fus p99=%.0fus", rec.ReplLagP50Us, rec.ReplLagP99Us)
+		}
+		fmt.Printf("%6d %6d %6.0f %12.0f %10.1f %10.1f %14.4f%s\n",
+			rec.Conns, rec.Depth, rec.ScanFrac*100, rec.OpsPerSec, rec.P50Us, rec.P99Us, rec.CommitsPerOp, extra)
 	}
 	for _, c := range conns {
 		for _, d := range depths {
@@ -131,24 +145,36 @@ func run(conns, depths []int, shards int, keys int64, writeFrac, scanFrac float6
 			emit(rec)
 		}
 	}
+	maxC, maxD := conns[0], depths[0]
+	for _, c := range conns {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for _, d := range depths {
+		if d > maxD {
+			maxD = d
+		}
+	}
 	if scanFrac > 0 {
 		// One scan cell at the sweep's widest point: scanFrac of the ops are
 		// SCAN commands of uniform length 1–100, streamed through the server's
 		// loser-tree merge off one consistent cut, mixed with the usual
 		// GET/SET traffic.  Kept to a single cell so the sweep's cost stays
 		// dominated by the classic grid.
-		maxC, maxD := conns[0], depths[0]
-		for _, c := range conns {
-			if c > maxC {
-				maxC = c
-			}
-		}
-		for _, d := range depths {
-			if d > maxD {
-				maxD = d
-			}
-		}
 		rec, err := cell(addr, maxC, maxD, keys, writeFrac, scanFrac, dur, ctl)
+		if err != nil {
+			return err
+		}
+		emit(rec)
+	}
+	if repl && !external {
+		// One replication cell, again at the widest point: the load runs
+		// against a fresh WAL-backed leader whose log is streamed to a live
+		// follower, and the lag percentiles come from probe writes raced
+		// against follower visibility.  Needs in-process servers (the cell
+		// owns both ends), so -addr skips it.
+		rec, err := replCell(maxC, maxD, shards, keys, writeFrac, dur, latency)
 		if err != nil {
 			return err
 		}
@@ -282,6 +308,131 @@ func cell(addr string, conns, depth int, keys int64, writeFrac, scanFrac float64
 	}
 	if writes > 0 {
 		rec.CommitsPerOp = float64(batches1-batches0) / float64(writes)
+	}
+	return rec, nil
+}
+
+// replCell measures the serving layer with replication attached: a
+// WAL-backed leader (in-memory filesystem, fsync off — the subject is the
+// shipping pipeline, not the disk) streams its log to a live follower
+// while the widest (conns, depth) load runs against the leader.
+// Throughput, latency and commits-per-op are measured exactly as in
+// cell(); on top, a prober writes a key outside the benchmark keyspace to
+// the leader and polls the follower until the value is visible, and the
+// acked-to-visible round trips become the cell's replication-lag
+// percentiles.
+func replCell(conns, depth, shards int, keys int64, writeFrac float64, dur, latency time.Duration) (bench.NetRecord, error) {
+	rec := bench.NetRecord{Conns: conns, Depth: depth, Repl: true}
+	leader, err := netserver.New(netserver.Config{
+		Shards:     shards,
+		MaxConns:   conns + 8, // load conns + control + prober + follower's REPL stream
+		MaxLatency: latency,
+		WAL:        mvgc.WALOptions{Dir: "wal", FS: wal.NewMemFS(), Fsync: "off"},
+	})
+	if err != nil {
+		return rec, err
+	}
+	lln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rec, err
+	}
+	go leader.Serve(lln)
+	defer leader.Shutdown()
+	leaderAddr := lln.Addr().String()
+
+	follower, err := netserver.New(netserver.Config{
+		Shards:     shards,
+		MaxConns:   8,
+		MaxLatency: latency,
+		WAL:        mvgc.WALOptions{Dir: "wal", FS: wal.NewMemFS(), Fsync: "off"},
+		Follow:     leaderAddr,
+	})
+	if err != nil {
+		return rec, err
+	}
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rec, err
+	}
+	go follower.Serve(fln)
+	defer follower.Shutdown()
+
+	ctl, err := netclient.Dial(leaderAddr, 4)
+	if err != nil {
+		return rec, err
+	}
+	defer ctl.Close()
+	lp, err := netclient.Dial(leaderAddr, 1)
+	if err != nil {
+		return rec, err
+	}
+	defer lp.Close()
+	fp, err := netclient.Dial(fln.Addr().String(), 1)
+	if err != nil {
+		return rec, err
+	}
+	defer fp.Close()
+
+	// The prober: write probeKey=v to the leader (synchronous, so the
+	// clock starts at the ack), then poll the follower until the value
+	// arrives.  A short pause between probes keeps the prober's own
+	// traffic negligible next to the benchmark load.
+	const probeKey = int64(-1)
+	stop := make(chan struct{})
+	type probeRes struct {
+		lags []time.Duration
+		err  error
+	}
+	probeCh := make(chan probeRes, 1)
+	go func() {
+		var r probeRes
+		defer func() { probeCh <- r }()
+		for v := int64(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := lp.Set(probeKey, v); err != nil {
+				r.err = err
+				return
+			}
+			t0 := time.Now()
+			for {
+				got, ok, err := fp.Get(probeKey)
+				if err != nil {
+					r.err = err
+					return
+				}
+				if ok && got >= v {
+					break
+				}
+				if time.Since(t0) > 10*time.Second {
+					r.err = fmt.Errorf("follower never saw probe %d", v)
+					return
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			r.lags = append(r.lags, time.Since(t0))
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	rec, err = cell(leaderAddr, conns, depth, keys, writeFrac, 0, dur, ctl)
+	close(stop)
+	probe := <-probeCh
+	rec.Repl = true
+	if err != nil {
+		return rec, err
+	}
+	if probe.err != nil {
+		return rec, fmt.Errorf("replication prober: %w", probe.err)
+	}
+	lags := probe.lags
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	if n := len(lags); n > 0 {
+		rec.ReplLagP50Us = float64(lags[n/2].Microseconds())
+		rec.ReplLagP99Us = float64(lags[n*99/100].Microseconds())
 	}
 	return rec, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"runtime"
+	"sync"
 	"time"
 
 	"mvgc/internal/ftree"
@@ -45,6 +46,24 @@ var ErrClosed = shard.ErrClosed
 type DB[K, V, A any] struct {
 	*shard.Map[K, V, A]
 	atomicDefault bool
+
+	// Background checkpointer (nil channels when not configured).
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+	ckptOnce sync.Once
+}
+
+// Close stops the background checkpointer (waiting for an in-flight
+// checkpoint to finish) and then closes the map and its log.  Safe to
+// call more than once and from concurrent goroutines.
+func (db *DB[K, V, A]) Close() error {
+	if db.ckptStop != nil {
+		db.ckptOnce.Do(func() {
+			close(db.ckptStop)
+			<-db.ckptDone
+		})
+	}
+	return db.Map.Close()
 }
 
 // Update runs a buffered multi-key write transaction.  By default commits
@@ -176,34 +195,59 @@ type DBOptions[K any] struct {
 	// Single-key operations are unaffected either way.
 	AtomicDefault bool
 
-	// WALDir enables write-ahead logging: every committed write is
-	// appended to a segmented redo log under this directory and fsynced
-	// per WALFsync before the call returns, and OpenDB recovers the
-	// newest checkpoint snapshot plus all logged records after a crash.
-	// Requires integer or string key AND value types (OpenDB derives the
-	// wire codecs the same way it derives Hash/Cmp); for other types open
-	// the map without a WAL and attach one via shard.Map.AttachWAL with
-	// explicit codecs.  Empty (the default) disables logging entirely —
-	// the database is purely in-memory and writes never touch the disk.
-	WALDir string
-	// WALFsync is the fsync policy: "always" (default — acked means
-	// durable), "interval" (group fsync at most every WALFsyncInterval),
-	// or "off" (fsync only on checkpoint/close; a crash may lose
-	// recently acked writes but never corrupts the log).
-	WALFsync string
-	// WALFsyncInterval is the flush period for WALFsync "interval"
-	// (default 10ms).
-	WALFsyncInterval time.Duration
-	// WALSegmentBytes caps each log segment before rotation (default
+	// WAL enables write-ahead logging when non-nil with a Dir: every
+	// committed write is appended to a segmented redo log and fsynced per
+	// the configured policy before the call returns, and OpenDB recovers
+	// the newest checkpoint snapshot plus all logged records after a
+	// crash.  Nil (the default) disables logging entirely — the database
+	// is purely in-memory and writes never touch the disk.
+	WAL *WALOptions
+}
+
+// WALOptions configures the durability subsystem: the redo log itself,
+// and the background checkpointer that keeps it bounded.  Requires
+// integer or string key AND value types (OpenDB derives the wire codecs
+// the same way it derives Hash/Cmp); for other types open the map
+// without a WAL and attach one via shard.Map.AttachWAL with explicit
+// codecs.
+type WALOptions struct {
+	// Dir holds the log's segments and checkpoint snapshots.  Created if
+	// missing; empty disables logging even when WALOptions is non-nil.
+	Dir string
+	// Fsync is the fsync policy: "always" (default — acked means
+	// durable), "interval" (group fsync at most every FsyncInterval), or
+	// "off" (fsync only on checkpoint/close; a crash may lose recently
+	// acked writes but never corrupts the log).
+	Fsync string
+	// FsyncInterval is the flush period for Fsync "interval" (default
+	// 50ms).
+	FsyncInterval time.Duration
+	// SegmentBytes caps each log segment before rotation (default
 	// 64 MiB).
-	WALSegmentBytes int64
-	// WALMaxBytes fails writes with wal.ErrWALFull once live log bytes
+	SegmentBytes int64
+	// MaxBytes fails writes with wal.ErrWALFull once live log bytes
 	// exceed this bound, instead of filling the disk (0 = unbounded).
-	// Checkpoint retires segments and makes room.
-	WALMaxBytes int64
-	// WALFS overrides the log's filesystem (tests inject wal.MemFS or
+	// A checkpoint retires segments and makes room.
+	MaxBytes int64
+	// FS overrides the log's filesystem (tests inject wal.MemFS or
 	// wal.FaultFS here; nil = the real disk).
-	WALFS wal.FS
+	FS wal.FS
+	// CheckpointBytes, when non-zero, starts a background checkpointer
+	// that snapshots the database and retires covered segments whenever
+	// the log's live bytes exceed this bound, keeping the directory's
+	// footprint (and the prefix a replication follower must bootstrap)
+	// within roughly 2x this value under sustained load.
+	CheckpointBytes int64
+	// CheckpointAge, when non-zero, additionally checkpoints once the
+	// newest checkpoint is this old AND records have been appended since
+	// — an idle database is never re-snapshotted.
+	CheckpointAge time.Duration
+}
+
+// checkpointing reports whether the options ask for the background
+// checkpointer.
+func (w *WALOptions) checkpointing() bool {
+	return w.CheckpointBytes > 0 || w.CheckpointAge > 0
 }
 
 // OpenDB opens a sharded map with the given augmenter and initial
@@ -248,7 +292,7 @@ func OpenDB[K, V, A any](o DBOptions[K], aug Augmenter[K, V, A], initial []Entry
 		rec       *wal.Recovered
 		recovered bool
 	)
-	if o.WALDir != "" {
+	if o.WAL != nil && o.WAL.Dir != "" {
 		encK, decK, ok := autoCodec[K]()
 		if !ok {
 			return nil, errors.New("mvgc: WAL requires an integer or string key type; use shard.Map.AttachWAL with explicit codecs")
@@ -257,14 +301,14 @@ func OpenDB[K, V, A any](o DBOptions[K], aug Augmenter[K, V, A], initial []Entry
 		if !ok {
 			return nil, errors.New("mvgc: WAL requires an integer or string value type; use shard.Map.AttachWAL with explicit codecs")
 		}
-		pol, err := wal.ParsePolicy(o.WALFsync)
+		pol, err := wal.ParsePolicy(o.WAL.Fsync)
 		if err != nil {
 			return nil, err
 		}
 		log, r, err := wal.Open(wal.Options{
-			Dir: o.WALDir, FS: o.WALFS,
-			SegmentBytes: o.WALSegmentBytes, MaxBytes: o.WALMaxBytes,
-			Policy: pol, Interval: o.WALFsyncInterval,
+			Dir: o.WAL.Dir, FS: o.WAL.FS,
+			SegmentBytes: o.WAL.SegmentBytes, MaxBytes: o.WAL.MaxBytes,
+			Policy: pol, Interval: o.WAL.FsyncInterval,
 		})
 		if err != nil {
 			return nil, err
@@ -310,8 +354,67 @@ func OpenDB[K, V, A any](o DBOptions[K], aug Augmenter[K, V, A], initial []Entry
 				return nil, err
 			}
 		}
+		if o.WAL.checkpointing() {
+			db.ckptStop = make(chan struct{})
+			db.ckptDone = make(chan struct{})
+			// The growth baseline is captured HERE, before OpenDB returns
+			// — a write that lands before the loop's first poll must still
+			// read as growth.  A recovered backlog (records beyond the
+			// newest snapshot) forces the first trigger: those records are
+			// not covered and the appended watermark alone cannot see them
+			// (it restarts at zero on open).
+			base := db.WALStats().Appended
+			if len(rec.Records) > 0 {
+				base = -1
+			}
+			go db.checkpointLoop(o.WAL.CheckpointBytes, o.WAL.CheckpointAge, base)
+		}
 	}
 	return db, nil
+}
+
+// checkpointLoop is the background checkpointer: it polls the log's
+// shape and checkpoints when live bytes exceed the size bound, or when
+// the newest checkpoint is older than the age bound and records have
+// been appended since.  A checkpoint rides ViewConsistent — a pinned
+// immutable read — so writers are never blocked; the loop therefore
+// bounds the log's footprint without ever appearing in a write's
+// latency.  Transient checkpoint failures are retried on the next poll
+// (wal.Checkpoint errors are not sticky).
+func (db *DB[K, V, A]) checkpointLoop(bytes int64, age time.Duration, lastAppended int64) {
+	defer close(db.ckptDone)
+	poll := 25 * time.Millisecond
+	if age > 0 && age/4 < poll {
+		poll = age / 4
+	}
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	lastAt := time.Now()
+	for {
+		select {
+		case <-db.ckptStop:
+			return
+		case <-tick.C:
+		}
+		st := db.WALStats()
+		grew := st.Appended > lastAppended
+		need := (bytes > 0 && grew && st.LiveBytes >= bytes) ||
+			(age > 0 && grew && time.Since(lastAt) >= age)
+		if !need {
+			continue
+		}
+		if err := db.Checkpoint(); err != nil {
+			if errors.Is(err, ErrClosed) || errors.Is(err, wal.ErrLogClosed) {
+				return
+			}
+			continue
+		}
+		lastAppended = db.WALStats().Appended
+		lastAt = time.Now()
+	}
 }
 
 // OpenPlainDB opens an unaugmented sharded map — the common key-value

@@ -160,15 +160,23 @@ const NetSchema = "BENCH_net/v1"
 // cell, where that fraction of operations are SCAN commands streaming a
 // merged range off one consistent cut; it is part of the cell's identity
 // (omitempty keeps pre-scan baselines' keys byte-identical).
+// Repl marks the replication cell, which runs against a WAL-backed leader
+// with a live follower attached: ReplLagP50Us/ReplLagP99Us are the probe
+// writes' acked-on-leader to visible-on-follower latency percentiles.
+// Like ScanFrac, Repl is part of the cell's identity and omitted when
+// false so pre-replication baselines' keys stay byte-identical.
 type NetRecord struct {
 	Conns        int     `json:"conns"`
 	Depth        int     `json:"depth"`
 	ScanFrac     float64 `json:"scan_frac,omitempty"`
+	Repl         bool    `json:"repl,omitempty"`
 	Ops          int64   `json:"ops"`
 	OpsPerSec    float64 `json:"ops_per_sec"`
 	P50Us        float64 `json:"p50_us"`
 	P99Us        float64 `json:"p99_us"`
 	CommitsPerOp float64 `json:"commits_per_op"`
+	ReplLagP50Us float64 `json:"repl_lag_p50_us,omitempty"`
+	ReplLagP99Us float64 `json:"repl_lag_p99_us,omitempty"`
 }
 
 // NetReport is the BENCH_net.json document: serving-layer configuration

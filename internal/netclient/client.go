@@ -119,6 +119,35 @@ func (p *Pending) Entries() ([]Entry, error) {
 	return out, nil
 }
 
+// ScanChunk is one SCANC page: up to n entries in ascending key order
+// plus the cursor to continue from.  When More is set, resuming at Next
+// with excl=true yields the following page; pages from different calls
+// may observe different snapshots (the cursor lives on the client).
+type ScanChunk struct {
+	Entries []Entry
+	Next    int64 // last key of this page; resume point when More
+	More    bool  // the range may hold entries beyond Next
+}
+
+// Chunk waits and decodes a SCANC reply: [more, next, k1, v1, ...].
+func (p *Pending) Chunk() (ScanChunk, error) {
+	if err := p.Err(); err != nil {
+		return ScanChunk{}, err
+	}
+	if p.kind != netproto.KindArray {
+		return ScanChunk{}, fmt.Errorf("netclient: unexpected reply kind %q", p.kind)
+	}
+	if len(p.arr) < 2 || len(p.arr)%2 != 0 {
+		return ScanChunk{}, fmt.Errorf("netclient: malformed cursor-scan reply length %d", len(p.arr))
+	}
+	ch := ScanChunk{More: p.arr[0] != 0, Next: p.arr[1]}
+	ch.Entries = make([]Entry, 0, (len(p.arr)-2)/2)
+	for i := 2; i+1 < len(p.arr); i += 2 {
+		ch.Entries = append(ch.Entries, Entry{Key: p.arr[i], Val: p.arr[i+1]})
+	}
+	return ch, nil
+}
+
 // Client is one pipelined connection.
 type Client struct {
 	nc net.Conn
@@ -348,6 +377,28 @@ func (c *Client) ScanAsync(lo int64, n int) *Pending {
 	return p
 }
 
+// ScanChunkAsync pipelines SCANC lo n excl: one cursor page of up to n
+// entries with keys ≥ lo (or > lo when excl), in ascending key order.
+func (c *Client) ScanChunkAsync(lo int64, n int, excl bool) *Pending {
+	p := c.newPending()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead(p) {
+		return p
+	}
+	c.w.BeginCommand(4)
+	c.w.ArgString(netproto.CmdScanCursor)
+	c.w.ArgInt(lo)
+	c.w.ArgInt(int64(n))
+	if excl {
+		c.w.ArgInt(1)
+	} else {
+		c.w.ArgInt(0)
+	}
+	c.enqueue(p)
+	return p
+}
+
 // LenAsync pipelines LEN.
 func (c *Client) LenAsync() *Pending {
 	p := c.newPending()
@@ -383,6 +434,21 @@ func (c *Client) MCASAsync(keys, expects, news []int64) *Pending {
 		c.w.ArgInt(expects[i])
 		c.w.ArgInt(news[i])
 	}
+	c.enqueue(p)
+	return p
+}
+
+// PromoteAsync pipelines PROMOTE: a following server stops replicating
+// and starts accepting writes.
+func (c *Client) PromoteAsync() *Pending {
+	p := c.newPending()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead(p) {
+		return p
+	}
+	c.w.BeginCommand(1)
+	c.w.ArgString(netproto.CmdPromote)
 	c.enqueue(p)
 	return p
 }
@@ -469,6 +535,20 @@ func (c *Client) Scan(lo int64, n int) ([]Entry, error) {
 	return p.Entries()
 }
 
+// ScanChunk is the synchronous SCANC: one cursor page.
+func (c *Client) ScanChunk(lo int64, n int, excl bool) (ScanChunk, error) {
+	p := c.ScanChunkAsync(lo, n, excl)
+	c.Flush()
+	return p.Chunk()
+}
+
+// Promote is the synchronous PROMOTE.
+func (c *Client) Promote() error {
+	p := c.PromoteAsync()
+	c.Flush()
+	return p.Err()
+}
+
 // Len is the synchronous LEN.
 func (c *Client) Len() (int64, error) {
 	p := c.LenAsync()
@@ -497,6 +577,72 @@ func (c *Client) Stats() (string, error) {
 	c.Flush()
 	return p.Text()
 }
+
+// Scanner iterates a key range in ascending order, fetching one SCANC
+// page at a time:
+//
+//	sc := c.Scanner(0, 512)
+//	for sc.Next() {
+//		e := sc.Entry()
+//		...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+//
+// Each page is served from a fresh server-side snapshot, so a long
+// iteration observes a sequence of consistent cuts rather than one; the
+// keys still arrive in strictly ascending order with no duplicates.
+type Scanner struct {
+	c     *Client
+	chunk int
+	cur   int64
+	excl  bool
+	page  []Entry
+	i     int // index of the current entry in page; -1 before first Next
+	more  bool
+	err   error
+}
+
+// Scanner starts an iteration at keys ≥ lo fetching pages of the given
+// size (<= 0 means 512).
+func (c *Client) Scanner(lo int64, chunk int) *Scanner {
+	if chunk <= 0 {
+		chunk = 512
+	}
+	return &Scanner{c: c, chunk: chunk, cur: lo, i: -1, more: true}
+}
+
+// Next advances to the next entry, fetching a new page when the current
+// one is exhausted; false means the range is done or the scan failed
+// (check Err).
+func (s *Scanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	if s.i+1 < len(s.page) {
+		s.i++
+		return true
+	}
+	for s.more {
+		ch, err := s.c.ScanChunk(s.cur, s.chunk, s.excl)
+		if err != nil {
+			s.err = err
+			return false
+		}
+		s.page, s.i = ch.Entries, -1
+		s.cur, s.excl, s.more = ch.Next, true, ch.More
+		if len(s.page) > 0 {
+			s.i = 0
+			return true
+		}
+	}
+	return false
+}
+
+// Entry returns the current entry; valid after a true Next.
+func (s *Scanner) Entry() Entry { return s.page[s.i] }
+
+// Err returns the first error the iteration hit, if any.
+func (s *Scanner) Err() error { return s.err }
 
 // Close flushes, closes the connection, and waits for the reader to finish
 // failing or completing every outstanding Pending.  Safe to call twice.

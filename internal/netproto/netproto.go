@@ -48,6 +48,18 @@ const (
 	CmdScan  = "SCAN"  // SCAN <lo> <n>             → *<2m> of :k :v pairs, ascending keys
 	CmdMCAS  = "MCAS"  // MCAS (<k> <expect> <new>)+ → :1 swapped | :0 conflict
 	CmdStats = "STATS" // STATS                     → $key=value ... (see netserver)
+
+	// CmdScanCursor is the cursor-style chunked scan: the client drives the
+	// walk, so no server-side state (and no long-pinned shard snapshot)
+	// outlives a single request.
+	CmdScanCursor = "SCANC" // SCANC <lo> <n> <excl>  → *<2m+2>: :more :next then k/v pairs
+	// CmdRepl hands the connection over to the replication shipper: after
+	// the +OK the server stops speaking RESP on this connection and streams
+	// raw repl frames (see internal/repl) forever.  Args are the follower's
+	// resume position and snapshot floor.
+	CmdRepl = "REPL" // REPL <afterGSN> <floor>      → +OK then raw repl frames
+	// CmdPromote flips a follower into a writable leader.
+	CmdPromote = "PROMOTE" // PROMOTE               → +OK
 )
 
 // Reply kinds, the reply's leading byte on the wire.

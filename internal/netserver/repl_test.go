@@ -1,0 +1,369 @@
+package netserver
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mvgc"
+	"mvgc/internal/netclient"
+	"mvgc/internal/wal"
+)
+
+// waitFollower polls the follower until key carries val — proof it has
+// replayed every log byte the leader appended before that write (the
+// stream is in log order).
+func waitFollower(t *testing.T, c *netclient.Client, key, val int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		v, ok, err := c.Get(key)
+		if err != nil {
+			t.Fatalf("follower GET: %v", err)
+		}
+		if ok && v == val {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reached key %d = %d (at %d, ok=%v)", key, val, v, ok)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// dumpServer scans the full keyspace through the cursor-scan iterator.
+func dumpServer(t *testing.T, c *netclient.Client) map[int64]int64 {
+	t.Helper()
+	got := map[int64]int64{}
+	sc := c.Scanner(-1<<62, 97) // odd page size: exercise page boundaries
+	for sc.Next() {
+		e := sc.Entry()
+		got[e.Key] = e.Val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("cursor scan: %v", err)
+	}
+	return got
+}
+
+// TestFollowerStreamsAndPromotes is the basic replication e2e: a follower
+// replays the leader's stream, serves reads but refuses writes, and
+// PROMOTE flips it into a writable leader whose stamps never rewind.
+func TestFollowerStreamsAndPromotes(t *testing.T) {
+	lmem, fmem := wal.NewMemFS(), wal.NewMemFS()
+	leader, laddr := startServer(t, Config{
+		Shards: 2, MaxConns: 4,
+		WAL: mvgc.WALOptions{Dir: "wal", FS: lmem},
+	})
+	defer leader.Close()
+
+	lc, err := netclient.Dial(laddr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	for k := int64(0); k < 100; k++ {
+		if err := lc.Set(k, k*3+1); err != nil {
+			t.Fatalf("SET %d: %v", k, err)
+		}
+	}
+
+	follower, faddr := startServer(t, Config{
+		Shards: 2, MaxConns: 4,
+		WAL:    mvgc.WALOptions{Dir: "wal", FS: fmem},
+		Follow: laddr,
+	})
+	defer follower.Close()
+	fc, err := netclient.Dial(faddr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	if err := lc.Set(-1, 42); err != nil {
+		t.Fatal(err)
+	}
+	waitFollower(t, fc, -1, 42)
+
+	// Reads work; the cursor scan agrees with the leader exactly.
+	want := dumpServer(t, lc)
+	if got := dumpServer(t, fc); len(got) != len(want) {
+		t.Fatalf("follower holds %d keys, leader %d", len(got), len(want))
+	} else {
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("follower key %d = %d, leader has %d", k, got[k], v)
+			}
+		}
+	}
+	// Writes are refused while following.
+	if err := fc.Set(7, 7); err == nil || !strings.Contains(err.Error(), "READONLY") {
+		t.Fatalf("follower SET = %v, want READONLY refusal", err)
+	}
+	if got := statInt(t, mustStats(t, fc), "readonly"); got != 1 {
+		t.Fatalf("follower readonly stat = %d, want 1", got)
+	}
+
+	// Promote over the wire: writes flow, and the stamp floor means the
+	// promoted GSN continues past everything replayed.
+	if err := fc.Promote(); err != nil {
+		t.Fatalf("PROMOTE: %v", err)
+	}
+	if got := statInt(t, mustStats(t, fc), "readonly"); got != 0 {
+		t.Fatalf("promoted readonly stat = %d, want 0", got)
+	}
+	preGSN := statInt(t, mustStats(t, fc), "gsn")
+	if err := fc.Set(200, 777); err != nil {
+		t.Fatalf("SET after PROMOTE: %v", err)
+	}
+	if v, ok, err := fc.Get(200); err != nil || !ok || v != 777 {
+		t.Fatalf("read-own-write after PROMOTE = (%d, %v, %v)", v, ok, err)
+	}
+	if postGSN := statInt(t, mustStats(t, fc), "gsn"); postGSN <= preGSN || preGSN == 0 {
+		t.Fatalf("gsn %d -> %d across promotion: stamps rewound or never advanced", preGSN, postGSN)
+	}
+}
+
+func mustStats(t *testing.T, c *netclient.Client) string {
+	t.Helper()
+	s, err := c.Stats()
+	if err != nil {
+		t.Fatalf("STATS: %v", err)
+	}
+	return s
+}
+
+// TestFollowerReconnectAndBootstrap: a follower that goes away and comes
+// back resumes from its persisted position; when the leader's
+// checkpointer has retired the log prefix it needed, it bootstraps from
+// the snapshot instead — and in both cases converges to the leader's
+// exact contents, including multi-shard atomic (MCAS) writes.
+func TestFollowerReconnectAndBootstrap(t *testing.T) {
+	lmem, fmem := wal.NewMemFS(), wal.NewMemFS()
+	leader, laddr := startServer(t, Config{
+		Shards: 4, MaxConns: 4,
+		WAL: mvgc.WALOptions{
+			Dir: "wal", FS: lmem,
+			SegmentBytes:    1 << 10,
+			CheckpointBytes: 4 << 10,
+		},
+	})
+	defer leader.Close()
+	lc, err := netclient.Dial(laddr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	for k := int64(0); k < 64; k++ {
+		if err := lc.Set(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	followerCfg := Config{
+		Shards: 4, MaxConns: 4,
+		WAL:    mvgc.WALOptions{Dir: "wal", FS: fmem},
+		Follow: laddr,
+	}
+	follower, faddr := startServer(t, followerCfg)
+	fc, err := netclient.Dial(faddr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Set(-1, 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFollower(t, fc, -1, 1)
+	fc.Close()
+
+	// Follower leaves gracefully (position persisted), then the leader
+	// moves on: atomic multi-shard swaps plus enough churn that the
+	// checkpointer retires the log prefix the follower's position names.
+	if err := follower.Shutdown(); err != nil {
+		t.Fatalf("follower shutdown: %v", err)
+	}
+	if ok, err := lc.MCAS([]int64{1, 2, 3}, []int64{1, 2, 3}, []int64{-10, -20, -30}); err != nil || !ok {
+		t.Fatalf("MCAS = (%v, %v)", ok, err)
+	}
+	for i := int64(0); i < 2000; i++ {
+		if err := lc.Set(100+i%128, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for statInt(t, mustStats(t, lc), "wal_live") > 16<<10 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader checkpointer never bounded the log")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Rebirth from the same directory: the persisted position is stale
+	// (retired), so the handshake must fall back to snapshot bootstrap.
+	follower, faddr = startServer(t, followerCfg)
+	defer follower.Close()
+	fc, err = netclient.Dial(faddr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if err := lc.Set(-1, 2); err != nil {
+		t.Fatal(err)
+	}
+	waitFollower(t, fc, -1, 2)
+
+	want := dumpServer(t, lc)
+	got := dumpServer(t, fc)
+	if len(got) != len(want) {
+		t.Fatalf("follower holds %d keys, leader %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("follower key %d = %d, leader has %d (atomic replay torn?)", k, got[k], v)
+		}
+	}
+	for _, k := range []int64{1, 2, 3} {
+		if got[k] != -k*10 {
+			t.Fatalf("MCAS effect on key %d = %d, want %d", k, got[k], -k*10)
+		}
+	}
+}
+
+// TestFollowerCrashMatrix power-cuts the follower's filesystem at a
+// sweep of operation indices mid-stream, reopens a follower from the
+// surviving bytes, and requires it to converge to the leader exactly —
+// the stream position is only persisted after the follower's log syncs,
+// so a crash can only force idempotent re-replay, never divergence.
+func TestFollowerCrashMatrix(t *testing.T) {
+	lmem := wal.NewMemFS()
+	leader, laddr := startServer(t, Config{
+		Shards: 2, MaxConns: 4,
+		WAL: mvgc.WALOptions{Dir: "wal", FS: lmem},
+	})
+	defer leader.Close()
+	lc, err := netclient.Dial(laddr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	for k := int64(0); k < 200; k++ {
+		if err := lc.Set(k, k*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, crashAt := range []int{5, 20, 60, 120, 400} {
+		t.Run(fmt.Sprintf("crash@%d", crashAt), func(t *testing.T) {
+			fmem := wal.NewMemFS()
+			ffs := wal.NewFaultFS(fmem)
+			ffs.Script(crashAt, wal.FaultCrash)
+			follower, faddr := startServer(t, Config{
+				Shards: 2, MaxConns: 4,
+				WAL:    mvgc.WALOptions{Dir: "wal", FS: ffs},
+				Follow: laddr,
+			})
+			// Give the stream time to run into the scripted power cut
+			// (or finish, for late crash points), then tear down whatever
+			// is left of the server.
+			deadline := time.Now().Add(time.Second)
+			for !ffs.Crashed() && time.Now().Before(deadline) {
+				time.Sleep(2 * time.Millisecond)
+			}
+			follower.Close()
+
+			// Reopen from the post-crash filesystem image and re-follow.
+			follower, faddr = startServer(t, Config{
+				Shards: 2, MaxConns: 4,
+				WAL:    mvgc.WALOptions{Dir: "wal", FS: fmem},
+				Follow: laddr,
+			})
+			defer follower.Close()
+			fc, err := netclient.Dial(faddr, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fc.Close()
+			if err := lc.Set(-1, int64(crashAt)); err != nil {
+				t.Fatal(err)
+			}
+			waitFollower(t, fc, -1, int64(crashAt))
+			want := dumpServer(t, lc)
+			got := dumpServer(t, fc)
+			if len(got) != len(want) {
+				t.Fatalf("follower holds %d keys, leader %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("follower key %d = %d, leader has %d", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestScanCursorWire pins the SCANC reply contract at the client level:
+// paging visits every entry exactly once in order, the probe entry sets
+// More without leaking, and an exclusive resume skips the cursor key.
+func TestScanCursorWire(t *testing.T) {
+	s, addr := startServer(t, Config{Shards: 4, MaxConns: 4})
+	defer s.Shutdown()
+	c, err := netclient.Dial(addr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 533 // deliberately not a multiple of the page size
+	for k := int64(0); k < n; k++ {
+		if err := c.Set(k*2, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var pages, seen int
+	last := int64(-1)
+	for lo, excl, more := int64(0), false, true; more; {
+		ch, err := c.ScanChunk(lo, 100, excl)
+		if err != nil {
+			t.Fatalf("SCANC: %v", err)
+		}
+		pages++
+		for _, e := range ch.Entries {
+			if e.Key <= last {
+				t.Fatalf("cursor went backwards: %d after %d", e.Key, last)
+			}
+			if e.Val != e.Key/2 {
+				t.Fatalf("entry %d = %d, want %d", e.Key, e.Val, e.Key/2)
+			}
+			last = e.Key
+			seen++
+		}
+		if ch.More && len(ch.Entries) == 0 {
+			t.Fatal("More set on an empty page: no progress possible")
+		}
+		if ch.More && ch.Next != last {
+			t.Fatalf("Next = %d, want last key %d", ch.Next, last)
+		}
+		lo, excl, more = ch.Next, true, ch.More
+	}
+	if seen != n {
+		t.Fatalf("cursor visited %d entries, want %d", seen, n)
+	}
+	if pages < n/100 {
+		t.Fatalf("only %d pages for %d entries at page size 100", pages, n)
+	}
+
+	// The iterator agrees.
+	sc := c.Scanner(0, 100)
+	count := 0
+	for sc.Next() {
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("Scanner visited %d entries, want %d", count, n)
+	}
+}

@@ -34,6 +34,7 @@ package netserver
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"runtime"
 	"strconv"
@@ -44,7 +45,7 @@ import (
 	"mvgc"
 	"mvgc/internal/batch"
 	"mvgc/internal/netproto"
-	"mvgc/internal/wal"
+	"mvgc/internal/repl"
 )
 
 // Config sizes a Server.  The zero value serves: GOMAXPROCS shards, 64
@@ -74,15 +75,21 @@ type Config struct {
 	// per-shard fan-out otherwise.  Point reads are unaffected
 	// (single-shard reads are atomic either way).
 	Consistent bool
-	// WALDir enables the write-ahead log: every +OK'd write is durable per
-	// WALFsync, and New recovers prior state from the directory before
-	// serving.  Empty disables logging (purely in-memory, the default).
-	WALDir string
-	// WALFsync is the log's fsync policy: "always" (default), "interval"
-	// or "off" (see mvgc.DBOptions.WALFsync).
-	WALFsync string
-	// WALFS overrides the log's filesystem (tests; nil = the real disk).
-	WALFS wal.FS
+	// WAL configures durability (mvgc.WALOptions): a non-empty Dir
+	// enables the write-ahead log — every +OK'd write is durable per the
+	// fsync policy, New recovers prior state from the directory before
+	// serving, and CheckpointBytes/CheckpointAge run the background
+	// checkpointer that keeps the log (and the replication bootstrap
+	// prefix) bounded.  The zero value disables logging (purely
+	// in-memory, the default).
+	WAL mvgc.WALOptions
+	// Follow starts the server as a replication follower of the leader at
+	// this address: it bootstraps/tails the leader's redo stream, applies
+	// it continuously, answers read-only commands (writes get -READONLY),
+	// and becomes a writable leader on PROMOTE (or Server.Promote).
+	// Requires WAL.Dir — the follower relogs what it applies, so it is
+	// itself crash-recoverable and shippable.
+	Follow string
 }
 
 func (c *Config) fill() {
@@ -123,19 +130,33 @@ type Server struct {
 
 	serveWG sync.WaitGroup // accept loops + connection goroutines
 	nconns  atomic.Int64
+
+	// Replication state: readOnly gates the write commands while the
+	// server follows a leader; Promote clears it.  fmu serializes
+	// promotion against shutdown.
+	readOnly atomic.Bool
+	fmu      sync.Mutex
+	follower *repl.Follower
 }
 
 // New opens the sharded DB (int64 keys and values, sum-augmented so SUM is
-// O(S log n)) and starts one combining writer per shard.  Close releases
-// everything; the caller owns listeners (Serve) until then.
+// O(S log n)) and starts one combining writer per shard.  With
+// Config.Follow it also starts the replication follower (read-only until
+// promoted).  Close releases everything; the caller owns listeners
+// (Serve) until then.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
+	if cfg.Follow != "" && cfg.WAL.Dir == "" {
+		return nil, errors.New("netserver: Follow requires WAL.Dir (the follower relogs the stream)")
+	}
+	var walOpts *mvgc.WALOptions
+	if cfg.WAL.Dir != "" {
+		walOpts = &cfg.WAL
+	}
 	db, err := mvgc.OpenDB[int64, int64, int64](mvgc.DBOptions[int64]{
-		Shards:   cfg.Shards,
-		Grain:    1024,
-		WALDir:   cfg.WALDir,
-		WALFsync: cfg.WALFsync,
-		WALFS:    cfg.WALFS,
+		Shards: cfg.Shards,
+		Grain:  1024,
+		WAL:    walOpts,
 	}, mvgc.SumAug[int64](), nil)
 	if err != nil {
 		return nil, err
@@ -155,7 +176,36 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.MaxConns; i++ {
 		s.ids <- i
 	}
+	if cfg.Follow != "" {
+		s.readOnly.Store(true)
+		f, err := repl.Start(repl.Config{
+			Addr: cfg.Follow,
+			DB:   db,
+			Dir:  cfg.WAL.Dir,
+			FS:   cfg.WAL.FS,
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		s.follower = f
+	}
 	return s, nil
+}
+
+// Promote turns a follower into a writable leader: the stream stops (its
+// final position persists after a local log sync), the GSN floor set by
+// replay guarantees new stamps never rewind below anything replayed or
+// bootstrapped, and the write commands open up.  Idempotent; a no-op on
+// a server that never followed.
+func (s *Server) Promote() {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	if s.follower != nil {
+		s.follower.Stop()
+		s.follower = nil
+	}
+	s.readOnly.Store(false)
 }
 
 // DB exposes the underlying store (tests and embedded servers).
@@ -227,9 +277,16 @@ func (s *Server) stop(graceful bool) error {
 	s.serveWG.Wait()
 	// All read loops have exited and all writers have drained: every
 	// accepted write's completion callback has fired (the combiners were
-	// live throughout).  Now the final drain can't strand a response —
-	// and Close's WAL flush makes every acked write durable before the
-	// log is released.
+	// live throughout).  A following server also stops its stream (the
+	// final position persists after a local log sync).  Now the final
+	// drain can't strand a response — and Close's WAL flush makes every
+	// acked write durable before the log is released.
+	s.fmu.Lock()
+	if s.follower != nil {
+		s.follower.Stop()
+		s.follower = nil
+	}
+	s.fmu.Unlock()
 	return s.db.Close()
 }
 
@@ -293,6 +350,18 @@ type conn struct {
 	client  int // leased combiner client slot
 	pending chan *slot
 	free    chan *slot
+
+	// repl, when set by a REPL command, hands the connection over to the
+	// log shipper once the read loop returns and the writer drains (the
+	// +OK is the last RESP bytes on the wire).
+	repl *replHandoff
+}
+
+// replHandoff carries a REPL command's arguments from the read loop to
+// the shipper.
+type replHandoff struct {
+	afterGSN uint64 // follower's resume position
+	floor    uint64 // follower's snapshot coverage
 }
 
 // handle serves one connection to completion; it runs on the connection's
@@ -342,7 +411,31 @@ func (s *Server) handle(nc net.Conn) {
 	c.readLoop()
 	close(c.pending) // no more slots; the writer drains and flushes
 	writerWG.Wait()
+	if c.repl != nil {
+		// RESP is fully drained (+OK for REPL was the writer's last
+		// flush); the connection now belongs to the log shipper until it
+		// breaks or the server stops.  serveWG still covers us, so stop()
+		// waits for the shipper before closing the DB and its log.
+		s.runShipper(c.nc, c.repl)
+	}
 	nc.Close()
+}
+
+// runShipper streams the WAL to one follower connection, aborting when
+// the server stops (a graceful stop's read deadline cannot interrupt a
+// blocked shipper, so a watchdog tears the stream down explicitly).
+func (s *Server) runShipper(nc net.Conn, h *replHandoff) {
+	sh := repl.NewShipper(s.db.WAL(), nc)
+	stopped := make(chan struct{})
+	go func() {
+		select {
+		case <-s.doneCh:
+			sh.Abort()
+		case <-stopped:
+		}
+	}()
+	sh.Run(h.afterGSN, h.floor) //nolint:errcheck // the follower reconnects
+	close(stopped)
 }
 
 // slot leases a response slot, recycling the writer's returns.  Recycled
@@ -479,6 +572,8 @@ func (c *conn) readLoop() {
 			c.execLen()
 		case eqFold(name, netproto.CmdScan):
 			c.execScan(&cmd)
+		case eqFold(name, netproto.CmdScanCursor):
+			c.execScanCursor(&cmd)
 		case eqFold(name, netproto.CmdMCAS):
 			c.execMCAS(&cmd)
 		case eqFold(name, netproto.CmdPing):
@@ -488,6 +583,16 @@ func (c *conn) readLoop() {
 			c.enqueue(sl)
 		case eqFold(name, netproto.CmdStats):
 			c.execStats()
+		case eqFold(name, netproto.CmdRepl):
+			if c.execRepl(&cmd) {
+				return // connection handed over to the shipper
+			}
+		case eqFold(name, netproto.CmdPromote):
+			c.srv.Promote()
+			sl := c.slot()
+			sl.kind = respOK
+			sl.complete()
+			c.enqueue(sl)
 		default:
 			c.fail(fmt.Sprintf("ERR unknown command %q", name))
 		}
@@ -501,6 +606,10 @@ func (c *conn) readLoop() {
 // the read loop moves on immediately, so every write this and other
 // connections pipeline meanwhile rides the same O(shards) commits.
 func (c *conn) execWrite(cmd *netproto.Command, op batch.Op) {
+	if c.srv.readOnly.Load() {
+		c.fail("READONLY following a leader; PROMOTE to enable writes")
+		return
+	}
 	wantArgs := 3
 	if op == batch.OpDelete {
 		wantArgs = 2
@@ -614,6 +723,93 @@ func (c *conn) execScan(cmd *netproto.Command) {
 	c.enqueue(sl)
 }
 
+// maxCursorEntries bounds one SCANC chunk: the reply carries two extra
+// integers (more + next) ahead of the pairs.
+const maxCursorEntries = (netproto.MaxArgs - 2) / 2
+
+// execScanCursor is the cursor-style chunked scan — the wire form of
+// DB.ForEachChunked, with the chunking driven by the client: each SCANC
+// pins a fresh snapshot, streams at most n entries from the cursor, and
+// releases every pin before replying, so an analytics client walking the
+// whole keyspace never stretches any shard's uncollected-version window
+// beyond one chunk.  Commits landing between chunks are observed, keys
+// stream in strictly increasing order, each at most once — exactly
+// ForEachChunked's bounded-staleness contract.
+//
+// Reply: *<2m+2> of integers [more, next, k1, v1, ...] — more is 1 when
+// entries remain past this chunk, next is the last key returned (pass it
+// back with excl=1 to continue).
+func (c *conn) execScanCursor(cmd *netproto.Command) {
+	if len(cmd.Args) != 4 {
+		c.fail("ERR usage: SCANC <lo> <n> <excl>")
+		return
+	}
+	lo, ok1 := argInt(cmd.Args[1])
+	n, ok2 := argInt(cmd.Args[2])
+	excl, ok3 := argInt(cmd.Args[3])
+	if !ok1 || !ok2 || !ok3 {
+		c.fail("ERR bad integer")
+		return
+	}
+	if n < 1 || n > maxCursorEntries {
+		c.fail(fmt.Sprintf("ERR scan count must be in [1, %d]", maxCursorEntries))
+		return
+	}
+	sl := c.slot()
+	sl.kind = respArray
+	sl.arr = append(sl.arr, 0, lo) // [more, next] backfilled below
+	start := lo
+	if excl != 0 {
+		if lo == math.MaxInt64 { // nothing can follow the cursor
+			sl.complete()
+			c.enqueue(sl)
+			return
+		}
+		start = lo + 1
+	}
+	c.view(func(sn mvgc.DBSnapshot[int64, int64, int64]) {
+		sn.ScanFunc(start, int(n)+1, func(k, v int64) bool {
+			if int64(len(sl.arr))-2 >= 2*n {
+				sl.arr[0] = 1 // the probe entry: more remain
+				return false
+			}
+			sl.arr = append(sl.arr, k, v)
+			sl.arr[1] = k
+			return true
+		})
+	})
+	sl.complete()
+	c.enqueue(sl)
+}
+
+// execRepl validates a REPL handshake and schedules the connection
+// handover; it reports whether the read loop should return.  The +OK
+// travels through the normal slot path, so any pipelined commands ahead
+// of REPL are answered first and the handover happens at a clean frame
+// boundary.
+func (c *conn) execRepl(cmd *netproto.Command) bool {
+	if len(cmd.Args) != 3 {
+		c.fail("ERR usage: REPL <afterGSN> <floor>")
+		return false
+	}
+	after, err1 := strconv.ParseUint(string(cmd.Args[1]), 10, 64)
+	floor, err2 := strconv.ParseUint(string(cmd.Args[2]), 10, 64)
+	if err1 != nil || err2 != nil {
+		c.fail("ERR bad position")
+		return false
+	}
+	if c.srv.db.WAL() == nil {
+		c.fail("ERR replication requires a WAL (-wal)")
+		return false
+	}
+	c.repl = &replHandoff{afterGSN: after, floor: floor}
+	sl := c.slot()
+	sl.kind = respOK
+	sl.complete()
+	c.enqueue(sl)
+	return true
+}
+
 func (c *conn) execLen() {
 	sl := c.slot()
 	sl.kind = respInt
@@ -630,6 +826,10 @@ func (c *conn) execLen() {
 // differently than any other writer's), so an MCAS is a pipeline barrier
 // for its connection; replies stay in order regardless.
 func (c *conn) execMCAS(cmd *netproto.Command) {
+	if c.srv.readOnly.Load() {
+		c.fail("READONLY following a leader; PROMOTE to enable writes")
+		return
+	}
 	if len(cmd.Args) < 4 || (len(cmd.Args)-1)%3 != 0 {
 		c.fail("ERR usage: MCAS <key> <expect> <new> [...]")
 		return
@@ -673,16 +873,35 @@ func (c *conn) execMCAS(cmd *netproto.Command) {
 // execStats renders the serving-layer counters netbench uses to prove
 // coalescing: batches/applied are the shard combiners' commit and request
 // totals (applied/batches = writes per combiner commit), commits is the
-// store's total committed write transactions.
+// store's total committed write transactions.  gsn is the store's commit
+// sequence high-water mark and repl_pos/repl_floor the follower's stream
+// position — leader gsn minus follower repl_pos is the replication lag
+// cmd/netbench and cmd/replloop sample; wal_live is the log's live bytes
+// (what the background checkpointer bounds).
 func (c *conn) execStats() {
 	s := c.srv
 	sl := c.slot()
 	sl.kind = respBulk
+	readonly := int64(0)
+	if s.readOnly.Load() {
+		readonly = 1
+	}
+	var pos, floor uint64
+	s.fmu.Lock()
+	if s.follower != nil {
+		pos, floor = s.follower.Pos()
+	}
+	s.fmu.Unlock()
 	sl.msg = "batches=" + strconv.FormatInt(s.db.Batches(), 10) +
 		" applied=" + strconv.FormatInt(s.db.Applied(), 10) +
 		" commits=" + strconv.FormatInt(s.db.Commits(), 10) +
 		" conns=" + strconv.FormatInt(s.Conns(), 10) +
-		" shards=" + strconv.FormatInt(int64(s.db.NumShards()), 10)
+		" shards=" + strconv.FormatInt(int64(s.db.NumShards()), 10) +
+		" gsn=" + strconv.FormatUint(s.db.CommitGSN(), 10) +
+		" readonly=" + strconv.FormatInt(readonly, 10) +
+		" repl_pos=" + strconv.FormatUint(pos, 10) +
+		" repl_floor=" + strconv.FormatUint(floor, 10) +
+		" wal_live=" + strconv.FormatInt(s.db.WALStats().LiveBytes, 10)
 	sl.complete()
 	c.enqueue(sl)
 }

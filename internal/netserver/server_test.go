@@ -454,7 +454,7 @@ func TestShutdownWALAckedPrefix(t *testing.T) {
 	mem := wal.NewMemFS()
 	s, addr := startServer(t, Config{
 		Shards: 2, MaxConns: 2, MaxLatency: 20 * time.Millisecond,
-		WALDir: "wal", WALFS: mem,
+		WAL: mvgc.WALOptions{Dir: "wal", FS: mem},
 	})
 
 	c, err := netclient.Dial(addr, n)
@@ -486,7 +486,7 @@ func TestShutdownWALAckedPrefix(t *testing.T) {
 	}
 
 	db, err := mvgc.OpenDB[int64, int64, int64](mvgc.DBOptions[int64]{
-		Shards: 2, WALDir: "wal", WALFS: mem,
+		Shards: 2, WAL: &mvgc.WALOptions{Dir: "wal", FS: mem},
 	}, mvgc.SumAug[int64](), nil)
 	if err != nil {
 		t.Fatalf("recovery open: %v", err)

@@ -1,0 +1,277 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvgc/internal/netproto"
+	"mvgc/internal/wal"
+)
+
+// Applier is the follower-side apply surface — what shard.Map (and so
+// mvgc.DB) provides for replication.
+type Applier interface {
+	// ReplayRecord applies one shipped record as an atomic transaction
+	// and floors the stamp source at its GSN.
+	ReplayRecord(gsn uint64, payload []byte) error
+	// ApplyReplSnapshot replaces the contents with a shipped checkpoint
+	// snapshot and floors the stamp source at its cut.
+	ApplyReplSnapshot(cut uint64, payload []byte) error
+	// SyncWAL forces the local log durable; called before the stream
+	// position is persisted.
+	SyncWAL() error
+}
+
+// Config configures a Follower.
+type Config struct {
+	// Addr is the leader's netproto address.
+	Addr string
+	// DB applies the stream.
+	DB Applier
+	// Dir is where the stream position file (repl.pos) lives — normally
+	// the follower's own WAL directory, so position and log share fate.
+	Dir string
+	// FS accesses Dir (nil = the real filesystem).
+	FS wal.FS
+	// RetryInterval paces reconnection attempts (default 500ms).
+	RetryInterval time.Duration
+	// SyncEvery persists the stream position after this many applied
+	// records (default 256).  The position is only persisted after the
+	// local log syncs, so it never claims records a follower crash could
+	// lose.
+	SyncEvery int
+	// Logf, when non-nil, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Follower maintains a replication connection to the leader: it
+// handshakes with its persisted position, applies the frame stream, and
+// reconnects (or re-bootstraps) until Stop.
+type Follower struct {
+	cfg   Config
+	pos   atomic.Uint64 // GSN of the last stream frame processed
+	floor atomic.Uint64 // newest snapshot cut applied
+
+	mu   sync.Mutex
+	conn net.Conn // live connection, for Stop to abort
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start loads the persisted position and begins following.  The returned
+// Follower runs until Stop.
+func Start(cfg Config) (*Follower, error) {
+	if cfg.DB == nil || cfg.Addr == "" || cfg.Dir == "" {
+		return nil, errors.New("repl: follower requires Addr, DB and Dir")
+	}
+	if cfg.FS == nil {
+		cfg.FS = wal.OsFS{}
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 500 * time.Millisecond
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = 256
+	}
+	f := &Follower{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	pos, floor, err := loadPos(cfg.FS, cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	f.pos.Store(pos)
+	f.floor.Store(floor)
+	go f.run()
+	return f, nil
+}
+
+// Pos reports the stream position: the GSN of the last frame processed
+// and the newest snapshot cut applied.
+func (f *Follower) Pos() (pos, floor uint64) { return f.pos.Load(), f.floor.Load() }
+
+// Stop severs the connection, stops reconnecting, and persists the
+// final position (after a local log sync).  Idempotent.
+func (f *Follower) Stop() {
+	f.mu.Lock()
+	select {
+	case <-f.stop:
+		f.mu.Unlock()
+		<-f.done
+		return
+	default:
+	}
+	close(f.stop)
+	if f.conn != nil {
+		f.conn.Close() //nolint:errcheck
+	}
+	f.mu.Unlock()
+	<-f.done
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+func (f *Follower) run() {
+	defer close(f.done)
+	defer func() {
+		// Best-effort final save; the position is a watermark, so losing
+		// it only costs idempotent re-replay.
+		if err := f.save(); err != nil {
+			f.logf("repl: final position save: %v", err)
+		}
+	}()
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if err := f.follow(); err != nil {
+			select {
+			case <-f.stop:
+				return
+			default:
+			}
+			f.logf("repl: stream from %s broke: %v (retrying)", f.cfg.Addr, err)
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(f.cfg.RetryInterval):
+		}
+	}
+}
+
+// save syncs the local log and persists the stream position.
+func (f *Follower) save() error {
+	if err := f.cfg.DB.SyncWAL(); err != nil {
+		return err
+	}
+	return savePos(f.cfg.FS, f.cfg.Dir, f.pos.Load(), f.floor.Load())
+}
+
+// follow runs one connection: handshake, then the frame loop.
+func (f *Follower) follow() error {
+	nc, err := net.Dial("tcp", f.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	select {
+	case <-f.stop:
+		f.mu.Unlock()
+		nc.Close() //nolint:errcheck
+		return errors.New("repl: follower stopped")
+	default:
+	}
+	f.conn = nc
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+		nc.Close() //nolint:errcheck
+	}()
+
+	br := bufio.NewReaderSize(nc, 256<<10)
+	w := netproto.NewWriter(nc)
+	w.BeginCommand(3)
+	w.ArgString(netproto.CmdRepl)
+	w.ArgString(strconv.FormatUint(f.pos.Load(), 10))
+	w.ArgString(strconv.FormatUint(f.floor.Load(), 10))
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	status, err := br.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if len(status) < 1 || status[0] != '+' {
+		return fmt.Errorf("repl: leader refused stream: %s", strings.TrimSpace(status))
+	}
+	f.logf("repl: streaming from %s at pos=%d floor=%d", f.cfg.Addr, f.pos.Load(), f.floor.Load())
+	return f.frameLoop(br)
+}
+
+// frameLoop applies the stream until the connection breaks.
+func (f *Follower) frameLoop(br *bufio.Reader) error {
+	var (
+		buf      []byte // frame read buffer, reused
+		snap     []byte // accumulating snapshot payload
+		snapCut  uint64
+		inSnap   bool
+		unsynced int // records applied since the last position save
+	)
+	for {
+		tag, body, err := ReadFrame(br, buf)
+		if err != nil {
+			return err
+		}
+		buf = body[:0]
+		switch tag {
+		case TagSnapBegin:
+			if len(body) != 8 {
+				return fmt.Errorf("repl: snapshot-begin frame of %d bytes", len(body))
+			}
+			snapCut = binary.LittleEndian.Uint64(body)
+			snap, inSnap = snap[:0], true
+		case TagSnapChunk:
+			if !inSnap {
+				return errors.New("repl: snapshot chunk outside a snapshot")
+			}
+			snap = append(snap, body...)
+			// The chunk data was copied out; body (== buf) is free again.
+		case TagSnapEnd:
+			if !inSnap || len(body) != 4 {
+				return errors.New("repl: stray or malformed snapshot-end frame")
+			}
+			if crc32.Checksum(snap, crcTable) != binary.LittleEndian.Uint32(body) {
+				return errors.New("repl: snapshot failed CRC")
+			}
+			if err := f.cfg.DB.ApplyReplSnapshot(snapCut, snap); err != nil {
+				return err
+			}
+			f.floor.Store(snapCut)
+			f.pos.Store(0) // the stream restarts at the earliest retained byte
+			inSnap, snap = false, nil
+			if err := f.save(); err != nil {
+				return err
+			}
+			unsynced = 0
+			f.logf("repl: bootstrapped from snapshot cut=%d", snapCut)
+		case TagRecord:
+			gsn, payload, err := DecodeRecord(body)
+			if err != nil {
+				return err
+			}
+			// Records at or below the floor are already covered by the
+			// applied snapshot (retained segments can straddle the cut);
+			// applying them would resurrect stale post-images.
+			if gsn > f.floor.Load() {
+				if err := f.cfg.DB.ReplayRecord(gsn, payload); err != nil {
+					return err
+				}
+			}
+			f.pos.Store(gsn)
+			if unsynced++; unsynced >= f.cfg.SyncEvery {
+				if err := f.save(); err != nil {
+					return err
+				}
+				unsynced = 0
+			}
+		default:
+			return fmt.Errorf("repl: unknown frame tag %q", tag)
+		}
+	}
+}

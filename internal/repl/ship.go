@@ -1,0 +1,163 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"net"
+	"sync"
+
+	"mvgc/internal/wal"
+)
+
+// Shipper streams a log's durable records to one follower connection.
+// It is created by the server when a REPL command arrives, after the
+// +OK reply has been flushed and the connection's RESP machinery has
+// been torn down; Run then owns the connection until it fails or Abort
+// is called.
+type Shipper struct {
+	log *wal.Log
+	nc  net.Conn
+	bw  *bufio.Writer
+
+	mu     sync.Mutex
+	tailer *wal.Tailer
+	closed bool
+}
+
+// NewShipper wraps a raw connection for shipping from log.
+func NewShipper(log *wal.Log, nc net.Conn) *Shipper {
+	return &Shipper{log: log, nc: nc, bw: bufio.NewWriterSize(nc, 64<<10)}
+}
+
+// Abort tears the shipper down from another goroutine: the connection
+// closes (failing any in-flight write) and a Next blocked waiting for
+// records wakes and returns.
+func (s *Shipper) Abort() {
+	s.mu.Lock()
+	s.closed = true
+	t := s.tailer
+	s.mu.Unlock()
+	s.nc.Close() //nolint:errcheck // already failing
+	if t != nil {
+		t.Close() //nolint:errcheck
+	}
+}
+
+// setTailer registers the live tailer so Abort can wake it; it reports
+// false (closing the tailer) when the shipper was already aborted.
+func (s *Shipper) setTailer(t *wal.Tailer) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		t.Close() //nolint:errcheck
+		return false
+	}
+	s.tailer = t
+	return true
+}
+
+// Run ships records starting after the follower's resume position until
+// the connection fails, the log closes, or Abort is called.  A position
+// that is no longer retained (ErrTailTruncated, initially or mid-stream
+// when a checkpoint retires records the follower still needs) falls back
+// to a snapshot bootstrap: the latest checkpoint streams as S/c/E
+// frames, then tailing resumes from the earliest retained byte.
+func (s *Shipper) Run(afterGSN, floor uint64) error {
+	t, err := s.log.Tail(afterGSN, floor)
+	for {
+		if errors.Is(err, wal.ErrTailTruncated) {
+			t, err = s.bootstrap()
+		}
+		if err != nil {
+			return err
+		}
+		if !s.setTailer(t) {
+			return errors.New("repl: shipper aborted")
+		}
+		err = s.stream(t)
+		if !errors.Is(err, wal.ErrTailTruncated) {
+			t.Close() //nolint:errcheck
+			return err
+		}
+		t.Close() //nolint:errcheck
+	}
+}
+
+// bootstrap sends the latest checkpoint as S/c/E frames and returns a
+// tailer positioned at the earliest retained byte.  It loops if a
+// concurrent checkpoint supersedes the snapshot mid-handoff.
+func (s *Shipper) bootstrap() (*wal.Tailer, error) {
+	for {
+		cut, payload, ok, err := s.log.LatestSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, errors.New("repl: follower position not retained and no snapshot exists")
+		}
+		// Acquire the tailer BEFORE shipping the snapshot: TailSnapshot
+		// validates cut against the newest checkpoint, so the follower
+		// never applies a snapshot we then cannot tail from.
+		t, err := s.log.TailSnapshot(cut)
+		if errors.Is(err, wal.ErrTailTruncated) {
+			continue // a newer checkpoint raced; re-fetch
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := s.sendSnapshot(cut, payload); err != nil {
+			t.Close() //nolint:errcheck
+			return nil, err
+		}
+		return t, nil
+	}
+}
+
+func (s *Shipper) sendSnapshot(cut uint64, payload []byte) error {
+	var cutBuf [8]byte
+	binary.LittleEndian.PutUint64(cutBuf[:], cut)
+	if err := WriteFrame(s.bw, TagSnapBegin, cutBuf[:]); err != nil {
+		return err
+	}
+	for off := 0; off < len(payload); off += snapChunkBytes {
+		end := min(off+snapChunkBytes, len(payload))
+		if err := WriteFrame(s.bw, TagSnapChunk, payload[off:end]); err != nil {
+			return err
+		}
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(payload, crcTable))
+	if err := WriteFrame(s.bw, TagSnapEnd, crcBuf[:]); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// stream pumps records from the tailer to the wire.  It drains without
+// blocking first and only flushes the wire buffer when the tailer has
+// nothing ready — so a busy leader batches frames into large writes and
+// an idle one delivers promptly.
+func (s *Shipper) stream(t *wal.Tailer) error {
+	for {
+		recs, err := t.Next(false)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			if err := s.bw.Flush(); err != nil {
+				return err
+			}
+			recs, err = t.Next(true)
+			if err != nil {
+				return err
+			}
+		}
+		for _, r := range recs {
+			if err := WriteRecordFrame(s.bw, r.GSN, r.Payload); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Replication replay: the follower-side apply path.
+//
+// A follower receives the leader's redo stream — the exact framed records
+// a Tailer lifts out of the leader's log, in log byte order — and applies
+// each through ReplayRecord.  Because records carry absolute post-images,
+// replay is idempotent: re-applying a record, or applying one that a later
+// record overwrites, converges to the same map.  Each replayed record runs
+// as one atomic local transaction (UpdateAtomic), so a multi-shard atomic
+// record applies all-or-nothing on the follower exactly as it did on the
+// leader, and the follower's own WAL logs it as one record again — a
+// follower is itself recoverable and shippable.
+//
+// GSN discipline: before applying record g the follower floors its stamp
+// source at g-1, so the local install allocates exactly g on a quiet
+// follower (replays carry the leader's stamps through); after applying it
+// floors at g, which also covers empty records.  Floors never rewind, so
+// promotion hands out stamps strictly above everything ever replayed.
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"mvgc/internal/wal"
+)
+
+// FloorGSN raises the map's commit-sequence source to at least g; stamps
+// handed out afterwards are strictly greater.  It never lowers it.
+func (m *Map[K, V, A]) FloorGSN(g uint64) {
+	for {
+		cur := m.gsn.Load()
+		if cur >= g || m.gsn.CompareAndSwap(cur, g) {
+			return
+		}
+	}
+}
+
+// CommitGSN reports the highest commit sequence number allocated (or
+// floored) so far.
+func (m *Map[K, V, A]) CommitGSN() uint64 { return m.gsn.Load() }
+
+// WAL returns the attached redo log, or nil when none is attached.
+func (m *Map[K, V, A]) WAL() *wal.Log {
+	if m.wal == nil {
+		return nil
+	}
+	return m.wal.log
+}
+
+// SyncWAL forces the attached log's buffered records durable regardless
+// of fsync policy (nil-safe no-op without a WAL).  Followers call it
+// before persisting their replication watermark, so the watermark never
+// claims records the local log could lose.
+func (m *Map[K, V, A]) SyncWAL() error {
+	if m.wal == nil {
+		return nil
+	}
+	return m.wal.log.Sync()
+}
+
+// replOp is one decoded op of a shipped record.
+type replOp[K, V any] struct {
+	del bool
+	k   K
+	v   V
+}
+
+// ReplayRecord applies one shipped redo record stamped gsn as a single
+// atomic transaction and floors the stamp source at gsn.  A decode error
+// applies nothing.  Requires an attached WAL (for the codecs, and so the
+// follower relogs what it applies).
+func (m *Map[K, V, A]) ReplayRecord(gsn uint64, payload []byte) error {
+	if m.wal == nil {
+		return errors.New("shard: ReplayRecord requires an attached WAL")
+	}
+	var ops []replOp[K, V]
+	err := decodeWALOps(&m.wal.cfg, payload,
+		func(k K, v V) { ops = append(ops, replOp[K, V]{k: k, v: v}) },
+		func(k K) { ops = append(ops, replOp[K, V]{del: true, k: k}) })
+	if err != nil {
+		return fmt.Errorf("shard: replaying shipped record gsn=%d: %w", gsn, err)
+	}
+	if len(ops) > 0 {
+		if gsn > 0 {
+			m.FloorGSN(gsn - 1)
+		}
+		err := m.UpdateAtomic(func(t *Txn[K, V, A]) {
+			for _, o := range ops {
+				if o.del {
+					t.Delete(o.k)
+				} else {
+					t.Insert(o.k, o.v)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	m.FloorGSN(gsn)
+	return nil
+}
+
+// replApplyChunk bounds one bootstrap transaction: large snapshots apply
+// as a sequence of atomic chunks rather than one map-sized install.
+const replApplyChunk = 1024
+
+// ApplyReplSnapshot replaces the map's contents with a shipped checkpoint
+// snapshot covering every commit with GSN <= cut, then floors the stamp
+// source at cut.  Keys present locally but absent from the snapshot are
+// deleted (a re-bootstrap after a partial tail must not leave them
+// behind); matching keys are overwritten.  The apply is chunked, not
+// atomic — callers run it before serving reads (bootstrap) where a
+// mid-apply view is never handed out, and a crash mid-apply re-bootstraps
+// from scratch.
+func (m *Map[K, V, A]) ApplyReplSnapshot(cut uint64, payload []byte) error {
+	if m.wal == nil {
+		return errors.New("shard: ApplyReplSnapshot requires an attached WAL")
+	}
+	cfg := &m.wal.cfg
+	entries, err := DecodeWALSnapshot(m.wal.cfg, payload)
+	if err != nil {
+		return fmt.Errorf("shard: decoding shipped snapshot cut=%d: %w", cut, err)
+	}
+	// K is not comparable in general; the encoded key bytes are the
+	// identity the log itself uses.
+	present := make(map[string]struct{}, len(entries))
+	var kb []byte
+	for _, e := range entries {
+		kb = cfg.EncKey(kb[:0], e.Key)
+		present[string(kb)] = struct{}{}
+	}
+	var stale []K
+	m.ForEachChunked(replApplyChunk, func(k K, _ V) bool {
+		kb = cfg.EncKey(kb[:0], k)
+		if _, ok := present[string(kb)]; !ok {
+			stale = append(stale, k)
+		}
+		return true
+	})
+	for start := 0; start < len(stale); start += replApplyChunk {
+		chunk := stale[start:min(start+replApplyChunk, len(stale))]
+		err := m.UpdateAtomic(func(t *Txn[K, V, A]) {
+			for _, k := range chunk {
+				t.Delete(k)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for start := 0; start < len(entries); start += replApplyChunk {
+		chunk := entries[start:min(start+replApplyChunk, len(entries))]
+		err := m.UpdateAtomic(func(t *Txn[K, V, A]) {
+			for _, e := range chunk {
+				t.Insert(e.Key, e.Val)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	m.FloorGSN(cut)
+	return nil
+}

@@ -227,13 +227,7 @@ func (m *Map[K, V, A]) RecoverWAL(cfg WALConfig[K, V], rec *wal.Recovered) error
 	}
 	// Never rewind: the replay itself stamped from 0, and a snapshot-only
 	// recovery (no records) must still clear the checkpoint cut.
-	floor := rec.MaxGSN
-	if rec.SnapshotCut > floor {
-		floor = rec.SnapshotCut
-	}
-	if g := m.gsn.Load(); floor > g {
-		m.gsn.Store(floor)
-	}
+	m.FloorGSN(max(rec.MaxGSN, rec.SnapshotCut))
 	return nil
 }
 

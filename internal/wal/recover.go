@@ -190,8 +190,10 @@ func Open(opts Options) (*Log, *Recovered, error) {
 		sealed:    sealed,
 		liveBytes: liveBytes,
 		snapSeq:   snapSeq,
+		snapCut:   rec.SnapshotCut,
 	}
 	l.syncCond.L = &l.syncMu
+	l.tailCond.L = &l.mu
 	l.mu.Lock()
 	err = l.newSegmentLocked()
 	l.mu.Unlock()

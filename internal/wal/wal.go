@@ -113,8 +113,24 @@ type Log struct {
 	sealed    []segInfo
 	liveBytes int64
 	snapSeq   uint64
-	err       error // sticky: the log is unusable after an I/O failure
+	snapCut   uint64 // GSN the newest durable snapshot covers; 0 when none
+	err       error  // sticky: the log is unusable after an I/O failure
 	closed    bool
+
+	// curDurable is the current segment's durable prefix in bytes: 0 until
+	// its first fsync, l.curSize after every successful flushAndSync.
+	// Sealed segments are fully durable (sealing syncs before closing), so
+	// this single watermark plus the sealed sizes define exactly the byte
+	// range a Tailer may ship — a shipped record is never one a crash on
+	// this log could un-happen.
+	curDurable int64
+	// tailCond (on mu) wakes Tailers when their window can move: durable
+	// bytes grew, a segment sealed, a checkpoint retired segments, new
+	// records were appended (so a waiting tailer can force a sync), or the
+	// log closed.  tailWaiters gates the broadcasts so the common no-tailer
+	// path pays one integer check.
+	tailCond    sync.Cond
+	tailWaiters int
 
 	syncMu   sync.Mutex
 	syncCond sync.Cond
@@ -166,6 +182,9 @@ func (l *Log) newSegmentLocked() error {
 			return l.err
 		}
 		l.sealed = append(l.sealed, segInfo{seq: l.curSeq, name: l.curName, maxGSN: l.curMaxGSN, size: l.curSize})
+		if l.tailWaiters > 0 {
+			l.tailCond.Broadcast() // the sealed segment is fully durable
+		}
 	}
 	seq := l.curSeq + 1
 	name := filepath.Join(l.dir, segName(seq))
@@ -185,6 +204,7 @@ func (l *Log) newSegmentLocked() error {
 	l.cur, l.curName, l.curSeq = f, name, seq
 	l.curSize = int64(len(segMagic))
 	l.curMaxGSN = 0
+	l.curDurable = 0
 	l.liveBytes += int64(len(segMagic))
 	return nil
 }
@@ -248,6 +268,11 @@ func (l *Log) Append(gsn uint64, payload []byte) error {
 		case l.armCh <- struct{}{}:
 		default:
 		}
+	}
+	if l.tailWaiters > 0 {
+		// A caught-up Tailer waits for appends so it can force a sync and
+		// ship under FsyncOff/Interval, where no Commit would ever wake it.
+		l.tailCond.Broadcast()
 	}
 	if len(l.buf) >= flushThreshold {
 		return l.flushLocked()
@@ -348,6 +373,12 @@ func (l *Log) flushAndSync() (int64, error) {
 		l.err = fmt.Errorf("wal: fsync %s: %w", l.curName, err)
 		return 0, l.err
 	}
+	// flushLocked emptied the buffer, so curSize is exactly the segment's
+	// file length and the fsync just made all of it durable.
+	l.curDurable = l.curSize
+	if l.tailWaiters > 0 {
+		l.tailCond.Broadcast()
+	}
 	return reached, nil
 }
 
@@ -410,6 +441,12 @@ func (l *Log) Checkpoint(cut uint64, snapshot []byte) error {
 	l.mu.Lock()
 	oldSnap := l.snapSeq
 	l.snapSeq = seq
+	if cut > l.snapCut {
+		l.snapCut = cut
+	}
+	if l.tailWaiters > 0 {
+		l.tailCond.Broadcast() // retirement may invalidate a tail position
+	}
 	keep := l.sealed[:0]
 	var retire []segInfo
 	for _, s := range l.sealed {
@@ -453,10 +490,11 @@ func encodeSnapshotFile(cut uint64, payload []byte) []byte {
 // Stats is a point-in-time snapshot of the log's shape, for tests and
 // STATS-style introspection.
 type Stats struct {
-	Segments  int   // sealed + current
-	LiveBytes int64 // bytes MaxBytes accounts against
-	Appended  int64 // logical bytes appended
-	Synced    int64 // logical bytes known durable
+	Segments    int    // sealed + current
+	LiveBytes   int64  // bytes MaxBytes accounts against
+	Appended    int64  // logical bytes appended
+	Synced      int64  // logical bytes known durable
+	SnapshotCut uint64 // GSN the newest durable checkpoint covers; 0 when none
 }
 
 // Stat reports the log's current shape.
@@ -465,11 +503,12 @@ func (l *Log) Stat() Stats {
 	segs := len(l.sealed) + 1
 	live := l.liveBytes
 	app := l.appended
+	cut := l.snapCut
 	l.mu.Unlock()
 	l.syncMu.Lock()
 	syn := l.synced
 	l.syncMu.Unlock()
-	return Stats{Segments: segs, LiveBytes: live, Appended: app, Synced: syn}
+	return Stats{Segments: segs, LiveBytes: live, Appended: app, Synced: syn, SnapshotCut: cut}
 }
 
 // Dir returns the log directory.
@@ -496,6 +535,7 @@ func (l *Log) Close() error {
 	_, serr := l.flushAndSync()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.tailCond.Broadcast() // wake Tailers so they observe closed
 	if l.cur != nil {
 		if err := l.cur.Close(); err != nil && serr == nil {
 			serr = err

@@ -16,7 +16,7 @@ import (
 func openWALDB(fs wal.FS) (*mvgc.DB[uint64, uint64, struct{}], error) {
 	return mvgc.OpenPlainDB[uint64, uint64](mvgc.DBOptions[uint64]{
 		Shards: 4, Procs: 4,
-		WALDir: "wal", WALFS: fs, WALSegmentBytes: 1 << 12,
+		WAL: &mvgc.WALOptions{Dir: "wal", FS: fs, SegmentBytes: 1 << 12},
 	}, nil)
 }
 
@@ -277,7 +277,7 @@ func TestDBWALDiskRoundTrip(t *testing.T) {
 	open := func(initial []mvgc.Entry[uint64, uint64]) *mvgc.DB[uint64, uint64, struct{}] {
 		t.Helper()
 		db, err := mvgc.OpenPlainDB[uint64, uint64](mvgc.DBOptions[uint64]{
-			Shards: 2, WALDir: dir,
+			Shards: 2, WAL: &mvgc.WALOptions{Dir: dir},
 		}, initial)
 		if err != nil {
 			t.Fatal(err)
@@ -321,8 +321,10 @@ func TestDBWALFullFailsFast(t *testing.T) {
 	mem := wal.NewMemFS()
 	db, err := mvgc.OpenPlainDB[uint64, uint64](mvgc.DBOptions[uint64]{
 		Shards: 2, Procs: 4,
-		WALDir: "wal", WALFS: mem,
-		WALSegmentBytes: 256, WALMaxBytes: 1024,
+		WAL: &mvgc.WALOptions{
+			Dir: "wal", FS: mem,
+			SegmentBytes: 256, MaxBytes: 1024,
+		},
 	}, nil)
 	if err != nil {
 		t.Fatal(err)
